@@ -1,0 +1,98 @@
+//! Shared reporting utilities for the benchmark harness.
+//!
+//! Every bench target regenerates one table or figure of the paper's
+//! evaluation and prints the measured values next to the paper's reported
+//! numbers. We reproduce *shape* — who wins, by roughly what factor,
+//! where crossovers fall — not absolute cycle counts (the substrate is a
+//! from-scratch simulator, not the authors' testbed). See EXPERIMENTS.md
+//! for the recorded comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use levi_workloads::metrics::RunMetrics;
+
+/// True when `LEVI_BENCH_QUICK` is set: benches drop to reduced scales
+/// (useful for smoke-testing the harness).
+pub fn quick_mode() -> bool {
+    std::env::var("LEVI_BENCH_QUICK").is_ok()
+}
+
+/// Prints a figure/table header.
+pub fn header(title: &str, description: &str) {
+    println!();
+    println!("==================================================================");
+    println!("{title}");
+    println!("{description}");
+    println!("==================================================================");
+}
+
+/// One measured variant row against the baseline, with the paper's numbers.
+pub struct Row<'a> {
+    /// Variant label.
+    pub label: &'a str,
+    /// Measured metrics.
+    pub metrics: &'a RunMetrics,
+    /// The paper's speedup for this bar (None if not reported).
+    pub paper_speedup: Option<f64>,
+    /// The paper's relative energy (1.0 = baseline) if reported.
+    pub paper_energy: Option<f64>,
+}
+
+/// Prints a speedup/energy comparison table. `rows\[0\]` is the baseline.
+pub fn speedup_table(rows: &[Row<'_>]) {
+    let base = rows[0].metrics;
+    println!(
+        "{:<22} {:>12} {:>9} {:>9} {:>10} {:>10}",
+        "variant", "cycles", "speedup", "(paper)", "energy", "(paper)"
+    );
+    for r in rows {
+        let speedup = base.cycles as f64 / r.metrics.cycles as f64;
+        let energy = r.metrics.energy.relative_to(&base.energy);
+        println!(
+            "{:<22} {:>12} {:>8.2}x {:>9} {:>9.0}% {:>10}",
+            r.label,
+            r.metrics.cycles,
+            speedup,
+            r.paper_speedup
+                .map_or_else(|| "-".into(), |s| format!("{s:.2}x")),
+            energy * 100.0,
+            r.paper_energy
+                .map_or_else(|| "-".into(), |e| format!("{:.0}%", e * 100.0)),
+        );
+    }
+}
+
+/// Prints a generic column table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a ratio as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pct_formats() {
+        assert_eq!(super::pct(0.064), "6.4%");
+    }
+}

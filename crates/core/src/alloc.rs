@@ -1,0 +1,370 @@
+//! Leviathan's object-oriented memory allocator (paper Sec. V-A3).
+//!
+//! The allocator abstracts the cache microarchitecture away from the
+//! programmer. Given an object type's *logical* size, it:
+//!
+//! 1. **pads** objects to the next power of two so no object straddles a
+//!    cache-line boundary (Fig. 8);
+//! 2. **maps** multi-line objects to a single LLC bank by arranging for
+//!    the bank-index function to ignore the object-offset LSBs
+//!    (Sec. VI-A3); and
+//! 3. **compacts** objects in DRAM — padded in the cache, densely packed
+//!    in memory — via the cache↔DRAM address translation of Fig. 14,
+//!    eliminating the fragmentation prior NDCs forced on programmers.
+//!
+//! Objects above the microarchitectural limit (4 cache lines, Sec. VI-C)
+//! fall back to a plain `malloc`-style layout: line-aligned, unpadded in
+//! DRAM, no bank mapping — functionally correct, without the NDC locality
+//! guarantees.
+
+use levi_isa::Addr;
+use levi_sim::dram::TranslationEntry;
+use levi_sim::ndc::BankMapRange;
+use levi_sim::LINE_SIZE;
+
+/// Largest padded object size with full hardware support (4 cache lines).
+pub const MAX_PADDED: u64 = 4 * LINE_SIZE;
+
+/// Specification for an object-array allocation.
+#[derive(Clone, Debug)]
+pub struct ArraySpec {
+    /// Diagnostic name.
+    pub name: String,
+    /// Logical object size in bytes (what the program reads/writes).
+    pub obj_size: u64,
+    /// Number of objects.
+    pub count: u64,
+    /// Pad objects to the next power of two in cache space. Disabling
+    /// this models prior NDCs without data-layout support (tākō, Livia).
+    pub pad: bool,
+    /// Map multi-line objects to a single LLC bank. Disabling this models
+    /// prior NDCs that cannot keep large objects on one bank.
+    pub map_banks: bool,
+    /// Store objects compacted in DRAM (padding exists only in the cache).
+    pub compact_dram: bool,
+}
+
+impl ArraySpec {
+    /// A fully-featured Leviathan allocation.
+    pub fn new(name: &str, obj_size: u64, count: u64) -> Self {
+        ArraySpec {
+            name: name.to_string(),
+            obj_size,
+            count,
+            pad: true,
+            map_banks: true,
+            compact_dram: true,
+        }
+    }
+
+    /// Disables padding (models prior work; ablation in Figs. 16/18).
+    pub fn without_padding(mut self) -> Self {
+        self.pad = false;
+        self
+    }
+
+    /// Disables LLC bank mapping (ablation in Fig. 18).
+    pub fn without_bank_mapping(mut self) -> Self {
+        self.map_banks = false;
+        self
+    }
+
+    /// Disables DRAM compaction.
+    pub fn without_compaction(mut self) -> Self {
+        self.compact_dram = false;
+        self
+    }
+}
+
+/// A live allocation of `count` objects with a fixed stride.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObjectArray {
+    /// Base (cache-space) address of object 0.
+    pub base: Addr,
+    /// Logical object size.
+    pub obj_size: u64,
+    /// Stride between consecutive objects in cache space (= padded size).
+    pub stride: u64,
+    /// Number of objects.
+    pub count: u64,
+}
+
+impl ObjectArray {
+    /// Address of object `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= count`.
+    pub fn addr(&self, i: u64) -> Addr {
+        assert!(i < self.count, "object index {i} out of bounds ({})", self.count);
+        self.base + i * self.stride
+    }
+
+    /// Index of the object containing `addr`.
+    pub fn index_of(&self, addr: Addr) -> u64 {
+        debug_assert!(addr >= self.base && addr < self.bound());
+        (addr - self.base) / self.stride
+    }
+
+    /// One past the last byte of the array in cache space.
+    pub fn bound(&self) -> Addr {
+        self.base + self.count * self.stride
+    }
+
+    /// Total cache-space footprint in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.count * self.stride
+    }
+}
+
+/// A planned allocation: the array plus the hardware registrations it
+/// needs. [`crate::System::alloc_array`] applies these to the machine.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    /// The resulting array handle.
+    pub array: ObjectArray,
+    /// Cache↔DRAM compaction entry to install, if any.
+    pub translation: Option<TranslationEntry>,
+    /// LLC bank-mapping range to install, if any.
+    pub bank_map: Option<BankMapRange>,
+}
+
+/// The padded (cache-space) size for a logical object size.
+///
+/// Power-of-two padding up to [`MAX_PADDED`]; larger objects use the
+/// fallback stride (line-rounded, unsupported by the NDC fast paths).
+pub fn padded_size(obj_size: u64) -> u64 {
+    assert!(obj_size > 0, "zero-sized objects are not allocatable");
+    let p = obj_size.next_power_of_two().max(8);
+    if p <= MAX_PADDED {
+        p
+    } else {
+        // Fallback for very large objects (Sec. VI-C).
+        obj_size.div_ceil(LINE_SIZE) * LINE_SIZE
+    }
+}
+
+/// Bump allocator over the flat simulated address space.
+///
+/// Two regions are managed: *cache space* (ordinary addresses the program
+/// uses) and a disjoint *DRAM shadow* used as the target of compaction
+/// translations, so compacted and identity-mapped lines never collide in
+/// the memory controllers.
+#[derive(Clone, Debug)]
+pub struct Allocator {
+    next: Addr,
+    dram_next: Addr,
+    /// Minimum alignment for object arrays (set to `tiles × line` by the
+    /// system so equal offsets in different arrays map to the same LLC
+    /// bank — the congruence PHI-style overlays rely on).
+    min_align: u64,
+}
+
+/// Default base of the general heap.
+pub const HEAP_BASE: Addr = 0x1000_0000;
+/// Default base of the DRAM shadow region for compacted storage.
+pub const DRAM_SHADOW_BASE: Addr = 0x40_0000_0000;
+
+impl Default for Allocator {
+    fn default() -> Self {
+        Allocator {
+            next: HEAP_BASE,
+            dram_next: DRAM_SHADOW_BASE,
+            min_align: LINE_SIZE,
+        }
+    }
+}
+
+impl Allocator {
+    /// Creates an allocator with the default region bases.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the minimum object-array alignment (the system passes
+    /// `tiles × line size` for cross-array bank congruence).
+    pub fn set_min_align(&mut self, align: u64) {
+        assert!(align.is_power_of_two());
+        self.min_align = align;
+    }
+
+    /// Allocates `bytes` with the given alignment (power of two).
+    ///
+    /// # Panics
+    /// Panics if `align` is not a power of two.
+    pub fn alloc_raw(&mut self, bytes: u64, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.next + align - 1) & !(align - 1);
+        self.next = base + bytes.max(1);
+        base
+    }
+
+    /// Plans an object-array allocation per the spec.
+    pub fn plan_array(&mut self, spec: &ArraySpec) -> Layout {
+        assert!(spec.count > 0, "empty arrays are not allocatable");
+        let stride = if spec.pad {
+            padded_size(spec.obj_size)
+        } else {
+            // Unpadded: dense packing, 8-byte aligned strides so loads
+            // stay aligned, but objects may straddle cache lines.
+            spec.obj_size.div_ceil(8) * 8
+        };
+        // Align the base so object boundaries coincide with line-group
+        // boundaries (needed by bank mapping and the Morph machinery) and
+        // so equal offsets across arrays land on the same LLC bank.
+        let align = stride.next_power_of_two().max(self.min_align);
+        let base = self.alloc_raw(spec.count * stride, align);
+        let array = ObjectArray {
+            base,
+            obj_size: spec.obj_size,
+            stride,
+            count: spec.count,
+        };
+
+        let multiline = stride > LINE_SIZE;
+        let bank_map = (spec.pad && spec.map_banks && multiline && stride <= MAX_PADDED).then(|| {
+            BankMapRange {
+                base,
+                bound: array.bound(),
+                ignore_line_bits: (stride / LINE_SIZE).trailing_zeros(),
+            }
+        });
+
+        let packed = spec.obj_size;
+        let translation = (spec.pad
+            && spec.compact_dram
+            && stride != packed
+            && stride <= MAX_PADDED)
+            .then(|| {
+            let dram_base = self.dram_alloc(spec.count * packed);
+            TranslationEntry {
+                cache_base: base,
+                cache_bound: array.bound(),
+                dram_base,
+                padded_size: stride,
+                packed_size: packed,
+            }
+        });
+
+        Layout {
+            array,
+            translation,
+            bank_map,
+        }
+    }
+
+    fn dram_alloc(&mut self, bytes: u64) -> Addr {
+        let base = (self.dram_next + LINE_SIZE - 1) & !(LINE_SIZE - 1);
+        self.dram_next = base + bytes;
+        base
+    }
+
+    /// Total heap bytes allocated so far (cache-space footprint). Note
+    /// that compacted arrays occupy `count x packed` bytes of DRAM, not
+    /// this padded figure — the fragmentation saving of Sec. VIII-B.
+    pub fn heap_used(&self) -> u64 {
+        self.next - HEAP_BASE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_sizes_match_paper_examples() {
+        assert_eq!(padded_size(6), 8, "6B pixel pads to 8B (Fig. 15)");
+        assert_eq!(padded_size(24), 32, "24B node pads to 32B (Fig. 8)");
+        assert_eq!(padded_size(64), 64);
+        assert_eq!(padded_size(128), 128);
+        assert_eq!(padded_size(100), 128);
+        assert_eq!(padded_size(256), 256, "4-line maximum");
+        assert_eq!(padded_size(300), 320, "past the limit: line-rounded fallback");
+    }
+
+    #[test]
+    fn object_addressing() {
+        let a = ObjectArray {
+            base: 0x1000,
+            obj_size: 24,
+            stride: 32,
+            count: 10,
+        };
+        assert_eq!(a.addr(0), 0x1000);
+        assert_eq!(a.addr(3), 0x1060);
+        assert_eq!(a.index_of(0x1065), 3);
+        assert_eq!(a.bound(), 0x1000 + 320);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn object_index_bounds_checked() {
+        let a = ObjectArray {
+            base: 0,
+            obj_size: 8,
+            stride: 8,
+            count: 1,
+        };
+        a.addr(1);
+    }
+
+    #[test]
+    fn padded_array_gets_translation() {
+        let mut al = Allocator::new();
+        let l = al.plan_array(&ArraySpec::new("nodes", 24, 100));
+        assert_eq!(l.array.stride, 32);
+        let t = l.translation.expect("24->32 padding compacts in DRAM");
+        assert_eq!(t.padded_size, 32);
+        assert_eq!(t.packed_size, 24);
+        assert_eq!(t.cache_base, l.array.base);
+        assert!(t.dram_base >= DRAM_SHADOW_BASE);
+        assert!(l.bank_map.is_none(), "single-line objects need no mapping");
+    }
+
+    #[test]
+    fn multiline_array_gets_bank_map() {
+        let mut al = Allocator::new();
+        let l = al.plan_array(&ArraySpec::new("big", 128, 16));
+        assert_eq!(l.array.stride, 128);
+        let bm = l.bank_map.expect("2-line objects get LLC mapping");
+        assert_eq!(bm.ignore_line_bits, 1);
+        assert!(l.translation.is_none(), "pow2 size needs no compaction");
+        // Base alignment keeps each object in one line group.
+        assert_eq!(l.array.base % 128, 0);
+    }
+
+    #[test]
+    fn unpadded_matches_prior_work() {
+        let mut al = Allocator::new();
+        let l = al.plan_array(&ArraySpec::new("raw", 24, 100).without_padding());
+        assert_eq!(l.array.stride, 24, "dense layout straddles lines");
+        assert!(l.translation.is_none());
+        assert!(l.bank_map.is_none());
+    }
+
+    #[test]
+    fn ablations_disable_features() {
+        let mut al = Allocator::new();
+        let l = al.plan_array(&ArraySpec::new("x", 128, 4).without_bank_mapping());
+        assert!(l.bank_map.is_none());
+        let l = al.plan_array(&ArraySpec::new("y", 24, 4).without_compaction());
+        assert!(l.translation.is_none());
+        assert_eq!(l.array.stride, 32, "padding still applies");
+    }
+
+    #[test]
+    fn very_large_objects_fall_back() {
+        let mut al = Allocator::new();
+        let l = al.plan_array(&ArraySpec::new("huge", 1000, 4));
+        assert_eq!(l.array.stride, 1024, "line-rounded fallback stride");
+        assert!(l.bank_map.is_none(), "no mapping past 4 lines (Sec. VI-C)");
+    }
+
+    #[test]
+    fn raw_allocations_are_aligned_and_disjoint() {
+        let mut al = Allocator::new();
+        let a = al.alloc_raw(100, 64);
+        let b = al.alloc_raw(8, 8);
+        assert_eq!(a % 64, 0);
+        assert!(b >= a + 100);
+    }
+}

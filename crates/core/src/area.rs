@@ -1,0 +1,163 @@
+//! Hardware-overhead (area) model — reproduces Table IV.
+//!
+//! Leviathan's per-LLC-bank storage additions: extra LLC tag bits, the
+//! translation buffer, the engine's L1d/TLB/rTLB, the data-triggered actor
+//! buffer, and the dataflow fabric itself, compared against the data array
+//! of one LLC bank.
+
+use levi_sim::MachineConfig;
+
+/// One row of the area table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AreaRow {
+    /// Component name.
+    pub component: String,
+    /// The sizing formula, printed for the table.
+    pub formula: String,
+    /// Bytes per LLC bank.
+    pub bytes: f64,
+}
+
+/// The complete per-bank area report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AreaReport {
+    /// Component rows.
+    pub rows: Vec<AreaRow>,
+    /// Total added bytes per bank.
+    pub total_bytes: f64,
+    /// LLC bank data-array bytes (the comparison base).
+    pub llc_bank_bytes: f64,
+}
+
+impl AreaReport {
+    /// Overhead as a fraction of the LLC bank (paper: ≈6.4%).
+    pub fn overhead_fraction(&self) -> f64 {
+        self.total_bytes / self.llc_bank_bytes
+    }
+}
+
+/// Table IV's fixed parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AreaModel {
+    /// Extra LLC tag bits per line (morph/dtor/object-size bits).
+    pub tag_bits_per_line: u32,
+    /// Translation-buffer entries.
+    pub translation_entries: u32,
+    /// Bytes per translation entry.
+    pub translation_entry_bytes: u32,
+    /// Engine TLB bytes.
+    pub tlb_bytes: u64,
+    /// Engine rTLB bytes.
+    pub rtlb_bytes: u64,
+    /// Data-triggered actor-buffer entries.
+    pub actor_buffer_entries: u32,
+    /// Bytes per actor-buffer entry (max object size).
+    pub actor_entry_bytes: u32,
+    /// Dataflow-fabric state in bytes (from Repetti et al. \[60\] via
+    /// tākō \[66\]).
+    pub fabric_bytes: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            tag_bits_per_line: 3,
+            translation_entries: 8,
+            translation_entry_bytes: 25,
+            tlb_bytes: 2 * 1024,
+            rtlb_bytes: 2 * 1024,
+            actor_buffer_entries: 16,
+            actor_entry_bytes: 256,
+            fabric_bytes: 13.6 * 1024.0,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Computes the per-bank report for a machine configuration.
+    pub fn report(&self, cfg: &MachineConfig) -> AreaReport {
+        let llc_lines = cfg.llc.lines();
+        let tag_bytes = (llc_lines * self.tag_bits_per_line as u64) as f64 / 8.0;
+        let tb_bytes = (self.translation_entries * self.translation_entry_bytes) as f64;
+        let engine_bytes = (cfg.engine.l1d_bytes + self.tlb_bytes + self.rtlb_bytes) as f64;
+        let dt_bytes = (self.actor_buffer_entries * self.actor_entry_bytes) as f64;
+
+        let rows = vec![
+            AreaRow {
+                component: "LLC tags".into(),
+                formula: format!("{}K lines x {} bits", llc_lines / 1024, self.tag_bits_per_line),
+                bytes: tag_bytes,
+            },
+            AreaRow {
+                component: "LLC translation buffer".into(),
+                formula: format!(
+                    "{} entries x {} B",
+                    self.translation_entries, self.translation_entry_bytes
+                ),
+                bytes: tb_bytes,
+            },
+            AreaRow {
+                component: "Engine L1d, TLB, rTLB".into(),
+                formula: format!(
+                    "{} KB + {} KB + {} KB",
+                    cfg.engine.l1d_bytes / 1024,
+                    self.tlb_bytes / 1024,
+                    self.rtlb_bytes / 1024
+                ),
+                bytes: engine_bytes,
+            },
+            AreaRow {
+                component: "Data-triggered buffer".into(),
+                formula: format!(
+                    "{} objects x {} B",
+                    self.actor_buffer_entries, self.actor_entry_bytes
+                ),
+                bytes: dt_bytes,
+            },
+            AreaRow {
+                component: "Dataflow fabric [66]".into(),
+                formula: "13.6 KB".into(),
+                bytes: self.fabric_bytes,
+            },
+        ];
+        let total_bytes = rows.iter().map(|r| r.bytes).sum();
+        AreaReport {
+            rows,
+            total_bytes,
+            llc_bank_bytes: cfg.llc.size_bytes as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_iv() {
+        let cfg = MachineConfig::paper_default();
+        let report = AreaModel::default().report(&cfg);
+        // Row checks.
+        assert_eq!(report.rows[0].bytes, 3072.0, "8K lines x 3 bits = 3 KB");
+        assert_eq!(report.rows[1].bytes, 200.0, "8 x 25 B");
+        assert_eq!(report.rows[2].bytes, 12.0 * 1024.0, "8+2+2 KB");
+        assert_eq!(report.rows[3].bytes, 4096.0, "16 x 256 B");
+        // Total ~32.8 KB; overhead ~6.4% of a 512 KB bank.
+        let total_kb = report.total_bytes / 1024.0;
+        assert!(
+            (total_kb - 32.8).abs() < 0.1,
+            "total per bank = {total_kb:.1} KB (paper: 32.8 KB)"
+        );
+        let pct = report.overhead_fraction() * 100.0;
+        assert!((pct - 6.4).abs() < 0.1, "overhead = {pct:.1}% (paper: 6.4%)");
+    }
+
+    #[test]
+    fn scales_with_llc_size() {
+        let mut cfg = MachineConfig::paper_default();
+        cfg.llc.size_bytes *= 2;
+        let report = AreaModel::default().report(&cfg);
+        let pct = report.overhead_fraction() * 100.0;
+        assert!(pct < 6.4, "bigger bank dilutes the overhead: {pct:.2}%");
+    }
+}

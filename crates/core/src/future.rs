@@ -1,0 +1,72 @@
+//! Futures: result delivery from near-data actions (paper Sec. V-A2).
+//!
+//! A future is a 16-byte in-memory record `{ filled, value }`. An action
+//! fills it with `future_send` (the `store-update` instruction of
+//! Sec. VI-A2, which pushes the value to the waiting thread over the NoC);
+//! a thread blocks on it with `future_wait`. This module provides the
+//! host-side helpers for allocating and inspecting futures; the
+//! instructions themselves are part of LevIR.
+
+use levi_isa::interp::future_layout;
+use levi_isa::{Addr, Memory};
+
+/// Size of a future record in bytes.
+pub const FUTURE_SIZE: u64 = future_layout::SIZE;
+
+/// Host-side view of a future cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FutureCell {
+    /// The future's address (pass this to `invoke`/`future_wait`).
+    pub addr: Addr,
+}
+
+impl FutureCell {
+    /// Wraps an address as a future cell.
+    pub fn at(addr: Addr) -> Self {
+        FutureCell { addr }
+    }
+
+    /// True if the future has been filled.
+    pub fn is_filled(&self, mem: &dyn Memory) -> bool {
+        future_layout::is_filled(mem, self.addr)
+    }
+
+    /// The filled value.
+    ///
+    /// # Panics
+    /// Panics if the future is not filled.
+    pub fn value(&self, mem: &dyn Memory) -> u64 {
+        assert!(self.is_filled(mem), "future at {:#x} not filled", self.addr);
+        future_layout::value(mem, self.addr)
+    }
+
+    /// Resets the future to unfilled (for reuse across iterations).
+    pub fn reset(&self, mem: &mut dyn Memory) {
+        future_layout::reset(mem, self.addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levi_isa::PagedMem;
+
+    #[test]
+    fn fill_and_reset_round_trip() {
+        let mut mem = PagedMem::new();
+        let f = FutureCell::at(0x100);
+        assert!(!f.is_filled(&mem));
+        future_layout::fill(&mut mem, 0x100, 99);
+        assert!(f.is_filled(&mem));
+        assert_eq!(f.value(&mem), 99);
+        f.reset(&mut mem);
+        assert!(!f.is_filled(&mem));
+    }
+
+    #[test]
+    #[should_panic(expected = "not filled")]
+    fn value_of_unfilled_panics() {
+        let mem = PagedMem::new();
+        FutureCell::at(0x200).value(&mem);
+    }
+}

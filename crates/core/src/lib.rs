@@ -1,0 +1,81 @@
+//! # Leviathan — a unified system for general-purpose near-data computing
+//!
+//! This crate is a from-scratch reproduction of the system described in
+//! *"Leviathan: A Unified System for General-Purpose Near-Data Computing"*
+//! (Schwedock & Beckmann, MICRO 2024): a **polymorphic cache hierarchy**
+//! that unifies the four near-data-computing paradigms — *task offload*,
+//! *long-lived workloads*, *data-triggered actions*, and *streaming* —
+//! behind a simple actor-based reactive programming interface.
+//!
+//! The crate layers the paper's programming model on top of the
+//! cycle-approximate multicore model in [`levi_sim`]:
+//!
+//! * [`System`] — builds and drives a Leviathan machine; registers actions
+//!   (the engines' vtable), spawns core threads and long-lived engine
+//!   tasks, and runs the simulation.
+//! * [`Allocator`](alloc::Allocator) — the object-oriented memory
+//!   allocator of Sec. V-A3: pads objects to the next power of two in the
+//!   cache, maps multi-line objects to a single LLC bank, and compacts
+//!   objects in DRAM via the cache↔DRAM translation of Fig. 14.
+//! * [`MorphSpec`](morph::MorphSpec) — data-triggered actors: phantom
+//!   address ranges whose constructors/destructors run on engines when
+//!   lines are inserted into or evicted from the registered cache level.
+//! * [`StreamSpec`](stream::StreamSpec) — decoupled streams: a long-lived
+//!   producer action pushes entries into a circular buffer which the
+//!   consumer reads through a phantom range with blocking semantics.
+//! * [`future`] — `Future`-style result delivery from near-data actions
+//!   back to waiting threads (store-update messages).
+//! * [`area`] — the Table IV hardware-overhead model.
+//!
+//! ## Quickstart: a remote memory operation (paper Fig. 2)
+//!
+//! ```
+//! use leviathan::{System, SystemConfig};
+//! use levi_isa::{Location, ProgramBuilder, Reg, RmwOp, MemWidth};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Actor: a u64 counter. Action: add near the data.
+//! let mut pb = ProgramBuilder::new();
+//! let action_fn = {
+//!     let mut f = pb.function("counter_add");
+//!     let (actor, amt, old) = (Reg(0), Reg(1), Reg(2));
+//!     f.rmw_relaxed(RmwOp::Add, old, actor, amt, MemWidth::B8);
+//!     f.halt();
+//!     f.finish()
+//! };
+//! let main_fn = {
+//!     let mut f = pb.function("main");
+//!     let (actor, amt) = (Reg(0), Reg(1));
+//!     f.imm(amt, 5);
+//!     f.invoke(actor, levi_isa::ActionId(0), &[amt], Location::Dynamic);
+//!     f.halt();
+//!     f.finish()
+//! };
+//! let prog = std::sync::Arc::new(pb.finish()?);
+//!
+//! let mut sys = System::new(SystemConfig::small());
+//! let counter = sys.alloc_raw(8, 8);
+//! let action = sys.register_action(&prog, action_fn);
+//! assert_eq!(action, levi_isa::ActionId(0));
+//! sys.spawn_thread(0, &prog, main_fn, &[counter]);
+//! sys.run()?;
+//! assert_eq!(sys.read_u64(counter), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod area;
+pub mod future;
+pub mod morph;
+pub mod stream;
+pub mod system;
+
+pub use alloc::{Allocator, ArraySpec, ObjectArray};
+pub use area::{AreaModel, AreaReport};
+pub use morph::{MorphHandle, MorphSpec};
+pub use stream::{StreamHandle, StreamSpec};
+pub use system::{System, SystemConfig};

@@ -1,0 +1,134 @@
+//! Morphs: data-triggered actors (paper Sec. V-B2, Fig. 11).
+//!
+//! A `Morph` gathers the state for an address range of *phantom* actors:
+//! objects that exist only in the cache. The actors' constructor runs on
+//! the near-cache engine when a line of the range is inserted; the
+//! destructor runs on eviction (receiving a dirty flag). Phantom data is
+//! never fetched from or written back to DRAM.
+//!
+//! Unlike prior work (tākō), actions execute on **objects**, not cache
+//! lines: Leviathan's allocator pads objects so the engine can trigger one
+//! action per object (sub-line objects) or one action per multi-line
+//! object, and the programmer never reasons about alignment.
+
+use levi_isa::{ActionId, Addr};
+use levi_sim::{MorphLevel, StreamId};
+
+use crate::alloc::ObjectArray;
+
+/// Specification of a Morph registration.
+#[derive(Clone, Debug)]
+pub struct MorphSpec {
+    /// Diagnostic name.
+    pub name: String,
+    /// Logical object size (padded by the allocator).
+    pub obj_size: u64,
+    /// Number of phantom actors.
+    pub count: u64,
+    /// Cache level whose insertions/evictions trigger the actions.
+    pub level: MorphLevel,
+    /// Constructor action, if any (`None` zero-fills objects).
+    pub ctor: Option<ActionId>,
+    /// Destructor action, if any (`None` drops lines on eviction).
+    pub dtor: Option<ActionId>,
+    /// Bytes of per-Morph view state (the `Morph::view` the actions get
+    /// in `r1`; holds e.g. the compressed-array pointers in Fig. 15).
+    pub view_bytes: u64,
+}
+
+impl MorphSpec {
+    /// A Morph with the given geometry and no actions.
+    pub fn new(name: &str, obj_size: u64, count: u64, level: MorphLevel) -> Self {
+        MorphSpec {
+            name: name.to_string(),
+            obj_size,
+            count,
+            level,
+            ctor: None,
+            dtor: None,
+            view_bytes: 64,
+        }
+    }
+
+    /// Sets the constructor action.
+    pub fn with_ctor(mut self, a: ActionId) -> Self {
+        self.ctor = Some(a);
+        self
+    }
+
+    /// Sets the destructor action.
+    pub fn with_dtor(mut self, a: ActionId) -> Self {
+        self.dtor = Some(a);
+        self
+    }
+
+    /// Sets the view size.
+    pub fn with_view_bytes(mut self, bytes: u64) -> Self {
+        self.view_bytes = bytes;
+        self
+    }
+}
+
+/// A registered Morph: the phantom actor array plus its view state.
+///
+/// `getActor`/`getOffset` of the paper's Fig. 11 correspond to
+/// [`ObjectArray::addr`] and [`ObjectArray::index_of`] on
+/// [`MorphHandle::actors`].
+#[derive(Clone, Debug)]
+pub struct MorphHandle {
+    /// The phantom actor array (padded, bank-mapped).
+    pub actors: ObjectArray,
+    /// Address of the view object passed to actions in `r1`.
+    pub view: Addr,
+    /// Trigger level.
+    pub level: MorphLevel,
+    /// Stream backing, if this Morph implements a stream's consumer side.
+    pub stream: Option<StreamId>,
+}
+
+impl MorphHandle {
+    /// Address of phantom actor `i` (the paper's `getActor`).
+    pub fn actor(&self, i: u64) -> Addr {
+        self.actors.addr(i)
+    }
+
+    /// Index of the actor at `addr` (the paper's `getOffset`).
+    pub fn offset_of(&self, addr: Addr) -> u64 {
+        self.actors.index_of(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builder_chain() {
+        let s = MorphSpec::new("deltas", 8, 100, MorphLevel::Llc)
+            .with_ctor(ActionId(1))
+            .with_dtor(ActionId(2))
+            .with_view_bytes(128);
+        assert_eq!(s.ctor, Some(ActionId(1)));
+        assert_eq!(s.dtor, Some(ActionId(2)));
+        assert_eq!(s.view_bytes, 128);
+        assert_eq!(s.level, MorphLevel::Llc);
+    }
+
+    #[test]
+    fn handle_actor_math() {
+        let h = MorphHandle {
+            actors: ObjectArray {
+                base: 0x4000,
+                obj_size: 6,
+                stride: 8,
+                count: 16,
+            },
+            view: 0x100,
+            level: MorphLevel::L2,
+            stream: None,
+        };
+        assert_eq!(h.actor(0), 0x4000);
+        assert_eq!(h.actor(2), 0x4010);
+        assert_eq!(h.offset_of(0x4012), 2);
+    }
+}

@@ -1,0 +1,132 @@
+//! Streams: decoupled near-data producers (paper Sec. V-B3, Fig. 10).
+//!
+//! A Leviathan stream combines two paradigms under the hood: a
+//! **long-lived** producer action (`genStream`) running on an engine
+//! pushes entries into a circular buffer in shared memory, and the
+//! consumer reads entries through a **data-triggered** phantom range whose
+//! built-in constructor copies buffer lines up the hierarchy — stalling
+//! the consumer's loads if it runs past the stream tail. The consumer's
+//! `pop` bumps the head pointer, invalidates the dead line, and unblocks
+//! the producer.
+
+use levi_isa::{Addr, FuncId, Program};
+use levi_sim::{EngineLevel, StreamId, StreamMode};
+use std::sync::Arc;
+
+/// Specification of a stream.
+#[derive(Clone, Debug)]
+pub struct StreamSpec {
+    /// Diagnostic name.
+    pub name: String,
+    /// Buffer capacity in entries (Fig. 23 sweeps this; paper default 64+).
+    pub capacity: u64,
+    /// The core that consumes the stream.
+    pub consumer: u32,
+    /// Which of the consumer tile's engines hosts the producer.
+    pub engine_level: EngineLevel,
+    /// Producer program.
+    pub producer_prog: Arc<Program>,
+    /// Producer entry function (`genStream`); receives the stream handle
+    /// in `r0` and [`StreamSpec::producer_args`] in `r1..`.
+    pub producer_func: FuncId,
+    /// Extra arguments for the producer.
+    pub producer_args: Vec<u64>,
+    /// Run-ahead (Leviathan) or miss-triggered (tākō pseudo-streaming).
+    pub mode: StreamMode,
+}
+
+impl StreamSpec {
+    /// A run-ahead stream on the consumer tile's LLC engine.
+    pub fn new(
+        name: &str,
+        capacity: u64,
+        consumer: u32,
+        prog: &Arc<Program>,
+        func: FuncId,
+    ) -> Self {
+        StreamSpec {
+            name: name.to_string(),
+            capacity,
+            consumer,
+            engine_level: EngineLevel::Llc,
+            producer_prog: Arc::clone(prog),
+            producer_func: func,
+            producer_args: Vec::new(),
+            mode: StreamMode::RunAhead,
+        }
+    }
+
+    /// Adds producer arguments.
+    pub fn with_args(mut self, args: &[u64]) -> Self {
+        self.producer_args = args.to_vec();
+        self
+    }
+
+    /// Switches to tākō-style miss-triggered pseudo-streaming.
+    pub fn miss_triggered(mut self, reinit_instrs: u32) -> Self {
+        self.mode = StreamMode::MissTriggered { reinit_instrs };
+        self
+    }
+}
+
+/// A live stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamHandle {
+    /// The stream id (pass as the handle register to `push`/`pop`).
+    pub id: StreamId,
+    /// Base address of the circular buffer (= the phantom range the
+    /// consumer loads entries from).
+    pub buffer: Addr,
+    /// Capacity in entries.
+    pub capacity: u64,
+    /// Entry size in bytes.
+    pub entry_size: u64,
+}
+
+impl StreamHandle {
+    /// The handle value to place in the stream register.
+    pub fn reg_value(&self) -> u64 {
+        self.id.0 as u64
+    }
+
+    /// Address the consumer loads entry number `n` from (ring addressing).
+    pub fn entry_addr(&self, n: u64) -> Addr {
+        self.buffer + (n % self.capacity) * self.entry_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levi_isa::ProgramBuilder;
+
+    #[test]
+    fn spec_builder() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("gen");
+        f.halt();
+        let func = f.finish();
+        let prog = Arc::new(pb.finish().unwrap());
+        let s = StreamSpec::new("edges", 64, 3, &prog, func)
+            .with_args(&[7, 8])
+            .miss_triggered(15);
+        assert_eq!(s.capacity, 64);
+        assert_eq!(s.consumer, 3);
+        assert_eq!(s.producer_args, vec![7, 8]);
+        assert!(matches!(s.mode, StreamMode::MissTriggered { reinit_instrs: 15 }));
+    }
+
+    #[test]
+    fn handle_ring_addressing() {
+        let h = StreamHandle {
+            id: StreamId(2),
+            buffer: 0x8000,
+            capacity: 16,
+            entry_size: 8,
+        };
+        assert_eq!(h.reg_value(), 2);
+        assert_eq!(h.entry_addr(0), 0x8000);
+        assert_eq!(h.entry_addr(16), 0x8000, "wraps at capacity");
+        assert_eq!(h.entry_addr(17), 0x8008);
+    }
+}

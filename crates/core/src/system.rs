@@ -1,0 +1,581 @@
+//! The Leviathan system: machine + allocator + action registry.
+//!
+//! [`System`] is the top-level entry point of the library: it owns a
+//! simulated [`Machine`], the object [`Allocator`], and the action table,
+//! and exposes the operations of the paper's programming interface —
+//! allocate actors, register actions and Morphs, create streams, spawn
+//! threads and long-lived engine tasks, and run.
+
+use std::sync::Arc;
+
+use levi_isa::{ActionId, Addr, FuncId, MemWidth, Memory, Program};
+use levi_sim::{
+    EngineId, EngineLevel, Machine, MachineConfig, MorphRegion, RunError, RunResult,
+};
+
+use crate::alloc::{Allocator, ArraySpec, Layout, ObjectArray};
+use crate::future::{FutureCell, FUTURE_SIZE};
+use crate::morph::{MorphHandle, MorphSpec};
+use crate::stream::{StreamHandle, StreamSpec};
+
+/// System-level configuration: the machine plus Leviathan feature toggles
+/// used to model prior-work baselines.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// The underlying machine configuration (Table V defaults).
+    pub machine: MachineConfig,
+}
+
+impl SystemConfig {
+    /// The paper's 16-tile evaluation system.
+    pub fn paper_default() -> Self {
+        SystemConfig {
+            machine: MachineConfig::paper_default(),
+        }
+    }
+
+    /// A 4-tile system for fast tests and examples.
+    pub fn small() -> Self {
+        let mut machine = MachineConfig::with_tiles(4);
+        machine.prefetcher = false;
+        SystemConfig { machine }
+    }
+
+    /// Scales the tile count (Fig. 25).
+    pub fn with_tiles(tiles: u32) -> Self {
+        SystemConfig {
+            machine: MachineConfig::with_tiles(tiles),
+        }
+    }
+
+    /// Switches the engines to the idealized model (the paper's "Ideal").
+    pub fn idealized(mut self) -> Self {
+        self.machine = self.machine.idealized();
+        self
+    }
+}
+
+/// A complete Leviathan system.
+pub struct System {
+    machine: Machine,
+    alloc: Allocator,
+    next_action: u32,
+    next_morph_name: u32,
+}
+
+impl System {
+    /// Builds a system.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let tiles = cfg.machine.tiles as u64;
+        let mut alloc = Allocator::new();
+        alloc.set_min_align(tiles * levi_sim::LINE_SIZE);
+        System {
+            machine: Machine::new(cfg.machine),
+            alloc,
+            next_action: 0,
+            next_morph_name: 0,
+        }
+    }
+
+    /// The underlying machine (stats, energy, memory, NDC state).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access to the underlying machine.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Number of tiles/cores.
+    pub fn tiles(&self) -> u32 {
+        self.machine.config().tiles
+    }
+
+    // ---- memory ----
+
+    /// Allocates raw bytes on the simulated heap.
+    pub fn alloc_raw(&mut self, bytes: u64, align: u64) -> Addr {
+        self.alloc.alloc_raw(bytes, align)
+    }
+
+    /// Allocates an object array per the spec, installing any DRAM
+    /// compaction translation and LLC bank mapping it requires.
+    pub fn alloc_array(&mut self, spec: &ArraySpec) -> ObjectArray {
+        let Layout {
+            array,
+            translation,
+            bank_map,
+        } = self.alloc.plan_array(spec);
+        if let Some(t) = translation {
+            self.machine.hw.translator.register(t);
+        }
+        if let Some(bm) = bank_map {
+            self.machine.hw.ndc.bank_maps.push(bm);
+        }
+        array
+    }
+
+    /// Marks `[base, base+len)` as a streaming-store region: write misses
+    /// in it skip the write-allocate fetch (the hardware write-combining
+    /// path used by e.g. PHI's delta logs).
+    pub fn mark_streaming_stores(&mut self, base: Addr, len: u64) {
+        self.machine
+            .hw
+            .ndc
+            .stream_store_ranges
+            .push((base, base + len));
+    }
+
+    /// Marks `[base, base+len)` as memory-side data: engine accesses to
+    /// it bypass the LLC and execute at the memory controller (PHI's
+    /// in-place update path).
+    pub fn mark_mem_side(&mut self, base: Addr, len: u64) {
+        self.machine
+            .hw
+            .ndc
+            .mem_side_ranges
+            .push((base, base + len));
+    }
+
+    /// Allocates a future cell.
+    pub fn alloc_future(&mut self) -> FutureCell {
+        FutureCell::at(self.alloc.alloc_raw(FUTURE_SIZE, 16))
+    }
+
+    /// Reads a u64 from simulated memory.
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        self.machine.mem().read_u64(addr)
+    }
+
+    /// Writes a u64 to simulated memory.
+    pub fn write_u64(&mut self, addr: Addr, val: u64) {
+        self.machine.mem_mut().write_u64(addr, val);
+    }
+
+    /// Reads a value of the given width.
+    pub fn read(&self, addr: Addr, width: MemWidth) -> u64 {
+        self.machine.mem().read(addr, width)
+    }
+
+    /// Writes a value of the given width.
+    pub fn write(&mut self, addr: Addr, val: u64, width: MemWidth) {
+        self.machine.mem_mut().write(addr, val, width);
+    }
+
+    // ---- actions & paradigms ----
+
+    /// Registers a LevIR function as a near-data action; returns its id
+    /// (the engines' vtable slot).
+    pub fn register_action(&mut self, prog: &Arc<Program>, func: FuncId) -> ActionId {
+        let id = ActionId(self.next_action);
+        self.next_action += 1;
+        self.machine
+            .hw
+            .ndc
+            .actions
+            .register(id, Arc::clone(prog), func);
+        id
+    }
+
+    /// Registers a data-triggered Morph: allocates the phantom actor range
+    /// and view, and installs the region. Returns the handle.
+    pub fn register_morph(&mut self, spec: &MorphSpec) -> MorphHandle {
+        self.next_morph_name += 1;
+        let array = self.alloc_array(&ArraySpec {
+            name: format!("morph:{}", spec.name),
+            obj_size: spec.obj_size,
+            count: spec.count,
+            pad: true,
+            map_banks: true,
+            // Phantom data has no DRAM backing at all.
+            compact_dram: false,
+        });
+        let view = self.alloc.alloc_raw(spec.view_bytes.max(8), 64);
+        self.machine.hw.ndc.register_morph(MorphRegion {
+            base: array.base,
+            bound: array.bound(),
+            level: spec.level,
+            obj_size: array.stride,
+            ctor: spec.ctor,
+            dtor: spec.dtor,
+            view,
+            stream: None,
+        });
+        MorphHandle {
+            actors: array,
+            view,
+            level: spec.level,
+            stream: None,
+        }
+    }
+
+    /// Registers a Morph over an *existing* address range (used by
+    /// streams, and by callers that manage their own layout). `stride`
+    /// must already be padded.
+    pub fn register_morph_over(
+        &mut self,
+        array: ObjectArray,
+        level: levi_sim::MorphLevel,
+        ctor: Option<ActionId>,
+        dtor: Option<ActionId>,
+        view: Addr,
+        stream: Option<levi_sim::StreamId>,
+    ) -> MorphHandle {
+        self.machine.hw.ndc.register_morph(MorphRegion {
+            base: array.base,
+            bound: array.bound(),
+            level,
+            obj_size: array.stride,
+            ctor,
+            dtor,
+            view,
+            stream,
+        });
+        MorphHandle {
+            actors: array,
+            view,
+            level,
+            stream,
+        }
+    }
+
+    /// Unregisters a Morph, flushing its range (running destructors for
+    /// resident tagged lines) first — the `flush` + `unregister` sequence
+    /// of Sec. VI-B2.
+    pub fn unregister_morph(&mut self, handle: &MorphHandle) {
+        let base = handle.actors.base;
+        let len = handle.actors.len_bytes();
+        self.machine.flush_morph_range(base, len);
+        self.machine.hw.ndc.unregister_morph(base);
+    }
+
+    /// Creates a stream: allocates the circular buffer, installs the
+    /// consumer-side phantom Morph, and spawns the long-lived producer on
+    /// the consumer tile's engine.
+    pub fn create_stream(&mut self, spec: &StreamSpec) -> StreamHandle {
+        let entry_size = 8u64;
+        // Place the whole ring on the consumer tile's LLC bank: allocate
+        // a power-of-two-sized, self-aligned ring and use the bank-index
+        // mapping to treat it as one multi-line object, choosing the slot
+        // whose lines land on the consumer's bank (pushes and phantom
+        // refills then never cross the mesh).
+        let ring_bytes = (spec.capacity * entry_size)
+            .next_power_of_two()
+            .max(levi_sim::LINE_SIZE);
+        let ignore = (ring_bytes / levi_sim::LINE_SIZE).trailing_zeros();
+        let tiles = self.tiles() as u64;
+        let region = self.alloc.alloc_raw(ring_bytes * tiles, ring_bytes * tiles);
+        self.machine.hw.ndc.bank_maps.push(levi_sim::BankMapRange {
+            base: region,
+            bound: region + ring_bytes * tiles,
+            ignore_line_bits: ignore,
+        });
+        let buffer = (0..tiles)
+            .map(|i| region + i * ring_bytes)
+            .find(|&b| self.machine.hw.bank_of(b) == spec.consumer)
+            .expect("one slot per bank");
+        let engine = EngineId {
+            tile: spec.consumer,
+            level: spec.engine_level,
+        };
+        let id = self.machine.create_stream(
+            buffer,
+            entry_size,
+            spec.capacity,
+            engine,
+            spec.consumer,
+            spec.mode,
+        );
+        let array = ObjectArray {
+            base: buffer,
+            obj_size: entry_size,
+            stride: entry_size,
+            count: spec.capacity,
+        };
+        self.register_morph_over(array, levi_sim::MorphLevel::L2, None, None, 0, Some(id));
+        let mut args = Vec::with_capacity(1 + spec.producer_args.len());
+        args.push(id.0 as u64);
+        args.extend_from_slice(&spec.producer_args);
+        self.machine.spawn_engine_task(
+            engine,
+            Arc::clone(&spec.producer_prog),
+            spec.producer_func,
+            &args,
+            Some(id),
+        );
+        StreamHandle {
+            id,
+            buffer,
+            capacity: spec.capacity,
+            entry_size,
+        }
+    }
+
+    /// Terminates a stream (the paper's `Stream::terminate`, Fig. 12):
+    /// marks it closed so blocked consumers unblock; a producer parked on
+    /// a full buffer simply never resumes.
+    pub fn terminate_stream(&mut self, handle: &StreamHandle) {
+        self.machine.close_stream(handle.id);
+    }
+
+    /// Spawns a software thread on a core.
+    pub fn spawn_thread(
+        &mut self,
+        core: u32,
+        prog: &Arc<Program>,
+        func: FuncId,
+        args: &[u64],
+    ) -> levi_sim::ActorId {
+        self.machine.spawn_thread(core, Arc::clone(prog), func, args)
+    }
+
+    /// Spawns a long-lived task directly on an engine (the long-lived
+    /// workloads paradigm).
+    pub fn spawn_long_lived(
+        &mut self,
+        tile: u32,
+        level: EngineLevel,
+        prog: &Arc<Program>,
+        func: FuncId,
+        args: &[u64],
+    ) -> levi_sim::ActorId {
+        self.machine.spawn_engine_task(
+            EngineId { tile, level },
+            Arc::clone(prog),
+            func,
+            args,
+            None,
+        )
+    }
+
+    /// Runs until all spawned core threads halt.
+    ///
+    /// # Errors
+    /// Propagates [`RunError`] (deadlock) from the machine.
+    pub fn run(&mut self) -> Result<RunResult, RunError> {
+        self.machine.run()
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> &levi_sim::Stats {
+        self.machine.stats()
+    }
+
+    /// Energy consumed so far.
+    pub fn energy(&self) -> levi_sim::EnergyBreakdown {
+        self.machine.energy()
+    }
+
+    /// Sets the workload phase tag (Fig. 21's per-phase DRAM accounting).
+    pub fn set_phase(&mut self, phase: usize) {
+        self.machine.set_phase(phase);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levi_isa::{Location, ProgramBuilder, Reg, RmwOp};
+    use levi_sim::MorphLevel;
+
+    #[test]
+    fn alloc_array_installs_translation_and_mapping() {
+        let mut sys = System::new(SystemConfig::small());
+        let nodes = sys.alloc_array(&ArraySpec::new("nodes", 24, 64));
+        assert_eq!(nodes.stride, 32);
+        assert_eq!(sys.machine().hw.translator.len(), 1);
+        let big = sys.alloc_array(&ArraySpec::new("big", 128, 16));
+        assert_eq!(sys.machine().hw.ndc.bank_maps.len(), 1);
+        // All lines of a 128B object map to one bank.
+        let b0 = sys.machine().hw.bank_of(big.addr(3));
+        let b1 = sys.machine().hw.bank_of(big.addr(3) + 64);
+        assert_eq!(b0, b1);
+    }
+
+    #[test]
+    fn offload_updates_counter_near_data() {
+        let mut pb = ProgramBuilder::new();
+        let action = {
+            let mut f = pb.function("add");
+            let (actor, amt, old) = (Reg(0), Reg(1), Reg(2));
+            f.rmw_relaxed(RmwOp::Add, old, actor, amt, levi_isa::MemWidth::B8);
+            f.halt();
+            f.finish()
+        };
+        let main = {
+            let mut f = pb.function("main");
+            let (actor, amt, i, n) = (Reg(0), Reg(1), Reg(2), Reg(3));
+            f.imm(amt, 2).imm(i, 0).imm(n, 10);
+            let top = f.label();
+            let out = f.label();
+            f.bind(top);
+            f.bge_u(i, n, out);
+            f.invoke(actor, ActionId(0), &[amt], Location::Remote);
+            f.addi(i, i, 1);
+            f.jmp(top);
+            f.bind(out);
+            f.halt();
+            f.finish()
+        };
+        let prog = Arc::new(pb.finish().unwrap());
+        let mut sys = System::new(SystemConfig::small());
+        let counter = sys.alloc_raw(8, 8);
+        let a = sys.register_action(&prog, action);
+        assert_eq!(a, ActionId(0));
+        sys.spawn_thread(0, &prog, main, &[counter]);
+        sys.run().unwrap();
+        assert_eq!(sys.read_u64(counter), 20);
+        assert_eq!(sys.stats().invokes, 10);
+    }
+
+    #[test]
+    fn morph_ctor_initializes_phantom_objects() {
+        // Phantom u64 actors with a ctor that writes a magic value; an
+        // offloaded task reads one actor and reports via future.
+        let mut pb = ProgramBuilder::new();
+        let ctor = {
+            let mut f = pb.function("ctor");
+            let (obj, v) = (Reg(0), Reg(2));
+            f.imm(v, 4242);
+            f.st8(obj, 0, v);
+            f.halt();
+            f.finish()
+        };
+        let reader = {
+            let mut f = pb.function("reader");
+            let (obj, fut, v) = (Reg(0), Reg(1), Reg(2));
+            f.ld8(v, obj, 0);
+            f.future_send(fut, v);
+            f.halt();
+            f.finish()
+        };
+        let main = {
+            let mut f = pb.function("main");
+            let (obj, fut, v) = (Reg(0), Reg(1), Reg(2));
+            f.invoke_future(obj, ActionId(1), &[fut], fut, Location::Remote);
+            f.future_wait(v, fut);
+            f.mov(Reg(0), v);
+            f.halt();
+            f.finish()
+        };
+        let prog = Arc::new(pb.finish().unwrap());
+        let mut sys = System::new(SystemConfig::small());
+        let ctor_a = sys.register_action(&prog, ctor);
+        let _reader_a = sys.register_action(&prog, reader);
+        let morph = sys.register_morph(
+            &MorphSpec::new("magic", 8, 128, MorphLevel::Llc).with_ctor(ctor_a),
+        );
+        let fut = sys.alloc_future();
+        sys.spawn_thread(0, &prog, main, &[morph.actor(5), fut.addr]);
+        sys.run().unwrap();
+        assert_eq!(fut.value(sys.machine().mem()), 4242);
+        assert!(sys.stats().ctor_actions >= 1);
+        assert_eq!(sys.stats().dram_accesses, 0, "phantom data avoids DRAM");
+    }
+
+    #[test]
+    fn stream_producer_consumer_end_to_end() {
+        let mut pb = ProgramBuilder::new();
+        let producer = {
+            let mut f = pb.function("gen");
+            let (handle, i, n) = (Reg(0), Reg(1), Reg(2));
+            f.imm(i, 0).imm(n, 50);
+            let top = f.label();
+            let out = f.label();
+            f.bind(top);
+            f.bge_u(i, n, out);
+            f.push(handle, i);
+            f.addi(i, i, 1);
+            f.jmp(top);
+            f.bind(out);
+            f.halt();
+            f.finish()
+        };
+        let consumer = {
+            let mut f = pb.function("consume");
+            let (handle, base, cap, n) = (Reg(0), Reg(1), Reg(2), Reg(3));
+            let (i, idx, addr, v, acc, res) = (Reg(4), Reg(5), Reg(6), Reg(7), Reg(8), Reg(9));
+            f.imm(i, 0).imm(acc, 0);
+            let top = f.label();
+            let out = f.label();
+            f.bind(top);
+            f.bge_u(i, n, out);
+            f.remu(idx, i, cap);
+            f.muli(idx, idx, 8);
+            f.add(addr, base, idx);
+            f.ld8(v, addr, 0);
+            f.pop(handle);
+            f.add(acc, acc, v);
+            f.addi(i, i, 1);
+            f.jmp(top);
+            f.bind(out);
+            f.imm(res, 0x7777_0000);
+            f.st8(res, 0, acc);
+            f.halt();
+            f.finish()
+        };
+        let prog = Arc::new(pb.finish().unwrap());
+        let mut sys = System::new(SystemConfig::small());
+        let spec = StreamSpec::new("nums", 16, 0, &prog, producer);
+        let h = sys.create_stream(&spec);
+        sys.spawn_thread(0, &prog, consumer, &[h.reg_value(), h.buffer, h.capacity, 50]);
+        sys.run().unwrap();
+        assert_eq!(sys.read_u64(0x7777_0000), (0..50).sum::<u64>());
+        assert_eq!(sys.stats().stream_pushes, 50);
+        assert_eq!(sys.stats().stream_pops, 50);
+    }
+
+    #[test]
+    fn long_lived_task_runs_on_engine() {
+        let mut pb = ProgramBuilder::new();
+        let worker = {
+            let mut f = pb.function("background_sum");
+            // r0 = src base, r1 = n, r2 = dst
+            let (base, n, dst, i, v, acc) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4), Reg(5));
+            f.imm(i, 0).imm(acc, 0);
+            let top = f.label();
+            let out = f.label();
+            f.bind(top);
+            f.bge_u(i, n, out);
+            f.ld8(v, base, 0);
+            f.add(acc, acc, v);
+            f.addi(base, base, 8);
+            f.addi(i, i, 1);
+            f.jmp(top);
+            f.bind(out);
+            f.st8(dst, 0, acc);
+            f.halt();
+            f.finish()
+        };
+        let main = {
+            let mut f = pb.function("main");
+            // The core just spins a bit and exits; the engine task is the
+            // long-lived worker. r0 = dst to poll.
+            let (dst, v) = (Reg(0), Reg(1));
+            let top = f.label();
+            let out = f.label();
+            f.bind(top);
+            f.ld8(v, dst, 0);
+            f.bne(v, Reg(2), out); // r2 == 0
+            f.jmp(top);
+            f.bind(out);
+            f.halt();
+            f.finish()
+        };
+        let prog = Arc::new(pb.finish().unwrap());
+        let mut sys = System::new(SystemConfig::small());
+        let src = sys.alloc_raw(8 * 32, 64);
+        for k in 0..32u64 {
+            sys.write_u64(src + 8 * k, k + 1);
+        }
+        let dst = sys.alloc_raw(8, 8);
+        sys.spawn_long_lived(1, EngineLevel::Llc, &prog, worker, &[src, 32, dst]);
+        sys.spawn_thread(0, &prog, main, &[dst]);
+        sys.run().unwrap();
+        assert_eq!(sys.read_u64(dst), (1..=32).sum::<u64>());
+        assert!(sys.stats().engine_instrs > 32 * 4);
+    }
+
+    use levi_isa::ActionId;
+}

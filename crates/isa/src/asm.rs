@@ -1,0 +1,751 @@
+//! A text assembler for LevIR.
+//!
+//! [`assemble`] parses an assembly source string into a validated
+//! [`Program`]. The syntax mirrors the [`crate::FunctionBuilder`] helpers
+//! one-to-one, so actions can be written as readable text instead of
+//! builder calls:
+//!
+//! ```text
+//! ; sum the u64s in [r0, r0 + 8*r1)
+//! fn sum:
+//!     imm   r2, 0
+//!     imm   r3, 0
+//! loop:
+//!     bgeu  r3, r1, done
+//!     ld8   r4, [r0+0]
+//!     add   r2, r2, r4
+//!     addi  r0, r0, 8
+//!     addi  r3, r3, 1
+//!     jmp   loop
+//! done:
+//!     mov   r0, r2
+//!     ret
+//! ```
+//!
+//! Supported forms (registers `r0`..`r63`; immediates decimal, hex
+//! `0x…`, or negative):
+//!
+//! * `imm rd, imm` · `mov rd, rs`
+//! * ALU: `add|sub|mul|divu|remu|and|or|xor|shl|shr|sar|slts|sltu|seq|sne|minu|maxu rd, ra, rb`
+//!   and immediate forms with an `i` suffix (`addi rd, ra, imm`, …)
+//! * loads/stores: `ld1|ld2|ld4|ld8[s] rd, [ra+off]` ·
+//!   `st1|st2|st4|st8 [ra+off], rs`
+//! * branches: `beq|bne|bltu|blts|bgeu|bges ra, rb, label` · `jmp label`
+//! * `call fn_name` · `ret` · `halt` · `nop` · `trace rs`
+//! * atomics: `rmw.add|and|or|xor|minu|maxu|xchg[.relaxed].b1|b2|b4|b8 rd, [ra], rv`
+//!   (fenced unless `.relaxed`) · `fence`
+//! * NDC: `invoke[.local|.remote|.dynamic][.excl] ractor, @N, (r1, r2, ...)[ -> rfut]`
+//!   · `fwait rd, rf` · `fsend rf, rv` · `push rs, rv` · `pop rs` ·
+//!   `flush ra, rl`
+//!
+//! Comments start with `;` or `#`. Functions are introduced with
+//! `fn name:` and end at the next `fn` or end of input.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::builder::{FunctionBuilder, ProgramBuilder};
+use crate::inst::{AluOp, BrCond, Label, Location, MemWidth, Reg, RmwOp};
+use crate::program::{ActionId, FuncId, Program};
+
+/// An assembly parse error with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Assembles LevIR source into a validated [`Program`].
+///
+/// # Errors
+/// Returns an [`AsmError`] naming the offending line on any syntax
+/// problem; program-level validation errors (e.g. unknown call targets)
+/// are mapped to line 0.
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    // Pass 1: collect function names -> ids (for forward calls).
+    let mut func_names = Vec::new();
+    for (ln, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if let Some(rest) = line.strip_prefix("fn ") {
+            let Some(name) = rest.trim().strip_suffix(':').map(str::trim) else {
+                return err(ln + 1, format!("expected `fn name:`, got `{line}`"));
+            };
+            if name.is_empty() {
+                return err(ln + 1, "empty function name");
+            }
+            if name.contains(|c: char| c.is_whitespace() || c == ':') {
+                return err(ln + 1, format!("bad function name `{name}`"));
+            }
+            if func_names.iter().any(|(n, _)| n == name) {
+                return err(ln + 1, format!("duplicate function `{name}`"));
+            }
+            func_names.push((name.to_string(), ln + 1));
+        }
+    }
+    if func_names.is_empty() {
+        return err(1, "no functions (expected `fn name:`)");
+    }
+
+    let mut pb = ProgramBuilder::new();
+    let ids: Vec<FuncId> = func_names.iter().map(|(n, _)| pb.declare(n)).collect();
+    let by_name: HashMap<&str, FuncId> = func_names
+        .iter()
+        .zip(&ids)
+        .map(|((n, _), id)| (n.as_str(), *id))
+        .collect();
+
+    // Pass 2: assemble each function body.
+    let mut lines = src.lines().enumerate().peekable();
+    let mut fi = 0usize;
+    while let Some((ln, raw)) = lines.next() {
+        let line = strip_comment(raw).trim();
+        if !line.starts_with("fn ") {
+            if !line.is_empty() {
+                return err(ln + 1, "code outside any function");
+            }
+            continue;
+        }
+        let mut f = pb.define(ids[fi]);
+        fi += 1;
+        let mut labels: HashMap<String, Label> = HashMap::new();
+        let mut body: Vec<(usize, String)> = Vec::new();
+        while let Some(&(_, peek_raw)) = lines.peek() {
+            if strip_comment(peek_raw).trim().starts_with("fn ") {
+                break;
+            }
+            let (ln2, raw2) = lines.next().expect("peeked");
+            let l = strip_comment(raw2).trim().to_string();
+            if !l.is_empty() {
+                body.push((ln2 + 1, l));
+            }
+        }
+        // Collect labels first so forward references resolve.
+        for (ln2, l) in &body {
+            if let Some(name) = l.strip_suffix(':') {
+                let name = name.trim();
+                if name.contains(char::is_whitespace) {
+                    return err(*ln2, format!("bad label `{name}`"));
+                }
+                let lbl = f.label();
+                if labels.insert(name.to_string(), lbl).is_some() {
+                    return err(*ln2, format!("duplicate label `{name}`"));
+                }
+            }
+        }
+        for (ln2, l) in &body {
+            if let Some(name) = l.strip_suffix(':') {
+                f.bind(labels[name.trim()]);
+                continue;
+            }
+            parse_inst(&mut f, *ln2, l, &labels, &by_name)?;
+        }
+        f.finish();
+    }
+
+    pb.finish().map_err(|e| AsmError {
+        line: 0,
+        message: e.to_string(),
+    })
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line
+        .find(';')
+        .into_iter()
+        .chain(line.find('#'))
+        .min()
+        .unwrap_or(line.len());
+    &line[..cut]
+}
+
+fn parse_reg(line: usize, tok: &str) -> Result<Reg, AsmError> {
+    let t = tok.trim();
+    let Some(num) = t.strip_prefix('r') else {
+        return err(line, format!("expected register, got `{t}`"));
+    };
+    match num.parse::<u8>() {
+        Ok(n) if (n as usize) < crate::inst::NUM_REGS => Ok(Reg(n)),
+        _ => err(line, format!("bad register `{t}`")),
+    }
+}
+
+fn parse_imm(line: usize, tok: &str) -> Result<u64, AsmError> {
+    let t = tok.trim();
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16)
+    } else {
+        t.replace('_', "").parse::<u64>()
+    };
+    match v {
+        Ok(v) => Ok(if neg { (v as i64).wrapping_neg() as u64 } else { v }),
+        Err(_) => err(line, format!("bad immediate `{tok}`")),
+    }
+}
+
+/// Parses `[ra+off]` / `[ra-off]` / `[ra]`.
+fn parse_mem(line: usize, tok: &str) -> Result<(Reg, i32), AsmError> {
+    let t = tok.trim();
+    let inner = t
+        .strip_prefix('[')
+        .and_then(|x| x.strip_suffix(']'))
+        .ok_or_else(|| AsmError {
+            line,
+            message: format!("expected [reg+off], got `{t}`"),
+        })?;
+    if let Some(pos) = inner.find(['+', '-']) {
+        let (r, rest) = inner.split_at(pos);
+        let reg = parse_reg(line, r)?;
+        let off = parse_imm(line, rest.trim_start_matches('+'))? as i64;
+        let off = i32::try_from(off).map_err(|_| AsmError {
+            line,
+            message: format!("offset out of range in `{t}`"),
+        })?;
+        Ok((reg, off))
+    } else {
+        Ok((parse_reg(line, inner)?, 0))
+    }
+}
+
+fn alu_op(m: &str) -> Option<AluOp> {
+    Some(match m {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "divu" => AluOp::DivU,
+        "remu" => AluOp::RemU,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "sar" => AluOp::Sar,
+        "slts" => AluOp::SltS,
+        "sltu" => AluOp::SltU,
+        "seq" => AluOp::Seq,
+        "sne" => AluOp::Sne,
+        "minu" => AluOp::MinU,
+        "maxu" => AluOp::MaxU,
+        _ => return None,
+    })
+}
+
+fn rmw_op(m: &str) -> Option<RmwOp> {
+    Some(match m {
+        "add" => RmwOp::Add,
+        "and" => RmwOp::And,
+        "or" => RmwOp::Or,
+        "xor" => RmwOp::Xor,
+        "minu" => RmwOp::MinU,
+        "maxu" => RmwOp::MaxU,
+        "xchg" => RmwOp::Xchg,
+        _ => return None,
+    })
+}
+
+fn br_cond(m: &str) -> Option<BrCond> {
+    Some(match m {
+        "beq" => BrCond::Eq,
+        "bne" => BrCond::Ne,
+        "bltu" => BrCond::LtU,
+        "blts" => BrCond::LtS,
+        "bgeu" => BrCond::GeU,
+        "bges" => BrCond::GeS,
+        _ => return None,
+    })
+}
+
+fn width(suffix: &str) -> Option<MemWidth> {
+    Some(match suffix {
+        "1" | "b1" => MemWidth::B1,
+        "2" | "b2" => MemWidth::B2,
+        "4" | "b4" => MemWidth::B4,
+        "8" | "b8" => MemWidth::B8,
+        _ => return None,
+    })
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_inst(
+    f: &mut FunctionBuilder<'_>,
+    line: usize,
+    text: &str,
+    labels: &HashMap<String, Label>,
+    funcs: &HashMap<&str, FuncId>,
+) -> Result<(), AsmError> {
+    let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (text, ""),
+    };
+    let args: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        split_args(rest)
+    };
+    let need = |n: usize| -> Result<(), AsmError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            err(line, format!("`{mnemonic}` expects {n} operand(s), got {}", args.len()))
+        }
+    };
+    let label_of = |name: &str| -> Result<Label, AsmError> {
+        labels.get(name.trim()).copied().ok_or_else(|| AsmError {
+            line,
+            message: format!("unknown label `{name}`"),
+        })
+    };
+
+    match mnemonic {
+        "imm" => {
+            need(2)?;
+            let rd = parse_reg(line, args[0])?;
+            let v = parse_imm(line, args[1])?;
+            f.imm(rd, v);
+        }
+        "mov" => {
+            need(2)?;
+            f.mov(parse_reg(line, args[0])?, parse_reg(line, args[1])?);
+        }
+        "jmp" => {
+            need(1)?;
+            let l = label_of(args[0])?;
+            f.jmp(l);
+        }
+        "call" => {
+            need(1)?;
+            let callee = funcs.get(args[0].trim()).copied().ok_or_else(|| AsmError {
+                line,
+                message: format!("unknown function `{}`", args[0]),
+            })?;
+            f.call(callee);
+        }
+        "ret" => {
+            need(0)?;
+            f.ret();
+        }
+        "halt" => {
+            need(0)?;
+            f.halt();
+        }
+        "nop" => {
+            need(0)?;
+            f.nop();
+        }
+        "fence" => {
+            need(0)?;
+            f.fence();
+        }
+        "trace" => {
+            need(1)?;
+            let r = parse_reg(line, args[0])?;
+            f.trace(r);
+        }
+        "fwait" => {
+            need(2)?;
+            let rd = parse_reg(line, args[0])?;
+            let rf = parse_reg(line, args[1])?;
+            f.future_wait(rd, rf);
+        }
+        "fsend" => {
+            need(2)?;
+            let rf = parse_reg(line, args[0])?;
+            let rv = parse_reg(line, args[1])?;
+            f.future_send(rf, rv);
+        }
+        "push" => {
+            need(2)?;
+            let s = parse_reg(line, args[0])?;
+            let rv = parse_reg(line, args[1])?;
+            f.push(s, rv);
+        }
+        "pop" => {
+            need(1)?;
+            let s = parse_reg(line, args[0])?;
+            f.pop(s);
+        }
+        "flush" => {
+            need(2)?;
+            let ra = parse_reg(line, args[0])?;
+            let rl = parse_reg(line, args[1])?;
+            f.flush(ra, rl);
+        }
+        m if br_cond(m).is_some() => {
+            need(3)?;
+            let c = br_cond(m).expect("checked");
+            let ra = parse_reg(line, args[0])?;
+            let rb = parse_reg(line, args[1])?;
+            let l = label_of(args[2])?;
+            f.br(c, ra, rb, l);
+        }
+        m if m.starts_with("ld") => {
+            need(2)?;
+            let spec = &m[2..];
+            let (wtok, sext) = match spec.strip_suffix('s') {
+                Some(w) => (w, true),
+                None => (spec, false),
+            };
+            let w = width(wtok)
+                .ok_or_else(|| AsmError { line, message: format!("bad load `{m}`") })?;
+            let rd = parse_reg(line, args[0])?;
+            let (ra, off) = parse_mem(line, args[1])?;
+            f.ld(rd, ra, off, w, sext);
+        }
+        m if m.starts_with("st") => {
+            need(2)?;
+            let w = width(&m[2..])
+                .ok_or_else(|| AsmError { line, message: format!("bad store `{m}`") })?;
+            let (ra, off) = parse_mem(line, args[0])?;
+            let rs = parse_reg(line, args[1])?;
+            f.st(ra, off, rs, w);
+        }
+        m if m.starts_with("rmw.") => {
+            need(3)?;
+            let parts: Vec<&str> = m.split('.').collect();
+            // rmw.<op>[.relaxed].<width>
+            if parts.len() < 3 {
+                return err(line, format!("bad rmw `{m}` (want rmw.op[.relaxed].b8)"));
+            }
+            let op = rmw_op(parts[1])
+                .ok_or_else(|| AsmError { line, message: format!("bad rmw op in `{m}`") })?;
+            let relaxed = parts.contains(&"relaxed");
+            let w = width(parts.last().expect("nonempty"))
+                .ok_or_else(|| AsmError { line, message: format!("bad rmw width in `{m}`") })?;
+            let rd = parse_reg(line, args[0])?;
+            let (ra, off) = parse_mem(line, args[1])?;
+            if off != 0 {
+                return err(line, "rmw takes [reg] without an offset");
+            }
+            let rv = parse_reg(line, args[2])?;
+            if relaxed {
+                f.rmw_relaxed(op, rd, ra, rv, w);
+            } else {
+                f.rmw_fenced(op, rd, ra, rv, w);
+            }
+        }
+        m if m.starts_with("invoke") => {
+            parse_invoke(f, line, m, rest)?;
+        }
+        m => {
+            // Immediate-ALU (suffix i), then plain ALU.
+            if let Some(base) = m.strip_suffix('i') {
+                if let Some(op) = alu_op(base) {
+                    need(3)?;
+                    let rd = parse_reg(line, args[0])?;
+                    let ra = parse_reg(line, args[1])?;
+                    let v = parse_imm(line, args[2])?;
+                    f.alui(op, rd, ra, v);
+                    return Ok(());
+                }
+            }
+            if let Some(op) = alu_op(m) {
+                need(3)?;
+                let rd = parse_reg(line, args[0])?;
+                let ra = parse_reg(line, args[1])?;
+                let rb = parse_reg(line, args[2])?;
+                f.alu(op, rd, ra, rb);
+                return Ok(());
+            }
+            return err(line, format!("unknown mnemonic `{m}`"));
+        }
+    }
+    Ok(())
+}
+
+/// `invoke[.local|.remote|.dynamic][.excl] ractor, @N, (r1, ...)[ -> rfut]`
+fn parse_invoke(
+    f: &mut FunctionBuilder<'_>,
+    line: usize,
+    mnemonic: &str,
+    rest: &str,
+) -> Result<(), AsmError> {
+    let mut loc = Location::Dynamic;
+    let mut exclusive = false;
+    for part in mnemonic.split('.').skip(1) {
+        match part {
+            "local" => loc = Location::Local,
+            "remote" => loc = Location::Remote,
+            "dynamic" => loc = Location::Dynamic,
+            "excl" => exclusive = true,
+            other => return err(line, format!("bad invoke modifier `.{other}`")),
+        }
+    }
+    let (body, fut) = match rest.split_once("->") {
+        Some((b, f)) => (b.trim(), Some(parse_reg(line, f)?)),
+        None => (rest, None),
+    };
+    // ractor, @N, (args)
+    let mut parts = body.splitn(3, ',');
+    let actor = parse_reg(line, parts.next().unwrap_or(""))?;
+    let action_tok = parts.next().map(str::trim).unwrap_or("");
+    let action = action_tok
+        .strip_prefix('@')
+        .and_then(|n| n.parse::<u32>().ok())
+        .map(ActionId)
+        .ok_or_else(|| AsmError {
+            line,
+            message: format!("expected `@N` action id, got `{action_tok}`"),
+        })?;
+    let args_tok = parts.next().map(str::trim).unwrap_or("()");
+    let inner = args_tok
+        .strip_prefix('(')
+        .and_then(|x| x.strip_suffix(')'))
+        .ok_or_else(|| AsmError {
+            line,
+            message: format!("expected `(args)`, got `{args_tok}`"),
+        })?;
+    let mut arg_regs = Vec::new();
+    for a in inner.split(',') {
+        let a = a.trim();
+        if a.is_empty() {
+            continue;
+        }
+        arg_regs.push(parse_reg(line, a)?);
+    }
+    use crate::inst::Inst;
+    f.emit(Inst::Invoke {
+        actor,
+        action,
+        args: arg_regs,
+        future: fut,
+        loc,
+        exclusive,
+    });
+    Ok(())
+}
+
+/// Splits top-level comma-separated operands, keeping `(...)`, `[...]`,
+/// and `-> reg` intact for `invoke` (which parses its own tail).
+fn split_args(rest: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(rest[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(rest[start..].trim());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use crate::mem::{Memory, PagedMem};
+
+    #[test]
+    fn assembles_and_runs_sum() {
+        let prog = assemble(
+            r"
+            ; sum the u64s in [r0, r0 + 8*r1)
+            fn sum:
+                imm   r2, 0
+                imm   r3, 0
+            loop:
+                bgeu  r3, r1, done
+                ld8   r4, [r0+0]
+                add   r2, r2, r4
+                addi  r0, r0, 8
+                addi  r3, r3, 1
+                jmp   loop
+            done:
+                mov   r0, r2
+                ret
+            ",
+        )
+        .unwrap();
+        let sum = prog.func_by_name("sum").unwrap();
+        let mut mem = PagedMem::new();
+        for (i, v) in [5u64, 10, 15].iter().enumerate() {
+            mem.write_u64(0x100 + 8 * i as u64, *v);
+        }
+        let got = Interpreter::new(&prog).run(sum, &[0x100, 3], &mut mem).unwrap();
+        assert_eq!(got, 30);
+    }
+
+    #[test]
+    fn calls_between_functions() {
+        let prog = assemble(
+            r"
+            fn main:
+                imm r0, 20
+                call double  ; forward reference
+                ret
+            fn double:
+                add r0, r0, r0
+                ret
+            ",
+        )
+        .unwrap();
+        let main = prog.func_by_name("main").unwrap();
+        let mut mem = PagedMem::new();
+        let got = Interpreter::new(&prog).run(main, &[], &mut mem).unwrap();
+        assert_eq!(got, 40);
+    }
+
+    #[test]
+    fn memory_and_immediates() {
+        let prog = assemble(
+            r"
+            fn kit:
+                imm  r1, 0x10
+                imm  r2, -1
+                st8  [r1+8], r2
+                ld4  r0, [r1+8]
+                ld1s r3, [r1+8]
+                add  r0, r0, r3
+                ret
+            ",
+        )
+        .unwrap();
+        let f = prog.func_by_name("kit").unwrap();
+        let mut mem = PagedMem::new();
+        let got = Interpreter::new(&prog).run(f, &[], &mut mem).unwrap();
+        // ld4 of -1 = 0xFFFF_FFFF; ld1s = -1 (sign-extended).
+        assert_eq!(got, 0xFFFF_FFFEu64);
+        assert_eq!(mem.read_u64(0x18), u64::MAX);
+    }
+
+    #[test]
+    fn rmw_and_fence() {
+        let prog = assemble(
+            r"
+            fn bump:
+                imm r1, 3
+                rmw.add.relaxed.b8 r2, [r0], r1
+                fence
+                rmw.xchg.b8 r3, [r0], r2
+                ret
+            ",
+        )
+        .unwrap();
+        let f = prog.func_by_name("bump").unwrap();
+        let mut mem = PagedMem::new();
+        mem.write_u64(0x40, 10);
+        Interpreter::new(&prog).run(f, &[0x40], &mut mem).unwrap();
+        // old=10, [0x40]=13, then xchg back to old (10).
+        assert_eq!(mem.read_u64(0x40), 10);
+    }
+
+    #[test]
+    fn invoke_forms_parse() {
+        let prog = assemble(
+            r"
+            fn caller:
+                invoke.remote r1, @0, (r2, r3)
+                invoke.dynamic.excl r1, @2, () -> r5
+                invoke r1, @1, (r2)
+                halt
+            ",
+        )
+        .unwrap();
+        let f = prog.func_by_name("caller").unwrap();
+        let insts = prog.func(f).insts();
+        match &insts[0] {
+            crate::inst::Inst::Invoke { action, args, loc, exclusive, future, .. } => {
+                assert_eq!(*action, ActionId(0));
+                assert_eq!(args.len(), 2);
+                assert_eq!(*loc, Location::Remote);
+                assert!(!exclusive);
+                assert!(future.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &insts[1] {
+            crate::inst::Inst::Invoke { loc, exclusive, future, args, .. } => {
+                assert_eq!(*loc, Location::Dynamic);
+                assert!(*exclusive);
+                assert_eq!(*future, Some(Reg(5)));
+                assert!(args.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_and_future_mnemonics() {
+        let prog = assemble(
+            r"
+            fn s:
+                push  r0, r1
+                pop   r0
+                fsend r2, r3
+                fwait r4, r2
+                flush r5, r6
+                trace r4
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(prog.func(prog.func_by_name("s").unwrap()).len(), 7);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("fn a:\n    bogus r1, r2\n    ret\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = assemble("fn a:\n    jmp nowhere\n    ret\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("nowhere"));
+
+        let e = assemble("    add r1, r2, r3\n").unwrap_err();
+        assert!(e.message.contains("no functions"));
+
+        let e = assemble("    add r1, r2, r3\nfn a:\n    ret\n").unwrap_err();
+        assert!(e.message.contains("outside"));
+
+        let e = assemble("fn a:\n    imm r99, 1\n    ret\n").unwrap_err();
+        assert!(e.message.contains("r99"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let prog = assemble(
+            "; leading comment\n\nfn a:  ; trailing\n    # hash comment\n    ret\n",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        let e = assemble("fn a:\n    ret\nfn a:\n    ret\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn falls_off_end_reported() {
+        let e = assemble("fn a:\n    imm r0, 1\n").unwrap_err();
+        assert!(e.message.contains("falls off"));
+    }
+}

@@ -1,0 +1,360 @@
+//! Run-to-completion functional interpreters.
+//!
+//! [`Interpreter`] executes NDC-free LevIR code (panicking on NDC
+//! instructions); [`SyncHost`] additionally services NDC instructions
+//! *synchronously* — invokes run inline, futures fill immediately, streams
+//! are unbounded queues — which makes it a golden model for testing workload
+//! programs independently of the timing simulator.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::exec::{step, ExecCtx, ExecError, NdcHost, NdcRequest, NoNdc, Poll};
+use crate::inst::Addr;
+use crate::mem::Memory;
+use crate::program::{ActionId, FuncId, Program};
+
+/// Default per-run instruction budget guarding against runaway loops in
+/// tests.
+pub const DEFAULT_FUEL: u64 = 50_000_000;
+
+/// A straightforward interpreter for NDC-free programs.
+///
+/// See the [crate-level example](crate) for usage.
+#[derive(Debug)]
+pub struct Interpreter<'p> {
+    prog: &'p Program,
+    fuel: u64,
+}
+
+impl<'p> Interpreter<'p> {
+    /// Creates an interpreter for `prog` with the default fuel budget.
+    pub fn new(prog: &'p Program) -> Self {
+        Interpreter {
+            prog,
+            fuel: DEFAULT_FUEL,
+        }
+    }
+
+    /// Overrides the instruction budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Runs `func(args…)` to completion and returns `r0`.
+    ///
+    /// # Errors
+    /// Propagates [`ExecError`]s from the semantics.
+    ///
+    /// # Panics
+    /// Panics if the program executes an NDC instruction or exceeds the
+    /// fuel budget.
+    pub fn run(
+        &mut self,
+        func: FuncId,
+        args: &[u64],
+        mem: &mut impl Memory,
+    ) -> Result<u64, ExecError> {
+        let mut host = NoNdc;
+        self.run_with_host(func, args, mem, &mut host)
+    }
+
+    /// Runs `func(args…)` to completion under a caller-supplied NDC host.
+    ///
+    /// # Errors
+    /// Propagates [`ExecError`]s from the semantics.
+    ///
+    /// # Panics
+    /// Panics if execution blocks forever or exceeds the fuel budget.
+    pub fn run_with_host(
+        &mut self,
+        func: FuncId,
+        args: &[u64],
+        mem: &mut impl Memory,
+        host: &mut dyn NdcHost,
+    ) -> Result<u64, ExecError> {
+        let mut ctx = ExecCtx::new(func, args);
+        let mut blocked_streak = 0u32;
+        for _ in 0..self.fuel {
+            if ctx.halted {
+                return Ok(ctx.ret_val());
+            }
+            let info = step(self.prog, &mut ctx, mem, host)?;
+            if info.retired() {
+                blocked_streak = 0;
+            } else {
+                blocked_streak += 1;
+                assert!(
+                    blocked_streak < 1024,
+                    "interpreter deadlocked: instruction at {:?} blocked {blocked_streak} times",
+                    ctx.pc
+                );
+            }
+        }
+        panic!("interpreter ran out of fuel ({} instructions)", self.fuel);
+    }
+}
+
+/// In-memory future layout used by [`SyncHost`] (and by the Leviathan
+/// runtime): a 16-byte record of `{ filled: u64, value: u64 }`.
+pub mod future_layout {
+    use crate::inst::Addr;
+    use crate::mem::Memory;
+
+    /// Byte size of a future record.
+    pub const SIZE: u64 = 16;
+
+    /// Returns true if the future at `fut` has been filled.
+    pub fn is_filled(mem: &dyn Memory, fut: Addr) -> bool {
+        mem.read_u64(fut) != 0
+    }
+
+    /// Reads the value of a filled future.
+    pub fn value(mem: &dyn Memory, fut: Addr) -> u64 {
+        mem.read_u64(fut + 8)
+    }
+
+    /// Fills the future at `fut` with `val`.
+    pub fn fill(mem: &mut dyn Memory, fut: Addr, val: u64) {
+        mem.write_u64(fut + 8, val);
+        mem.write_u64(fut, 1);
+    }
+
+    /// Resets the future at `fut` to unfilled.
+    pub fn reset(mem: &mut dyn Memory, fut: Addr) {
+        mem.write_u64(fut, 0);
+        mem.write_u64(fut + 8, 0);
+    }
+}
+
+/// A synchronous NDC host: a golden functional model of the Leviathan
+/// runtime with all timing removed.
+///
+/// * `invoke` runs the action **inline** (recursively interpreting it);
+/// * futures live in memory using [`future_layout`];
+/// * streams are unbounded FIFOs keyed by handle — `push` appends, and the
+///   consumer is expected to read entries via [`SyncHost::stream_read`]
+///   (standing in for the phantom loads of the real system) before `pop`.
+#[derive(Debug)]
+pub struct SyncHost {
+    prog: Program,
+    actions: HashMap<ActionId, FuncId>,
+    streams: HashMap<u64, VecDeque<u64>>,
+    trace: Vec<u64>,
+    depth: u32,
+}
+
+impl SyncHost {
+    /// Creates a host executing actions from `prog` with the given action
+    /// table.
+    pub fn new(prog: Program, actions: HashMap<ActionId, FuncId>) -> Self {
+        SyncHost {
+            prog,
+            actions,
+            streams: HashMap::new(),
+            trace: Vec::new(),
+            depth: 0,
+        }
+    }
+
+    /// Registers (or replaces) an action binding.
+    pub fn register_action(&mut self, action: ActionId, func: FuncId) {
+        self.actions.insert(action, func);
+    }
+
+    /// Values traced so far via `Trace`.
+    pub fn traced(&self) -> &[u64] {
+        &self.trace
+    }
+
+    /// Reads the oldest unconsumed entry of a stream without popping it.
+    /// Stands in for the phantom load the real consumer issues.
+    pub fn stream_read(&self, stream: u64) -> Option<u64> {
+        self.streams.get(&stream).and_then(|q| q.front().copied())
+    }
+
+    /// Number of unconsumed entries in a stream.
+    pub fn stream_len(&self, stream: u64) -> usize {
+        self.streams.get(&stream).map_or(0, |q| q.len())
+    }
+}
+
+impl NdcHost for SyncHost {
+    fn invoke(&mut self, mem: &mut dyn Memory, req: NdcRequest) -> Poll<()> {
+        assert!(self.depth < 64, "synchronous invoke recursion too deep");
+        let func = *self
+            .actions
+            .get(&req.action)
+            .unwrap_or_else(|| panic!("invoke of unregistered action {:?}", req.action));
+        // Action ABI: r0 = actor pointer, r1.. = arguments.
+        let mut args = Vec::with_capacity(1 + req.args.len());
+        args.push(req.actor);
+        args.extend_from_slice(&req.args);
+        let mut ctx = ExecCtx::new(func, &args);
+        self.depth += 1;
+        let prog = self.prog.clone();
+        let mut fuel = DEFAULT_FUEL;
+        while !ctx.halted {
+            assert!(fuel > 0, "action ran out of fuel");
+            fuel -= 1;
+            step(&prog, &mut ctx, mem, self).expect("action execution failed");
+        }
+        self.depth -= 1;
+        if let Some(fut) = req.future {
+            future_layout::fill(mem, fut, ctx.ret_val());
+        }
+        Poll::Ready(())
+    }
+
+    fn future_wait(&mut self, mem: &mut dyn Memory, fut: Addr) -> Poll<u64> {
+        if future_layout::is_filled(mem, fut) {
+            Poll::Ready(future_layout::value(mem, fut))
+        } else {
+            // Synchronous host: a wait on an unfilled future can never make
+            // progress, so surface it as a deadlock via Pending retries.
+            Poll::Pending
+        }
+    }
+
+    fn future_send(&mut self, mem: &mut dyn Memory, fut: Addr, val: u64) {
+        future_layout::fill(mem, fut, val);
+    }
+
+    fn push(&mut self, _mem: &mut dyn Memory, stream: u64, val: u64) -> Poll<()> {
+        self.streams.entry(stream).or_default().push_back(val);
+        Poll::Ready(())
+    }
+
+    fn pop(&mut self, _mem: &mut dyn Memory, stream: u64) {
+        let q = self
+            .streams
+            .get_mut(&stream)
+            .unwrap_or_else(|| panic!("pop on unknown stream {stream}"));
+        assert!(q.pop_front().is_some(), "pop on empty stream {stream}");
+    }
+
+    fn flush(&mut self, _mem: &mut dyn Memory, _addr: Addr, _len: u64) {
+        // Caches do not exist functionally; flush is a no-op here.
+    }
+
+    fn trace(&mut self, val: u64) {
+        self.trace.push(val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::{Location, Reg};
+    use crate::mem::PagedMem;
+
+    /// Builds a program where `main` invokes an `add_to` action on an actor
+    /// (a u64 counter in memory) with a future, then waits on it.
+    fn invoke_program() -> (Program, FuncId, HashMap<ActionId, FuncId>) {
+        let mut pb = ProgramBuilder::new();
+        let action = {
+            let mut f = pb.function("add_to");
+            // r0 = actor ptr, r1 = amount; returns new value.
+            let (actor, amt, v) = (Reg(0), Reg(1), Reg(2));
+            f.ld8(v, actor, 0);
+            f.add(v, v, amt);
+            f.st8(actor, 0, v);
+            f.mov(Reg(0), v).ret();
+            f.finish()
+        };
+        let mut m = pb.function("main");
+        // r0 = actor ptr, r1 = future ptr.
+        let (actor, fut, amt) = (Reg(0), Reg(1), Reg(2));
+        m.imm(amt, 5);
+        m.invoke_future(actor, ActionId(0), &[amt], fut, Location::Dynamic);
+        m.future_wait(Reg(0), fut);
+        m.ret();
+        let main = m.finish();
+        let prog = pb.finish().unwrap();
+        let mut actions = HashMap::new();
+        actions.insert(ActionId(0), action);
+        (prog, main, actions)
+    }
+
+    #[test]
+    fn sync_invoke_with_future() {
+        let (prog, main, actions) = invoke_program();
+        let mut host = SyncHost::new(prog.clone(), actions);
+        let mut mem = PagedMem::new();
+        mem.write_u64(0x100, 37); // actor data
+        let mut interp = Interpreter::new(&prog);
+        let ret = interp
+            .run_with_host(main, &[0x100, 0x200], &mut mem, &mut host)
+            .unwrap();
+        assert_eq!(ret, 42, "future returns the action's result");
+        assert_eq!(mem.read_u64(0x100), 42, "actor data updated in place");
+        assert!(future_layout::is_filled(&mem, 0x200));
+    }
+
+    #[test]
+    fn streams_fifo_order() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("producer");
+        // r0 = stream handle; pushes 3 values.
+        let (s, v) = (Reg(0), Reg(1));
+        f.imm(v, 10).push(s, v);
+        f.imm(v, 20).push(s, v);
+        f.imm(v, 30).push(s, v);
+        f.ret();
+        let prod = f.finish();
+        let prog = pb.finish().unwrap();
+        let mut host = SyncHost::new(prog.clone(), HashMap::new());
+        let mut mem = PagedMem::new();
+        let mut interp = Interpreter::new(&prog);
+        interp
+            .run_with_host(prod, &[7], &mut mem, &mut host)
+            .unwrap();
+        assert_eq!(host.stream_len(7), 3);
+        assert_eq!(host.stream_read(7), Some(10));
+        host.pop(&mut mem, 7);
+        assert_eq!(host.stream_read(7), Some(20));
+        host.pop(&mut mem, 7);
+        host.pop(&mut mem, 7);
+        assert_eq!(host.stream_len(7), 0);
+    }
+
+    #[test]
+    fn trace_collects_values() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("t");
+        f.imm(Reg(1), 99).trace(Reg(1)).ret();
+        let id = f.finish();
+        let prog = pb.finish().unwrap();
+        let mut host = SyncHost::new(prog.clone(), HashMap::new());
+        let mut mem = PagedMem::new();
+        Interpreter::new(&prog)
+            .run_with_host(id, &[], &mut mem, &mut host)
+            .unwrap();
+        assert_eq!(host.traced(), &[99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn wait_on_never_filled_future_deadlocks() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("w");
+        f.future_wait(Reg(0), Reg(0)).ret();
+        let id = f.finish();
+        let prog = pb.finish().unwrap();
+        let mut host = SyncHost::new(prog.clone(), HashMap::new());
+        let mut mem = PagedMem::new();
+        let _ = Interpreter::new(&prog).run_with_host(id, &[0x500], &mut mem, &mut host);
+    }
+
+    #[test]
+    fn future_layout_round_trip() {
+        let mut mem = PagedMem::new();
+        assert!(!future_layout::is_filled(&mem, 0x80));
+        future_layout::fill(&mut mem, 0x80, 1234);
+        assert!(future_layout::is_filled(&mem, 0x80));
+        assert_eq!(future_layout::value(&mem, 0x80), 1234);
+        future_layout::reset(&mut mem, 0x80);
+        assert!(!future_layout::is_filled(&mem, 0x80));
+    }
+}

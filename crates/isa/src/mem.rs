@@ -1,0 +1,196 @@
+//! Byte-addressed memory abstraction.
+//!
+//! The functional state of the simulated machine is a flat, sparse,
+//! byte-addressed memory. Caches in `levi-sim` are *tag-only* (they model
+//! timing and coherence); values live here. Data-triggered "phantom" ranges
+//! also live here — their contents are (re)materialized by constructors when
+//! lines are inserted into the cache.
+
+use std::collections::HashMap;
+
+use crate::inst::{Addr, MemWidth};
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Byte-addressed memory with typed accessors.
+///
+/// All multi-byte accesses are little-endian. Reads of untouched memory
+/// return zero. Implementations may be sparse; a `&mut M where M: Memory`
+/// can be passed wherever a `Memory` is needed.
+pub trait Memory {
+    /// Reads one byte.
+    fn read_u8(&self, addr: Addr) -> u8;
+
+    /// Writes one byte.
+    fn write_u8(&mut self, addr: Addr, val: u8);
+
+    /// Reads `width` bytes, little-endian, zero-extended to u64.
+    fn read(&self, addr: Addr, width: MemWidth) -> u64 {
+        let n = width.bytes();
+        let mut v: u64 = 0;
+        for i in 0..n {
+            v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `width` bytes of `val`, little-endian.
+    fn write(&mut self, addr: Addr, val: u64, width: MemWidth) {
+        let n = width.bytes();
+        for i in 0..n {
+            self.write_u8(addr.wrapping_add(i), (val >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads an unsigned 16-bit value.
+    fn read_u16(&self, addr: Addr) -> u16 {
+        self.read(addr, MemWidth::B2) as u16
+    }
+
+    /// Reads an unsigned 32-bit value.
+    fn read_u32(&self, addr: Addr) -> u32 {
+        self.read(addr, MemWidth::B4) as u32
+    }
+
+    /// Reads an unsigned 64-bit value.
+    fn read_u64(&self, addr: Addr) -> u64 {
+        self.read(addr, MemWidth::B8)
+    }
+
+    /// Writes an unsigned 16-bit value.
+    fn write_u16(&mut self, addr: Addr, val: u16) {
+        self.write(addr, val as u64, MemWidth::B2)
+    }
+
+    /// Writes an unsigned 32-bit value.
+    fn write_u32(&mut self, addr: Addr, val: u32) {
+        self.write(addr, val as u64, MemWidth::B4)
+    }
+
+    /// Writes an unsigned 64-bit value.
+    fn write_u64(&mut self, addr: Addr, val: u64) {
+        self.write(addr, val, MemWidth::B8)
+    }
+
+    /// Copies `len` bytes from `src` to `dst` (regions may not overlap in a
+    /// way that matters: the copy proceeds low-to-high).
+    fn copy(&mut self, dst: Addr, src: Addr, len: u64) {
+        for i in 0..len {
+            let b = self.read_u8(src.wrapping_add(i));
+            self.write_u8(dst.wrapping_add(i), b);
+        }
+    }
+
+    /// Fills `[addr, addr+len)` with `byte`.
+    fn fill(&mut self, addr: Addr, len: u64, byte: u8) {
+        for i in 0..len {
+            self.write_u8(addr.wrapping_add(i), byte);
+        }
+    }
+}
+
+impl<M: Memory + ?Sized> Memory for &mut M {
+    fn read_u8(&self, addr: Addr) -> u8 {
+        (**self).read_u8(addr)
+    }
+    fn write_u8(&mut self, addr: Addr, val: u8) {
+        (**self).write_u8(addr, val)
+    }
+}
+
+/// Sparse, page-granular memory. The default [`Memory`] implementation.
+///
+/// Pages (4 KiB) are allocated on first write; reads of unallocated pages
+/// return zero without allocating.
+#[derive(Clone, Debug, Default)]
+pub struct PagedMem {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl PagedMem {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of resident (written-to) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Resident memory footprint in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.pages.len() * PAGE_SIZE
+    }
+}
+
+impl Memory for PagedMem {
+    #[inline]
+    fn read_u8(&self, addr: Addr) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, addr: Addr, val: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = val;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_before_write() {
+        let mem = PagedMem::new();
+        assert_eq!(mem.read_u64(0xdead_beef), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn little_endian_round_trip() {
+        let mut mem = PagedMem::new();
+        mem.write_u64(0x100, 0x0102_0304_0506_0708);
+        assert_eq!(mem.read_u8(0x100), 0x08);
+        assert_eq!(mem.read_u8(0x107), 0x01);
+        assert_eq!(mem.read_u32(0x100), 0x0506_0708);
+        assert_eq!(mem.read_u16(0x106), 0x0102);
+        assert_eq!(mem.read_u64(0x100), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = PagedMem::new();
+        let addr = PAGE_SIZE as u64 - 4; // straddles the first page boundary
+        mem.write_u64(addr, 0xAABB_CCDD_EEFF_1122);
+        assert_eq!(mem.read_u64(addr), 0xAABB_CCDD_EEFF_1122);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn copy_and_fill() {
+        let mut mem = PagedMem::new();
+        mem.write_u64(0x200, 0x1234_5678_9ABC_DEF0);
+        mem.copy(0x300, 0x200, 8);
+        assert_eq!(mem.read_u64(0x300), 0x1234_5678_9ABC_DEF0);
+        mem.fill(0x300, 4, 0xFF);
+        assert_eq!(mem.read_u32(0x300), 0xFFFF_FFFF);
+        assert_eq!(mem.read_u32(0x304), 0x1234_5678);
+    }
+
+    #[test]
+    fn width_write_preserves_neighbors() {
+        let mut mem = PagedMem::new();
+        mem.write_u64(0x400, u64::MAX);
+        mem.write(0x402, 0, MemWidth::B2);
+        assert_eq!(mem.read_u64(0x400), 0xFFFF_FFFF_0000_FFFF);
+    }
+}

@@ -1,0 +1,339 @@
+//! Set-associative cache banks.
+//!
+//! One [`CacheBank`] models one cache: a private L1 or L2, one shared LLC
+//! bank, or an engine L1d. Banks are *tag-only* — functional data lives in
+//! the flat [`levi_isa::PagedMem`] — so a bank tracks presence, dirtiness,
+//! replacement state, coherence metadata (for the LLC's in-tag directory),
+//! and Leviathan's per-line destructor-trigger bit (paper Sec. VI-B2).
+
+use crate::config::{CacheConfig, Replacement, LINE_SHIFT};
+
+/// Coherence state of a line in a *private* cache (MESI reduced to the two
+/// states that matter for our timing: exclusive-ownership vs shared).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrivState {
+    /// Shared, read-only.
+    Shared,
+    /// Modified/exclusive: this tile owns the line.
+    Owned,
+}
+
+/// Metadata for one resident cache line.
+#[derive(Clone, Debug)]
+pub struct Line {
+    /// Line address (byte address >> 6).
+    pub line: u64,
+    /// Dirty (must be written back on eviction).
+    pub dirty: bool,
+    /// Leviathan tag bit: run the Morph destructor when this line is
+    /// evicted.
+    pub dtor: bool,
+    /// Coherence state (meaningful in private caches).
+    pub state: PrivState,
+    /// Directory: bitmask of tiles with a private copy (LLC banks only).
+    pub sharers: u64,
+    /// Directory: tile that owns the line exclusively (LLC banks only).
+    pub owner: Option<u8>,
+    /// SRRIP re-reference counter (0 = near, 3 = distant).
+    rrip: u8,
+    /// LRU timestamp.
+    lru: u64,
+}
+
+impl Line {
+    fn new(line: u64) -> Self {
+        Line {
+            line,
+            dirty: false,
+            dtor: false,
+            state: PrivState::Shared,
+            sharers: 0,
+            owner: None,
+            rrip: 2,
+            lru: 0,
+        }
+    }
+}
+
+/// One set-associative, tag-only cache bank.
+#[derive(Clone, Debug)]
+pub struct CacheBank {
+    sets: Vec<Vec<Line>>,
+    ways: usize,
+    set_mask: u64,
+    replacement: Replacement,
+    tick: u64,
+}
+
+impl CacheBank {
+    /// Builds a bank from a [`CacheConfig`].
+    ///
+    /// # Panics
+    /// Panics if the implied set count is not a power of two.
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        CacheBank {
+            sets: vec![Vec::with_capacity(cfg.ways as usize); sets as usize],
+            ways: cfg.ways as usize,
+            set_mask: sets - 1,
+            replacement: cfg.replacement,
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line & self.set_mask) as usize
+    }
+
+    /// Converts a byte address to its line address.
+    #[inline]
+    pub fn line_of(addr: u64) -> u64 {
+        addr >> LINE_SHIFT
+    }
+
+    /// Looks up `line`; on a hit, updates replacement state and returns the
+    /// line's metadata.
+    pub fn probe(&mut self, line: u64) -> Option<&mut Line> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(line);
+        self.sets[set].iter_mut().find(|l| l.line == line).map(|l| {
+            l.lru = tick;
+            l.rrip = 0;
+            l
+        })
+    }
+
+    /// Looks up `line` without touching replacement state.
+    pub fn peek(&self, line: u64) -> Option<&Line> {
+        let set = self.set_of(line);
+        self.sets[set].iter().find(|l| l.line == line)
+    }
+
+    /// Mutable peek without touching replacement state.
+    pub fn peek_mut(&mut self, line: u64) -> Option<&mut Line> {
+        let set = self.set_of(line);
+        self.sets[set].iter_mut().find(|l| l.line == line)
+    }
+
+    /// True if `line` is resident.
+    pub fn contains(&self, line: u64) -> bool {
+        self.peek(line).is_some()
+    }
+
+    /// Inserts `line`, evicting a victim if the set is full. Returns the
+    /// victim's metadata, if any. The caller configures the inserted line
+    /// through the returned reference.
+    ///
+    /// `pinned` lists lines that must not be chosen as victims — the
+    /// in-flight fills of the surrounding walk (the MSHR/line-buffer
+    /// protection real hardware provides).
+    ///
+    /// # Panics
+    /// Panics if the line is already resident (callers must probe first),
+    /// or if every way of the set is pinned.
+    pub fn insert(&mut self, line: u64, pinned: &[u64]) -> (&mut Line, Option<Line>) {
+        self.tick += 1;
+        let tick = self.tick;
+        let set_idx = self.set_of(line);
+        debug_assert!(
+            !self.sets[set_idx].iter().any(|l| l.line == line),
+            "inserting already-resident line {line:#x}"
+        );
+        let victim = if self.sets[set_idx].len() >= self.ways {
+            let vi = self.pick_victim(set_idx, pinned);
+            Some(self.sets[set_idx].swap_remove(vi))
+        } else {
+            None
+        };
+        let mut newline = Line::new(line);
+        newline.lru = tick;
+        newline.rrip = 2;
+        let set = &mut self.sets[set_idx];
+        set.push(newline);
+        let lref = set.last_mut().expect("just pushed");
+        (lref, victim)
+    }
+
+    fn pick_victim(&mut self, set_idx: usize, pinned: &[u64]) -> usize {
+        match self.replacement {
+            Replacement::Lru => {
+                let set = &self.sets[set_idx];
+                let mut vi = None;
+                for (i, l) in set.iter().enumerate() {
+                    if pinned.contains(&l.line) {
+                        continue;
+                    }
+                    match vi {
+                        None => vi = Some(i),
+                        Some(j) if l.lru < set[j].lru => vi = Some(i),
+                        _ => {}
+                    }
+                }
+                vi.expect("every way of the set is pinned")
+            }
+            Replacement::Srrip => {
+                // Find a distant (rrip==3) unpinned line, aging the set
+                // until one exists. Bounded: each pass increments every
+                // counter; pinned lines must not fill the whole set.
+                assert!(
+                    self.sets[set_idx]
+                        .iter()
+                        .any(|l| !pinned.contains(&l.line)),
+                    "every way of the set is pinned"
+                );
+                loop {
+                    let set = &mut self.sets[set_idx];
+                    if let Some(i) = set
+                        .iter()
+                        .position(|l| l.rrip >= 3 && !pinned.contains(&l.line))
+                    {
+                        return i;
+                    }
+                    for l in set.iter_mut() {
+                        l.rrip += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes `line` if resident, returning its metadata.
+    pub fn invalidate(&mut self, line: u64) -> Option<Line> {
+        let set = self.set_of(line);
+        let pos = self.sets[set].iter().position(|l| l.line == line)?;
+        Some(self.sets[set].swap_remove(pos))
+    }
+
+    /// Removes and returns every resident line whose *byte* range overlaps
+    /// `[base, bound)`. Used by `flush`.
+    pub fn drain_range(&mut self, base: u64, bound: u64) -> Vec<Line> {
+        let first = base >> LINE_SHIFT;
+        let last = (bound + (1 << LINE_SHIFT) - 1) >> LINE_SHIFT;
+        let mut out = Vec::new();
+        for set in &mut self.sets {
+            let mut i = 0;
+            while i < set.len() {
+                if set[i].line >= first && set[i].line < last {
+                    out.push(set.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        out.sort_by_key(|l| l.line);
+        out
+    }
+
+    /// Number of resident lines.
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Iterates over all resident lines (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &Line> {
+        self.sets.iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(ways: u32, repl: Replacement) -> CacheBank {
+        // 4 sets x `ways` ways of 64B lines.
+        CacheBank::new(&CacheConfig {
+            size_bytes: 4 * ways as u64 * 64,
+            ways,
+            latency: 1,
+            replacement: repl,
+        })
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = tiny(2, Replacement::Lru);
+        let (l, v) = c.insert(0x40, &[]);
+        assert!(v.is_none());
+        l.dirty = true;
+        assert!(c.contains(0x40));
+        assert!(c.probe(0x40).unwrap().dirty);
+        assert!(!c.contains(0x41));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(2, Replacement::Lru);
+        // Lines 0x0, 0x4, 0x8 all map to set 0 (4 sets).
+        c.insert(0x0, &[]);
+        c.insert(0x4, &[]);
+        c.probe(0x0); // refresh 0x0 so 0x4 is LRU
+        let (_, victim) = c.insert(0x8, &[]);
+        assert_eq!(victim.unwrap().line, 0x4);
+        assert!(c.contains(0x0));
+        assert!(c.contains(0x8));
+    }
+
+    #[test]
+    fn srrip_prefers_unreused_lines() {
+        let mut c = tiny(2, Replacement::Srrip);
+        c.insert(0x0, &[]);
+        c.insert(0x4, &[]);
+        c.probe(0x0); // promote to near
+        let (_, victim) = c.insert(0x8, &[]);
+        assert_eq!(victim.unwrap().line, 0x4, "unreused line evicted first");
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny(2, Replacement::Lru);
+        c.insert(0x40, &[]);
+        let gone = c.invalidate(0x40);
+        assert_eq!(gone.unwrap().line, 0x40);
+        assert!(!c.contains(0x40));
+        assert!(c.invalidate(0x40).is_none());
+    }
+
+    #[test]
+    fn drain_range_collects_overlapping_lines() {
+        let mut c = tiny(4, Replacement::Lru);
+        // Byte addresses: lines 1,2,3 cover [0x40, 0x100).
+        c.insert(1, &[]);
+        c.insert(2, &[]);
+        c.insert(3, &[]);
+        c.insert(9, &[]);
+        let drained = c.drain_range(0x40, 0xC1); // bytes 0x40..0xC1 -> lines 1..=3
+        let lines: Vec<u64> = drained.iter().map(|l| l.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+        assert!(c.contains(9));
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn sets_are_isolated() {
+        let mut c = tiny(1, Replacement::Lru);
+        // 4 sets, 1 way: lines 0..4 each land in their own set.
+        for line in 0..4 {
+            let (_, v) = c.insert(line, &[]);
+            assert!(v.is_none(), "no conflict across sets");
+        }
+        assert_eq!(c.resident(), 4);
+        // A fifth line aliasing set 0 evicts line 0.
+        let (_, v) = c.insert(4, &[]);
+        assert_eq!(v.unwrap().line, 0);
+    }
+
+    #[test]
+    fn directory_fields_default_empty() {
+        let mut c = tiny(1, Replacement::Lru);
+        let (l, _) = c.insert(7, &[]);
+        assert_eq!(l.sharers, 0);
+        assert_eq!(l.owner, None);
+        assert!(!l.dtor);
+        l.sharers |= 1 << 3;
+        l.owner = Some(3);
+        assert_eq!(c.peek(7).unwrap().owner, Some(3));
+    }
+}

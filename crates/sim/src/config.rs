@@ -1,0 +1,337 @@
+//! Machine configuration.
+//!
+//! [`MachineConfig::paper_default`] reproduces Table V of the paper: a
+//! 16-tile multicore with private L1/L2, a shared inclusive NUCA LLC
+//! (one 512 KB bank per tile), a 4×4 mesh NoC, four memory controllers,
+//! and a Leviathan engine pair (L2 + LLC) per tile.
+
+/// Cache line size in bytes. Fixed at 64 B across the hierarchy, as in the
+/// paper's evaluation.
+pub const LINE_SIZE: u64 = 64;
+
+/// log2 of [`LINE_SIZE`].
+pub const LINE_SHIFT: u32 = 6;
+
+/// Geometry and latency of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (per bank for the LLC).
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Access latency in cycles (tag + data, loaded on a hit).
+    pub latency: u64,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by size, line size, and ways.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / LINE_SIZE / self.ways as u64
+    }
+
+    /// Number of lines.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / LINE_SIZE
+    }
+}
+
+/// Cache replacement policies supported by [`crate::cache::CacheBank`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Replacement {
+    /// Least-recently-used.
+    Lru,
+    /// Static re-reference interval prediction (2-bit SRRIP), standing in
+    /// for the paper's (D)RRIP ("t̄r̄ip repl.").
+    Srrip,
+}
+
+/// Core (OOO-approximating) model parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Instructions issued per cycle when dependencies allow.
+    pub issue_width: u32,
+    /// Maximum outstanding L1 misses (MSHRs); bounds memory-level
+    /// parallelism.
+    pub mshrs: u32,
+    /// Penalty in cycles for a mispredicted branch.
+    pub mispredict_penalty: u64,
+    /// log2 of the gshare predictor's table size.
+    pub predictor_bits: u32,
+    /// Entries in the invoke buffer (Sec. VI-B1; Fig. 22 sweeps this).
+    pub invoke_buffer: u32,
+    /// Latency of an integer multiply.
+    pub mul_latency: u64,
+    /// Latency of an integer divide.
+    pub div_latency: u64,
+}
+
+/// Near-data engine (dataflow fabric) parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Integer functional units available per cycle (paper: 15).
+    pub int_fus: u32,
+    /// Memory functional units available per cycle (paper: 10).
+    pub mem_fus: u32,
+    /// Per-PE latency in cycles (paper: 1).
+    pub pe_latency: u64,
+    /// Task contexts per engine (paper: 32, split evenly between offloaded
+    /// and data-triggered actions to avoid deadlock).
+    pub contexts: u32,
+    /// Engine L1d capacity in bytes (paper: 8 KB).
+    pub l1d_bytes: u64,
+    /// Engine L1d latency.
+    pub l1d_latency: u64,
+    /// When true, the engine is *idealized*: unlimited 0-cycle FUs and free
+    /// instructions; only memory latency and data dependencies remain.
+    pub idealized: bool,
+}
+
+/// Mesh network-on-chip parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NocConfig {
+    /// Flit width in bits (paper: 128).
+    pub flit_bits: u32,
+    /// Per-hop router delay in cycles (paper: 2).
+    pub router_delay: u64,
+    /// Per-hop link delay in cycles (paper: 1).
+    pub link_delay: u64,
+}
+
+/// Memory (DRAM) system parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Number of memory controllers (paper: 4).
+    pub controllers: u32,
+    /// Fixed access latency in cycles (paper: 100).
+    pub latency: u64,
+    /// Cycles one controller is occupied per 64 B line, derived from the
+    /// paper's 11.8 GB/s per controller at 2.4 GHz ⇒ ~13 cycles/line.
+    pub cycles_per_line: u64,
+    /// Entries in the per-controller FIFO line cache (paper: 32), used by
+    /// Leviathan's DRAM object compaction.
+    pub fifo_cache_lines: u32,
+    /// Latency of a FIFO-cache hit.
+    pub fifo_hit_latency: u64,
+}
+
+/// Per-event dynamic energy parameters, in picojoules.
+///
+/// Absolute values are representative of the literature the paper cites
+/// (Jenga \[75\] for core/cache/NoC/DRAM, Repetti et al. \[60\] for the
+/// engines); the evaluation only relies on *relative* energy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyConfig {
+    /// Per retired core instruction (fetch/decode/OOO overheads included).
+    pub core_inst_pj: f64,
+    /// Per engine (dataflow PE) instruction.
+    pub engine_inst_pj: f64,
+    /// Per L1 access.
+    pub l1_pj: f64,
+    /// Per L2 access.
+    pub l2_pj: f64,
+    /// Per LLC bank access.
+    pub llc_pj: f64,
+    /// Per directory lookup/update.
+    pub dir_pj: f64,
+    /// Per NoC flit-hop.
+    pub noc_flit_hop_pj: f64,
+    /// Per DRAM line (64 B) access.
+    pub dram_line_pj: f64,
+    /// Per memory-controller FIFO-cache hit.
+    pub mc_cache_pj: f64,
+}
+
+impl Default for EnergyConfig {
+    fn default() -> Self {
+        EnergyConfig {
+            // An OOO core burns ~0.25 nJ of dynamic energy per retired
+            // instruction (fetch/decode/rename/issue overheads dominate);
+            // the dataflow engines are ~30x cheaper per op [60, 66].
+            core_inst_pj: 250.0,
+            engine_inst_pj: 8.0,
+            l1_pj: 10.0,
+            l2_pj: 30.0,
+            llc_pj: 100.0,
+            dir_pj: 10.0,
+            noc_flit_hop_pj: 15.0,
+            dram_line_pj: 15_000.0,
+            mc_cache_pj: 50.0,
+        }
+    }
+}
+
+/// Complete machine configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineConfig {
+    /// Number of tiles (= cores = LLC banks). Must be a power of two whose
+    /// square root is an integer or a 2:1 rectangle (mesh layout).
+    pub tiles: u32,
+    /// L1 data cache (per tile).
+    pub l1: CacheConfig,
+    /// L2 cache (per tile, private).
+    pub l2: CacheConfig,
+    /// LLC bank (per tile, shared & inclusive).
+    pub llc: CacheConfig,
+    /// Core model.
+    pub core: CoreConfig,
+    /// Engine model (one engine at the L2 and one at the LLC bank of every
+    /// tile).
+    pub engine: EngineConfig,
+    /// NoC model.
+    pub noc: NocConfig,
+    /// Memory system.
+    pub mem: MemConfig,
+    /// Energy parameters.
+    pub energy: EnergyConfig,
+    /// Enable the L2 strided prefetcher.
+    pub prefetcher: bool,
+    /// Degree (lines fetched ahead) of the strided prefetcher.
+    pub prefetch_degree: u32,
+    /// Run-ahead quantum: how many cycles an actor may advance past the
+    /// global clock before yielding. Smaller is more accurate, larger is
+    /// faster.
+    pub quantum: u64,
+}
+
+impl MachineConfig {
+    /// The paper's Table V configuration (16 tiles).
+    pub fn paper_default() -> Self {
+        Self::with_tiles(16)
+    }
+
+    /// Table V scaled to a different tile count (Fig. 25 sweeps this).
+    pub fn with_tiles(tiles: u32) -> Self {
+        assert!(tiles.is_power_of_two(), "tile count must be a power of two");
+        MachineConfig {
+            tiles,
+            l1: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                latency: 2,
+                replacement: Replacement::Lru,
+            },
+            l2: CacheConfig {
+                size_bytes: 128 * 1024,
+                ways: 8,
+                latency: 6, // 2-cycle tag + 4-cycle data
+                replacement: Replacement::Srrip,
+            },
+            llc: CacheConfig {
+                size_bytes: 512 * 1024,
+                ways: 16,
+                latency: 8, // 3-cycle tag + 5-cycle data
+                replacement: Replacement::Srrip,
+            },
+            core: CoreConfig {
+                issue_width: 4,
+                mshrs: 10,
+                mispredict_penalty: 14,
+                predictor_bits: 12,
+                invoke_buffer: 4,
+                mul_latency: 3,
+                div_latency: 20,
+            },
+            engine: EngineConfig {
+                int_fus: 15,
+                mem_fus: 10,
+                pe_latency: 1,
+                contexts: 32,
+                l1d_bytes: 8 * 1024,
+                l1d_latency: 1,
+                idealized: false,
+            },
+            noc: NocConfig {
+                flit_bits: 128,
+                router_delay: 2,
+                link_delay: 1,
+            },
+            mem: MemConfig {
+                controllers: 4,
+                latency: 100,
+                cycles_per_line: 13,
+                fifo_cache_lines: 32,
+                fifo_hit_latency: 6,
+            },
+            energy: EnergyConfig::default(),
+            prefetcher: true,
+            prefetch_degree: 2,
+            quantum: 64,
+        }
+    }
+
+    /// Mesh dimensions `(cols, rows)` for the tile count.
+    pub fn mesh_dims(&self) -> (u32, u32) {
+        let mut cols = 1u32;
+        while cols * cols < self.tiles {
+            cols *= 2;
+        }
+        let rows = self.tiles / cols;
+        (cols, rows)
+    }
+
+    /// Total LLC capacity across banks.
+    pub fn llc_total_bytes(&self) -> u64 {
+        self.llc.size_bytes * self.tiles as u64
+    }
+
+    /// Switches both engines on every tile into idealized mode.
+    pub fn idealized(mut self) -> Self {
+        self.engine.idealized = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table_v() {
+        let cfg = MachineConfig::paper_default();
+        assert_eq!(cfg.tiles, 16);
+        assert_eq!(cfg.l1.size_bytes, 32 * 1024);
+        assert_eq!(cfg.l1.ways, 8);
+        assert_eq!(cfg.l2.size_bytes, 128 * 1024);
+        assert_eq!(cfg.llc.size_bytes, 512 * 1024);
+        assert_eq!(cfg.llc.ways, 16);
+        assert_eq!(cfg.llc_total_bytes(), 8 * 1024 * 1024, "8 MB LLC");
+        assert_eq!(cfg.mem.controllers, 4);
+        assert_eq!(cfg.mem.latency, 100);
+        assert_eq!(cfg.engine.int_fus, 15);
+        assert_eq!(cfg.engine.mem_fus, 10);
+        assert_eq!(cfg.engine.contexts, 32);
+        assert_eq!(cfg.core.invoke_buffer, 4);
+    }
+
+    #[test]
+    fn mesh_dims_square_and_rect() {
+        assert_eq!(MachineConfig::with_tiles(16).mesh_dims(), (4, 4));
+        assert_eq!(MachineConfig::with_tiles(64).mesh_dims(), (8, 8));
+        assert_eq!(MachineConfig::with_tiles(8).mesh_dims(), (4, 2));
+        assert_eq!(MachineConfig::with_tiles(4).mesh_dims(), (2, 2));
+        assert_eq!(MachineConfig::with_tiles(32).mesh_dims(), (8, 4));
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let cfg = MachineConfig::paper_default();
+        assert_eq!(cfg.l1.sets(), 64);
+        assert_eq!(cfg.l1.lines(), 512);
+        assert_eq!(cfg.llc.sets(), 512);
+        assert_eq!(cfg.llc.lines(), 8192, "8K lines per bank (Table IV)");
+    }
+
+    #[test]
+    fn idealized_flag() {
+        let cfg = MachineConfig::paper_default().idealized();
+        assert!(cfg.engine.idealized);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_tiles_rejected() {
+        MachineConfig::with_tiles(12);
+    }
+}

@@ -1,0 +1,110 @@
+//! Dynamic-energy model.
+//!
+//! Energy is derived after the fact from the event counters in
+//! [`Stats`](crate::stats::Stats) and the per-event parameters in
+//! [`EnergyConfig`](crate::config::EnergyConfig). The paper reports dynamic
+//! execution energy relative to the baseline; this model mirrors that.
+
+use crate::config::EnergyConfig;
+use crate::stats::Stats;
+
+/// Dynamic energy, broken down by component, in picojoules.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Core instruction energy.
+    pub core_pj: f64,
+    /// Engine instruction energy.
+    pub engine_pj: f64,
+    /// All cache accesses (L1 + L2 + LLC + engine L1d + directory).
+    pub cache_pj: f64,
+    /// NoC flit-hop energy.
+    pub noc_pj: f64,
+    /// DRAM access energy (including the MC FIFO cache).
+    pub dram_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total dynamic energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.core_pj + self.engine_pj + self.cache_pj + self.noc_pj + self.dram_pj
+    }
+
+    /// Total dynamic energy in microjoules (readability helper).
+    pub fn total_uj(&self) -> f64 {
+        self.total_pj() / 1e6
+    }
+
+    /// This breakdown's total relative to another's (e.g. vs. a baseline).
+    pub fn relative_to(&self, baseline: &EnergyBreakdown) -> f64 {
+        if baseline.total_pj() == 0.0 {
+            0.0
+        } else {
+            self.total_pj() / baseline.total_pj()
+        }
+    }
+}
+
+/// Computes the energy breakdown for a finished run.
+pub fn compute(stats: &Stats, cfg: &EnergyConfig) -> EnergyBreakdown {
+    let cache_accesses_l1 = stats.l1.accesses() + stats.engine_l1.accesses();
+    EnergyBreakdown {
+        core_pj: stats.core_instrs as f64 * cfg.core_inst_pj,
+        engine_pj: stats.engine_instrs as f64 * cfg.engine_inst_pj,
+        cache_pj: cache_accesses_l1 as f64 * cfg.l1_pj
+            + stats.l2.accesses() as f64 * cfg.l2_pj
+            + stats.llc.accesses() as f64 * cfg.llc_pj
+            + stats.dir_lookups as f64 * cfg.dir_pj,
+        noc_pj: stats.noc_flit_hops as f64 * cfg.noc_flit_hop_pj,
+        dram_pj: stats.dram_accesses as f64 * cfg.dram_line_pj
+            + stats.mc_cache_hits as f64 * cfg.mc_cache_pj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_accumulates_all_components() {
+        let mut stats = Stats::new();
+        stats.core_instrs = 100;
+        stats.engine_instrs = 10;
+        stats.l1.hits = 50;
+        stats.l2.misses = 5;
+        stats.llc.hits = 5;
+        stats.dir_lookups = 5;
+        stats.noc_flit_hops = 20;
+        stats.dram_accesses = 2;
+        stats.mc_cache_hits = 1;
+        let cfg = EnergyConfig::default();
+        let e = compute(&stats, &cfg);
+        assert!(e.core_pj > 0.0);
+        assert!(e.engine_pj > 0.0);
+        assert!(e.cache_pj > 0.0);
+        assert!(e.noc_pj > 0.0);
+        assert!(e.dram_pj > 0.0);
+        let expected_core = 100.0 * cfg.core_inst_pj;
+        assert!((e.core_pj - expected_core).abs() < 1e-9);
+        assert!((e.total_pj() - (e.core_pj + e.engine_pj + e.cache_pj + e.noc_pj + e.dram_pj)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_comparison() {
+        let base = EnergyBreakdown {
+            core_pj: 100.0,
+            ..Default::default()
+        };
+        let half = EnergyBreakdown {
+            core_pj: 50.0,
+            ..Default::default()
+        };
+        assert!((half.relative_to(&base) - 0.5).abs() < 1e-12);
+        assert_eq!(half.relative_to(&EnergyBreakdown::default()), 0.0);
+    }
+
+    #[test]
+    fn zero_stats_zero_energy() {
+        let e = compute(&Stats::new(), &EnergyConfig::default());
+        assert_eq!(e.total_pj(), 0.0);
+    }
+}

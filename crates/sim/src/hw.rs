@@ -1,0 +1,1496 @@
+//! The hardware core of the simulator: the cache-hierarchy *walk*.
+//!
+//! Every memory access — from a core or an engine — is resolved by walking
+//! the hierarchy synchronously, reserving contended resources (cache banks,
+//! NoC links, DRAM controllers) at future times and updating cache and
+//! directory state along the way. The walk is where Leviathan's
+//! polymorphism lives: misses in Morph-registered phantom ranges trigger
+//! constructor actions on the nearby engine instead of fetching from the
+//! next level, and evictions of destructor-tagged lines trigger destructor
+//! actions (paper Secs. V-B2, VI-B2).
+
+use levi_isa::{exec, Addr, ExecCtx, InstClass, MemEffect, NoNdc, Program};
+
+use crate::cache::{CacheBank, PrivState};
+use crate::config::{MachineConfig, LINE_SHIFT, LINE_SIZE};
+use crate::dram::{Dram, Translator};
+use crate::engine::{EngineId, EngineLevel, EngineState};
+use crate::ndc::{MorphLevel, NdcState, WaitCond};
+use crate::noc::Noc;
+use crate::stats::Stats;
+
+/// Control message payload bytes (request headers, invalidations, acks).
+pub const CTRL_MSG: u32 = 16;
+/// Data message payload bytes (a line plus header).
+pub const DATA_MSG: u32 = 72;
+/// Invalidation message bytes.
+pub const INVAL_MSG: u32 = 8;
+
+/// What an access wants from the memory system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Read (shared permission suffices).
+    Read,
+    /// Write (requires ownership; write-allocate).
+    Write,
+    /// Atomic read-modify-write (requires ownership).
+    Rmw,
+}
+
+impl AccessKind {
+    /// True if the access needs exclusive ownership.
+    pub fn wants_ownership(self) -> bool {
+        !matches!(self, AccessKind::Read)
+    }
+}
+
+/// Result of a walk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Walk {
+    /// The access completes at this cycle.
+    Done {
+        /// Completion cycle.
+        at: u64,
+    },
+    /// The access cannot proceed; the context must park on the condition.
+    Blocked(WaitCond),
+}
+
+/// Per-tile stride prefetcher state (L2, degree-N).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StridePf {
+    last_line: u64,
+    stride: i64,
+    confidence: u8,
+}
+
+impl StridePf {
+    /// Observes a miss line; returns a confirmed stride if confident.
+    fn observe(&mut self, line: u64) -> Option<i64> {
+        let stride = line as i64 - self.last_line as i64;
+        if stride != 0 && stride == self.stride {
+            self.confidence = (self.confidence + 1).min(3);
+        } else {
+            self.stride = stride;
+            self.confidence = 0;
+        }
+        self.last_line = line;
+        if self.confidence >= 2 && self.stride.abs() <= 8 {
+            Some(self.stride)
+        } else {
+            None
+        }
+    }
+}
+
+/// All hardware state below the execution contexts.
+#[derive(Debug)]
+pub struct Hw {
+    /// Machine configuration.
+    pub cfg: MachineConfig,
+    /// Per-tile L1 data caches.
+    pub l1: Vec<CacheBank>,
+    /// Per-tile private L2 caches.
+    pub l2: Vec<CacheBank>,
+    /// Per-tile LLC banks (shared, inclusive, with in-tag directory).
+    pub llc: Vec<CacheBank>,
+    /// Engines, two per tile (see [`EngineId::index`]).
+    pub engines: Vec<EngineState>,
+    /// The mesh NoC.
+    pub noc: Noc,
+    /// DRAM subsystem.
+    pub dram: Dram,
+    /// Cache↔DRAM compaction translator.
+    pub translator: Translator,
+    /// NDC architectural state.
+    pub ndc: NdcState,
+    /// Statistics.
+    pub stats: Stats,
+    /// Per-tile prefetchers.
+    prefetchers: Vec<StridePf>,
+    /// Lines with in-flight fills (MSHR/line-buffer protection): never
+    /// chosen as victims while a walk that fills them is in progress.
+    pins: Vec<u64>,
+    /// Nesting depth of inline (data-triggered) action execution.
+    inline_depth: u32,
+    /// Destructor work deferred from within inline actions (the engine's
+    /// actor buffer): drained iteratively once the current action ends,
+    /// preventing unbounded eviction cascades.
+    pending_dtors: Vec<PendingDtor>,
+}
+
+/// A deferred destructor invocation (see [`Hw::pending_dtors`]).
+#[derive(Clone, Copy, Debug)]
+struct PendingDtor {
+    eid: EngineId,
+    line: u64,
+    dirty: bool,
+    at: u64,
+    level: MorphLevel,
+    home: u32,
+}
+
+impl Hw {
+    /// Builds the hardware from a configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let tiles = cfg.tiles as usize;
+        let (cols, rows) = cfg.mesh_dims();
+        let mut engines = Vec::with_capacity(tiles * 2);
+        for t in 0..cfg.tiles {
+            engines.push(EngineState::new(
+                EngineId { tile: t, level: EngineLevel::L2 },
+                &cfg.engine,
+            ));
+            engines.push(EngineState::new(
+                EngineId { tile: t, level: EngineLevel::Llc },
+                &cfg.engine,
+            ));
+        }
+        Hw {
+            l1: (0..tiles).map(|_| CacheBank::new(&cfg.l1)).collect(),
+            l2: (0..tiles).map(|_| CacheBank::new(&cfg.l2)).collect(),
+            llc: (0..tiles).map(|_| CacheBank::new(&cfg.llc)).collect(),
+            engines,
+            noc: Noc::new(cols, rows, cfg.noc),
+            dram: Dram::new(cfg.mem),
+            translator: Translator::new(),
+            ndc: NdcState::default(),
+            stats: Stats::new(),
+            prefetchers: vec![StridePf::default(); tiles],
+            pins: Vec::new(),
+            inline_depth: 0,
+            pending_dtors: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Pins `line` against eviction for the duration of a walk.
+    fn pin(&mut self, line: u64) {
+        self.pins.push(line);
+    }
+
+    /// Releases the most recent pin.
+    fn unpin(&mut self) {
+        self.pins.pop().expect("unbalanced unpin");
+    }
+
+
+    /// The LLC bank holding `addr`, honoring Leviathan's bank-mapping
+    /// overrides for large objects.
+    pub fn bank_of(&self, addr: Addr) -> u32 {
+        let line = addr >> LINE_SHIFT;
+        let ignore = self.ndc.bank_ignore_bits(addr);
+        ((line >> ignore) % self.cfg.tiles as u64) as u32
+    }
+
+    // ------------------------------------------------------------------
+    // Core-side walk
+    // ------------------------------------------------------------------
+
+    /// Resolves a core access. `allow_phantom` is false only when called
+    /// from within an inline (data-triggered) action, which must not nest.
+    pub fn access_core(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        tile: u32,
+        kind: AccessKind,
+        addr: Addr,
+        now: u64,
+        allow_phantom: bool,
+    ) -> Walk {
+        self.pin(addr >> LINE_SHIFT);
+        let w = self.access_core_inner(mem, tile, kind, addr, now, allow_phantom);
+        self.unpin();
+        w
+    }
+
+    fn access_core_inner(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        tile: u32,
+        kind: AccessKind,
+        addr: Addr,
+        now: u64,
+        allow_phantom: bool,
+    ) -> Walk {
+        let line = addr >> LINE_SHIFT;
+        let t = tile as usize;
+
+        // Stream stall check (Sec. VI-B3): loads to a stream's phantom
+        // range stall while the entry at the head has not been pushed —
+        // on every access, cached or not (the engine's tail register
+        // gates the load, not the cache).
+        if allow_phantom && !self.ndc.morphs.is_empty() {
+            if let Some(mi) = self.ndc.morph_at(addr) {
+                if let Some(sid) = self.ndc.morphs[mi].stream {
+                    let st = self.ndc.stream(sid);
+                    if st.is_empty() && !st.closed {
+                        return Walk::Blocked(WaitCond::StreamData(sid));
+                    }
+                }
+            }
+        }
+
+        // L1 probe.
+        if let Some(l) = self.l1[t].probe(line) {
+            if !kind.wants_ownership() || l.state == PrivState::Owned {
+                if kind.wants_ownership() {
+                    l.dirty = true;
+                }
+                self.stats.l1.hits += 1;
+                return Walk::Done { at: now + self.cfg.l1.latency };
+            }
+            // Present but shared and we need ownership: upgrade miss.
+        }
+        self.stats.l1.misses += 1;
+        let mut now = now + self.cfg.l1.latency;
+
+        // L2 probe.
+        if let Some(l) = self.l2[t].probe(line) {
+            if !kind.wants_ownership() || l.state == PrivState::Owned {
+                self.stats.l2.hits += 1;
+                if kind.wants_ownership() {
+                    l.dirty = true;
+                }
+                let state = l.state;
+                now += self.cfg.l2.latency;
+                self.fill_l1(mem, tile, line, state, kind, now);
+                return Walk::Done { at: now };
+            }
+        }
+        self.stats.l2.misses += 1;
+        now += self.cfg.l2.latency;
+
+        // L2-level phantom?
+        if allow_phantom {
+            if let Some(mi) = self.ndc.morph_at(addr) {
+                if self.ndc.morphs[mi].level == MorphLevel::L2 {
+                    return self.phantom_fill_l2(mem, tile, mi, addr, kind, now);
+                }
+            }
+        }
+
+        // Prefetcher observes demand L2 misses.
+        if self.cfg.prefetcher {
+            self.maybe_prefetch(mem, tile, line, now);
+        }
+
+        // Shared LLC.
+        let at = match self.llc_stage(mem, tile, Some(tile), kind, addr, now, allow_phantom) {
+            Walk::Done { at } => at,
+            blocked => return blocked,
+        };
+        // Fill private hierarchy.
+        let state = if kind.wants_ownership() {
+            PrivState::Owned
+        } else {
+            PrivState::Shared
+        };
+        self.fill_l2(mem, tile, line, state, kind, at);
+        self.fill_l1(mem, tile, line, state, kind, at);
+        Walk::Done { at }
+    }
+
+    // ------------------------------------------------------------------
+    // Engine-side walk
+    // ------------------------------------------------------------------
+
+    /// Resolves an engine access.
+    pub fn access_engine(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        eid: EngineId,
+        kind: AccessKind,
+        addr: Addr,
+        now: u64,
+        allow_phantom: bool,
+    ) -> Walk {
+        self.pin(addr >> LINE_SHIFT);
+        let w = self.access_engine_inner(mem, eid, kind, addr, now, allow_phantom);
+        self.unpin();
+        w
+    }
+
+    fn access_engine_inner(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        eid: EngineId,
+        kind: AccessKind,
+        addr: Addr,
+        now: u64,
+        allow_phantom: bool,
+    ) -> Walk {
+        let line = addr >> LINE_SHIFT;
+        let e = eid.index();
+        let l1d_lat = self.engines[e].l1d_latency;
+
+        // Stream stall gate (same as the core path): loads to an empty
+        // stream's range park before any resources are charged.
+        if allow_phantom && !self.ndc.morphs.is_empty() {
+            if let Some(mi) = self.ndc.morph_at(addr) {
+                if let Some(sid) = self.ndc.morphs[mi].stream {
+                    let st = self.ndc.stream(sid);
+                    if st.is_empty() && !st.closed && kind == AccessKind::Read {
+                        return Walk::Blocked(WaitCond::StreamData(sid));
+                    }
+                }
+            }
+        }
+
+        // Memory-side data bypasses the cache hierarchy entirely: the
+        // engine issues the access to the memory controller (the MC's
+        // FIFO line cache still absorbs same-line bursts).
+        if !self.ndc.mem_side_ranges.is_empty() && self.ndc.is_mem_side(addr) {
+            let mc_home = self.bank_of(addr);
+            let t = self
+                .noc
+                .send(eid.tile, mc_home, CTRL_MSG, now, &mut self.stats);
+            let at = self
+                .dram
+                .access_cache_line(&self.translator, line, t, &mut self.stats);
+            return Walk::Done { at };
+        }
+
+        // Engine L1d: read-allocate; reads hit, and writes to resident
+        // lines coalesce in place (write-back — the engine's private
+        // working state, e.g. a stream producer's traversal stack and
+        // cursors, stays local). Write misses and RMWs go through.
+        if kind == AccessKind::Read {
+            if self.engines[e].l1d.probe(line).is_some() {
+                self.stats.engine_l1.hits += 1;
+                return Walk::Done { at: now + l1d_lat };
+            }
+            self.stats.engine_l1.misses += 1;
+        } else if kind == AccessKind::Write {
+            if let Some(l) = self.engines[e].l1d.probe(line) {
+                l.dirty = true;
+                self.stats.engine_l1.hits += 1;
+                return Walk::Done { at: now + l1d_lat };
+            }
+        }
+        let now = now + l1d_lat;
+
+        let at = match eid.level {
+            EngineLevel::L2 => {
+                let t = eid.tile as usize;
+                if let Some(l) = self.l2[t].probe(line) {
+                    if !kind.wants_ownership() || l.state == PrivState::Owned {
+                        self.stats.l2.hits += 1;
+                        if kind.wants_ownership() {
+                            l.dirty = true;
+                        }
+                        let at = now + self.cfg.l2.latency;
+                        self.fill_engine_l1d(mem, eid, line, kind, at);
+                        return Walk::Done { at };
+                    }
+                }
+                self.stats.l2.misses += 1;
+                let now = now + self.cfg.l2.latency;
+                let at = match self.llc_stage(mem, eid.tile, Some(eid.tile), kind, addr, now, allow_phantom) {
+                    Walk::Done { at } => at,
+                    blocked => return blocked,
+                };
+                let state = if kind.wants_ownership() {
+                    PrivState::Owned
+                } else {
+                    PrivState::Shared
+                };
+                self.fill_l2(mem, eid.tile, line, state, kind, at);
+                at
+            }
+            EngineLevel::Llc => {
+                // LLC engines access their home bank directly; other banks
+                // over the NoC (the cost Leviathan's mapping avoids).
+                match self.llc_stage(mem, eid.tile, None, kind, addr, now, allow_phantom) {
+                    Walk::Done { at } => at,
+                    blocked => return blocked,
+                }
+            }
+        };
+        self.fill_engine_l1d(mem, eid, line, kind, at);
+        Walk::Done { at }
+    }
+
+    fn fill_engine_l1d(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        eid: EngineId,
+        line: u64,
+        kind: AccessKind,
+        _now: u64,
+    ) {
+        let _ = mem;
+        if kind != AccessKind::Read {
+            return;
+        }
+        let e = eid.index();
+        if self.engines[e].l1d.contains(line) {
+            return;
+        }
+        let (_, victim) = self.engines[e].l1d.insert(line, &[]);
+        if let Some(v) = victim {
+            if v.dirty {
+                // Write back coalesced engine writes to the attached level
+                // (timing/energy accounting only; values live in flat mem).
+                self.stats.llc.hits += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // LLC stage (shared by core and engine paths)
+    // ------------------------------------------------------------------
+
+    /// Handles the LLC + directory + DRAM stage. `from_tile` is where the
+    /// request physically originates (for NoC routing); `new_sharer` is the
+    /// tile whose private caches will hold the line afterwards (None for
+    /// LLC-engine accesses, which stay at the bank).
+    fn llc_stage(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        from_tile: u32,
+        new_sharer: Option<u32>,
+        kind: AccessKind,
+        addr: Addr,
+        now: u64,
+        allow_phantom: bool,
+    ) -> Walk {
+        let line = addr >> LINE_SHIFT;
+        let bank = self.bank_of(addr);
+        let mut t = self.noc.send(from_tile, bank, CTRL_MSG, now, &mut self.stats);
+        t += self.cfg.llc.latency;
+        self.stats.dir_lookups += 1;
+
+        let hit = self.llc[bank as usize].probe(line).is_some();
+        if hit {
+            self.stats.llc.hits += 1;
+        } else {
+            self.stats.llc.misses += 1;
+            // LLC miss: phantom construction or DRAM fetch.
+            if allow_phantom {
+                if let Some(mi) = self.ndc.morph_at(addr) {
+                    if self.ndc.morphs[mi].level == MorphLevel::Llc {
+                        match self.phantom_fill_llc(mem, bank, mi, addr, t) {
+                            Walk::Done { at } => t = at,
+                            blocked => return blocked,
+                        }
+                    } else {
+                        // L2-level morph data must never reach the LLC.
+                        t = self.dram_fetch_into_llc(mem, bank, line, t);
+                    }
+                } else {
+                    t = self.dram_fetch_into_llc(mem, bank, line, t);
+                }
+            } else if kind == AccessKind::Write && self.ndc.is_stream_store(addr) {
+                // Streaming store: the line will be fully overwritten, so
+                // skip the write-allocate fetch (write-combining).
+                let (l, victim) = self.llc[bank as usize].insert(line, &self.pins);
+                l.dirty = true;
+                if let Some(v) = victim {
+                    self.handle_llc_victim(mem, bank, v, t);
+                }
+            } else {
+                t = self.dram_fetch_into_llc(mem, bank, line, t);
+            }
+        }
+
+        // Directory actions on the (now-present) line.
+        t = self.directory_actions(mem, bank, line, new_sharer, kind, t);
+
+        // Data response back to the requester.
+        let t = self.noc.send(bank, from_tile, DATA_MSG, t, &mut self.stats);
+        Walk::Done { at: t }
+    }
+
+    /// Fetches `line` from DRAM and inserts it into `bank`, handling the
+    /// victim. Returns the completion time.
+    fn dram_fetch_into_llc(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        bank: u32,
+        line: u64,
+        now: u64,
+    ) -> u64 {
+        let t = self
+            .dram
+            .access_cache_line(&self.translator, line, now, &mut self.stats);
+        let (_, victim) = self.llc[bank as usize].insert(line, &self.pins);
+        if let Some(v) = victim {
+            self.handle_llc_victim(mem, bank, v, now);
+        }
+        t
+    }
+
+    /// Enforces coherence for a request on a resident LLC line.
+    fn directory_actions(
+        &mut self,
+        _mem: &mut dyn levi_isa::Memory,
+        bank: u32,
+        line: u64,
+        new_sharer: Option<u32>,
+        kind: AccessKind,
+        now: u64,
+    ) -> u64 {
+        let b = bank as usize;
+        let (owner, sharers) = match self.llc[b].peek(line) {
+            Some(l) => (l.owner, l.sharers),
+            None => return now,
+        };
+        let mut t = now;
+
+        if kind.wants_ownership() {
+            // Invalidate every other private copy.
+            let mut mask = sharers;
+            if let Some(o) = owner {
+                mask |= 1 << o;
+            }
+            if let Some(ns) = new_sharer {
+                mask &= !(1u64 << ns);
+            }
+            let mut t_inv = t;
+            let mut any = false;
+            for s in 0..self.cfg.tiles {
+                if mask & (1 << s) == 0 {
+                    continue;
+                }
+                any = true;
+                let ta = self
+                    .noc
+                    .send(bank, s, INVAL_MSG, t, &mut self.stats);
+                let dirty = self.invalidate_private(s, line);
+                self.stats.invalidations += 1;
+                let mut tr = ta + self.cfg.l2.latency;
+                if dirty {
+                    // Dirty data returns with the ack.
+                    tr = self.noc.send(s, bank, DATA_MSG, tr, &mut self.stats);
+                    if let Some(l) = self.llc[b].peek_mut(line) {
+                        l.dirty = true;
+                    }
+                } else {
+                    tr = self.noc.send(s, bank, INVAL_MSG, tr, &mut self.stats);
+                }
+                t_inv = t_inv.max(tr);
+            }
+            if owner.is_some() && owner != new_sharer.map(|x| x as u8) {
+                self.stats.ownership_transfers += 1;
+            }
+            if any {
+                t = t_inv;
+            }
+            if let Some(l) = self.llc[b].peek_mut(line) {
+                l.sharers = new_sharer.map_or(0, |ns| 1u64 << ns);
+                l.owner = new_sharer.map(|ns| ns as u8);
+                if new_sharer.is_none() {
+                    // Engine write at the bank: the LLC copy is the only
+                    // copy and is now dirty.
+                    l.dirty = true;
+                }
+            }
+        } else {
+            // Read: downgrade a remote exclusive owner if present.
+            if let Some(o) = owner {
+                if Some(o as u32) != new_sharer {
+                    let ta = self.noc.send(bank, o as u32, CTRL_MSG, t, &mut self.stats);
+                    let tb = ta + self.cfg.l2.latency;
+                    let tr = self.noc.send(o as u32, bank, DATA_MSG, tb, &mut self.stats);
+                    // Downgrade owner to sharer.
+                    if let Some(l) = self.l2[o as usize].peek_mut(line) {
+                        l.state = PrivState::Shared;
+                    }
+                    if let Some(l) = self.l1[o as usize].peek_mut(line) {
+                        l.state = PrivState::Shared;
+                    }
+                    self.stats.ownership_transfers += 1;
+                    if let Some(l) = self.llc[b].peek_mut(line) {
+                        l.dirty = true;
+                        l.sharers |= 1 << o;
+                        l.owner = None;
+                    }
+                    t = tr;
+                }
+            }
+            if let Some(ns) = new_sharer {
+                if let Some(l) = self.llc[b].peek_mut(line) {
+                    l.sharers |= 1u64 << ns;
+                    if l.owner == Some(ns as u8) {
+                        l.owner = None;
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Invalidates `line` from tile `s`'s L1+L2; returns whether a dirty
+    /// copy existed.
+    fn invalidate_private(&mut self, s: u32, line: u64) -> bool {
+        let mut dirty = false;
+        if let Some(l) = self.l1[s as usize].invalidate(line) {
+            dirty |= l.dirty;
+        }
+        if let Some(l) = self.l2[s as usize].invalidate(line) {
+            dirty |= l.dirty;
+        }
+        dirty
+    }
+
+    // ------------------------------------------------------------------
+    // Fills and victims
+    // ------------------------------------------------------------------
+
+    fn fill_l1(
+        &mut self,
+        _mem: &mut dyn levi_isa::Memory,
+        tile: u32,
+        line: u64,
+        state: PrivState,
+        kind: AccessKind,
+        now: u64,
+    ) {
+        let t = tile as usize;
+        if let Some(l) = self.l1[t].peek_mut(line) {
+            l.state = state;
+            if kind.wants_ownership() {
+                l.dirty = true;
+            }
+            return;
+        }
+        let (l, victim) = self.l1[t].insert(line, &self.pins);
+        l.state = state;
+        l.dirty = kind.wants_ownership();
+        if let Some(v) = victim {
+            if v.dirty {
+                // Write into the L2 copy.
+                if let Some(l2l) = self.l2[t].peek_mut(v.line) {
+                    l2l.dirty = true;
+                } else {
+                    // L2 already lost it; fold into LLC if present.
+                    let bank = self.bank_of(v.line << LINE_SHIFT) as usize;
+                    if let Some(ll) = self.llc[bank].peek_mut(v.line) {
+                        ll.dirty = true;
+                    }
+                }
+            }
+        }
+        let _ = now;
+    }
+
+    fn fill_l2(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        tile: u32,
+        line: u64,
+        state: PrivState,
+        kind: AccessKind,
+        now: u64,
+    ) {
+        let t = tile as usize;
+        if let Some(l) = self.l2[t].peek_mut(line) {
+            l.state = state;
+            if kind.wants_ownership() {
+                l.dirty = true;
+            }
+            return;
+        }
+        let (l, victim) = self.l2[t].insert(line, &self.pins);
+        l.state = state;
+        l.dirty = kind.wants_ownership();
+        if let Some(v) = victim {
+            self.handle_l2_victim(mem, tile, v, now);
+        }
+    }
+
+    /// Handles an L2 eviction: destructor-tagged lines run their Morph
+    /// destructor on the tile's L2 engine; dirty lines write back to the
+    /// LLC (or DRAM if the LLC no longer holds them).
+    pub fn handle_l2_victim(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        tile: u32,
+        victim: crate::cache::Line,
+        now: u64,
+    ) -> u64 {
+        // Keep L1 inclusive with L2.
+        let l1_dirty = self.l1[tile as usize]
+            .invalidate(victim.line)
+            .map_or(false, |l| l.dirty);
+        let dirty = victim.dirty || l1_dirty;
+
+        if victim.dtor {
+            let eid = EngineId { tile, level: EngineLevel::L2 };
+            return self.dtor_or_queue(mem, eid, victim.line, dirty, now, MorphLevel::L2, tile);
+        }
+        if dirty {
+            // L2-level phantom data never leaves the private caches.
+            if self
+                .ndc
+                .morph_at(victim.line << LINE_SHIFT)
+                .is_some_and(|mi| self.ndc.morphs[mi].level == MorphLevel::L2)
+            {
+                return now;
+            }
+            self.stats.l2.writebacks += 1;
+            let addr = victim.line << LINE_SHIFT;
+            let bank = self.bank_of(addr);
+            let t = self
+                .noc
+                .send(tile, bank, DATA_MSG, now, &mut self.stats);
+            self.stats.llc.hits += 1; // writeback access at the bank
+            if let Some(l) = self.llc[bank as usize].peek_mut(victim.line) {
+                l.dirty = true;
+                if l.owner == Some(tile as u8) {
+                    l.owner = None;
+                }
+                l.sharers &= !(1u64 << tile);
+                return t + self.cfg.llc.latency;
+            }
+            // Not in LLC (phantom or already evicted): write to DRAM.
+            return self
+                .dram
+                .access_cache_line(&self.translator, victim.line, t, &mut self.stats);
+        }
+        now
+    }
+
+    /// Handles an LLC eviction: invalidates private copies (inclusion),
+    /// invalidates the bank engine's L1d, runs destructors for
+    /// destructor-tagged lines, and writes back dirty data.
+    pub fn handle_llc_victim(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        bank: u32,
+        victim: crate::cache::Line,
+        now: u64,
+    ) -> u64 {
+        let mut t = now;
+        let mut dirty = victim.dirty;
+        // Inclusion: strip private copies.
+        let mut mask = victim.sharers;
+        if let Some(o) = victim.owner {
+            mask |= 1 << o;
+        }
+        for s in 0..self.cfg.tiles {
+            if mask & (1 << s) == 0 {
+                continue;
+            }
+            let ta = self.noc.send(bank, s, INVAL_MSG, t, &mut self.stats);
+            self.stats.invalidations += 1;
+            dirty |= self.invalidate_private(s, victim.line);
+            t = t.max(ta + self.cfg.l2.latency);
+        }
+        // The bank engine's L1d must not outlive the LLC copy (it would
+        // see stale phantom data after a destructor runs).
+        let eid = EngineId { tile: bank, level: EngineLevel::Llc };
+        self.engines[eid.index()].l1d.invalidate(victim.line);
+
+        if victim.dtor {
+            return self.dtor_or_queue(mem, eid, victim.line, dirty, t, MorphLevel::Llc, bank);
+        }
+        if dirty {
+            // Phantom (Morph) data has no DRAM backing: a dirty phantom
+            // line without a destructor is simply dropped.
+            if self.ndc.morph_at(victim.line << LINE_SHIFT).is_some() {
+                return t;
+            }
+            self.stats.llc.writebacks += 1;
+            return self
+                .dram
+                .access_cache_line(&self.translator, victim.line, t, &mut self.stats);
+        }
+        t
+    }
+
+    /// Runs the Morph destructor(s) for an evicted line: one per object for
+    /// sub-line objects, or a single destructor (after gathering all of the
+    /// object's lines) for multi-line objects.
+    fn run_dtors_for_line(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        eid: EngineId,
+        line: u64,
+        dirty: bool,
+        now: u64,
+        level: MorphLevel,
+        home: u32,
+    ) -> u64 {
+        let addr = line << LINE_SHIFT;
+        let Some(mi) = self.ndc.morph_at(addr) else {
+            // Morph was unregistered; drop the line.
+            return now;
+        };
+        let m = self.ndc.morphs[mi].clone();
+        debug_assert_eq!(m.level, level);
+        let Some(dtor) = m.dtor else {
+            return now;
+        };
+        let mut t = now;
+        if m.is_multiline() {
+            // Evict the object's other lines too, then run one destructor.
+            let obj = m.obj_base(addr);
+            let lines = m.obj_size / LINE_SIZE;
+            let mut any_dirty = dirty;
+            for k in 0..lines {
+                let l = (obj >> LINE_SHIFT) + k;
+                if l == line {
+                    continue;
+                }
+                match level {
+                    MorphLevel::Llc => {
+                        let b = self.bank_of(l << LINE_SHIFT);
+                        if let Some(v) = self.llc[b as usize].invalidate(l) {
+                            any_dirty |= v.dirty;
+                            // Inclusion: strip private copies of the sibling.
+                            let mut mask = v.sharers;
+                            if let Some(o) = v.owner {
+                                mask |= 1 << o;
+                            }
+                            for sh in 0..self.cfg.tiles {
+                                if mask & (1 << sh) != 0 {
+                                    any_dirty |= self.invalidate_private(sh, l);
+                                    self.stats.invalidations += 1;
+                                }
+                            }
+                            let e2 = EngineId { tile: b, level: EngineLevel::Llc };
+                            self.engines[e2.index()].l1d.invalidate(l);
+                        }
+                    }
+                    MorphLevel::L2 => {
+                        if let Some(v) = self.l2[home as usize].invalidate(l) {
+                            any_dirty |= v.dirty;
+                        }
+                        self.l1[home as usize].invalidate(l);
+                    }
+                }
+            }
+            self.stats.dtor_actions += 1;
+            let span = (obj, obj + m.obj_size.max(LINE_SIZE));
+            t = self.run_inline_action(
+                mem,
+                eid,
+                &m_action(&self.ndc, dtor),
+                &[obj, m.view, any_dirty as u64],
+                t,
+                Some(span),
+            );
+        } else {
+            // Sub-line objects: the scheduler runs all the line's object
+            // destructors in parallel (FU limits still apply through the
+            // engine cursors).
+            let objs = LINE_SIZE / m.obj_size;
+            let aref = m_action(&self.ndc, dtor);
+            let mut t_max = now;
+            for k in 0..objs {
+                let obj = addr + k * m.obj_size;
+                if obj >= m.bound {
+                    break;
+                }
+                self.stats.dtor_actions += 1;
+                let span = (addr, addr + LINE_SIZE);
+                t_max = t_max.max(self.run_inline_action(
+                    mem,
+                    eid,
+                    &aref,
+                    &[obj, m.view, dirty as u64],
+                    now,
+                    Some(span),
+                ));
+            }
+            t = t_max;
+        }
+        t
+    }
+
+    // ------------------------------------------------------------------
+    // Phantom (data-triggered) fills
+    // ------------------------------------------------------------------
+
+    /// L2-level phantom miss: run constructors on the tile's L2 engine and
+    /// install the object's line(s) into L2 (and the missed line into L1).
+    fn phantom_fill_l2(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        tile: u32,
+        mi: usize,
+        addr: Addr,
+        kind: AccessKind,
+        now: u64,
+    ) -> Walk {
+        let m = self.ndc.morphs[mi].clone();
+        // Stream-backed phantoms stall when the producer has not yet
+        // pushed the entry being read (paper Sec. VI-B3).
+        if let Some(sid) = m.stream {
+            let s = self.ndc.stream(sid);
+            if s.is_empty() && !s.closed {
+                return Walk::Blocked(WaitCond::StreamData(sid));
+            }
+        }
+        let eid = EngineId { tile, level: EngineLevel::L2 };
+        let mut t = now;
+        let (obj, lines) = if m.is_multiline() {
+            (m.obj_base(addr), m.obj_size / LINE_SIZE)
+        } else {
+            (addr & !(LINE_SIZE - 1), 1)
+        };
+
+        t = self.run_ctors(mem, eid, &m, obj, t);
+
+        // Install all lines of the object (or the one line) into L2.
+        let has_dtor = m.dtor.is_some();
+        for k in 0..lines {
+            let line = (obj >> LINE_SHIFT) + k;
+            if self.l2[tile as usize].contains(line) {
+                continue;
+            }
+            let (l, victim) = self.l2[tile as usize].insert(line, &self.pins);
+            l.state = PrivState::Owned;
+            l.dtor = has_dtor;
+            l.dirty = false;
+            if let Some(v) = victim {
+                self.handle_l2_victim(mem, tile, v, t);
+            }
+        }
+        self.fill_l1(
+            mem,
+            tile,
+            addr >> LINE_SHIFT,
+            PrivState::Owned,
+            kind,
+            t,
+        );
+        if kind.wants_ownership() {
+            if let Some(l) = self.l2[tile as usize].peek_mut(addr >> LINE_SHIFT) {
+                l.dirty = true;
+            }
+        }
+        Walk::Done { at: t + self.cfg.l2.latency }
+    }
+
+    /// LLC-level phantom miss: run constructors on the bank's engine and
+    /// install the object's line(s) into the LLC.
+    fn phantom_fill_llc(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        bank: u32,
+        mi: usize,
+        addr: Addr,
+        now: u64,
+    ) -> Walk {
+        let m = self.ndc.morphs[mi].clone();
+        if let Some(sid) = m.stream {
+            let s = self.ndc.stream(sid);
+            if s.is_empty() && !s.closed {
+                return Walk::Blocked(WaitCond::StreamData(sid));
+            }
+        }
+        let eid = EngineId { tile: bank, level: EngineLevel::Llc };
+        let (obj, lines) = if m.is_multiline() {
+            (m.obj_base(addr), m.obj_size / LINE_SIZE)
+        } else {
+            (addr & !(LINE_SIZE - 1), 1)
+        };
+        let t = self.run_ctors(mem, eid, &m, obj, now);
+        let has_dtor = m.dtor.is_some();
+        for k in 0..lines {
+            let line = (obj >> LINE_SHIFT) + k;
+            let b = self.bank_of(line << LINE_SHIFT) as usize;
+            if self.llc[b].contains(line) {
+                continue;
+            }
+            let (l, victim) = self.llc[b].insert(line, &self.pins);
+            l.dtor = has_dtor;
+            l.dirty = false;
+            if let Some(v) = victim {
+                self.handle_llc_victim(mem, b as u32, v, t);
+            }
+        }
+        Walk::Done { at: t }
+    }
+
+    /// Runs the constructor(s) covering the line/object at `obj`.
+    fn run_ctors(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        eid: EngineId,
+        m: &crate::ndc::MorphRegion,
+        obj: Addr,
+        now: u64,
+    ) -> u64 {
+        let mut t = now;
+        match m.ctor {
+            Some(ctor) => {
+                let aref = m_action(&self.ndc, ctor);
+                if m.is_multiline() {
+                    self.stats.ctor_actions += 1;
+                    let span = (obj, obj + m.obj_size);
+                    t = self.run_inline_action(mem, eid, &aref, &[obj, m.view], t, Some(span));
+                } else {
+                    // Parallel per-object constructors (see destructors).
+                    let span = (obj, obj + LINE_SIZE);
+                    let objs = LINE_SIZE / m.obj_size.min(LINE_SIZE);
+                    let mut t_max = t;
+                    for k in 0..objs.max(1) {
+                        let oa = obj + k * m.obj_size;
+                        if oa >= m.bound {
+                            break;
+                        }
+                        self.stats.ctor_actions += 1;
+                        t_max = t_max.max(self.run_inline_action(
+                            mem,
+                            eid,
+                            &aref,
+                            &[oa, m.view],
+                            t,
+                            Some(span),
+                        ));
+                    }
+                    t = t_max;
+                }
+            }
+            None => {
+                if let Some(sid) = m.stream {
+                    // Built-in stream constructor: read the buffer line
+                    // through the hierarchy and copy it into the phantom
+                    // line (2 engine memory ops per word).
+                    self.stats.ctor_actions += 1;
+                    let words = LINE_SIZE / 8;
+                    let mut done = t;
+                    for _ in 0..words {
+                        let slot = self.engines[eid.index()].reserve_mem(t);
+                        done = done.max(slot + self.engines[eid.index()].latency());
+                        self.stats.engine_instrs += 2;
+                    }
+                    // One read of the underlying buffer line.
+                    let buf_line_addr = obj; // phantom range *is* the ring buffer
+                    if let Walk::Done { at } =
+                        self.access_engine(mem, eid, AccessKind::Read, buf_line_addr, t, false)
+                    {
+                        done = done.max(at);
+                    }
+                    let _ = sid;
+                    t = done;
+                } else {
+                    // Default constructor: zero-fill the constructed
+                    // span, clamped to the Morph's bound (the tail line
+                    // may be shared with unrelated allocations).
+                    let span = m.obj_size.max(LINE_SIZE).min(m.bound.saturating_sub(obj));
+                    mem.fill(obj, span, 0);
+                    self.stats.ctor_actions += 1;
+                    let slot = self.engines[eid.index()].reserve_mem(t);
+                    t = slot + self.engines[eid.index()].latency();
+                    self.stats.engine_instrs += (LINE_SIZE / 8) as u64;
+                }
+            }
+        }
+        t
+    }
+
+    // ------------------------------------------------------------------
+    // Inline action execution (data-triggered ctors/dtors)
+    // ------------------------------------------------------------------
+
+    /// Executes a short action to completion on `eid`'s dataflow fabric,
+    /// charging FU slots and walking the hierarchy for its memory accesses
+    /// (with phantom triggering disabled — data-triggered actions must not
+    /// nest). Returns the completion time.
+    ///
+    /// `local` is the byte range of the line(s) being constructed or
+    /// destructed: accesses inside it hit the engine's line buffer
+    /// directly (the data is in flight through the engine) instead of
+    /// walking the hierarchy.
+    pub fn run_inline_action(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        eid: EngineId,
+        aref: &crate::ndc::ActionRef,
+        args: &[u64],
+        start: u64,
+        local: Option<(Addr, Addr)>,
+    ) -> u64 {
+        let prog: &Program = &aref.prog;
+        let mut ctx = ExecCtx::new(aref.func, args);
+        let mut reg_ready = [start; levi_isa::NUM_REGS];
+        let mut done_max = start;
+        let mut host = NoNdc;
+        let mut fuel: u64 = 5_000_000;
+        self.inline_depth += 1;
+        while !ctx.halted {
+            assert!(fuel > 0, "inline action ran out of fuel: {}", prog.func(aref.func).name());
+            fuel -= 1;
+            let inst = &prog.func(ctx.pc.func).insts()[ctx.pc.idx as usize];
+            let mut ready = start;
+            inst.for_each_use(|r| ready = ready.max(reg_ready[r.index()]));
+            let class = inst.class();
+            let def = inst.def();
+            let is_mem = class == InstClass::Mem;
+
+            // Compute the memory address before stepping (the walk may run
+            // nothing here — phantom is disabled — but must charge time).
+            let slot = if is_mem {
+                self.engines[eid.index()].reserve_mem(ready)
+            } else {
+                self.engines[eid.index()].reserve_int(ready)
+            };
+            let info = exec::step(prog, &mut ctx, mem, &mut host)
+                .expect("inline action execution failed");
+            debug_assert!(info.retired(), "inline actions cannot block");
+            self.stats.engine_instrs += 1;
+
+            let mut complete = slot + self.engines[eid.index()].latency();
+            if let Some(effect) = info.mem {
+                let (kind, addr) = match effect {
+                    MemEffect::Load { addr, .. } => (AccessKind::Read, addr),
+                    MemEffect::Store { addr, .. } => (AccessKind::Write, addr),
+                    MemEffect::Rmw { addr, .. } => (AccessKind::Rmw, addr),
+                    MemEffect::Fence => (AccessKind::Read, 0),
+                };
+                let is_local = local.is_some_and(|(lo, hi)| addr >= lo && addr < hi);
+                if !matches!(effect, MemEffect::Fence) && !is_local {
+                    match self.access_engine(mem, eid, kind, addr, slot, false) {
+                        Walk::Done { at } => complete = at,
+                        Walk::Blocked(_) => unreachable!("non-phantom walks cannot block"),
+                    }
+                }
+            } else {
+                match class {
+                    InstClass::Mul => complete += 2,
+                    InstClass::Div => complete += 11,
+                    _ => {}
+                }
+            }
+            if let Some(rd) = def {
+                reg_ready[rd.index()] = complete;
+            }
+            done_max = done_max.max(complete);
+        }
+        self.inline_depth -= 1;
+        if self.inline_depth == 0 {
+            // Destructors deferred by this action's own evictions must run
+            // now — leaving them queued would let a later constructor
+            // zero-fill their unapplied data.
+            self.drain_pending_dtors(mem);
+        }
+        done_max
+    }
+
+    /// Iteratively runs all deferred destructors (each may defer more).
+    fn drain_pending_dtors(&mut self, mem: &mut dyn levi_isa::Memory) {
+        while let Some(p) = self.pending_dtors.pop() {
+            self.run_dtors_for_line(mem, p.eid, p.line, p.dirty, p.at, p.level, p.home);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Prefetcher
+    // ------------------------------------------------------------------
+
+    fn maybe_prefetch(&mut self, mem: &mut dyn levi_isa::Memory, tile: u32, line: u64, now: u64) {
+        let Some(stride) = self.prefetchers[tile as usize].observe(line) else {
+            return;
+        };
+        for d in 1..=self.cfg.prefetch_degree as i64 {
+            let pf_line = line.wrapping_add((stride * d) as u64);
+            let pf_addr = pf_line << LINE_SHIFT;
+            if self.l2[tile as usize].contains(pf_line) {
+                continue;
+            }
+            // Never prefetch phantom data (the hardware NACKs those).
+            if self.ndc.morph_at(pf_addr).is_some() {
+                continue;
+            }
+            self.stats.prefetches += 1;
+            if let Walk::Done { .. } =
+                self.llc_stage(mem, tile, Some(tile), AccessKind::Read, pf_addr, now, false)
+            {
+                self.fill_l2(mem, tile, pf_line, PrivState::Shared, AccessKind::Read, now);
+            }
+        }
+    }
+
+    /// Flushes `[base, base+len)` from every cache, running destructors for
+    /// tagged lines. Returns the completion time. Used by Morph
+    /// unregistration (`flush` instruction).
+    pub fn flush_range(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        base: Addr,
+        len: u64,
+        now: u64,
+    ) -> u64 {
+        let bound = base + len;
+        let mut t = now;
+        for tile in 0..self.cfg.tiles {
+            let l1_dirty: std::collections::HashSet<u64> = self.l1[tile as usize]
+                .drain_range(base, bound)
+                .into_iter()
+                .filter(|l| l.dirty)
+                .map(|l| l.line)
+                .collect();
+            for mut v in self.l2[tile as usize].drain_range(base, bound) {
+                v.dirty |= l1_dirty.contains(&v.line);
+                t = t.max(self.handle_l2_victim_flush(mem, tile, v, now));
+            }
+        }
+        for bank in 0..self.cfg.tiles {
+            for v in self.llc[bank as usize].drain_range(base, bound) {
+                t = t.max(self.handle_llc_victim(mem, bank, v, now));
+            }
+            let eid = EngineId { tile: bank, level: EngineLevel::Llc };
+            self.engines[eid.index()].l1d.drain_range(base, bound);
+            let eid2 = EngineId { tile: bank, level: EngineLevel::L2 };
+            self.engines[eid2.index()].l1d.drain_range(base, bound);
+        }
+        t
+    }
+
+    /// L2 victim handling for flush paths, where the L1 copy was already
+    /// drained.
+    fn handle_l2_victim_flush(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        tile: u32,
+        victim: crate::cache::Line,
+        now: u64,
+    ) -> u64 {
+        if victim.dtor {
+            let eid = EngineId { tile, level: EngineLevel::L2 };
+            return self.dtor_or_queue(mem, eid, victim.line, victim.dirty, now, MorphLevel::L2, tile);
+        }
+        if victim.dirty {
+            self.stats.l2.writebacks += 1;
+        }
+        now
+    }
+
+    /// Runs a victim's destructor(s) now, or — when already inside an
+    /// inline action — defers them to the engine's actor buffer so
+    /// eviction cascades resolve iteratively instead of recursively.
+    fn dtor_or_queue(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        eid: EngineId,
+        line: u64,
+        dirty: bool,
+        now: u64,
+        level: MorphLevel,
+        home: u32,
+    ) -> u64 {
+        if self.inline_depth > 0 {
+            self.pending_dtors.push(PendingDtor {
+                eid,
+                line,
+                dirty,
+                at: now,
+                level,
+                home,
+            });
+            return now;
+        }
+        let mut t = self.run_dtors_for_line(mem, eid, line, dirty, now, level, home);
+        while let Some(p) = self.pending_dtors.pop() {
+            t = t.max(self.run_dtors_for_line(mem, p.eid, p.line, p.dirty, p.at, p.level, p.home));
+        }
+        t
+    }
+}
+
+/// Clones the action reference out of the table (the borrow checker
+/// requires ending the `ndc` borrow before running the action).
+fn m_action(ndc: &NdcState, id: levi_isa::ActionId) -> crate::ndc::ActionRef {
+    ndc.actions.get(id).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levi_isa::{Memory, PagedMem};
+
+    fn hw() -> Hw {
+        let mut cfg = MachineConfig::paper_default();
+        cfg.prefetcher = false;
+        Hw::new(cfg)
+    }
+
+    fn done(w: Walk) -> u64 {
+        match w {
+            Walk::Done { at } => at,
+            Walk::Blocked(c) => panic!("unexpectedly blocked: {c:?}"),
+        }
+    }
+
+    #[test]
+    fn first_access_misses_to_dram_then_hits_l1() {
+        let mut h = hw();
+        let mut mem = PagedMem::new();
+        let t1 = done(h.access_core(&mut mem, 0, AccessKind::Read, 0x1000, 0, true));
+        assert!(t1 >= h.cfg.mem.latency, "cold miss reaches DRAM: {t1}");
+        assert_eq!(h.stats.dram_accesses, 1);
+        let t2 = done(h.access_core(&mut mem, 0, AccessKind::Read, 0x1008, t1, true));
+        assert_eq!(t2, t1 + h.cfg.l1.latency, "same line now hits L1");
+        assert_eq!(h.stats.l1.hits, 1);
+    }
+
+    #[test]
+    fn read_read_shares_write_invalidates() {
+        let mut h = hw();
+        let mut mem = PagedMem::new();
+        let addr = 0x2000;
+        done(h.access_core(&mut mem, 0, AccessKind::Read, addr, 0, true));
+        done(h.access_core(&mut mem, 1, AccessKind::Read, addr, 1000, true));
+        let bank = h.bank_of(addr) as usize;
+        let line = addr >> LINE_SHIFT;
+        let l = h.llc[bank].peek(line).unwrap();
+        assert_eq!(l.sharers & 0b11, 0b11, "both tiles share");
+        assert_eq!(h.stats.invalidations, 0);
+
+        done(h.access_core(&mut mem, 2, AccessKind::Write, addr, 2000, true));
+        assert_eq!(h.stats.invalidations, 2, "both sharers invalidated");
+        let l = h.llc[bank].peek(line).unwrap();
+        assert_eq!(l.owner, Some(2));
+        assert!(!h.l1[0].contains(line));
+        assert!(!h.l2[1].contains(line));
+    }
+
+    #[test]
+    fn rmw_ping_pong_transfers_ownership() {
+        let mut h = hw();
+        let mut mem = PagedMem::new();
+        let addr = 0x3000;
+        done(h.access_core(&mut mem, 0, AccessKind::Rmw, addr, 0, true));
+        done(h.access_core(&mut mem, 1, AccessKind::Rmw, addr, 1000, true));
+        done(h.access_core(&mut mem, 0, AccessKind::Rmw, addr, 2000, true));
+        assert!(h.stats.ownership_transfers >= 2, "ping-pong counted");
+        assert!(h.stats.invalidations >= 2);
+    }
+
+    #[test]
+    fn owned_then_remote_read_downgrades() {
+        let mut h = hw();
+        let mut mem = PagedMem::new();
+        let addr = 0x4000;
+        done(h.access_core(&mut mem, 3, AccessKind::Write, addr, 0, true));
+        done(h.access_core(&mut mem, 4, AccessKind::Read, addr, 1000, true));
+        let bank = h.bank_of(addr) as usize;
+        let line = addr >> LINE_SHIFT;
+        let l = h.llc[bank].peek(line).unwrap();
+        assert_eq!(l.owner, None, "owner downgraded");
+        assert!(l.sharers & (1 << 3) != 0);
+        assert!(l.sharers & (1 << 4) != 0);
+        assert_eq!(
+            h.l2[3].peek(line).unwrap().state,
+            PrivState::Shared,
+            "old owner now shared"
+        );
+    }
+
+    #[test]
+    fn engine_llc_access_local_vs_remote_bank() {
+        let mut h = hw();
+        let mut mem = PagedMem::new();
+        // Bank of 0x0000 line 0 -> bank 0.
+        let local = EngineId { tile: 0, level: EngineLevel::Llc };
+        let t_local = done(h.access_engine(&mut mem, local, AccessKind::Read, 0x0, 0, true));
+        // Line 1 -> bank 1: remote from tile 0's engine.
+        let t_remote = done(h.access_engine(&mut mem, local, AccessKind::Read, 0x40, 0, true));
+        assert!(
+            t_remote > t_local,
+            "remote bank access pays NoC: {t_local} vs {t_remote}"
+        );
+    }
+
+    #[test]
+    fn engine_l1d_caches_reads() {
+        let mut h = hw();
+        let mut mem = PagedMem::new();
+        let eid = EngineId { tile: 0, level: EngineLevel::Llc };
+        let t1 = done(h.access_engine(&mut mem, eid, AccessKind::Read, 0x0, 0, true));
+        let t2 = done(h.access_engine(&mut mem, eid, AccessKind::Read, 0x8, t1, true));
+        assert_eq!(t2, t1 + h.cfg.engine.l1d_latency);
+        assert_eq!(h.stats.engine_l1.hits, 1);
+    }
+
+    #[test]
+    fn default_ctor_zero_fills_phantom() {
+        let mut h = hw();
+        let mut mem = PagedMem::new();
+        // Pre-pollute memory so the zero-fill is observable.
+        mem.write_u64(0x10_0000, 0xDEAD);
+        h.ndc.register_morph(crate::ndc::MorphRegion {
+            base: 0x10_0000,
+            bound: 0x10_1000,
+            level: MorphLevel::Llc,
+            obj_size: 8,
+            ctor: None,
+            dtor: None,
+            view: 0,
+            stream: None,
+        });
+        let eid = EngineId { tile: h.bank_of(0x10_0000), level: EngineLevel::Llc };
+        let _ = eid;
+        done(h.access_engine(
+            &mut mem,
+            EngineId { tile: h.bank_of(0x10_0000), level: EngineLevel::Llc },
+            AccessKind::Rmw,
+            0x10_0000,
+            0,
+            true,
+        ));
+        assert_eq!(mem.read_u64(0x10_0000), 0, "constructor zero-filled");
+        assert!(h.stats.ctor_actions >= 1);
+        assert_eq!(h.stats.dram_accesses, 0, "phantom data never touches DRAM");
+    }
+
+    #[test]
+    fn bank_mapping_keeps_multiline_object_together() {
+        let mut h = hw();
+        let base = 0x20_0000u64;
+        // Without mapping, lines 0 and 1 of an object go to different banks.
+        assert_ne!(h.bank_of(base), h.bank_of(base + 64));
+        h.ndc.bank_maps.push(crate::ndc::BankMapRange {
+            base,
+            bound: base + 0x1000,
+            ignore_line_bits: 1,
+        });
+        assert_eq!(h.bank_of(base), h.bank_of(base + 64));
+        assert_ne!(h.bank_of(base), h.bank_of(base + 128));
+    }
+
+    #[test]
+    fn flush_runs_destructors_for_tagged_lines() {
+        let mut h = hw();
+        let mut mem = PagedMem::new();
+        h.ndc.register_morph(crate::ndc::MorphRegion {
+            base: 0x30_0000,
+            bound: 0x30_1000,
+            level: MorphLevel::Llc,
+            obj_size: 8,
+            ctor: None,
+            dtor: None,
+            view: 0,
+            stream: None,
+        });
+        let eid = EngineId { tile: h.bank_of(0x30_0000), level: EngineLevel::Llc };
+        done(h.access_engine(&mut mem, eid, AccessKind::Write, 0x30_0000, 0, true));
+        let bank = h.bank_of(0x30_0000) as usize;
+        assert!(h.llc[bank].contains(0x30_0000 >> LINE_SHIFT));
+        h.flush_range(&mut mem, 0x30_0000, 0x1000, 100);
+        assert!(!h.llc[bank].contains(0x30_0000 >> LINE_SHIFT));
+    }
+
+    #[test]
+    fn llc_capacity_eviction_writes_back_dirty() {
+        let mut h = hw();
+        let mut mem = PagedMem::new();
+        // Fill one LLC set beyond capacity with dirty lines from tile 0.
+        // Set index repeats every sets*banks lines for bank 0.
+        let sets = h.cfg.llc.sets();
+        let stride = sets * h.cfg.tiles as u64 * LINE_SIZE; // same bank, same set
+        let mut t = 0;
+        for i in 0..(h.cfg.llc.ways as u64 + 2) {
+            let addr = 0x100_0000 + i * stride;
+            assert_eq!(h.bank_of(addr), h.bank_of(0x100_0000));
+            t = done(h.access_core(&mut mem, 0, AccessKind::Write, addr, t, true)) + 1;
+        }
+        assert!(h.stats.llc.writebacks >= 1, "dirty victims written back");
+        assert!(h.stats.dram_accesses > h.cfg.llc.ways as u64, "writebacks reach DRAM");
+    }
+}

@@ -1,0 +1,175 @@
+//! Mesh network-on-chip with XY routing and per-link contention.
+//!
+//! Messages are broken into flits; each hop reserves serialization time on
+//! the traversed link (a simple FIFO occupancy model) and pays router +
+//! link latency. Flit-hops are counted for the traffic and energy metrics
+//! (Fig. 5's NoC-traffic reduction and all energy results).
+
+use crate::config::NocConfig;
+use crate::stats::Stats;
+
+/// Directions out of a router.
+const DIRS: usize = 4; // east, west, north, south
+
+/// A 2-D mesh NoC.
+#[derive(Clone, Debug)]
+pub struct Noc {
+    cols: u32,
+    #[allow(dead_code)] // kept for diagnostics/Display
+    rows: u32,
+    cfg: NocConfig,
+    /// `link_free[node * DIRS + dir]`: cycle at which that output link is
+    /// next available.
+    link_free: Vec<u64>,
+}
+
+impl Noc {
+    /// Creates a mesh of `cols × rows` routers.
+    pub fn new(cols: u32, rows: u32, cfg: NocConfig) -> Self {
+        Noc {
+            cols,
+            rows,
+            cfg,
+            link_free: vec![0; (cols * rows) as usize * DIRS],
+        }
+    }
+
+    #[inline]
+    fn coords(&self, tile: u32) -> (u32, u32) {
+        (tile % self.cols, tile / self.cols)
+    }
+
+    /// Number of mesh hops between two tiles (XY routing).
+    pub fn hops(&self, from: u32, to: u32) -> u32 {
+        let (fx, fy) = self.coords(from);
+        let (tx, ty) = self.coords(to);
+        fx.abs_diff(tx) + fy.abs_diff(ty)
+    }
+
+    /// Number of flits for a payload of `bytes`.
+    pub fn flits(&self, bytes: u32) -> u32 {
+        let flit_bytes = self.cfg.flit_bits / 8;
+        bytes.div_ceil(flit_bytes).max(1)
+    }
+
+    /// Sends a `bytes`-byte message from `from` to `to` starting at `now`;
+    /// returns the arrival time. Reserves serialization time on every
+    /// traversed link and counts flit-hops into `stats`.
+    pub fn send(&mut self, from: u32, to: u32, bytes: u32, now: u64, stats: &mut Stats) -> u64 {
+        stats.noc_messages += 1;
+        if from == to {
+            // Same tile: no network traversal.
+            return now;
+        }
+        let flits = self.flits(bytes) as u64;
+        let (mut x, mut y) = self.coords(from);
+        let (tx, ty) = self.coords(to);
+        let mut t = now;
+        while (x, y) != (tx, ty) {
+            let (dir, nx, ny) = if x < tx {
+                (0, x + 1, y)
+            } else if x > tx {
+                (1, x - 1, y)
+            } else if y < ty {
+                (2, x, y + 1)
+            } else {
+                (3, x, y - 1)
+            };
+            let node = (y * self.cols + x) as usize;
+            let slot = &mut self.link_free[node * DIRS + dir];
+            // Head flit waits for the link, then the message occupies it
+            // for `flits` cycles (serialization).
+            let start = t.max(*slot);
+            *slot = start + flits;
+            t = start + self.cfg.router_delay + self.cfg.link_delay;
+            stats.noc_flit_hops += flits;
+            x = nx;
+            y = ny;
+        }
+        // Tail flits arrive `flits-1` cycles after the head.
+        t + flits.saturating_sub(1)
+    }
+
+    /// Latency of an uncontended message (no reservation; for estimates).
+    pub fn uncontended_latency(&self, from: u32, to: u32, bytes: u32) -> u64 {
+        let hops = self.hops(from, to) as u64;
+        let flits = self.flits(bytes) as u64;
+        hops * (self.cfg.router_delay + self.cfg.link_delay) + flits.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn noc4x4() -> Noc {
+        let cfg = MachineConfig::paper_default();
+        let (c, r) = cfg.mesh_dims();
+        Noc::new(c, r, cfg.noc)
+    }
+
+    #[test]
+    fn hops_xy() {
+        let n = noc4x4();
+        assert_eq!(n.hops(0, 0), 0);
+        assert_eq!(n.hops(0, 3), 3);
+        assert_eq!(n.hops(0, 15), 6, "corner to corner of a 4x4 mesh");
+        assert_eq!(n.hops(5, 6), 1);
+        assert_eq!(n.hops(5, 9), 1);
+    }
+
+    #[test]
+    fn flit_count() {
+        let n = noc4x4();
+        assert_eq!(n.flits(8), 1, "control message fits one 16B flit");
+        assert_eq!(n.flits(16), 1);
+        assert_eq!(n.flits(17), 2);
+        assert_eq!(n.flits(72), 5, "64B data + 8B header");
+    }
+
+    #[test]
+    fn same_tile_is_free() {
+        let mut n = noc4x4();
+        let mut s = Stats::new();
+        assert_eq!(n.send(3, 3, 64, 100, &mut s), 100);
+        assert_eq!(s.noc_flit_hops, 0);
+    }
+
+    #[test]
+    fn latency_scales_with_hops() {
+        let mut s = Stats::new();
+        let t1 = noc4x4().send(0, 1, 8, 0, &mut s);
+        let t2 = noc4x4().send(0, 3, 8, 0, &mut s);
+        assert_eq!(t1, 3, "1 hop = router 2 + link 1");
+        assert_eq!(t2, 9, "3 hops");
+    }
+
+    #[test]
+    fn flit_hops_counted() {
+        let mut n = noc4x4();
+        let mut s = Stats::new();
+        n.send(0, 15, 72, 0, &mut s); // 5 flits x 6 hops
+        assert_eq!(s.noc_flit_hops, 30);
+        assert_eq!(s.noc_messages, 1);
+    }
+
+    #[test]
+    fn contention_delays_second_message() {
+        let mut n = noc4x4();
+        let mut s = Stats::new();
+        // Two large messages over the same first link at the same time.
+        let a = n.send(0, 3, 64, 0, &mut s);
+        let b = n.send(0, 3, 64, 0, &mut s);
+        assert!(b > a, "second message serializes behind the first: {a} vs {b}");
+    }
+
+    #[test]
+    fn uncontended_estimate_matches_first_send() {
+        let mut n = noc4x4();
+        let mut s = Stats::new();
+        let est = n.uncontended_latency(2, 14, 72);
+        let real = n.send(2, 14, 72, 1000, &mut s) - 1000;
+        assert_eq!(est, real);
+    }
+}

@@ -1,0 +1,238 @@
+//! Execution statistics.
+//!
+//! A single [`Stats`] struct accumulates every counter the evaluation
+//! needs: per-level cache hits/misses, NoC traffic, DRAM accesses (broken
+//! down by workload *phase* for Fig. 21), branch predictor outcomes,
+//! instruction counts, and NDC bookkeeping.
+
+use std::fmt;
+
+/// Workload phase tag for phase-attributed counters (e.g. Fig. 21 splits
+/// DRAM accesses between PageRank's edge and vertex phases).
+pub const MAX_PHASES: usize = 4;
+
+/// Per-cache-level access counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Lines written back out of this level.
+    pub writebacks: u64,
+}
+
+impl LevelStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in \[0, 1\]; zero when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// All counters accumulated during a run.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Final simulated cycle (set when the run finishes).
+    pub cycles: u64,
+    /// Instructions retired by cores.
+    pub core_instrs: u64,
+    /// Instructions retired by engines (all contexts + inline actions).
+    pub engine_instrs: u64,
+
+    /// L1 data caches (cores).
+    pub l1: LevelStats,
+    /// Private L2 caches.
+    pub l2: LevelStats,
+    /// Shared LLC banks.
+    pub llc: LevelStats,
+    /// Engine L1d caches.
+    pub engine_l1: LevelStats,
+
+    /// Directory lookups at the LLC.
+    pub dir_lookups: u64,
+    /// Invalidation messages sent to private caches.
+    pub invalidations: u64,
+    /// Cache-to-cache ownership transfers (the "ping-pong" the paper's
+    /// task offload eliminates).
+    pub ownership_transfers: u64,
+
+    /// NoC messages sent.
+    pub noc_messages: u64,
+    /// NoC flit-hops (flits × hops), the traffic/energy metric.
+    pub noc_flit_hops: u64,
+
+    /// DRAM line accesses (reads + writes), total.
+    pub dram_accesses: u64,
+    /// DRAM accesses attributed per phase (see [`Stats::set_phase`]).
+    pub dram_by_phase: [u64; MAX_PHASES],
+    /// Memory-controller FIFO-cache hits (avoided DRAM accesses).
+    pub mc_cache_hits: u64,
+
+    /// Conditional branches executed on cores.
+    pub branches: u64,
+    /// Mispredicted conditional branches on cores.
+    pub mispredicts: u64,
+
+    /// Memory fences executed (including fenced atomics' implied fences).
+    pub fences: u64,
+    /// Atomic RMWs executed by cores.
+    pub core_rmws: u64,
+
+    /// Tasks offloaded via `invoke`.
+    pub invokes: u64,
+    /// Invokes that were NACKed (engine context buffer full) and retried.
+    pub invoke_nacks: u64,
+    /// Invokes that executed on the local tile due to the 1/32 migrate-up
+    /// policy.
+    pub invoke_migrations: u64,
+    /// Data-triggered constructor actions executed.
+    pub ctor_actions: u64,
+    /// Data-triggered destructor actions executed.
+    pub dtor_actions: u64,
+    /// Stream entries pushed by producers.
+    pub stream_pushes: u64,
+    /// Stream entries popped by consumers.
+    pub stream_pops: u64,
+    /// Cycles consumer loads stalled waiting for stream data.
+    pub stream_stall_cycles: u64,
+    /// L2 prefetches issued.
+    pub prefetches: u64,
+
+    current_phase: usize,
+}
+
+impl Stats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the current workload phase for phase-attributed counters.
+    ///
+    /// # Panics
+    /// Panics if `phase >= MAX_PHASES`.
+    pub fn set_phase(&mut self, phase: usize) {
+        assert!(phase < MAX_PHASES, "phase {phase} out of range");
+        self.current_phase = phase;
+    }
+
+    /// The current phase index.
+    pub fn phase(&self) -> usize {
+        self.current_phase
+    }
+
+    /// Records one DRAM access in the current phase.
+    pub(crate) fn count_dram(&mut self) {
+        self.dram_accesses += 1;
+        self.dram_by_phase[self.current_phase] += 1;
+    }
+
+    /// Branch misprediction rate in \[0, 1\].
+    pub fn mispredict_ratio(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles:            {}", self.cycles)?;
+        writeln!(f, "core instrs:       {}", self.core_instrs)?;
+        writeln!(f, "engine instrs:     {}", self.engine_instrs)?;
+        writeln!(
+            f,
+            "L1  hits/misses:   {}/{} ({:.1}% miss)",
+            self.l1.hits,
+            self.l1.misses,
+            self.l1.miss_ratio() * 100.0
+        )?;
+        writeln!(
+            f,
+            "L2  hits/misses:   {}/{} ({:.1}% miss)",
+            self.l2.hits,
+            self.l2.misses,
+            self.l2.miss_ratio() * 100.0
+        )?;
+        writeln!(
+            f,
+            "LLC hits/misses:   {}/{} ({:.1}% miss)",
+            self.llc.hits,
+            self.llc.misses,
+            self.llc.miss_ratio() * 100.0
+        )?;
+        writeln!(f, "DRAM accesses:     {}", self.dram_accesses)?;
+        writeln!(f, "MC cache hits:     {}", self.mc_cache_hits)?;
+        writeln!(f, "NoC flit-hops:     {}", self.noc_flit_hops)?;
+        writeln!(
+            f,
+            "branches:          {} ({:.2}% mispredicted)",
+            self.branches,
+            self.mispredict_ratio() * 100.0
+        )?;
+        writeln!(f, "fences:            {}", self.fences)?;
+        writeln!(f, "invokes:           {} ({} NACKed)", self.invokes, self.invoke_nacks)?;
+        writeln!(f, "ctor/dtor actions: {}/{}", self.ctor_actions, self.dtor_actions)?;
+        write!(f, "stream push/pop:   {}/{}", self.stream_pushes, self.stream_pops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_attribution() {
+        let mut s = Stats::new();
+        s.count_dram();
+        s.set_phase(1);
+        s.count_dram();
+        s.count_dram();
+        assert_eq!(s.dram_accesses, 3);
+        assert_eq!(s.dram_by_phase[0], 1);
+        assert_eq!(s.dram_by_phase[1], 2);
+        assert_eq!(s.phase(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn phase_bounds_checked() {
+        Stats::new().set_phase(MAX_PHASES);
+    }
+
+    #[test]
+    fn ratios() {
+        let mut s = Stats::new();
+        assert_eq!(s.mispredict_ratio(), 0.0);
+        s.branches = 10;
+        s.mispredicts = 3;
+        assert!((s.mispredict_ratio() - 0.3).abs() < 1e-12);
+        let lv = LevelStats {
+            hits: 3,
+            misses: 1,
+            writebacks: 0,
+        };
+        assert_eq!(lv.accesses(), 4);
+        assert!((lv.miss_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let s = Stats::new();
+        let text = s.to_string();
+        assert!(text.contains("cycles"));
+        assert!(text.contains("DRAM"));
+    }
+}

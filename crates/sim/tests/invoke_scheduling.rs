@@ -1,0 +1,201 @@
+//! Tests for the task-offload scheduler (paper Sec. VI-B1): LOCAL,
+//! REMOTE, and DYNAMIC placement, the EXCLUSIVE hint, and the 1/32
+//! migrate-local policy.
+
+use std::sync::Arc;
+
+use levi_isa::{ActionId, FuncId, Location, Memory, Program, ProgramBuilder, Reg};
+use levi_sim::{Machine, MachineConfig};
+
+/// Builds (program, tag_action, invoker): the action stores the id of the
+/// engine it ran on (via a unique per-spawn tag argument) into a mailbox.
+fn build(loc: Location, n: u64) -> (Arc<Program>, FuncId) {
+    let mut pb = ProgramBuilder::new();
+    {
+        // Action: increment the counter at [actor].
+        let mut f = pb.function("bump");
+        let (actor, one, old) = (Reg(0), Reg(1), Reg(2));
+        f.imm(one, 1);
+        f.rmw_relaxed(levi_isa::RmwOp::Add, old, actor, one, levi_isa::MemWidth::B8);
+        f.halt();
+        f.finish();
+    }
+    let main = {
+        let mut f = pb.function("main");
+        let (actor, i, nn) = (Reg(0), Reg(1), Reg(2));
+        f.imm(i, 0).imm(nn, n);
+        let top = f.label();
+        let out = f.label();
+        f.bind(top);
+        f.bge_u(i, nn, out);
+        f.invoke(actor, ActionId(0), &[], loc);
+        f.addi(i, i, 1);
+        f.jmp(top);
+        f.bind(out);
+        f.halt();
+        f.finish()
+    };
+    (Arc::new(pb.finish().unwrap()), main)
+}
+
+fn run(loc: Location) -> (u64, levi_sim::Stats) {
+    let (prog, main) = build(loc, 64);
+    let mut cfg = MachineConfig::with_tiles(4);
+    cfg.prefetcher = false;
+    let mut m = Machine::new(cfg);
+    let action_fn = prog.func_by_name("bump").unwrap();
+    m.hw.ndc.actions.register(ActionId(0), prog.clone(), action_fn);
+    let counter = 0x4040u64; // bank 1, invoked from core 0
+    m.spawn_thread(0, prog, main, &[counter]);
+    m.run().unwrap();
+    (m.mem().read_u64(counter), m.stats().clone())
+}
+
+#[test]
+fn all_placements_execute_all_tasks() {
+    for loc in [Location::Local, Location::Remote, Location::Dynamic] {
+        let (count, stats) = run(loc);
+        assert_eq!(count, 64, "{loc:?} lost tasks");
+        assert_eq!(stats.invokes, 64);
+    }
+}
+
+#[test]
+fn local_caches_hot_actors_remote_wins_scattered() {
+    // One hot actor hammered repeatedly: LOCAL pulls the line into the
+    // tile's L2 once and then hits locally, while REMOTE pays an invoke
+    // packet per task.
+    let (_, local) = run(Location::Local);
+    let (_, remote) = run(Location::Remote);
+    assert!(
+        local.noc_flit_hops < remote.noc_flit_hops,
+        "a single hot actor favors LOCAL: {} vs {}",
+        local.noc_flit_hops,
+        remote.noc_flit_hops
+    );
+
+    // Many single-use actors scattered across banks: LOCAL must fetch a
+    // full line per actor; REMOTE sends one small packet per actor and
+    // touches the data at its home bank.
+    let build_scatter = |loc: Location| {
+        let mut pb = ProgramBuilder::new();
+        {
+            let mut f = pb.function("bump");
+            let (actor, one, old) = (Reg(0), Reg(1), Reg(2));
+            f.imm(one, 1);
+            f.rmw_relaxed(levi_isa::RmwOp::Add, old, actor, one, levi_isa::MemWidth::B8);
+            f.halt();
+            f.finish();
+        }
+        let main = {
+            let mut f = pb.function("main");
+            let (base, i, n, actor) = (Reg(0), Reg(1), Reg(2), Reg(3));
+            f.imm(i, 0).imm(n, 64);
+            let top = f.label();
+            let out = f.label();
+            f.bind(top);
+            f.bge_u(i, n, out);
+            f.muli(actor, i, 64); // one actor per line, striped over banks
+            f.add(actor, actor, base);
+            f.invoke(actor, ActionId(0), &[], loc);
+            f.addi(i, i, 1);
+            f.jmp(top);
+            f.bind(out);
+            f.halt();
+            f.finish()
+        };
+        (Arc::new(pb.finish().unwrap()), main)
+    };
+    let run_scatter = |loc: Location| {
+        let (prog, main) = build_scatter(loc);
+        let mut cfg = MachineConfig::with_tiles(4);
+        cfg.prefetcher = false;
+        let mut m = Machine::new(cfg);
+        let action_fn = prog.func_by_name("bump").unwrap();
+        m.hw.ndc.actions.register(ActionId(0), prog.clone(), action_fn);
+        m.spawn_thread(0, prog, main, &[0x10_0000]);
+        m.run().unwrap();
+        m.stats().clone()
+    };
+    let local_s = run_scatter(Location::Local);
+    let remote_s = run_scatter(Location::Remote);
+    assert!(
+        remote_s.noc_flit_hops < local_s.noc_flit_hops,
+        "scattered single-use actors favor REMOTE: {} vs {}",
+        remote_s.noc_flit_hops,
+        local_s.noc_flit_hops
+    );
+}
+
+#[test]
+fn dynamic_migrates_one_in_32() {
+    let (_, stats) = run(Location::Dynamic);
+    // 64 would-be-remote dynamic invokes -> exactly 2 migrate-local.
+    assert_eq!(stats.invoke_migrations, 2, "1/32 policy");
+}
+
+#[test]
+fn exclusive_follows_the_owner() {
+    // Core 1 dirties the actor line (takes ownership), then core 0 issues
+    // an EXCLUSIVE dynamic invoke: the scheduler must send it to tile 1's
+    // L2 engine rather than the LLC bank.
+    let mut pb = ProgramBuilder::new();
+    {
+        let mut f = pb.function("bump");
+        let (actor, one, old) = (Reg(0), Reg(1), Reg(2));
+        f.imm(one, 1);
+        f.rmw_relaxed(levi_isa::RmwOp::Add, old, actor, one, levi_isa::MemWidth::B8);
+        f.halt();
+        f.finish();
+    }
+    let owner_thread = {
+        let mut f = pb.function("owner");
+        // args: r0 = actor, r1 = flag.
+        let (actor, flag, one, two, tmp) = (Reg(0), Reg(1), Reg(8), Reg(9), Reg(10));
+        f.imm(one, 1).imm(two, 2);
+        f.st8(actor, 0, one); // take ownership (dirty)
+        f.st8(flag, 0, one); // signal readiness
+        // Spin until the invoker writes 2 to the flag.
+        let top = f.label();
+        let out = f.label();
+        f.bind(top);
+        f.ld8(tmp, flag, 0);
+        f.beq(tmp, two, out);
+        f.jmp(top);
+        f.bind(out);
+        f.halt();
+        f.finish()
+    };
+    let invoker = {
+        let mut f = pb.function("invoker");
+        // args: r0 = actor, r1 = flag.
+        let (actor, flag, one, two, tmp) = (Reg(0), Reg(1), Reg(8), Reg(9), Reg(10));
+        f.imm(one, 1).imm(two, 2);
+        // Wait for the owner to take the line.
+        let top = f.label();
+        let go = f.label();
+        f.bind(top);
+        f.ld8(tmp, flag, 0);
+        f.beq(tmp, one, go);
+        f.jmp(top);
+        f.bind(go);
+        f.invoke_exclusive(actor, ActionId(0), &[], Location::Dynamic);
+        f.st8(flag, 0, two);
+        f.halt();
+        f.finish()
+    };
+    let prog = Arc::new(pb.finish().unwrap());
+    let mut cfg = MachineConfig::with_tiles(4);
+    cfg.prefetcher = false;
+    let mut m = Machine::new(cfg);
+    let action_fn = prog.func_by_name("bump").unwrap();
+    m.hw.ndc.actions.register(ActionId(0), prog.clone(), action_fn);
+    let actor = 0x4040u64;
+    let flag = 0x8000u64;
+    m.spawn_thread(1, prog.clone(), owner_thread, &[actor, flag]);
+    m.spawn_thread(0, prog, invoker, &[actor, flag]);
+    m.run().unwrap();
+    // Owner stored 1, action added 1.
+    assert_eq!(m.mem().read_u64(actor), 2);
+    assert_eq!(m.stats().invokes, 1);
+}

@@ -1,0 +1,21 @@
+// Debug: per-variant performance breakdown for HATS at test scale.
+use levi_workloads::gen::Graph;
+use levi_workloads::hats::*;
+
+fn main() {
+    let scale = HatsScale::test();
+    let graph = Graph::community(scale.vertices, scale.avg_degree, scale.community, scale.intra_pct, scale.seed);
+    for v in HatsVariant::all() {
+        let r = run_hats_on(v, &scale, &graph);
+        let s = &r.metrics.stats;
+        println!(
+            "{:<10} cyc={:>9} dram={:>7} (e={:>6}/v={:>6}) l1m={:>7} l2m={:>7} mpred/e={:.3} eng_i/e={:>6.1} stall={:>8} push={:>7}",
+            r.metrics.label, r.metrics.cycles, s.dram_accesses,
+            s.dram_by_phase[0], s.dram_by_phase[1],
+            s.l1.misses, s.l2.misses,
+            s.mispredicts as f64 / r.edges as f64,
+            s.engine_instrs as f64 / r.edges as f64,
+            s.stream_stall_cycles, s.stream_pushes
+        );
+    }
+}

@@ -1,0 +1,41 @@
+// Sanity: a 64KB array scanned twice must hit L2 on the second pass.
+use levi_isa::{ProgramBuilder, Reg};
+use levi_sim::{Machine, MachineConfig};
+use std::sync::Arc;
+
+fn main() {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("scan2");
+    let (base, n, i, v, p, pass) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4), Reg(5));
+    let pass_top = f.label();
+    let top = f.label();
+    let out = f.label();
+    let done = f.label();
+    f.imm(pass, 0);
+    f.bind(pass_top);
+    f.imm(i, 0);
+    f.mov(p, base);
+    f.bind(top);
+    f.bge_u(i, n, out);
+    f.ld8(v, p, 0);
+    f.addi(p, p, 64);
+    f.addi(i, i, 1);
+    f.jmp(top);
+    f.bind(out);
+    f.addi(pass, pass, 1);
+    f.imm(v, 2);
+    f.bge_u(pass, v, done);
+    f.jmp(pass_top);
+    f.bind(done);
+    f.halt();
+    let func = f.finish();
+    let prog = Arc::new(pb.finish().unwrap());
+    let mut cfg = MachineConfig::with_tiles(4);
+    cfg.prefetcher = false;
+    let mut m = Machine::new(cfg);
+    m.spawn_thread(0, prog, func, &[0x100000, 1024]); // 1024 lines = 64KB
+    m.run().unwrap();
+    let s = m.stats();
+    println!("l1 h/m = {}/{}  l2 h/m = {}/{}  llc h/m = {}/{}  dram = {}",
+        s.l1.hits, s.l1.misses, s.l2.hits, s.l2.misses, s.llc.hits, s.llc.misses, s.dram_accesses);
+}

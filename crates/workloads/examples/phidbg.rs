@@ -1,0 +1,17 @@
+// Debug: per-variant performance breakdown for PHI at test scale.
+use levi_workloads::phi::*;
+
+fn main() {
+    let scale = PhiScale::test();
+    let graph = phi_graph(&scale);
+    for v in PhiVariant::all() {
+        let r = run_phi_on(v, &scale, &graph);
+        let s = &r.metrics.stats;
+        println!(
+            "{:<12} cyc={:>9} dram={:>7} noc_msg={:>8} noc_fh={:>8} inval={:>7} mc_hit={:>7} ctor={:>6} dtor={:>6} eng_i={:>8}",
+            r.metrics.label, r.metrics.cycles, s.dram_accesses, s.noc_messages, s.noc_flit_hops,
+            s.invalidations, s.mc_cache_hits,
+            s.ctor_actions, s.dtor_actions, s.engine_instrs
+        );
+    }
+}

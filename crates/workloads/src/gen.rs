@@ -1,0 +1,306 @@
+//! Seeded input generators: synthetic graphs and key distributions.
+//!
+//! The paper evaluates on a 4M-vertex/40M-edge synthetic graph (PHI) and
+//! the uk-2002 web crawl (HATS). We generate scaled stand-ins: uniform
+//! random graphs for PHI, and *community-structured* graphs (planted
+//! partition) for HATS, whose locality is exactly what bounded-DFS
+//! traversal exploits. Key distributions (uniform and Zipfian) drive the
+//! hash-table and decompression studies.
+
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// A directed graph in CSR (compressed sparse row) form: for each vertex,
+/// the list of its out-neighbors.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Number of vertices.
+    pub num_vertices: u32,
+    /// CSR row offsets (`num_vertices + 1` entries).
+    pub offsets: Vec<u32>,
+    /// Flattened out-neighbor lists (`num_edges` entries).
+    pub neighbors: Vec<u32>,
+}
+
+impl Graph {
+    /// Number of edges.
+    pub fn num_edges(&self) -> u32 {
+        self.neighbors.len() as u32
+    }
+
+    /// Out-degree of vertex `v`.
+    pub fn out_degree(&self, v: u32) -> u32 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Out-neighbors of vertex `v`.
+    pub fn neighbors_of(&self, v: u32) -> &[u32] {
+        let a = self.offsets[v as usize] as usize;
+        let b = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[a..b]
+    }
+
+    /// Builds a CSR graph from an edge list.
+    pub fn from_edges(num_vertices: u32, mut edges: Vec<(u32, u32)>) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+        let mut offsets = vec![0u32; num_vertices as usize + 1];
+        for &(s, _) in &edges {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 0..num_vertices as usize {
+            offsets[i + 1] += offsets[i];
+        }
+        let neighbors = edges.iter().map(|&(_, d)| d).collect();
+        Graph {
+            num_vertices,
+            offsets,
+            neighbors,
+        }
+    }
+
+    /// Uniform random directed graph with `num_vertices * avg_degree`
+    /// edges (the PHI study's synthetic input).
+    pub fn uniform(num_vertices: u32, avg_degree: u32, seed: u64) -> Self {
+        assert!(num_vertices >= 2);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n_edges = num_vertices as u64 * avg_degree as u64;
+        let mut edges = Vec::with_capacity(n_edges as usize);
+        for _ in 0..n_edges {
+            let s = rng.gen_range(0..num_vertices);
+            let mut d = rng.gen_range(0..num_vertices);
+            if d == s {
+                d = (d + 1) % num_vertices;
+            }
+            edges.push((s, d));
+        }
+        Self::from_edges(num_vertices, edges)
+    }
+
+    /// Uniform sources with Zipf-skewed destinations: the in-degree
+    /// distribution is power-law, like real scatter-update workloads
+    /// (PageRank on web/social graphs). Hot destinations are what gives
+    /// PHI's write-combining cache its reuse.
+    pub fn skewed(num_vertices: u32, avg_degree: u32, theta: f64, seed: u64) -> Self {
+        assert!(num_vertices >= 2);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut zipf = Zipf::new(num_vertices as u64, theta, seed ^ 0x5eed);
+        let n_edges = num_vertices as u64 * avg_degree as u64;
+        let mut edges = Vec::with_capacity(n_edges as usize);
+        // Random permutation so hot vertices are scattered in the id space
+        // (no accidental spatial clustering of hot lines).
+        let mut perm: Vec<u32> = (0..num_vertices).collect();
+        perm.shuffle(&mut rng);
+        for _ in 0..n_edges {
+            let s = rng.gen_range(0..num_vertices);
+            let mut d = perm[zipf.sample() as usize];
+            if d == s {
+                d = (d + 1) % num_vertices;
+            }
+            edges.push((s, d));
+        }
+        Self::from_edges(num_vertices, edges)
+    }
+
+    /// Community-structured graph (planted partition): vertices are split
+    /// into communities of `community_size`; each edge stays inside its
+    /// source's community with probability `intra_pct`/100. The HATS
+    /// study's stand-in for uk-2002's strong community structure.
+    pub fn community(
+        num_vertices: u32,
+        avg_degree: u32,
+        community_size: u32,
+        intra_pct: u32,
+        seed: u64,
+    ) -> Self {
+        assert!(community_size >= 2 && num_vertices >= community_size);
+        assert!(intra_pct <= 100);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n_edges = num_vertices as u64 * avg_degree as u64;
+        let mut edges = Vec::with_capacity(n_edges as usize);
+        for _ in 0..n_edges {
+            let s = rng.gen_range(0..num_vertices);
+            let comm = s / community_size * community_size;
+            let comm_end = (comm + community_size).min(num_vertices);
+            let d = if rng.gen_range(0..100) < intra_pct {
+                let mut d = rng.gen_range(comm..comm_end);
+                if d == s {
+                    d = comm + (d - comm + 1) % (comm_end - comm);
+                }
+                d
+            } else {
+                let mut d = rng.gen_range(0..num_vertices);
+                if d == s {
+                    d = (d + 1) % num_vertices;
+                }
+                d
+            };
+            edges.push((s, d));
+        }
+        Self::from_edges(num_vertices, edges)
+    }
+
+    /// Fraction of edges whose endpoints share a community (diagnostics).
+    pub fn intra_community_fraction(&self, community_size: u32) -> f64 {
+        let mut intra = 0u64;
+        let mut total = 0u64;
+        for s in 0..self.num_vertices {
+            for &d in self.neighbors_of(s) {
+                total += 1;
+                if s / community_size == d / community_size {
+                    intra += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            intra as f64 / total as f64
+        }
+    }
+}
+
+/// A Zipfian sampler over `0..n` with parameter `theta` (θ→0 is uniform,
+/// θ≈0.99 matches the paper's web-caching-style skew \[17\]).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    /// Cumulative probabilities scaled to u64::MAX for binary search.
+    cdf: Vec<f64>,
+    rng: SmallRng,
+}
+
+impl Zipf {
+    /// Builds a sampler for `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: u64, theta: f64, seed: u64) -> Self {
+        assert!(n > 0);
+        let mut weights = Vec::with_capacity(n as usize);
+        let mut total = 0.0;
+        for i in 1..=n {
+            let w = 1.0 / (i as f64).powf(theta);
+            total += w;
+            weights.push(total);
+        }
+        let cdf = weights.iter().map(|w| w / total).collect();
+        Zipf {
+            n,
+            cdf,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next sample.
+    pub fn sample(&mut self) -> u64 {
+        let u: f64 = self.rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) => i as u64,
+            Err(i) => (i as u64).min(self.n - 1),
+        }
+    }
+}
+
+/// A uniform sampler over `0..n`.
+#[derive(Clone, Debug)]
+pub struct Uniform {
+    n: u64,
+    rng: SmallRng,
+}
+
+impl Uniform {
+    /// Builds a sampler for `0..n`.
+    pub fn new(n: u64, seed: u64) -> Self {
+        assert!(n > 0);
+        Uniform {
+            n,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next sample.
+    pub fn sample(&mut self) -> u64 {
+        self.rng.gen_range(0..self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_graph_shape() {
+        let g = Graph::uniform(100, 8, 1);
+        assert_eq!(g.num_vertices, 100);
+        // Dedup may drop a few; expect close to 800.
+        assert!(g.num_edges() > 700, "{} edges", g.num_edges());
+        assert_eq!(g.offsets.len(), 101);
+        assert_eq!(*g.offsets.last().unwrap(), g.num_edges());
+        for v in 0..100 {
+            for &d in g.neighbors_of(v) {
+                assert!(d < 100);
+                assert_ne!(d, v, "no self loops");
+            }
+        }
+    }
+
+    #[test]
+    fn community_graph_is_clustered() {
+        let g = Graph::community(1000, 8, 50, 90, 7);
+        let frac = g.intra_community_fraction(50);
+        assert!(frac > 0.8, "intra-community fraction {frac}");
+        let g_uni = Graph::uniform(1000, 8, 7);
+        let frac_uni = g_uni.intra_community_fraction(50);
+        assert!(frac_uni < 0.2, "uniform graph is unclustered: {frac_uni}");
+    }
+
+    #[test]
+    fn graphs_are_deterministic() {
+        let a = Graph::uniform(500, 4, 42);
+        let b = Graph::uniform(500, 4, 42);
+        assert_eq!(a.neighbors, b.neighbors);
+        let c = Graph::uniform(500, 4, 43);
+        assert_ne!(a.neighbors, c.neighbors);
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_indices() {
+        let mut z = Zipf::new(1000, 0.99, 3);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..20_000 {
+            counts[z.sample() as usize] += 1;
+        }
+        let head: u32 = counts[..10].iter().sum();
+        let tail: u32 = counts[990..].iter().sum();
+        assert!(
+            head > 20 * tail.max(1),
+            "head {head} should dominate tail {tail}"
+        );
+    }
+
+    #[test]
+    fn uniform_sampler_covers_range() {
+        let mut u = Uniform::new(16, 5);
+        let mut seen = [false; 16];
+        for _ in 0..1000 {
+            seen[u.sample() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniformish() {
+        let mut z = Zipf::new(100, 0.0, 9);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..50_000 {
+            counts[z.sample() as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(max < min * 2, "θ=0 should be near-uniform ({min}..{max})");
+    }
+}

@@ -1,0 +1,27 @@
+//! # levi-workloads — the Leviathan case-study applications
+//!
+//! The four evaluation workloads of the paper, each with its software
+//! baseline and prior-work comparison points, written in LevIR against the
+//! `leviathan` programming interface:
+//!
+//! * [`phi`] — commutative scatter-updates / push PageRank (Fig. 5).
+//! * [`decompress`] — near-cache data transformation (Fig. 16).
+//! * [`hashtable`] — offloaded hash-table lookups (Figs. 18, 24, 25).
+//! * [`hats`] — decoupled BDFS graph traversal via streaming
+//!   (Figs. 20, 21, 23).
+//!
+//! Supporting modules: [`gen`] (seeded graph and key-distribution
+//! generators) and [`metrics`] (measurement capture and comparison).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decompress;
+pub mod gen;
+pub mod hashtable;
+pub mod hats;
+pub mod metrics;
+pub mod phi;
+
+pub use gen::{Graph, Uniform, Zipf};
+pub use metrics::RunMetrics;

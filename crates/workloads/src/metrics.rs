@@ -1,0 +1,82 @@
+//! Common measurement plumbing for the case studies.
+
+use levi_sim::{EnergyBreakdown, MachineConfig, Stats};
+use leviathan::System;
+
+/// Shrinks the whole cache hierarchy by `factor`, preserving the paper's
+/// L1:L2:LLC ratios (32 KB : 128 KB : 512 KB per tile). Workloads use this
+/// to scale working-set-to-cache ratios down to simulatable sizes without
+/// breaking LLC inclusivity (the LLC must stay larger than the private
+/// caches it backs).
+pub fn shrink_caches(cfg: &mut MachineConfig, factor: u64) {
+    assert!(factor.is_power_of_two(), "cache factor must be a power of two");
+    cfg.l1.size_bytes /= factor;
+    cfg.l2.size_bytes /= factor;
+    cfg.llc.size_bytes /= factor;
+    assert!(cfg.l1.sets() >= 1 && cfg.l2.sets() >= 1 && cfg.llc.sets() >= 1);
+}
+
+/// The metrics every experiment reports.
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    /// Variant label (e.g. "Baseline", "Leviathan").
+    pub label: String,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Dynamic energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Full statistics snapshot.
+    pub stats: Stats,
+}
+
+impl RunMetrics {
+    /// Captures metrics from a finished system.
+    pub fn capture(label: &str, sys: &System) -> Self {
+        RunMetrics {
+            label: label.to_string(),
+            cycles: sys.stats().cycles,
+            energy: sys.energy(),
+            stats: sys.stats().clone(),
+        }
+    }
+
+    /// Speedup of this run relative to `baseline` (>1 is faster).
+    pub fn speedup_vs(&self, baseline: &RunMetrics) -> f64 {
+        baseline.cycles as f64 / self.cycles as f64
+    }
+
+    /// Energy relative to `baseline` (<1 is better).
+    pub fn energy_vs(&self, baseline: &RunMetrics) -> f64 {
+        self.energy.relative_to(&baseline.energy)
+    }
+}
+
+/// Formats a speedup/energy table row.
+pub fn row(label: &str, speedup: f64, rel_energy: f64) -> String {
+    format!("{label:<28} {speedup:>8.2}x {:>9.1}%", rel_energy * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leviathan::SystemConfig;
+
+    #[test]
+    fn capture_and_compare() {
+        let sys = System::new(SystemConfig::small());
+        let mut a = RunMetrics::capture("a", &sys);
+        let mut b = RunMetrics::capture("b", &sys);
+        a.cycles = 1000;
+        b.cycles = 500;
+        assert!((b.speedup_vs(&a) - 2.0).abs() < 1e-12);
+        assert_eq!(b.energy_vs(&a), 0.0, "both zero energy");
+    }
+
+    #[test]
+    fn row_formatting() {
+        let r = row("Leviathan", 3.7, 0.78);
+        assert!(r.contains("Leviathan"));
+        assert!(r.contains("3.70x"));
+        assert!(r.contains("78.0%"));
+    }
+}

@@ -1,0 +1,67 @@
+//! The LevIR text assembler: write near-data actions as assembly source
+//! instead of builder calls, and run them on the simulated machine.
+//!
+//! Run with: `cargo run --release --example assembler`
+
+use std::sync::Arc;
+
+use levi_isa::assemble;
+use leviathan::{System, SystemConfig};
+
+const SOURCE: &str = r"
+; histogram: offload one binning task per sample.
+; bin(actor = bucket address, amt):
+fn bin:
+    rmw.add.relaxed.b8 r2, [r0], r1
+    halt
+
+; main(r0 = samples ptr, r1 = count, r2 = buckets ptr)
+fn main:
+    imm  r8, 0                  ; i
+loop:
+    bgeu r8, r1, done
+    ld8  r9, [r0+0]             ; sample
+    addi r0, r0, 8
+    andi r9, r9, 15             ; 16 buckets
+    muli r9, r9, 8
+    add  r9, r9, r2             ; bucket address
+    imm  r10, 1
+    invoke.remote r9, @0, (r10) ; count near the bucket's bank
+    addi r8, r8, 1
+    jmp  loop
+done:
+    halt
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let prog = Arc::new(assemble(SOURCE)?);
+    println!("assembled {} functions / {} instructions:", prog.len(), prog.total_insts());
+    println!("{prog}");
+
+    let mut sys = System::new(SystemConfig::small());
+    let n = 256u64;
+    let samples = sys.alloc_raw(8 * n, 64);
+    let buckets = sys.alloc_raw(8 * 16, 64);
+    let mut x = 0x1234_5678u64;
+    let mut expect = [0u64; 16];
+    for i in 0..n {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let v = x >> 33;
+        sys.write_u64(samples + 8 * i, v);
+        expect[(v & 15) as usize] += 1;
+    }
+
+    let bin = prog.func_by_name("bin").expect("fn bin");
+    let main_fn = prog.func_by_name("main").expect("fn main");
+    sys.register_action(&prog, bin); // becomes @0
+    sys.spawn_thread(0, &prog, main_fn, &[samples, n, buckets]);
+    sys.run()?;
+
+    for (b, &e) in expect.iter().enumerate() {
+        let got = sys.read_u64(buckets + 8 * b as u64);
+        assert_eq!(got, e, "bucket {b}");
+    }
+    println!("histogram of {n} samples correct across 16 offloaded buckets");
+    println!("({} invokes, {} cycles)", sys.stats().invokes, sys.stats().cycles);
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Quickstart: a remote memory operation (RMO) actor — the paper's Fig. 2.
+//!
+//! An actor combines data (a set of 64-bit counters) with a near-data
+//! action (an atomic add). Sixteen threads hammer the counters; instead of
+//! ping-ponging the lines between cores with fenced atomics, each update
+//! is `invoke`d and executes on the engine next to the LLC bank that holds
+//! the counter.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+
+use levi_isa::{ActionId, Location, MemWidth, ProgramBuilder, Reg, RmwOp};
+use leviathan::{System, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut pb = ProgramBuilder::new();
+
+    // class Actor { int data; void action(int update) { atomicAdd(data, update); } }
+    let action = {
+        let mut f = pb.function("counter_add");
+        let (actor, amount, old) = (Reg(0), Reg(1), Reg(2));
+        f.rmw_relaxed(RmwOp::Add, old, actor, amount, MemWidth::B8);
+        f.halt();
+        f.finish()
+    };
+
+    // Each thread invokes `counter_add` on a counter chosen by a simple
+    // hash of the iteration — `invoke actor->action(update)`.
+    let main_fn = {
+        let mut f = pb.function("main");
+        let (counters, n, stride) = (Reg(0), Reg(1), Reg(2));
+        let (i, idx, actor, amount) = (Reg(8), Reg(9), Reg(10), Reg(11));
+        f.imm(i, 0).imm(amount, 1);
+        let top = f.label();
+        let out = f.label();
+        f.bind(top);
+        f.bge_u(i, n, out);
+        f.muli(idx, i, 7);
+        f.remu(idx, idx, stride);
+        f.muli(actor, idx, 8);
+        f.add(actor, actor, counters);
+        f.invoke(actor, ActionId(0), &[amount], Location::Dynamic);
+        f.addi(i, i, 1);
+        f.jmp(top);
+        f.bind(out);
+        f.halt();
+        f.finish()
+    };
+    let prog = Arc::new(pb.finish()?);
+
+    let mut sys = System::new(SystemConfig::paper_default());
+    let n_counters = 64u64;
+    let counters = sys.alloc_raw(8 * n_counters, 64);
+    sys.register_action(&prog, action);
+
+    let per_thread = 1000u64;
+    for t in 0..sys.tiles() {
+        sys.spawn_thread(t, &prog, main_fn, &[counters, per_thread, n_counters]);
+    }
+    sys.run()?;
+
+    let total: u64 = (0..n_counters).map(|i| sys.read_u64(counters + 8 * i)).sum();
+    assert_eq!(total, per_thread * sys.tiles() as u64);
+
+    println!("counters sum:        {total} (16 threads x 1000 updates)");
+    println!("offloaded tasks:     {}", sys.stats().invokes);
+    println!("memory fences:       {} (fenced atomics would pay one each)", sys.stats().fences);
+    println!("line ping-pong:      {} ownership transfers", sys.stats().ownership_transfers);
+    println!("total cycles:        {}", sys.stats().cycles);
+    println!();
+    println!("Updates execute on engines near the data. DYNAMIC placement");
+    println!("occasionally (1/32) runs a task locally so hot counters can");
+    println!("settle into a tile's private cache — the transfers above are");
+    println!("those migrations at work, not core-side atomics ping-ponging.");
+    Ok(())
+}

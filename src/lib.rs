@@ -1,0 +1,5 @@
+//! Top-level re-exports for the Leviathan reproduction workspace.
+pub use levi_isa as isa;
+pub use levi_sim as sim;
+pub use levi_workloads as workloads;
+pub use leviathan as core;

@@ -1,0 +1,74 @@
+//! Determinism: the simulator is a pure function of its inputs. Identical
+//! seeds and configurations must produce bit-identical cycle counts and
+//! statistics across runs — a property every experiment in the paper's
+//! reproduction relies on.
+
+use levi_workloads::decompress::{run_decompress, DecompressScale, DecompressVariant};
+use levi_workloads::gen::Graph;
+use levi_workloads::hashtable::{run_hashtable, HtScale, HtVariant};
+use levi_workloads::hats::{run_hats_on, HatsScale, HatsVariant};
+use levi_workloads::phi::{phi_graph, run_phi_on, PhiScale, PhiVariant};
+
+#[test]
+fn phi_is_deterministic() {
+    let scale = PhiScale::test();
+    let graph = phi_graph(&scale);
+    let a = run_phi_on(PhiVariant::Leviathan, &scale, &graph);
+    let b = run_phi_on(PhiVariant::Leviathan, &scale, &graph);
+    assert_eq!(a.metrics.cycles, b.metrics.cycles);
+    assert_eq!(a.rank_checksum, b.rank_checksum);
+    assert_eq!(a.metrics.stats.dram_accesses, b.metrics.stats.dram_accesses);
+    assert_eq!(a.metrics.stats.noc_flit_hops, b.metrics.stats.noc_flit_hops);
+}
+
+#[test]
+fn hats_is_deterministic() {
+    let mut scale = HatsScale::test();
+    scale.vertices = 2048;
+    let graph = Graph::community(
+        scale.vertices,
+        scale.avg_degree,
+        scale.community,
+        scale.intra_pct,
+        scale.seed,
+    );
+    let a = run_hats_on(HatsVariant::Leviathan, &scale, &graph);
+    let b = run_hats_on(HatsVariant::Leviathan, &scale, &graph);
+    assert_eq!(a.metrics.cycles, b.metrics.cycles);
+    assert_eq!(
+        a.metrics.stats.stream_pushes,
+        b.metrics.stats.stream_pushes
+    );
+}
+
+#[test]
+fn hashtable_is_deterministic() {
+    let scale = HtScale::test(64);
+    let a = run_hashtable(HtVariant::Leviathan, &scale);
+    let b = run_hashtable(HtVariant::Leviathan, &scale);
+    assert_eq!(a.metrics.cycles, b.metrics.cycles);
+    assert_eq!(a.checksum, b.checksum);
+}
+
+#[test]
+fn decompress_is_deterministic() {
+    let scale = DecompressScale::test();
+    let a = run_decompress(DecompressVariant::Leviathan, &scale).unwrap();
+    let b = run_decompress(DecompressVariant::Leviathan, &scale).unwrap();
+    assert_eq!(a.metrics.cycles, b.metrics.cycles);
+    assert_eq!(a.access_sum, b.access_sum);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let mut s1 = PhiScale::test();
+    s1.vertices = 1024;
+    let mut s2 = s1.clone();
+    s2.seed ^= 0xFFFF;
+    let a = run_phi_on(PhiVariant::Baseline, &s1, &phi_graph(&s1));
+    let b = run_phi_on(PhiVariant::Baseline, &s2, &phi_graph(&s2));
+    assert_ne!(
+        a.rank_checksum, b.rank_checksum,
+        "different graphs must differ"
+    );
+}

@@ -1,0 +1,198 @@
+//! Cross-crate integration: all four NDC paradigms running together on
+//! one Leviathan system — the paper's headline claim ("the first system
+//! to support all paradigms", Sec. I).
+//!
+//! One system simultaneously hosts:
+//! * a **task-offload** counter actor updated by `invoke`,
+//! * a **long-lived** engine task summing an array in the background,
+//! * a **data-triggered** Morph whose constructors materialize squares,
+//! * a **stream** feeding a consumer thread.
+
+use std::sync::Arc;
+
+use levi_isa::{ActionId, Location, MemWidth, ProgramBuilder, Reg, RmwOp};
+use levi_sim::{EngineLevel, MorphLevel};
+use leviathan::{MorphSpec, StreamSpec, System, SystemConfig};
+
+#[test]
+fn all_four_paradigms_coexist() {
+    let mut pb = ProgramBuilder::new();
+
+    // Paradigm 1 — task offload: atomic add on a counter actor.
+    let add_action = {
+        let mut f = pb.function("add_action");
+        let (actor, amt, old) = (Reg(0), Reg(1), Reg(2));
+        f.rmw_relaxed(RmwOp::Add, old, actor, amt, MemWidth::B8);
+        f.halt();
+        f.finish()
+    };
+
+    // Paradigm 3 — data-triggered: ctor writes idx^2 into each phantom
+    // object.
+    let square_ctor = {
+        let mut f = pb.function("square_ctor");
+        let (obj, view, base, idx, v) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4));
+        f.ld8(base, view, 0);
+        f.sub(idx, obj, base);
+        f.shri(idx, idx, 3);
+        f.mul(v, idx, idx);
+        f.st8(obj, 0, v);
+        f.halt();
+        f.finish()
+    };
+
+    // Paradigm 2 — long-lived: background sum of an array into a mailbox.
+    let background_sum = {
+        let mut f = pb.function("background_sum");
+        let (src, n, dst, i, v, acc) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4), Reg(5));
+        f.imm(i, 0).imm(acc, 0);
+        let top = f.label();
+        let out = f.label();
+        f.bind(top);
+        f.bge_u(i, n, out);
+        f.ld8(v, src, 0);
+        f.add(acc, acc, v);
+        f.addi(src, src, 8);
+        f.addi(i, i, 1);
+        f.jmp(top);
+        f.bind(out);
+        f.st8(dst, 0, acc);
+        f.halt();
+        f.finish()
+    };
+
+    // Paradigm 4 — streaming: producer pushes 1..=n.
+    let producer = {
+        let mut f = pb.function("producer");
+        let (handle, n, i) = (Reg(0), Reg(1), Reg(2));
+        f.imm(i, 1);
+        let top = f.label();
+        let out = f.label();
+        f.bind(top);
+        f.bge_u(i, n, out);
+        f.push(handle, i);
+        f.addi(i, i, 1);
+        f.jmp(top);
+        f.bind(out);
+        f.halt();
+        f.finish()
+    };
+
+    // The main thread exercises offload + morph reads + stream consumption.
+    let main_fn = {
+        let mut f = pb.function("main");
+        // r0=ctx {counter, morph_base, stream_buffer, cap, out, stream_id}
+        let ctx = Reg(0);
+        let (counter, mbase, sbuf, cap, out, sid) =
+            (Reg(8), Reg(9), Reg(10), Reg(11), Reg(12), Reg(13));
+        let (i, n, amt, addr, v, acc) = (Reg(16), Reg(17), Reg(18), Reg(19), Reg(20), Reg(21));
+        f.ld8(counter, ctx, 0)
+            .ld8(mbase, ctx, 8)
+            .ld8(sbuf, ctx, 16)
+            .ld8(cap, ctx, 24)
+            .ld8(out, ctx, 32)
+            .ld8(sid, ctx, 40);
+        // 1) 50 offloaded increments.
+        f.imm(i, 0).imm(n, 50).imm(amt, 1);
+        let t1 = f.label();
+        let d1 = f.label();
+        f.bind(t1);
+        f.bge_u(i, n, d1);
+        f.invoke(counter, ActionId(0), &[amt], Location::Remote);
+        f.addi(i, i, 1);
+        f.jmp(t1);
+        f.bind(d1);
+        // 2) read 32 phantom squares, accumulate.
+        f.imm(i, 0).imm(n, 32).imm(acc, 0);
+        let t2 = f.label();
+        let d2 = f.label();
+        f.bind(t2);
+        f.bge_u(i, n, d2);
+        f.muli(addr, i, 8);
+        f.add(addr, addr, mbase);
+        f.ld8(v, addr, 0);
+        f.add(acc, acc, v);
+        f.addi(i, i, 1);
+        f.jmp(t2);
+        f.bind(d2);
+        f.st8(out, 0, acc);
+        // 3) consume 20 stream entries.
+        f.imm(i, 0).imm(n, 20).imm(acc, 0);
+        let t3 = f.label();
+        let d3 = f.label();
+        let nowrap = f.label();
+        f.mov(addr, sbuf);
+        f.muli(cap, cap, 8);
+        f.add(cap, cap, sbuf); // cap := bound
+        f.bind(t3);
+        f.bge_u(i, n, d3);
+        f.ld8(v, addr, 0);
+        f.pop(sid);
+        f.add(acc, acc, v);
+        f.addi(addr, addr, 8);
+        f.blt_u(addr, cap, nowrap);
+        f.mov(addr, sbuf);
+        f.bind(nowrap);
+        f.addi(i, i, 1);
+        f.jmp(t3);
+        f.bind(d3);
+        f.st8(out, 8, acc);
+        f.halt();
+        f.finish()
+    };
+    let prog = Arc::new(pb.finish().expect("programs validate"));
+
+    let mut sys = System::new(SystemConfig::small());
+    let a_add = sys.register_action(&prog, add_action);
+    assert_eq!(a_add, ActionId(0));
+    let a_ctor = sys.register_action(&prog, square_ctor);
+
+    // Offload target.
+    let counter = sys.alloc_raw(8, 8);
+    // Morph of 64 u64 squares.
+    let morph = sys.register_morph(
+        &MorphSpec::new("squares", 8, 64, MorphLevel::Llc).with_ctor(a_ctor),
+    );
+    sys.write_u64(morph.view, morph.actors.base);
+    // Long-lived background sum.
+    let src = sys.alloc_raw(8 * 16, 64);
+    for k in 0..16u64 {
+        sys.write_u64(src + 8 * k, k + 1);
+    }
+    let mailbox = sys.alloc_raw(8, 8);
+    sys.spawn_long_lived(1, EngineLevel::Llc, &prog, background_sum, &[src, 16, mailbox]);
+    // Stream.
+    let stream = sys.create_stream(
+        &StreamSpec::new("nums", 8, 0, &prog, producer).with_args(&[64]),
+    );
+
+    // Main thread context.
+    let out = sys.alloc_raw(16, 64);
+    let ctx = sys.alloc_raw(48, 64);
+    sys.write_u64(ctx, counter);
+    sys.write_u64(ctx + 8, morph.actors.base);
+    sys.write_u64(ctx + 16, stream.buffer);
+    sys.write_u64(ctx + 24, stream.capacity);
+    sys.write_u64(ctx + 32, out);
+    sys.write_u64(ctx + 40, stream.reg_value());
+    sys.spawn_thread(0, &prog, main_fn, &[ctx]);
+
+    sys.run().expect("no deadlock across paradigms");
+
+    // Task offload: 50 increments landed.
+    assert_eq!(sys.read_u64(counter), 50);
+    // Data-triggered: sum of squares 0^2..31^2.
+    let expect: u64 = (0..32u64).map(|i| i * i).sum();
+    assert_eq!(sys.read_u64(out), expect);
+    // Streaming: sum of 1..=20.
+    assert_eq!(sys.read_u64(out + 8), (1..=20u64).sum());
+    // Long-lived: background sum of 1..=16.
+    assert_eq!(sys.read_u64(mailbox), (1..=16u64).sum());
+
+    // All paradigms left fingerprints in the stats.
+    let s = sys.stats();
+    assert!(s.invokes >= 50);
+    assert!(s.ctor_actions > 0);
+    assert!(s.stream_pushes >= 20);
+    assert!(s.engine_instrs > 0);
+}

@@ -1,0 +1,225 @@
+//! Property-based tests on the core data structures and invariants:
+//! cache banks, FU windows, the allocator's layout guarantees, the DRAM
+//! compaction translation, memory semantics, and the NoC.
+
+use levi_isa::{Memory, PagedMem};
+use levi_sim::cache::CacheBank;
+use levi_sim::dram::{TranslationEntry, Translator};
+use levi_sim::engine::{EngineId, EngineLevel, EngineState, WindowFu};
+use levi_sim::{CacheConfig, MachineConfig, Replacement, Stats};
+use leviathan::alloc::{padded_size, Allocator, ArraySpec};
+use proptest::prelude::*;
+
+proptest! {
+    /// PagedMem behaves exactly like a map of bytes.
+    #[test]
+    fn paged_mem_matches_model(ops in proptest::collection::vec(
+        (any::<u32>(), any::<u8>(), any::<bool>()), 1..200)) {
+        let mut mem = PagedMem::new();
+        let mut model = std::collections::HashMap::new();
+        for (addr, val, is_write) in ops {
+            let a = addr as u64;
+            if is_write {
+                mem.write_u8(a, val);
+                model.insert(a, val);
+            } else {
+                let expect = model.get(&a).copied().unwrap_or(0);
+                prop_assert_eq!(mem.read_u8(a), expect);
+            }
+        }
+    }
+
+    /// Multi-byte accesses round-trip for every width.
+    #[test]
+    fn mem_width_round_trip(addr in 0u64..1_000_000, val: u64) {
+        use levi_isa::MemWidth::*;
+        let mut mem = PagedMem::new();
+        for w in [B1, B2, B4, B8] {
+            mem.write(addr, val, w);
+            prop_assert_eq!(mem.read(addr, w), w.truncate(val));
+        }
+    }
+
+    /// A cache bank never exceeds its capacity and never loses a line it
+    /// did not report evicted.
+    #[test]
+    fn cache_bank_capacity_and_conservation(
+        lines in proptest::collection::vec(0u64..4096, 1..300)) {
+        let cfg = CacheConfig {
+            size_bytes: 16 * 64, // 16 lines
+            ways: 4,
+            latency: 1,
+            replacement: Replacement::Srrip,
+        };
+        let mut bank = CacheBank::new(&cfg);
+        let mut resident = std::collections::HashSet::new();
+        for line in lines {
+            if resident.contains(&line) {
+                prop_assert!(bank.probe(line).is_some());
+                continue;
+            }
+            let (_, victim) = bank.insert(line, &[]);
+            resident.insert(line);
+            if let Some(v) = victim {
+                prop_assert!(resident.remove(&v.line), "evicted a non-resident line");
+            }
+            prop_assert!(bank.resident() <= 16);
+            prop_assert_eq!(bank.resident(), resident.len());
+        }
+        for &l in &resident {
+            prop_assert!(bank.contains(l), "line {:#x} silently lost", l);
+        }
+    }
+
+    /// Pinned lines are never chosen as victims.
+    #[test]
+    fn pinned_lines_survive(fill in proptest::collection::vec(0u64..64, 8..64)) {
+        let cfg = CacheConfig {
+            size_bytes: 8 * 64, // 2 sets x 4 ways
+            ways: 4,
+            latency: 1,
+            replacement: Replacement::Lru,
+        };
+        let mut bank = CacheBank::new(&cfg);
+        let pinned = 2u64; // set 0
+        bank.insert(pinned, &[]);
+        for line in fill {
+            if !bank.contains(line) {
+                bank.insert(line, &[pinned]);
+            }
+            prop_assert!(bank.contains(pinned), "pinned line evicted");
+        }
+    }
+
+    /// WindowFu grants at most `limit` slots per cycle.
+    #[test]
+    fn window_fu_respects_limit(
+        times in proptest::collection::vec(0u64..2000, 1..300),
+        limit in 1u32..8,
+    ) {
+        let mut fu = WindowFu::new(limit);
+        let mut per_cycle = std::collections::HashMap::new();
+        for t in times {
+            let got = fu.reserve(t);
+            prop_assert!(got >= t.min(got), "grant in the deep past");
+            let c = per_cycle.entry(got).or_insert(0u32);
+            *c += 1;
+            prop_assert!(*c <= limit, "cycle {} over-subscribed", got);
+        }
+    }
+
+    /// Padded sizes are powers of two (up to the 4-line cap), at least the
+    /// object size, and at least 8.
+    #[test]
+    fn padded_size_properties(obj in 1u64..256) {
+        let p = padded_size(obj);
+        prop_assert!(p >= obj);
+        prop_assert!(p >= 8);
+        prop_assert!(p.is_power_of_two());
+        prop_assert!(p <= 256);
+    }
+
+    /// Allocator layouts: objects never straddle lines when padded, arrays
+    /// from one allocator never overlap, and compaction translations map
+    /// distinct backed bytes to distinct DRAM bytes.
+    #[test]
+    fn allocator_layout_invariants(
+        sizes in proptest::collection::vec(1u64..300, 1..8),
+    ) {
+        let mut alloc = Allocator::new();
+        let mut regions: Vec<(u64, u64)> = Vec::new();
+        for (k, obj) in sizes.iter().enumerate() {
+            let layout = alloc.plan_array(&ArraySpec::new(&format!("a{k}"), *obj, 16));
+            let arr = &layout.array;
+            // No overlap with prior regions.
+            for &(b, e) in &regions {
+                prop_assert!(arr.bound() <= b || arr.base >= e);
+            }
+            regions.push((arr.base, arr.bound()));
+            // No line straddling for supported sizes.
+            if arr.stride <= 256 && arr.stride.is_power_of_two() {
+                for i in 0..arr.count {
+                    let a = arr.addr(i);
+                    let first = a / 64;
+                    let last = (a + arr.obj_size.min(arr.stride) - 1) / 64;
+                    if arr.stride <= 64 {
+                        prop_assert_eq!(first, last, "object {} straddles a line", i);
+                    }
+                }
+            }
+            // Translation is injective over backed bytes.
+            if let Some(t) = layout.translation {
+                let mut seen = std::collections::HashSet::new();
+                for i in 0..arr.count {
+                    for off in 0..arr.obj_size {
+                        let d = t.translate(arr.addr(i) + off).expect("backed byte");
+                        prop_assert!(seen.insert(d), "DRAM byte collision");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The translator maps every backed cache line to at most 4 DRAM lines
+    /// and never panics across sizes.
+    #[test]
+    fn translator_line_mapping_total(obj in 1u64..=128) {
+        let padded = padded_size(obj);
+        prop_assume!(padded != obj); // only compacted layouts translate
+        let mut tr = Translator::new();
+        tr.register(TranslationEntry {
+            cache_base: 0x10000,
+            cache_bound: 0x10000 + padded * 64,
+            dram_base: 0x100000,
+            padded_size: padded,
+            packed_size: obj,
+        });
+        for line in (0x10000 / 64)..((0x10000 + padded * 64) / 64) {
+            let lines = tr.dram_lines_for(line);
+            prop_assert!(!lines.as_slice().is_empty());
+            prop_assert!(lines.as_slice().len() <= 4);
+        }
+    }
+
+    /// Engine contexts: reserve/release is balanced and capped.
+    #[test]
+    fn engine_contexts_balanced(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let cfg = MachineConfig::paper_default().engine;
+        let mut e = EngineState::new(
+            EngineId { tile: 0, level: EngineLevel::Llc },
+            &cfg,
+        );
+        let cap = e.offload_ctxs_cap;
+        let mut held = 0u32;
+        for take in ops {
+            if take {
+                if e.try_reserve_ctx() {
+                    held += 1;
+                    prop_assert!(held <= cap);
+                } else {
+                    prop_assert_eq!(held, cap, "NACK only when full");
+                }
+            } else if held > 0 {
+                e.release_ctx();
+                held -= 1;
+            }
+        }
+    }
+
+    /// NoC: hop counts are symmetric and bounded by the mesh diameter;
+    /// sending never decreases time.
+    #[test]
+    fn noc_properties(from in 0u32..16, to in 0u32..16, bytes in 1u32..256, now in 0u64..10_000) {
+        let cfg = MachineConfig::paper_default();
+        let (c, r) = cfg.mesh_dims();
+        let mut noc = levi_sim::noc::Noc::new(c, r, cfg.noc);
+        prop_assert_eq!(noc.hops(from, to), noc.hops(to, from));
+        prop_assert!(noc.hops(from, to) <= (c - 1) + (r - 1));
+        let mut stats = Stats::new();
+        let t = noc.send(from, to, bytes, now, &mut stats);
+        prop_assert!(t >= now);
+        if from == to {
+            prop_assert_eq!(t, now);
+        }
+    }
+}
