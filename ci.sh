@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Local CI: exactly what .github/workflows/ci.yml runs.
+# Everything is offline — the workspace has no crates.io dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== fmt ==";    cargo fmt --all -- --check
+echo "== clippy =="; cargo clippy --workspace --all-targets -- -D warnings
+echo "== build ==";  cargo build --workspace --release
+echo "== test ==";   cargo test --workspace -q
+echo "== ok =="

@@ -22,16 +22,28 @@ fn main() {
     let graph = phi_graph(&scale);
     let mut rows = Vec::new();
     let base = run_phi_on(PhiVariant::Baseline, &scale, &graph);
-    for (name, policy) in [("in-place (mem-side)", PhiPolicy::InPlace), ("log + binning", PhiPolicy::Log)] {
+    for (name, policy) in [
+        ("in-place (mem-side)", PhiPolicy::InPlace),
+        ("log + binning", PhiPolicy::Log),
+    ] {
         scale.policy = policy;
         let r = run_phi_on(PhiVariant::Leviathan, &scale, &graph);
         eprintln!("  ran {name}");
-        assert_eq!(r.rank_checksum, base.rank_checksum, "policy changed results");
+        assert_eq!(
+            r.rank_checksum, base.rank_checksum,
+            "policy changed results"
+        );
         rows.push(vec![
             name.to_string(),
-            format!("{:.2}x", base.metrics.cycles as f64 / r.metrics.cycles as f64),
+            format!(
+                "{:.2}x",
+                base.metrics.cycles as f64 / r.metrics.cycles as f64
+            ),
             r.metrics.stats.dram_accesses.to_string(),
-            format!("{:.0}%", r.metrics.energy.relative_to(&base.metrics.energy) * 100.0),
+            format!(
+                "{:.0}%",
+                r.metrics.energy.relative_to(&base.metrics.energy) * 100.0
+            ),
         ]);
     }
     rows.insert(

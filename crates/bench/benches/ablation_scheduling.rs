@@ -34,5 +34,8 @@ fn main() {
             r.metrics.stats.noc_flit_hops.to_string(),
         ]);
     }
-    table(&["placement", "cycles", "migrations", "NoC flit-hops"], &rows);
+    table(
+        &["placement", "cycles", "migrations", "NoC flit-hops"],
+        &rows,
+    );
 }

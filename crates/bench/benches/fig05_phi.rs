@@ -3,7 +3,7 @@
 //! Paper: Leviathan 3.7×, tākō Relax 3.1×, tākō Fence 1.4×; Leviathan
 //! −22% energy, within 1.3% of Ideal; 40% less NoC traffic than tākō.
 
-use levi_bench::{header, quick_mode, speedup_table, Row};
+use levi_bench::{header, quick_mode, report, Row};
 use levi_workloads::phi::{phi_graph, run_phi_on, PhiScale, PhiVariant};
 
 fn main() {
@@ -54,7 +54,7 @@ fn main() {
             paper_energy: Some(pe),
         })
         .collect();
-    speedup_table(&rows);
+    report("fig05_phi", &rows);
 
     // Mechanism breakdown (Sec. IV-D).
     println!();
@@ -75,8 +75,7 @@ fn main() {
         "  NoC traffic vs tako: -{:.0}%  (paper: -40%)",
         noc_cut * 100.0
     );
-    let ideal_gap =
-        results[3].metrics.cycles as f64 / results[4].metrics.cycles as f64 - 1.0;
+    let ideal_gap = results[3].metrics.cycles as f64 / results[4].metrics.cycles as f64 - 1.0;
     println!(
         "  gap to idealized engine: {:.1}%  (paper: 1.3%)",
         ideal_gap * 100.0

@@ -3,7 +3,7 @@
 //! Paper: Leviathan 2.4×, −65% energy, within 1.6% of Ideal; offload (OL)
 //! is 2.8× *worse* than baseline; no-padding prior work fails outright.
 
-use levi_bench::{header, quick_mode, speedup_table, Row};
+use levi_bench::{header, quick_mode, report, Row};
 use levi_workloads::decompress::{run_decompress, DecompressScale, DecompressVariant};
 
 fn main() {
@@ -40,7 +40,10 @@ fn main() {
         }
     }
     for (r, _, _) in &results[1..] {
-        assert_eq!(r.access_sum, results[0].0.access_sum, "functional divergence");
+        assert_eq!(
+            r.access_sum, results[0].0.access_sum,
+            "functional divergence"
+        );
     }
     let rows: Vec<Row> = results
         .iter()
@@ -51,10 +54,16 @@ fn main() {
             paper_energy: *pe,
         })
         .collect();
-    speedup_table(&rows);
+    report("fig16_decompress", &rows);
 
-    let lev = results.iter().find(|(r, _, _)| r.metrics.label == "Leviathan").unwrap();
-    let ideal = results.iter().find(|(r, _, _)| r.metrics.label == "Ideal").unwrap();
+    let lev = results
+        .iter()
+        .find(|(r, _, _)| r.metrics.label == "Leviathan")
+        .unwrap();
+    let ideal = results
+        .iter()
+        .find(|(r, _, _)| r.metrics.label == "Ideal")
+        .unwrap();
     println!();
     println!(
         "gap to idealized engine: {:.1}%  (paper: 1.6%)",

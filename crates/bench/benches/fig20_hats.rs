@@ -4,7 +4,7 @@
 //! Paper: software BDFS 1.2×, tākō 1.4×, Leviathan 1.7× (≈ Ideal),
 //! −26% energy.
 
-use levi_bench::{header, quick_mode, speedup_table, Row};
+use levi_bench::{header, quick_mode, report, Row};
 use levi_workloads::gen::Graph;
 use levi_workloads::hats::{run_hats_on, HatsScale, HatsVariant};
 
@@ -62,5 +62,5 @@ fn main() {
             },
         })
         .collect();
-    speedup_table(&rows);
+    report("fig20_hats", &rows);
 }

@@ -42,5 +42,8 @@ fn main() {
     for (row, c) in rows.iter_mut().zip(&cycles_at) {
         row.push(format!("{:.2}x", best as f64 / *c as f64));
     }
-    table(&["entries", "cycles", "consumer stalls", "rel. perf"], &rows);
+    table(
+        &["entries", "cycles", "consumer stalls", "rel. perf"],
+        &rows,
+    );
 }

@@ -13,9 +13,17 @@ fn main() {
         "paper: good while data <= LLC; drops past LLC capacity",
     );
     let quick = quick_mode();
-    let base_scale = if quick { HtScale::test(64) } else { HtScale::paper(64) };
+    let base_scale = if quick {
+        HtScale::test(64)
+    } else {
+        HtScale::paper(64)
+    };
     // The 16-tile LLC is 8 MB; sweep the (padded) table across it.
-    let sizes_mb: &[u64] = if quick { &[1, 2] } else { &[1, 2, 4, 8, 16, 32] };
+    let sizes_mb: &[u64] = if quick {
+        &[1, 2]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
     let mut rows = Vec::new();
     for &mb in sizes_mb {
         let scale = base_scale.clone().with_table_bytes(mb * 1024 * 1024);
@@ -24,7 +32,10 @@ fn main() {
         eprintln!("  ran table={mb}MB");
         rows.push(vec![
             format!("{mb} MB"),
-            format!("{:.2}x", base.metrics.cycles as f64 / lev.metrics.cycles as f64),
+            format!(
+                "{:.2}x",
+                base.metrics.cycles as f64 / lev.metrics.cycles as f64
+            ),
             base.metrics.stats.dram_accesses.to_string(),
             lev.metrics.stats.dram_accesses.to_string(),
         ]);

@@ -12,23 +12,39 @@ fn main() {
         "Fig. 25 — hash-table sensitivity to tile count",
         "paper: benefit grows with system size (NoC savings dominate)",
     );
-    let tiles_list: &[u32] = if quick_mode() { &[4, 8] } else { &[4, 8, 16, 32, 64] };
+    let tiles_list: &[u32] = if quick_mode() {
+        &[4, 8]
+    } else {
+        &[4, 8, 16, 32, 64]
+    };
     let mut rows = Vec::new();
     for &tiles in tiles_list {
-        let mut scale = if quick_mode() { HtScale::test(64) } else { HtScale::paper(64) };
+        let mut scale = if quick_mode() {
+            HtScale::test(64)
+        } else {
+            HtScale::paper(64)
+        };
         scale.tiles = tiles;
         let base = run_hashtable(HtVariant::Baseline, &scale);
         let lev = run_hashtable(HtVariant::Leviathan, &scale);
         eprintln!("  ran tiles={tiles}");
         rows.push(vec![
             tiles.to_string(),
-            format!("{:.2}x", base.metrics.cycles as f64 / lev.metrics.cycles as f64),
+            format!(
+                "{:.2}x",
+                base.metrics.cycles as f64 / lev.metrics.cycles as f64
+            ),
             base.metrics.stats.noc_flit_hops.to_string(),
             lev.metrics.stats.noc_flit_hops.to_string(),
         ]);
     }
     table(
-        &["tiles", "Leviathan speedup", "base flit-hops", "lev flit-hops"],
+        &[
+            "tiles",
+            "Leviathan speedup",
+            "base flit-hops",
+            "lev flit-hops",
+        ],
         &rows,
     );
 }

@@ -7,7 +7,10 @@ use levi_bench::{header, table};
 use levi_sim::MachineConfig;
 
 fn main() {
-    header("Table V — system parameters", "simulated configuration vs the paper");
+    header(
+        "Table V — system parameters",
+        "simulated configuration vs the paper",
+    );
     let c = MachineConfig::paper_default();
     let rows = vec![
         vec!["Cores".into(), format!("{} cores, LevIR ISA, scoreboarded issue {} wide, {} MSHRs, {}-entry invoke buffer", c.tiles, c.core.issue_width, c.core.mshrs, c.core.invoke_buffer), "16 cores, x86-64, OOO Skylake, 4-entry invoke buffer".into()],
@@ -20,25 +23,68 @@ fn main() {
     ];
     table(&["component", "simulated", "paper"], &rows);
 
-    header("Table I — NDC taxonomy (implemented paradigms)", "all four paradigms run on the same hardware");
+    header(
+        "Table I — NDC taxonomy (implemented paradigms)",
+        "all four paradigms run on the same hardware",
+    );
     table(
-        &["paradigm", "small tasks?", "talks to cores?", "mechanism here"],
         &[
-            vec!["Task offload".into(), "yes".into(), "yes".into(), "invoke instr + engine task contexts + DYNAMIC scheduling".into()],
-            vec!["Long-lived".into(), "no".into(), "no".into(), "spawn_long_lived / stream producers on engines".into()],
-            vec!["Data-triggered".into(), "yes".into(), "no".into(), "Morph ctors/dtors on cache insertion/eviction".into()],
-            vec!["Streaming".into(), "no".into(), "yes".into(), "ring buffer + phantom consumption + push/pop".into()],
+            "paradigm",
+            "small tasks?",
+            "talks to cores?",
+            "mechanism here",
+        ],
+        &[
+            vec![
+                "Task offload".into(),
+                "yes".into(),
+                "yes".into(),
+                "invoke instr + engine task contexts + DYNAMIC scheduling".into(),
+            ],
+            vec![
+                "Long-lived".into(),
+                "no".into(),
+                "no".into(),
+                "spawn_long_lived / stream producers on engines".into(),
+            ],
+            vec![
+                "Data-triggered".into(),
+                "yes".into(),
+                "no".into(),
+                "Morph ctors/dtors on cache insertion/eviction".into(),
+            ],
+            vec![
+                "Streaming".into(),
+                "no".into(),
+                "yes".into(),
+                "ring buffer + phantom consumption + push/pop".into(),
+            ],
         ],
     );
 
-    header("Table II — actions per paradigm", "see leviathan crate docs");
+    header(
+        "Table II — actions per paradigm",
+        "see leviathan crate docs",
+    );
     table(
         &["paradigm", "actions"],
         &[
-            vec!["Task offload".into(), "arbitrary actor-specific function".into()],
-            vec!["Long-lived".into(), "arbitrary actor-specific function".into()],
-            vec!["Data-triggered".into(), "actor constructor & destructor".into()],
-            vec!["Streaming".into(), "actor-specific producer function (genStream)".into()],
+            vec![
+                "Task offload".into(),
+                "arbitrary actor-specific function".into(),
+            ],
+            vec![
+                "Long-lived".into(),
+                "arbitrary actor-specific function".into(),
+            ],
+            vec![
+                "Data-triggered".into(),
+                "actor constructor & destructor".into(),
+            ],
+            vec![
+                "Streaming".into(),
+                "actor-specific producer function (genStream)".into(),
+            ],
         ],
     );
 
@@ -46,9 +92,24 @@ fn main() {
     table(
         &["paradigm", "core", "cache", "engine"],
         &[
-            vec!["Task offload".into(), "invoke instr & buffer".into(), "n/a".into(), "DYNAMIC scheduling".into()],
-            vec!["Data-triggered".into(), "flush instr, TLB bits".into(), "tag bits".into(), "actor buffer, vtable map".into()],
-            vec!["Streaming".into(), "pop instr".into(), "n/a".into(), "push instr, stream metadata".into()],
+            vec![
+                "Task offload".into(),
+                "invoke instr & buffer".into(),
+                "n/a".into(),
+                "DYNAMIC scheduling".into(),
+            ],
+            vec![
+                "Data-triggered".into(),
+                "flush instr, TLB bits".into(),
+                "tag bits".into(),
+                "actor buffer, vtable map".into(),
+            ],
+            vec![
+                "Streaming".into(),
+                "pop instr".into(),
+                "n/a".into(),
+                "push instr, stream metadata".into(),
+            ],
         ],
     );
 }

@@ -10,6 +10,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+use levi_sim::Histogram;
 use levi_workloads::metrics::RunMetrics;
 
 /// True when `LEVI_BENCH_QUICK` is set: benches drop to reduced scales
@@ -63,6 +67,84 @@ pub fn speedup_table(rows: &[Row<'_>]) {
     }
 }
 
+/// Prints the speedup/energy table and, when `LEVI_BENCH_JSON=<path>` is
+/// set, appends one machine-readable JSON line for the figure so the perf
+/// trajectory across commits is diffable.
+///
+/// The JSON schema (one object per line, one line per figure run):
+///
+/// ```json
+/// {"figure": "fig20_hats",
+///  "rows": [{"label": "Baseline", "cycles": 1234, "speedup": 1.0,
+///            "rel_energy": 1.0, "energy_uj": 5.6,
+///            "invoke_rtt": {"count": 10, "p50": 32, "p90": 64, "p99": 64},
+///            "load_to_use": {...}, "dram_queue": {...},
+///            "stream_stall": {...}}]}
+/// ```
+pub fn report(figure: &str, rows: &[Row<'_>]) {
+    speedup_table(rows);
+    let Ok(path) = std::env::var("LEVI_BENCH_JSON") else {
+        return;
+    };
+    let json = figure_json(figure, rows);
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .unwrap_or_else(|e| panic!("LEVI_BENCH_JSON={path}: {e}"));
+    writeln!(f, "{json}").expect("write bench JSON");
+}
+
+/// Renders one figure's rows as a single JSON object (no trailing newline).
+pub fn figure_json(figure: &str, rows: &[Row<'_>]) -> String {
+    let base = rows[0].metrics;
+    let mut out = String::new();
+    let _ = write!(out, "{{\"figure\":\"{}\",\"rows\":[", escape(figure));
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let speedup = base.cycles as f64 / r.metrics.cycles as f64;
+        let energy = r.metrics.energy.relative_to(&base.energy);
+        let _ = write!(
+            out,
+            "{{\"label\":\"{}\",\"cycles\":{},\"speedup\":{:.6},\
+             \"rel_energy\":{:.6},\"energy_uj\":{:.3}",
+            escape(r.label),
+            r.metrics.cycles,
+            speedup,
+            energy,
+            r.metrics.energy.total_uj()
+        );
+        for (name, h) in [
+            ("invoke_rtt", &r.metrics.stats.invoke_rtt),
+            ("load_to_use", &r.metrics.stats.load_to_use),
+            ("dram_queue", &r.metrics.stats.dram_queue),
+            ("stream_stall", &r.metrics.stats.stream_stall),
+        ] {
+            let _ = write!(out, ",\"{name}\":{}", hist_json(h));
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn hist_json(h: &Histogram) -> String {
+    format!(
+        "{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+        h.count(),
+        h.p50(),
+        h.p90(),
+        h.p99(),
+        h.max()
+    )
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 /// Prints a generic column table.
 pub fn table(headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -91,8 +173,52 @@ pub fn pct(x: f64) -> String {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+    use leviathan::{System, SystemConfig};
+
     #[test]
     fn pct_formats() {
         assert_eq!(super::pct(0.064), "6.4%");
+    }
+
+    #[test]
+    fn figure_json_contains_cycles_speedup_and_percentiles() {
+        let sys = System::new(SystemConfig::small());
+        let mut base = RunMetrics::capture("Baseline", &sys);
+        base.cycles = 1000;
+        base.stats.invoke_rtt.record(40);
+        let mut levi = RunMetrics::capture("Leviathan", &sys);
+        levi.cycles = 250;
+        let rows = [
+            Row {
+                label: "Baseline",
+                metrics: &base,
+                paper_speedup: None,
+                paper_energy: None,
+            },
+            Row {
+                label: "Leviathan",
+                metrics: &levi,
+                paper_speedup: None,
+                paper_energy: None,
+            },
+        ];
+        let json = figure_json("fig_test", &rows);
+        assert!(json.starts_with("{\"figure\":\"fig_test\""), "{json}");
+        assert!(json.contains("\"cycles\":1000"), "{json}");
+        assert!(json.contains("\"speedup\":4.000000"), "{json}");
+        assert!(
+            json.contains(
+                "\"invoke_rtt\":{\"count\":1,\"p50\":32,\"p90\":32,\"p99\":32,\"max\":40}"
+            ),
+            "{json}"
+        );
+        assert!(json.contains("\"stream_stall\":{\"count\":0"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn escape_handles_quotes() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
     }
 }

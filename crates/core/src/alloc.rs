@@ -95,7 +95,11 @@ impl ObjectArray {
     /// # Panics
     /// Panics if `i >= count`.
     pub fn addr(&self, i: u64) -> Addr {
-        assert!(i < self.count, "object index {i} out of bounds ({})", self.count);
+        assert!(
+            i < self.count,
+            "object index {i} out of bounds ({})",
+            self.count
+        );
         self.base + i * self.stride
     }
 
@@ -221,29 +225,29 @@ impl Allocator {
         };
 
         let multiline = stride > LINE_SIZE;
-        let bank_map = (spec.pad && spec.map_banks && multiline && stride <= MAX_PADDED).then(|| {
-            BankMapRange {
-                base,
-                bound: array.bound(),
-                ignore_line_bits: (stride / LINE_SIZE).trailing_zeros(),
-            }
-        });
+        let bank_map =
+            (spec.pad && spec.map_banks && multiline && stride <= MAX_PADDED).then(|| {
+                BankMapRange {
+                    base,
+                    bound: array.bound(),
+                    ignore_line_bits: (stride / LINE_SIZE).trailing_zeros(),
+                }
+            });
 
         let packed = spec.obj_size;
-        let translation = (spec.pad
-            && spec.compact_dram
-            && stride != packed
-            && stride <= MAX_PADDED)
-            .then(|| {
-            let dram_base = self.dram_alloc(spec.count * packed);
-            TranslationEntry {
-                cache_base: base,
-                cache_bound: array.bound(),
-                dram_base,
-                padded_size: stride,
-                packed_size: packed,
-            }
-        });
+        let translation =
+            (spec.pad && spec.compact_dram && stride != packed && stride <= MAX_PADDED).then(
+                || {
+                    let dram_base = self.dram_alloc(spec.count * packed);
+                    TranslationEntry {
+                        cache_base: base,
+                        cache_bound: array.bound(),
+                        dram_base,
+                        padded_size: stride,
+                        packed_size: packed,
+                    }
+                },
+            );
 
         Layout {
             array,
@@ -278,7 +282,11 @@ mod tests {
         assert_eq!(padded_size(128), 128);
         assert_eq!(padded_size(100), 128);
         assert_eq!(padded_size(256), 256, "4-line maximum");
-        assert_eq!(padded_size(300), 320, "past the limit: line-rounded fallback");
+        assert_eq!(
+            padded_size(300),
+            320,
+            "past the limit: line-rounded fallback"
+        );
     }
 
     #[test]

@@ -85,7 +85,11 @@ impl AreaModel {
         let rows = vec![
             AreaRow {
                 component: "LLC tags".into(),
-                formula: format!("{}K lines x {} bits", llc_lines / 1024, self.tag_bits_per_line),
+                formula: format!(
+                    "{}K lines x {} bits",
+                    llc_lines / 1024,
+                    self.tag_bits_per_line
+                ),
                 bytes: tag_bytes,
             },
             AreaRow {
@@ -149,7 +153,10 @@ mod tests {
             "total per bank = {total_kb:.1} KB (paper: 32.8 KB)"
         );
         let pct = report.overhead_fraction() * 100.0;
-        assert!((pct - 6.4).abs() < 0.1, "overhead = {pct:.1}% (paper: 6.4%)");
+        assert!(
+            (pct - 6.4).abs() < 0.1,
+            "overhead = {pct:.1}% (paper: 6.4%)"
+        );
     }
 
     #[test]

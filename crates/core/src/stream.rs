@@ -113,7 +113,10 @@ mod tests {
         assert_eq!(s.capacity, 64);
         assert_eq!(s.consumer, 3);
         assert_eq!(s.producer_args, vec![7, 8]);
-        assert!(matches!(s.mode, StreamMode::MissTriggered { reinit_instrs: 15 }));
+        assert!(matches!(
+            s.mode,
+            StreamMode::MissTriggered { reinit_instrs: 15 }
+        ));
     }
 
     #[test]

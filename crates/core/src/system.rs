@@ -9,9 +9,7 @@
 use std::sync::Arc;
 
 use levi_isa::{ActionId, Addr, FuncId, MemWidth, Memory, Program};
-use levi_sim::{
-    EngineId, EngineLevel, Machine, MachineConfig, MorphRegion, RunError, RunResult,
-};
+use levi_sim::{EngineId, EngineLevel, Machine, MachineConfig, MorphRegion, RunError, RunResult};
 
 use crate::alloc::{Allocator, ArraySpec, Layout, ObjectArray};
 use crate::future::{FutureCell, FUTURE_SIZE};
@@ -131,11 +129,7 @@ impl System {
     /// it bypass the LLC and execute at the memory controller (PHI's
     /// in-place update path).
     pub fn mark_mem_side(&mut self, base: Addr, len: u64) {
-        self.machine
-            .hw
-            .ndc
-            .mem_side_ranges
-            .push((base, base + len));
+        self.machine.hw.ndc.mem_side_ranges.push((base, base + len));
     }
 
     /// Allocates a future cell.
@@ -327,7 +321,8 @@ impl System {
         func: FuncId,
         args: &[u64],
     ) -> levi_sim::ActorId {
-        self.machine.spawn_thread(core, Arc::clone(prog), func, args)
+        self.machine
+            .spawn_thread(core, Arc::clone(prog), func, args)
     }
 
     /// Spawns a long-lived task directly on an engine (the long-lived
@@ -340,13 +335,8 @@ impl System {
         func: FuncId,
         args: &[u64],
     ) -> levi_sim::ActorId {
-        self.machine.spawn_engine_task(
-            EngineId { tile, level },
-            Arc::clone(prog),
-            func,
-            args,
-            None,
-        )
+        self.machine
+            .spawn_engine_task(EngineId { tile, level }, Arc::clone(prog), func, args, None)
     }
 
     /// Runs until all spawned core threads halt.
@@ -463,9 +453,8 @@ mod tests {
         let mut sys = System::new(SystemConfig::small());
         let ctor_a = sys.register_action(&prog, ctor);
         let _reader_a = sys.register_action(&prog, reader);
-        let morph = sys.register_morph(
-            &MorphSpec::new("magic", 8, 128, MorphLevel::Llc).with_ctor(ctor_a),
-        );
+        let morph =
+            sys.register_morph(&MorphSpec::new("magic", 8, 128, MorphLevel::Llc).with_ctor(ctor_a));
         let fut = sys.alloc_future();
         sys.spawn_thread(0, &prog, main, &[morph.actor(5), fut.addr]);
         sys.run().unwrap();
@@ -519,7 +508,12 @@ mod tests {
         let mut sys = System::new(SystemConfig::small());
         let spec = StreamSpec::new("nums", 16, 0, &prog, producer);
         let h = sys.create_stream(&spec);
-        sys.spawn_thread(0, &prog, consumer, &[h.reg_value(), h.buffer, h.capacity, 50]);
+        sys.spawn_thread(
+            0,
+            &prog,
+            consumer,
+            &[h.reg_value(), h.buffer, h.capacity, 50],
+        );
         sys.run().unwrap();
         assert_eq!(sys.read_u64(0x7777_0000), (0..50).sum::<u64>());
         assert_eq!(sys.stats().stream_pushes, 50);

@@ -198,7 +198,11 @@ fn parse_imm(line: usize, tok: &str) -> Result<u64, AsmError> {
         t.replace('_', "").parse::<u64>()
     };
     match v {
-        Ok(v) => Ok(if neg { (v as i64).wrapping_neg() as u64 } else { v }),
+        Ok(v) => Ok(if neg {
+            (v as i64).wrapping_neg() as u64
+        } else {
+            v
+        }),
         Err(_) => err(line, format!("bad immediate `{tok}`")),
     }
 }
@@ -306,7 +310,10 @@ fn parse_inst(
         if args.len() == n {
             Ok(())
         } else {
-            err(line, format!("`{mnemonic}` expects {n} operand(s), got {}", args.len()))
+            err(
+                line,
+                format!("`{mnemonic}` expects {n} operand(s), got {}", args.len()),
+            )
         }
     };
     let label_of = |name: &str| -> Result<Label, AsmError> {
@@ -405,16 +412,20 @@ fn parse_inst(
                 Some(w) => (w, true),
                 None => (spec, false),
             };
-            let w = width(wtok)
-                .ok_or_else(|| AsmError { line, message: format!("bad load `{m}`") })?;
+            let w = width(wtok).ok_or_else(|| AsmError {
+                line,
+                message: format!("bad load `{m}`"),
+            })?;
             let rd = parse_reg(line, args[0])?;
             let (ra, off) = parse_mem(line, args[1])?;
             f.ld(rd, ra, off, w, sext);
         }
         m if m.starts_with("st") => {
             need(2)?;
-            let w = width(&m[2..])
-                .ok_or_else(|| AsmError { line, message: format!("bad store `{m}`") })?;
+            let w = width(&m[2..]).ok_or_else(|| AsmError {
+                line,
+                message: format!("bad store `{m}`"),
+            })?;
             let (ra, off) = parse_mem(line, args[0])?;
             let rs = parse_reg(line, args[1])?;
             f.st(ra, off, rs, w);
@@ -426,11 +437,15 @@ fn parse_inst(
             if parts.len() < 3 {
                 return err(line, format!("bad rmw `{m}` (want rmw.op[.relaxed].b8)"));
             }
-            let op = rmw_op(parts[1])
-                .ok_or_else(|| AsmError { line, message: format!("bad rmw op in `{m}`") })?;
+            let op = rmw_op(parts[1]).ok_or_else(|| AsmError {
+                line,
+                message: format!("bad rmw op in `{m}`"),
+            })?;
             let relaxed = parts.contains(&"relaxed");
-            let w = width(parts.last().expect("nonempty"))
-                .ok_or_else(|| AsmError { line, message: format!("bad rmw width in `{m}`") })?;
+            let w = width(parts.last().expect("nonempty")).ok_or_else(|| AsmError {
+                line,
+                message: format!("bad rmw width in `{m}`"),
+            })?;
             let rd = parse_reg(line, args[0])?;
             let (ra, off) = parse_mem(line, args[1])?;
             if off != 0 {
@@ -587,7 +602,9 @@ mod tests {
         for (i, v) in [5u64, 10, 15].iter().enumerate() {
             mem.write_u64(0x100 + 8 * i as u64, *v);
         }
-        let got = Interpreter::new(&prog).run(sum, &[0x100, 3], &mut mem).unwrap();
+        let got = Interpreter::new(&prog)
+            .run(sum, &[0x100, 3], &mut mem)
+            .unwrap();
         assert_eq!(got, 30);
     }
 
@@ -670,7 +687,14 @@ mod tests {
         let f = prog.func_by_name("caller").unwrap();
         let insts = prog.func(f).insts();
         match &insts[0] {
-            crate::inst::Inst::Invoke { action, args, loc, exclusive, future, .. } => {
+            crate::inst::Inst::Invoke {
+                action,
+                args,
+                loc,
+                exclusive,
+                future,
+                ..
+            } => {
                 assert_eq!(*action, ActionId(0));
                 assert_eq!(args.len(), 2);
                 assert_eq!(*loc, Location::Remote);
@@ -680,7 +704,13 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         match &insts[1] {
-            crate::inst::Inst::Invoke { loc, exclusive, future, args, .. } => {
+            crate::inst::Inst::Invoke {
+                loc,
+                exclusive,
+                future,
+                args,
+                ..
+            } => {
                 assert_eq!(*loc, Location::Dynamic);
                 assert!(*exclusive);
                 assert_eq!(*future, Some(Reg(5)));
@@ -730,10 +760,9 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let prog = assemble(
-            "; leading comment\n\nfn a:  ; trailing\n    # hash comment\n    ret\n",
-        )
-        .unwrap();
+        let prog =
+            assemble("; leading comment\n\nfn a:  ; trailing\n    # hash comment\n    ret\n")
+                .unwrap();
         assert_eq!(prog.len(), 1);
     }
 

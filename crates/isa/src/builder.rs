@@ -8,9 +8,7 @@
 
 use std::collections::HashMap;
 
-use crate::inst::{
-    AluOp, BrCond, Inst, Label, Location, MemOrder, MemWidth, Reg, RmwOp, NUM_REGS,
-};
+use crate::inst::{AluOp, BrCond, Inst, Label, Location, MemOrder, MemWidth, Reg, RmwOp, NUM_REGS};
 use crate::program::{ActionId, FuncId, Function, Program, ProgramError};
 
 /// Builds a [`Program`] out of one or more functions.
@@ -80,7 +78,11 @@ impl ProgramBuilder {
             .funcs
             .into_iter()
             .enumerate()
-            .map(|(i, f)| f.unwrap_or_else(|| panic!("function f{i} (`{}`) declared but never defined", names[i])))
+            .map(|(i, f)| {
+                f.unwrap_or_else(|| {
+                    panic!("function f{i} (`{}`) declared but never defined", names[i])
+                })
+            })
             .collect();
 
         let nfuncs = funcs.len() as u32;
@@ -114,29 +116,23 @@ impl ProgramBuilder {
                     });
                 }
                 match inst {
-                    Inst::Br { target, .. } | Inst::Jmp { target } => {
-                        if target.0 >= len {
-                            return Err(ProgramError::LabelOutOfRange {
-                                func: func.name().to_string(),
-                                label: target.0,
-                            });
-                        }
+                    Inst::Br { target, .. } | Inst::Jmp { target } if target.0 >= len => {
+                        return Err(ProgramError::LabelOutOfRange {
+                            func: func.name().to_string(),
+                            label: target.0,
+                        });
                     }
-                    Inst::Call { func: callee } => {
-                        if callee.0 >= nfuncs {
-                            return Err(ProgramError::UnknownCallee {
-                                func: func.name().to_string(),
-                                callee: callee.0,
-                            });
-                        }
+                    Inst::Call { func: callee } if callee.0 >= nfuncs => {
+                        return Err(ProgramError::UnknownCallee {
+                            func: func.name().to_string(),
+                            callee: callee.0,
+                        });
                     }
-                    Inst::Invoke { args, .. } => {
-                        if args.len() > 4 {
-                            return Err(ProgramError::TooManyInvokeArgs {
-                                func: func.name().to_string(),
-                                count: args.len(),
-                            });
-                        }
+                    Inst::Invoke { args, .. } if args.len() > 4 => {
+                        return Err(ProgramError::TooManyInvokeArgs {
+                            func: func.name().to_string(),
+                            count: args.len(),
+                        });
                     }
                     _ => {}
                 }
@@ -204,7 +200,10 @@ impl<'p> FunctionBuilder<'p> {
 
     /// `rd = val` (any 64-bit immediate; accepts signed or unsigned).
     pub fn imm(&mut self, rd: Reg, val: impl Into<ImmVal>) -> &mut Self {
-        self.emit(Inst::Imm { rd, val: val.into().0 })
+        self.emit(Inst::Imm {
+            rd,
+            val: val.into().0,
+        })
     }
 
     /// `rd = rs`.
@@ -313,7 +312,12 @@ impl<'p> FunctionBuilder<'p> {
 
     /// Emits any register-immediate ALU op.
     pub fn alui(&mut self, op: AluOp, rd: Reg, ra: Reg, imm: impl Into<ImmVal>) -> &mut Self {
-        self.emit(Inst::AluI { op, rd, ra, imm: imm.into().0 })
+        self.emit(Inst::AluI {
+            op,
+            rd,
+            ra,
+            imm: imm.into().0,
+        })
     }
 
     // ---- memory ----
@@ -340,7 +344,13 @@ impl<'p> FunctionBuilder<'p> {
 
     /// Emits a load with explicit width and sign-extension.
     pub fn ld(&mut self, rd: Reg, ra: Reg, off: i32, width: MemWidth, sext: bool) -> &mut Self {
-        self.emit(Inst::Ld { rd, ra, off, width, sext })
+        self.emit(Inst::Ld {
+            rd,
+            ra,
+            off,
+            width,
+            sext,
+        })
     }
 
     /// `mem[ra+off] = rs`, 1 byte.
@@ -402,7 +412,12 @@ impl<'p> FunctionBuilder<'p> {
 
     /// Emits a conditional branch.
     pub fn br(&mut self, cond: BrCond, ra: Reg, rb: Reg, target: Label) -> &mut Self {
-        self.emit(Inst::Br { cond, ra, rb, target })
+        self.emit(Inst::Br {
+            cond,
+            ra,
+            rb,
+            target,
+        })
     }
 
     /// Unconditional jump.
@@ -433,13 +448,41 @@ impl<'p> FunctionBuilder<'p> {
     // ---- atomics / NDC ----
 
     /// Fenced atomic RMW (x86-like semantics): `rd = old; [addr] = op(old, rv)`.
-    pub fn rmw_fenced(&mut self, op: RmwOp, rd: Reg, addr: Reg, rv: Reg, width: MemWidth) -> &mut Self {
-        self.emit(Inst::AtomicRmw { op, rd, addr, rv, width, ordering: MemOrder::Fenced })
+    pub fn rmw_fenced(
+        &mut self,
+        op: RmwOp,
+        rd: Reg,
+        addr: Reg,
+        rv: Reg,
+        width: MemWidth,
+    ) -> &mut Self {
+        self.emit(Inst::AtomicRmw {
+            op,
+            rd,
+            addr,
+            rv,
+            width,
+            ordering: MemOrder::Fenced,
+        })
     }
 
     /// Relaxed atomic RMW: atomic but unordered (Sec. IV-D's "tākō Relax").
-    pub fn rmw_relaxed(&mut self, op: RmwOp, rd: Reg, addr: Reg, rv: Reg, width: MemWidth) -> &mut Self {
-        self.emit(Inst::AtomicRmw { op, rd, addr, rv, width, ordering: MemOrder::Relaxed })
+    pub fn rmw_relaxed(
+        &mut self,
+        op: RmwOp,
+        rd: Reg,
+        addr: Reg,
+        rv: Reg,
+        width: MemWidth,
+    ) -> &mut Self {
+        self.emit(Inst::AtomicRmw {
+            op,
+            rd,
+            addr,
+            rv,
+            width,
+            ordering: MemOrder::Relaxed,
+        })
     }
 
     /// Full memory fence.
@@ -449,7 +492,13 @@ impl<'p> FunctionBuilder<'p> {
 
     /// Offloads `action` to run on the actor pointed to by `actor`
     /// (fire-and-forget, no future).
-    pub fn invoke(&mut self, actor: Reg, action: ActionId, args: &[Reg], loc: Location) -> &mut Self {
+    pub fn invoke(
+        &mut self,
+        actor: Reg,
+        action: ActionId,
+        args: &[Reg],
+        loc: Location,
+    ) -> &mut Self {
         self.emit(Inst::Invoke {
             actor,
             action,
@@ -461,7 +510,13 @@ impl<'p> FunctionBuilder<'p> {
     }
 
     /// Offloads `action` with EXCLUSIVE (write-intent) scheduling hint.
-    pub fn invoke_exclusive(&mut self, actor: Reg, action: ActionId, args: &[Reg], loc: Location) -> &mut Self {
+    pub fn invoke_exclusive(
+        &mut self,
+        actor: Reg,
+        action: ActionId,
+        args: &[Reg],
+        loc: Location,
+    ) -> &mut Self {
         self.emit(Inst::Invoke {
             actor,
             action,
@@ -536,16 +591,26 @@ impl<'p> FunctionBuilder<'p> {
             .insts
             .into_iter()
             .map(|inst| match inst {
-                Inst::Br { cond, ra, rb, target } => {
-                    let pos = *bound
-                        .get(&target.0)
-                        .unwrap_or_else(|| panic!("function `{name}`: label {target:?} never bound"));
-                    Inst::Br { cond, ra, rb, target: Label(pos) }
+                Inst::Br {
+                    cond,
+                    ra,
+                    rb,
+                    target,
+                } => {
+                    let pos = *bound.get(&target.0).unwrap_or_else(|| {
+                        panic!("function `{name}`: label {target:?} never bound")
+                    });
+                    Inst::Br {
+                        cond,
+                        ra,
+                        rb,
+                        target: Label(pos),
+                    }
                 }
                 Inst::Jmp { target } => {
-                    let pos = *bound
-                        .get(&target.0)
-                        .unwrap_or_else(|| panic!("function `{name}`: label {target:?} never bound"));
+                    let pos = *bound.get(&target.0).unwrap_or_else(|| {
+                        panic!("function `{name}`: label {target:?} never bound")
+                    });
                     Inst::Jmp { target: Label(pos) }
                 }
                 other => other,
@@ -631,10 +696,7 @@ mod tests {
         let mut f = pb.function("fall");
         f.imm(Reg(0), 1);
         f.finish();
-        assert!(matches!(
-            pb.finish(),
-            Err(ProgramError::FallsOffEnd { .. })
-        ));
+        assert!(matches!(pb.finish(), Err(ProgramError::FallsOffEnd { .. })));
     }
 
     #[test]
@@ -666,7 +728,8 @@ mod tests {
         let mut pb = ProgramBuilder::new();
         let mut f = pb.function("fatinvoke");
         let args = [Reg(1), Reg(2), Reg(3), Reg(4), Reg(5)];
-        f.invoke(Reg(0), ActionId(0), &args, Location::Dynamic).ret();
+        f.invoke(Reg(0), ActionId(0), &args, Location::Dynamic)
+            .ret();
         f.finish();
         assert!(matches!(
             pb.finish(),
@@ -711,7 +774,13 @@ mod tests {
         f.finish();
         let prog = pb.finish().unwrap();
         let insts = prog.func(FuncId(0)).insts();
-        assert_eq!(insts[0], Inst::Imm { rd: Reg(0), val: u64::MAX });
+        assert_eq!(
+            insts[0],
+            Inst::Imm {
+                rd: Reg(0),
+                val: u64::MAX
+            }
+        );
         assert_eq!(insts[1], Inst::Imm { rd: Reg(1), val: 5 });
     }
 }

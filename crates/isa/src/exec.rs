@@ -485,8 +485,8 @@ pub fn step(
 mod tests {
     use super::*;
     use crate::builder::ProgramBuilder;
-    use crate::mem::PagedMem;
     use crate::inst::RmwOp;
+    use crate::mem::PagedMem;
 
     fn run_to_halt(prog: &Program, ctx: &mut ExecCtx, mem: &mut PagedMem) {
         let mut host = NoNdc;

@@ -112,20 +112,8 @@ impl AluOp {
             AluOp::Add => a.wrapping_add(b),
             AluOp::Sub => a.wrapping_sub(b),
             AluOp::Mul => a.wrapping_mul(b),
-            AluOp::DivU => {
-                if b == 0 {
-                    u64::MAX
-                } else {
-                    a / b
-                }
-            }
-            AluOp::RemU => {
-                if b == 0 {
-                    a
-                } else {
-                    a % b
-                }
-            }
+            AluOp::DivU => a.checked_div(b).unwrap_or(u64::MAX),
+            AluOp::RemU => a.checked_rem(b).unwrap_or(a),
             AluOp::And => a & b,
             AluOp::Or => a | b,
             AluOp::Xor => a ^ b,
@@ -631,7 +619,12 @@ impl fmt::Display for Inst {
                 loc,
                 exclusive,
             } => {
-                write!(f, "invoke[{loc:?}{}] a{} on {actor} (", if *exclusive { ",EXCL" } else { "" }, action.0)?;
+                write!(
+                    f,
+                    "invoke[{loc:?}{}] a{} on {actor} (",
+                    if *exclusive { ",EXCL" } else { "" },
+                    action.0
+                )?;
                 for (i, a) in args.iter().enumerate() {
                     if i > 0 {
                         write!(f, ", ")?;
@@ -754,7 +747,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let i = Inst::Imm { rd: Reg(3), val: 16 };
+        let i = Inst::Imm {
+            rd: Reg(3),
+            val: 16,
+        };
         assert_eq!(format!("{i}"), "imm   r3, 0x10");
         let b = Inst::Br {
             cond: BrCond::LtU,

@@ -73,10 +73,11 @@ pub mod program;
 
 pub use asm::{assemble, AsmError};
 pub use builder::{FunctionBuilder, ProgramBuilder};
-pub use exec::{Control, ExecCtx, ExecError, MemEffect, NdcHost, NdcRequest, NoNdc, Poll, StepInfo};
+pub use exec::{
+    Control, ExecCtx, ExecError, MemEffect, NdcHost, NdcRequest, NoNdc, Poll, StepInfo,
+};
 pub use inst::{
-    Addr, AluOp, BrCond, Inst, InstClass, Label, Location, MemOrder, MemWidth, Reg, RmwOp,
-    NUM_REGS,
+    Addr, AluOp, BrCond, Inst, InstClass, Label, Location, MemOrder, MemWidth, Reg, RmwOp, NUM_REGS,
 };
 pub use mem::{Memory, PagedMem};
 pub use program::{ActionId, FuncId, Function, Program, ProgramError};

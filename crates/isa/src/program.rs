@@ -129,7 +129,10 @@ impl fmt::Display for ProgramError {
                 write!(f, "function `{func}`: call to unknown function f{callee}")
             }
             ProgramError::FallsOffEnd { func } => {
-                write!(f, "function `{func}` falls off its end (missing ret/halt/jmp)")
+                write!(
+                    f,
+                    "function `{func}` falls off its end (missing ret/halt/jmp)"
+                )
             }
             ProgramError::BadRegister { func, reg } => {
                 write!(f, "function `{func}`: register r{reg} out of range")
@@ -213,7 +216,7 @@ impl fmt::Display for Program {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::builder::ProgramBuilder;
     use crate::inst::Reg;
 

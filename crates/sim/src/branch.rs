@@ -67,7 +67,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 98, "always-taken should be near-perfect, got {correct}");
+        assert!(
+            correct >= 98,
+            "always-taken should be near-perfect, got {correct}"
+        );
     }
 
     #[test]
@@ -100,7 +103,9 @@ mod tests {
         let mut correct = 0;
         let total = 2000;
         for _ in 0..total {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 33) & 1 == 1;
             if p.update(pc, taken) {
                 correct += 1;

@@ -99,11 +99,10 @@ impl CacheBank {
         self.tick += 1;
         let tick = self.tick;
         let set = self.set_of(line);
-        self.sets[set].iter_mut().find(|l| l.line == line).map(|l| {
-            l.lru = tick;
-            l.rrip = 0;
-            l
-        })
+        let l = self.sets[set].iter_mut().find(|l| l.line == line)?;
+        l.lru = tick;
+        l.rrip = 0;
+        Some(l)
     }
 
     /// Looks up `line` without touching replacement state.
@@ -179,9 +178,7 @@ impl CacheBank {
                 // until one exists. Bounded: each pass increments every
                 // counter; pinned lines must not fill the whole set.
                 assert!(
-                    self.sets[set_idx]
-                        .iter()
-                        .any(|l| !pinned.contains(&l.line)),
+                    self.sets[set_idx].iter().any(|l| !pinned.contains(&l.line)),
                     "every way of the set is pinned"
                 );
                 loop {

@@ -193,6 +193,14 @@ pub struct MachineConfig {
     /// global clock before yielding. Smaller is more accurate, larger is
     /// faster.
     pub quantum: u64,
+    /// Enable the structured event tracer ([`crate::trace::Tracer`]).
+    /// Observational only: recorded cycles are identical either way.
+    pub trace: bool,
+    /// Ring-buffer capacity (events) when tracing is enabled.
+    pub trace_capacity: usize,
+    /// Time-series sampling interval in cycles
+    /// ([`crate::stats::TimeSeries`]); 0 disables sampling.
+    pub sample_interval: u64,
 }
 
 impl MachineConfig {
@@ -258,6 +266,9 @@ impl MachineConfig {
             prefetcher: true,
             prefetch_degree: 2,
             quantum: 64,
+            trace: false,
+            trace_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
+            sample_interval: 0,
         }
     }
 
@@ -279,6 +290,18 @@ impl MachineConfig {
     /// Switches both engines on every tile into idealized mode.
     pub fn idealized(mut self) -> Self {
         self.engine.idealized = true;
+        self
+    }
+
+    /// Enables the structured event tracer (default ring capacity).
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Enables time-series sampling every `interval` cycles.
+    pub fn sampled(mut self, interval: u64) -> Self {
+        self.sample_interval = interval;
         self
     }
 }

@@ -11,6 +11,7 @@ use std::collections::VecDeque;
 
 use crate::config::{MemConfig, LINE_SHIFT, LINE_SIZE};
 use crate::stats::Stats;
+use crate::trace::{TraceCategory, TraceEvent, Track};
 
 /// One entry of the LLC translation buffer (25 B each in Table IV).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -146,11 +147,17 @@ pub struct DramLines {
 
 impl DramLines {
     fn empty() -> Self {
-        DramLines { lines: [0; 4], len: 0 }
+        DramLines {
+            lines: [0; 4],
+            len: 0,
+        }
     }
 
     fn one(line: u64) -> Self {
-        DramLines { lines: [line, 0, 0, 0], len: 1 }
+        DramLines {
+            lines: [line, 0, 0, 0],
+            len: 1,
+        }
     }
 
     fn add(&mut self, line: u64) {
@@ -197,10 +204,22 @@ impl Dram {
         let mc = self.controller_of(dram_line);
         if self.fifo[mc].contains(&dram_line) {
             stats.mc_cache_hits += 1;
+            stats.trace.record(|| {
+                TraceEvent::instant(
+                    now,
+                    TraceCategory::Dram,
+                    "dram.fifo_hit",
+                    Track::Dram(mc as u32),
+                    &[("line", dram_line)],
+                )
+            });
             return now + self.cfg.fifo_hit_latency;
         }
         stats.count_dram();
+        // Queue: the request waits from `now` until the controller's
+        // service slot frees up at `start`.
         let start = now.max(self.busy_until[mc]);
+        stats.dram_queue.record(start - now);
         self.busy_until[mc] = start + self.cfg.cycles_per_line;
         if self.cfg.fifo_cache_lines > 0 {
             if self.fifo[mc].len() >= self.cfg.fifo_cache_lines as usize {
@@ -208,7 +227,18 @@ impl Dram {
             }
             self.fifo[mc].push_back(dram_line);
         }
-        start + self.cfg.latency
+        let done = start + self.cfg.latency;
+        stats.trace.record(|| {
+            TraceEvent::span(
+                now,
+                done - now,
+                TraceCategory::Dram,
+                "dram.access",
+                Track::Dram(mc as u32),
+                &[("line", dram_line), ("queued", start - now)],
+            )
+        });
+        done
     }
 
     /// Accesses every DRAM line backing a cache line (per the translator);
@@ -251,7 +281,11 @@ mod tests {
         assert_eq!(e.translate(0x1000), Some(0x8000));
         assert_eq!(e.translate(0x1017), Some(0x8017)); // last byte of obj 0
         assert_eq!(e.translate(0x1018), None, "padding has no backing");
-        assert_eq!(e.translate(0x1020), Some(0x8018), "obj 1 starts right after obj 0");
+        assert_eq!(
+            e.translate(0x1020),
+            Some(0x8018),
+            "obj 1 starts right after obj 0"
+        );
         assert_eq!(e.translate(0x1040), Some(0x8030), "obj 2");
     }
 

@@ -85,7 +85,10 @@ mod tests {
         assert!(e.dram_pj > 0.0);
         let expected_core = 100.0 * cfg.core_inst_pj;
         assert!((e.core_pj - expected_core).abs() < 1e-9);
-        assert!((e.total_pj() - (e.core_pj + e.engine_pj + e.cache_pj + e.noc_pj + e.dram_pj)).abs() < 1e-9);
+        assert!(
+            (e.total_pj() - (e.core_pj + e.engine_pj + e.cache_pj + e.noc_pj + e.dram_pj)).abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -79,7 +79,7 @@ impl FuCursor {
             self.cycle = t;
             self.used = 1;
             t
-        } else if t == self.cycle || t < self.cycle {
+        } else {
             // Late (out-of-order) requests are granted at the cursor.
             if self.used < self.limit {
                 self.used += 1;
@@ -89,8 +89,6 @@ impl FuCursor {
                 self.used = 1;
                 self.cycle
             }
-        } else {
-            unreachable!()
         }
     }
 }
@@ -252,6 +250,11 @@ impl EngineState {
         );
         self.offload_ctxs_free += 1;
     }
+
+    /// Offloaded-task contexts currently occupied (for occupancy sampling).
+    pub fn ctxs_in_use(&self) -> u32 {
+        self.offload_ctxs_cap - self.offload_ctxs_free
+    }
 }
 
 #[cfg(test)]
@@ -261,9 +264,18 @@ mod tests {
 
     #[test]
     fn engine_id_indexing() {
-        let a = EngineId { tile: 0, level: EngineLevel::L2 };
-        let b = EngineId { tile: 0, level: EngineLevel::Llc };
-        let c = EngineId { tile: 3, level: EngineLevel::L2 };
+        let a = EngineId {
+            tile: 0,
+            level: EngineLevel::L2,
+        };
+        let b = EngineId {
+            tile: 0,
+            level: EngineLevel::Llc,
+        };
+        let c = EngineId {
+            tile: 3,
+            level: EngineLevel::L2,
+        };
         assert_eq!(a.index(), 0);
         assert_eq!(b.index(), 1);
         assert_eq!(c.index(), 6);
@@ -292,7 +304,10 @@ mod tests {
     #[test]
     fn context_reservation() {
         let cfg = MachineConfig::paper_default().engine;
-        let id = EngineId { tile: 0, level: EngineLevel::Llc };
+        let id = EngineId {
+            tile: 0,
+            level: EngineLevel::Llc,
+        };
         let mut e = EngineState::new(id, &cfg);
         assert_eq!(e.offload_ctxs_cap, 16, "half of 32 contexts for offload");
         for _ in 0..16 {
@@ -307,7 +322,10 @@ mod tests {
     fn idealized_engine_is_free() {
         let mut cfg = MachineConfig::paper_default().engine;
         cfg.idealized = true;
-        let id = EngineId { tile: 1, level: EngineLevel::L2 };
+        let id = EngineId {
+            tile: 1,
+            level: EngineLevel::L2,
+        };
         let mut e = EngineState::new(id, &cfg);
         assert_eq!(e.reserve_int(7), 7);
         assert_eq!(e.reserve_int(7), 7, "no FU limit");
@@ -321,7 +339,10 @@ mod tests {
     #[should_panic(expected = "double-release")]
     fn context_double_release_panics() {
         let cfg = MachineConfig::paper_default().engine;
-        let id = EngineId { tile: 0, level: EngineLevel::L2 };
+        let id = EngineId {
+            tile: 0,
+            level: EngineLevel::L2,
+        };
         let mut e = EngineState::new(id, &cfg);
         e.release_ctx();
     }

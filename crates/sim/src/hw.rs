@@ -18,6 +18,7 @@ use crate::engine::{EngineId, EngineLevel, EngineState};
 use crate::ndc::{MorphLevel, NdcState, WaitCond};
 use crate::noc::Noc;
 use crate::stats::Stats;
+use crate::trace::{TraceCategory, TraceEvent, Tracer, Track};
 
 /// Control message payload bytes (request headers, invalidations, acks).
 pub const CTRL_MSG: u32 = 16;
@@ -138,14 +139,23 @@ impl Hw {
         let mut engines = Vec::with_capacity(tiles * 2);
         for t in 0..cfg.tiles {
             engines.push(EngineState::new(
-                EngineId { tile: t, level: EngineLevel::L2 },
+                EngineId {
+                    tile: t,
+                    level: EngineLevel::L2,
+                },
                 &cfg.engine,
             ));
             engines.push(EngineState::new(
-                EngineId { tile: t, level: EngineLevel::Llc },
+                EngineId {
+                    tile: t,
+                    level: EngineLevel::Llc,
+                },
                 &cfg.engine,
             ));
         }
+        let mut stats = Stats::new();
+        stats.trace = Tracer::new(cfg.trace, cfg.trace_capacity);
+        stats.timeline = crate::stats::TimeSeries::new(cfg.sample_interval);
         Hw {
             l1: (0..tiles).map(|_| CacheBank::new(&cfg.l1)).collect(),
             l2: (0..tiles).map(|_| CacheBank::new(&cfg.l2)).collect(),
@@ -155,13 +165,24 @@ impl Hw {
             dram: Dram::new(cfg.mem),
             translator: Translator::new(),
             ndc: NdcState::default(),
-            stats: Stats::new(),
+            stats,
             prefetchers: vec![StridePf::default(); tiles],
             pins: Vec::new(),
             inline_depth: 0,
             pending_dtors: Vec::new(),
             cfg,
         }
+    }
+
+    /// Takes a time-series sample if one is due at cycle `now`, reading
+    /// instantaneous engine-context occupancy and stream buffer depth.
+    pub fn maybe_sample(&mut self, now: u64) {
+        if !self.stats.timeline.due(now) {
+            return;
+        }
+        let ctxs: u32 = self.engines.iter().map(|e| e.ctxs_in_use()).sum();
+        let depth = self.ndc.buffered_entries();
+        self.stats.take_sample(now, ctxs, depth);
     }
 
     /// Pins `line` against eviction for the duration of a walk.
@@ -173,7 +194,6 @@ impl Hw {
     fn unpin(&mut self) {
         self.pins.pop().expect("unbalanced unpin");
     }
-
 
     /// The LLC bank holding `addr`, honoring Leviathan's bank-mapping
     /// overrides for large objects.
@@ -238,7 +258,9 @@ impl Hw {
                     l.dirty = true;
                 }
                 self.stats.l1.hits += 1;
-                return Walk::Done { at: now + self.cfg.l1.latency };
+                return Walk::Done {
+                    at: now + self.cfg.l1.latency,
+                };
             }
             // Present but shared and we need ownership: upgrade miss.
         }
@@ -386,7 +408,15 @@ impl Hw {
                 }
                 self.stats.l2.misses += 1;
                 let now = now + self.cfg.l2.latency;
-                let at = match self.llc_stage(mem, eid.tile, Some(eid.tile), kind, addr, now, allow_phantom) {
+                let at = match self.llc_stage(
+                    mem,
+                    eid.tile,
+                    Some(eid.tile),
+                    kind,
+                    addr,
+                    now,
+                    allow_phantom,
+                ) {
                     Walk::Done { at } => at,
                     blocked => return blocked,
                 };
@@ -445,6 +475,7 @@ impl Hw {
     /// request physically originates (for NoC routing); `new_sharer` is the
     /// tile whose private caches will hold the line afterwards (None for
     /// LLC-engine accesses, which stay at the bank).
+    #[allow(clippy::too_many_arguments)]
     fn llc_stage(
         &mut self,
         mem: &mut dyn levi_isa::Memory,
@@ -457,7 +488,9 @@ impl Hw {
     ) -> Walk {
         let line = addr >> LINE_SHIFT;
         let bank = self.bank_of(addr);
-        let mut t = self.noc.send(from_tile, bank, CTRL_MSG, now, &mut self.stats);
+        let mut t = self
+            .noc
+            .send(from_tile, bank, CTRL_MSG, now, &mut self.stats);
         t += self.cfg.llc.latency;
         self.stats.dir_lookups += 1;
 
@@ -554,11 +587,18 @@ impl Hw {
                     continue;
                 }
                 any = true;
-                let ta = self
-                    .noc
-                    .send(bank, s, INVAL_MSG, t, &mut self.stats);
+                let ta = self.noc.send(bank, s, INVAL_MSG, t, &mut self.stats);
                 let dirty = self.invalidate_private(s, line);
                 self.stats.invalidations += 1;
+                self.stats.trace.record(|| {
+                    TraceEvent::instant(
+                        ta,
+                        TraceCategory::Coherence,
+                        "coh.inval",
+                        Track::Core(s),
+                        &[("line", line), ("dirty", dirty as u64)],
+                    )
+                });
                 let mut tr = ta + self.cfg.l2.latency;
                 if dirty {
                     // Dirty data returns with the ack.
@@ -573,6 +613,16 @@ impl Hw {
             }
             if owner.is_some() && owner != new_sharer.map(|x| x as u8) {
                 self.stats.ownership_transfers += 1;
+                let from = owner.unwrap_or(0) as u64;
+                self.stats.trace.record(|| {
+                    TraceEvent::instant(
+                        t,
+                        TraceCategory::Coherence,
+                        "coh.xfer",
+                        Track::Core(bank),
+                        &[("line", line), ("from", from)],
+                    )
+                });
             }
             if any {
                 t = t_inv;
@@ -601,6 +651,15 @@ impl Hw {
                         l.state = PrivState::Shared;
                     }
                     self.stats.ownership_transfers += 1;
+                    self.stats.trace.record(|| {
+                        TraceEvent::instant(
+                            tr,
+                            TraceCategory::Coherence,
+                            "coh.xfer",
+                            Track::Core(bank),
+                            &[("line", line), ("from", o as u64)],
+                        )
+                    });
                     if let Some(l) = self.llc[b].peek_mut(line) {
                         l.dirty = true;
                         l.sharers |= 1 << o;
@@ -713,11 +772,14 @@ impl Hw {
         // Keep L1 inclusive with L2.
         let l1_dirty = self.l1[tile as usize]
             .invalidate(victim.line)
-            .map_or(false, |l| l.dirty);
+            .is_some_and(|l| l.dirty);
         let dirty = victim.dirty || l1_dirty;
 
         if victim.dtor {
-            let eid = EngineId { tile, level: EngineLevel::L2 };
+            let eid = EngineId {
+                tile,
+                level: EngineLevel::L2,
+            };
             return self.dtor_or_queue(mem, eid, victim.line, dirty, now, MorphLevel::L2, tile);
         }
         if dirty {
@@ -732,9 +794,7 @@ impl Hw {
             self.stats.l2.writebacks += 1;
             let addr = victim.line << LINE_SHIFT;
             let bank = self.bank_of(addr);
-            let t = self
-                .noc
-                .send(tile, bank, DATA_MSG, now, &mut self.stats);
+            let t = self.noc.send(tile, bank, DATA_MSG, now, &mut self.stats);
             self.stats.llc.hits += 1; // writeback access at the bank
             if let Some(l) = self.llc[bank as usize].peek_mut(victim.line) {
                 l.dirty = true;
@@ -776,11 +836,24 @@ impl Hw {
             let ta = self.noc.send(bank, s, INVAL_MSG, t, &mut self.stats);
             self.stats.invalidations += 1;
             dirty |= self.invalidate_private(s, victim.line);
+            let line = victim.line;
+            self.stats.trace.record(|| {
+                TraceEvent::instant(
+                    ta,
+                    TraceCategory::Coherence,
+                    "coh.inval",
+                    Track::Core(s),
+                    &[("line", line)],
+                )
+            });
             t = t.max(ta + self.cfg.l2.latency);
         }
         // The bank engine's L1d must not outlive the LLC copy (it would
         // see stale phantom data after a destructor runs).
-        let eid = EngineId { tile: bank, level: EngineLevel::Llc };
+        let eid = EngineId {
+            tile: bank,
+            level: EngineLevel::Llc,
+        };
         self.engines[eid.index()].l1d.invalidate(victim.line);
 
         if victim.dtor {
@@ -803,6 +876,7 @@ impl Hw {
     /// Runs the Morph destructor(s) for an evicted line: one per object for
     /// sub-line objects, or a single destructor (after gathering all of the
     /// object's lines) for multi-line objects.
+    #[allow(clippy::too_many_arguments)]
     fn run_dtors_for_line(
         &mut self,
         mem: &mut dyn levi_isa::Memory,
@@ -848,9 +922,21 @@ impl Hw {
                                 if mask & (1 << sh) != 0 {
                                     any_dirty |= self.invalidate_private(sh, l);
                                     self.stats.invalidations += 1;
+                                    self.stats.trace.record(|| {
+                                        TraceEvent::instant(
+                                            t,
+                                            TraceCategory::Coherence,
+                                            "coh.inval",
+                                            Track::Core(sh),
+                                            &[("line", l)],
+                                        )
+                                    });
                                 }
                             }
-                            let e2 = EngineId { tile: b, level: EngineLevel::Llc };
+                            let e2 = EngineId {
+                                tile: b,
+                                level: EngineLevel::Llc,
+                            };
                             self.engines[e2.index()].l1d.invalidate(l);
                         }
                     }
@@ -924,7 +1010,10 @@ impl Hw {
                 return Walk::Blocked(WaitCond::StreamData(sid));
             }
         }
-        let eid = EngineId { tile, level: EngineLevel::L2 };
+        let eid = EngineId {
+            tile,
+            level: EngineLevel::L2,
+        };
         let mut t = now;
         let (obj, lines) = if m.is_multiline() {
             (m.obj_base(addr), m.obj_size / LINE_SIZE)
@@ -949,20 +1038,15 @@ impl Hw {
                 self.handle_l2_victim(mem, tile, v, t);
             }
         }
-        self.fill_l1(
-            mem,
-            tile,
-            addr >> LINE_SHIFT,
-            PrivState::Owned,
-            kind,
-            t,
-        );
+        self.fill_l1(mem, tile, addr >> LINE_SHIFT, PrivState::Owned, kind, t);
         if kind.wants_ownership() {
             if let Some(l) = self.l2[tile as usize].peek_mut(addr >> LINE_SHIFT) {
                 l.dirty = true;
             }
         }
-        Walk::Done { at: t + self.cfg.l2.latency }
+        Walk::Done {
+            at: t + self.cfg.l2.latency,
+        }
     }
 
     /// LLC-level phantom miss: run constructors on the bank's engine and
@@ -982,7 +1066,10 @@ impl Hw {
                 return Walk::Blocked(WaitCond::StreamData(sid));
             }
         }
-        let eid = EngineId { tile: bank, level: EngineLevel::Llc };
+        let eid = EngineId {
+            tile: bank,
+            level: EngineLevel::Llc,
+        };
         let (obj, lines) = if m.is_multiline() {
             (m.obj_base(addr), m.obj_size / LINE_SIZE)
         } else {
@@ -1077,7 +1164,7 @@ impl Hw {
                     self.stats.ctor_actions += 1;
                     let slot = self.engines[eid.index()].reserve_mem(t);
                     t = slot + self.engines[eid.index()].latency();
-                    self.stats.engine_instrs += (LINE_SIZE / 8) as u64;
+                    self.stats.engine_instrs += LINE_SIZE / 8;
                 }
             }
         }
@@ -1114,7 +1201,11 @@ impl Hw {
         let mut fuel: u64 = 5_000_000;
         self.inline_depth += 1;
         while !ctx.halted {
-            assert!(fuel > 0, "inline action ran out of fuel: {}", prog.func(aref.func).name());
+            assert!(
+                fuel > 0,
+                "inline action ran out of fuel: {}",
+                prog.func(aref.func).name()
+            );
             fuel -= 1;
             let inst = &prog.func(ctx.pc.func).insts()[ctx.pc.idx as usize];
             let mut ready = start;
@@ -1130,8 +1221,8 @@ impl Hw {
             } else {
                 self.engines[eid.index()].reserve_int(ready)
             };
-            let info = exec::step(prog, &mut ctx, mem, &mut host)
-                .expect("inline action execution failed");
+            let info =
+                exec::step(prog, &mut ctx, mem, &mut host).expect("inline action execution failed");
             debug_assert!(info.retired(), "inline actions cannot block");
             self.stats.engine_instrs += 1;
 
@@ -1234,9 +1325,15 @@ impl Hw {
             for v in self.llc[bank as usize].drain_range(base, bound) {
                 t = t.max(self.handle_llc_victim(mem, bank, v, now));
             }
-            let eid = EngineId { tile: bank, level: EngineLevel::Llc };
+            let eid = EngineId {
+                tile: bank,
+                level: EngineLevel::Llc,
+            };
             self.engines[eid.index()].l1d.drain_range(base, bound);
-            let eid2 = EngineId { tile: bank, level: EngineLevel::L2 };
+            let eid2 = EngineId {
+                tile: bank,
+                level: EngineLevel::L2,
+            };
             self.engines[eid2.index()].l1d.drain_range(base, bound);
         }
         t
@@ -1252,8 +1349,19 @@ impl Hw {
         now: u64,
     ) -> u64 {
         if victim.dtor {
-            let eid = EngineId { tile, level: EngineLevel::L2 };
-            return self.dtor_or_queue(mem, eid, victim.line, victim.dirty, now, MorphLevel::L2, tile);
+            let eid = EngineId {
+                tile,
+                level: EngineLevel::L2,
+            };
+            return self.dtor_or_queue(
+                mem,
+                eid,
+                victim.line,
+                victim.dirty,
+                now,
+                MorphLevel::L2,
+                tile,
+            );
         }
         if victim.dirty {
             self.stats.l2.writebacks += 1;
@@ -1264,6 +1372,7 @@ impl Hw {
     /// Runs a victim's destructor(s) now, or — when already inside an
     /// inline action — defers them to the engine's actor buffer so
     /// eviction cascades resolve iteratively instead of recursively.
+    #[allow(clippy::too_many_arguments)]
     fn dtor_or_queue(
         &mut self,
         mem: &mut dyn levi_isa::Memory,
@@ -1387,7 +1496,10 @@ mod tests {
         let mut h = hw();
         let mut mem = PagedMem::new();
         // Bank of 0x0000 line 0 -> bank 0.
-        let local = EngineId { tile: 0, level: EngineLevel::Llc };
+        let local = EngineId {
+            tile: 0,
+            level: EngineLevel::Llc,
+        };
         let t_local = done(h.access_engine(&mut mem, local, AccessKind::Read, 0x0, 0, true));
         // Line 1 -> bank 1: remote from tile 0's engine.
         let t_remote = done(h.access_engine(&mut mem, local, AccessKind::Read, 0x40, 0, true));
@@ -1401,7 +1513,10 @@ mod tests {
     fn engine_l1d_caches_reads() {
         let mut h = hw();
         let mut mem = PagedMem::new();
-        let eid = EngineId { tile: 0, level: EngineLevel::Llc };
+        let eid = EngineId {
+            tile: 0,
+            level: EngineLevel::Llc,
+        };
         let t1 = done(h.access_engine(&mut mem, eid, AccessKind::Read, 0x0, 0, true));
         let t2 = done(h.access_engine(&mut mem, eid, AccessKind::Read, 0x8, t1, true));
         assert_eq!(t2, t1 + h.cfg.engine.l1d_latency);
@@ -1424,11 +1539,17 @@ mod tests {
             view: 0,
             stream: None,
         });
-        let eid = EngineId { tile: h.bank_of(0x10_0000), level: EngineLevel::Llc };
+        let eid = EngineId {
+            tile: h.bank_of(0x10_0000),
+            level: EngineLevel::Llc,
+        };
         let _ = eid;
         done(h.access_engine(
             &mut mem,
-            EngineId { tile: h.bank_of(0x10_0000), level: EngineLevel::Llc },
+            EngineId {
+                tile: h.bank_of(0x10_0000),
+                level: EngineLevel::Llc,
+            },
             AccessKind::Rmw,
             0x10_0000,
             0,
@@ -1468,7 +1589,10 @@ mod tests {
             view: 0,
             stream: None,
         });
-        let eid = EngineId { tile: h.bank_of(0x30_0000), level: EngineLevel::Llc };
+        let eid = EngineId {
+            tile: h.bank_of(0x30_0000),
+            level: EngineLevel::Llc,
+        };
         done(h.access_engine(&mut mem, eid, AccessKind::Write, 0x30_0000, 0, true));
         let bank = h.bank_of(0x30_0000) as usize;
         assert!(h.llc[bank].contains(0x30_0000 >> LINE_SHIFT));
@@ -1491,6 +1615,9 @@ mod tests {
             t = done(h.access_core(&mut mem, 0, AccessKind::Write, addr, t, true)) + 1;
         }
         assert!(h.stats.llc.writebacks >= 1, "dirty victims written back");
-        assert!(h.stats.dram_accesses > h.cfg.llc.ways as u64, "writebacks reach DRAM");
+        assert!(
+            h.stats.dram_accesses > h.cfg.llc.ways as u64,
+            "writebacks reach DRAM"
+        );
     }
 }

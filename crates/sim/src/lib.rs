@@ -50,16 +50,20 @@ pub mod config;
 pub mod dram;
 pub mod energy;
 pub mod engine;
+pub mod hist;
 pub mod hw;
 pub mod machine;
 pub mod ndc;
 pub mod noc;
 pub mod stats;
+pub mod trace;
 
 pub use config::{CacheConfig, EnergyConfig, MachineConfig, Replacement, LINE_SIZE};
 pub use energy::EnergyBreakdown;
 pub use engine::{EngineId, EngineLevel};
+pub use hist::Histogram;
 pub use hw::{AccessKind, Hw, Walk};
 pub use machine::{ActorId, Machine, RunError, RunResult};
 pub use ndc::{BankMapRange, MorphLevel, MorphRegion, StreamId, StreamMode, StreamState};
-pub use stats::Stats;
+pub use stats::{Sample, Stats, TimeSeries};
+pub use trace::{TraceCategory, TraceEvent, Tracer, Track};

@@ -19,8 +19,8 @@ use std::sync::Arc;
 
 use levi_isa::interp::future_layout;
 use levi_isa::{
-    exec, Addr, Control, ExecCtx, FuncId, Inst, InstClass, Location, MemOrder, Memory,
-    NdcHost, NdcRequest, PagedMem, Poll, Program, NUM_REGS,
+    exec, Addr, Control, ExecCtx, FuncId, Inst, InstClass, Location, MemOrder, Memory, NdcHost,
+    NdcRequest, PagedMem, Poll, Program, NUM_REGS,
 };
 
 use crate::branch::Gshare;
@@ -30,6 +30,7 @@ use crate::engine::{EngineId, EngineLevel, FuCursor};
 use crate::hw::{AccessKind, Hw, Walk, CTRL_MSG};
 use crate::ndc::{StreamId, StreamMode, WaitCond};
 use crate::stats::Stats;
+use crate::trace::{TraceCategory, TraceEvent, Track};
 
 /// Identifies an execution context (a core thread or an engine task).
 pub type ActorId = u32;
@@ -346,9 +347,25 @@ impl Machine {
         for aid in list {
             let a = &mut self.actors[aid as usize];
             if a.state == ActorState::Parked(cond) {
-                if let WaitCond::StreamData(_) = cond {
-                    self.hw.stats.stream_stall_cycles +=
-                        at.saturating_sub(a.parked_at);
+                if let WaitCond::StreamData(sid) = cond {
+                    let stall = at.saturating_sub(a.parked_at);
+                    self.hw.stats.stream_stall_cycles += stall;
+                    self.hw.stats.stream_stall.record(stall);
+                    let track = match a.kind {
+                        ActorKind::CoreThread { core } => Track::Core(core),
+                        ActorKind::EngineTask { engine, .. } => Track::Engine(engine),
+                    };
+                    let parked_at = a.parked_at;
+                    self.hw.stats.trace.record(|| {
+                        TraceEvent::span(
+                            parked_at,
+                            stall,
+                            TraceCategory::Stream,
+                            "stream.stall",
+                            track,
+                            &[("sid", sid.0 as u64)],
+                        )
+                    });
                 }
                 a.clock = a.clock.max(at);
                 // Miss-triggered pseudo-stream producers pay a
@@ -391,6 +408,7 @@ impl Machine {
                 }
             }
             self.now = self.now.max(t);
+            self.hw.maybe_sample(self.now);
             self.run_actor(aid);
             if self.live_core_threads == 0 && self.no_runnable_engine_tasks() {
                 break;
@@ -460,8 +478,7 @@ impl Machine {
                 } else if a.clock > quantum_end {
                     Outcome::Yield(a.clock)
                 } else {
-                    let inst =
-                        prog.func(a.ctx.pc.func).insts()[a.ctx.pc.idx as usize].clone();
+                    let inst = prog.func(a.ctx.pc.func).insts()[a.ctx.pc.idx as usize].clone();
                     let is_core = matches!(a.kind, ActorKind::CoreThread { .. });
                     let (tile, engine) = match a.kind {
                         ActorKind::CoreThread { core } => (core, None),
@@ -506,7 +523,17 @@ impl Machine {
             // -------- apply side effects gathered during the step --------
             for s in spawns {
                 let start = s.start;
+                let target = s.engine;
                 let id = self.spawn_engine_task(s.engine, s.prog, s.func, &s.args, None);
+                self.hw.stats.trace.record(|| {
+                    TraceEvent::instant(
+                        start,
+                        TraceCategory::Invoke,
+                        "task.dispatch",
+                        Track::Engine(target),
+                        &[("actor", id as u64)],
+                    )
+                });
                 let a = &mut self.actors[id as usize];
                 a.clock = start;
                 // Mark that this task holds a reserved context.
@@ -546,20 +573,31 @@ impl Machine {
 
     fn finish_actor(&mut self, aid: ActorId) {
         let clock = self.actors[aid as usize].clock;
-        let (is_core, engine_release, stream) = {
+        let (is_core, engine_task, engine_release, stream) = {
             let a = &mut self.actors[aid as usize];
             a.state = ActorState::Done;
             match a.kind {
-                ActorKind::CoreThread { .. } => (true, None, None),
+                ActorKind::CoreThread { .. } => (true, None, None, None),
                 ActorKind::EngineTask {
                     engine,
                     reserved_ctx,
                     stream,
-                } => (false, reserved_ctx.then_some(engine), stream),
+                } => (false, Some(engine), reserved_ctx.then_some(engine), stream),
             }
         };
         if is_core {
             self.live_core_threads -= 1;
+        }
+        if let Some(engine) = engine_task {
+            self.hw.stats.trace.record(|| {
+                TraceEvent::instant(
+                    clock,
+                    TraceCategory::Invoke,
+                    "task.retire",
+                    Track::Engine(engine),
+                    &[("actor", aid as u64)],
+                )
+            });
         }
         if let Some(engine) = engine_release {
             self.hw.engines[engine.index()].release_ctx();
@@ -627,7 +665,11 @@ fn step_one(
         Inst::Ld { ra, off, .. } | Inst::St { ra, off, .. } => {
             let addr = a.ctx.reg(*ra).wrapping_add(*off as i64 as u64);
             let is_load = matches!(inst, Inst::Ld { .. });
-            let kind = if is_load { AccessKind::Read } else { AccessKind::Write };
+            let kind = if is_load {
+                AccessKind::Read
+            } else {
+                AccessKind::Write
+            };
             let mut slot = slot;
             if is_core {
                 slot = mshr_limit(a, hw.cfg.core.mshrs, slot);
@@ -642,18 +684,18 @@ fn step_one(
                     if let WaitCond::StreamData(sid) = cond {
                         // A consumer miss (re)triggers a miss-triggered
                         // producer.
-                        if matches!(
-                            hw.ndc.stream(sid).mode,
-                            StreamMode::MissTriggered { .. }
-                        ) {
+                        if matches!(hw.ndc.stream(sid).mode, StreamMode::MissTriggered { .. }) {
                             wakes.push((WaitCond::StreamSpace(sid), slot));
                         }
                     }
                     return O::Park(cond);
                 }
             };
-            let info = exec::step(prog, &mut a.ctx, mem, &mut NoBlockHost)
-                .expect("mem step failed");
+            if is_load {
+                hw.stats.load_to_use.record(at.saturating_sub(slot));
+            }
+            let info =
+                exec::step(prog, &mut a.ctx, mem, &mut NoBlockHost).expect("mem step failed");
             debug_assert!(info.retired());
             count_instr(hw);
             if let Some(rd) = inst.def() {
@@ -688,10 +730,7 @@ fn step_one(
                 Walk::Done { at } => at,
                 Walk::Blocked(cond) => {
                     if let WaitCond::StreamData(sid) = cond {
-                        if matches!(
-                            hw.ndc.stream(sid).mode,
-                            StreamMode::MissTriggered { .. }
-                        ) {
+                        if matches!(hw.ndc.stream(sid).mode, StreamMode::MissTriggered { .. }) {
                             wakes.push((WaitCond::StreamSpace(sid), slot));
                         }
                     }
@@ -701,8 +740,8 @@ fn step_one(
             if fenced {
                 hw.stats.fences += 1;
             }
-            let info = exec::step(prog, &mut a.ctx, mem, &mut NoBlockHost)
-                .expect("rmw step failed");
+            let info =
+                exec::step(prog, &mut a.ctx, mem, &mut NoBlockHost).expect("rmw step failed");
             debug_assert!(info.retired());
             count_instr(hw);
             if is_core {
@@ -737,8 +776,8 @@ fn step_one(
         // ---- control flow ----
         Inst::Br { .. } => {
             let pc_sig = ((a.ctx.pc.func.0 as u64) << 20) | a.ctx.pc.idx as u64;
-            let info = exec::step(prog, &mut a.ctx, mem, &mut NoBlockHost)
-                .expect("branch step failed");
+            let info =
+                exec::step(prog, &mut a.ctx, mem, &mut NoBlockHost).expect("branch step failed");
             count_instr(hw);
             let taken = matches!(info.control, Control::Branch { taken: true });
             if let Some(pred) = a.predictor.as_mut() {
@@ -756,8 +795,8 @@ fn step_one(
             O::Continue
         }
         Inst::Jmp { .. } | Inst::Call { .. } | Inst::Ret | Inst::Halt => {
-            let info = exec::step(prog, &mut a.ctx, mem, &mut NoBlockHost)
-                .expect("ctrl step failed");
+            let info =
+                exec::step(prog, &mut a.ctx, mem, &mut NoBlockHost).expect("ctrl step failed");
             count_instr(hw);
             a.clock = a.clock.max(slot);
             if info.control == Control::Halt {
@@ -773,11 +812,7 @@ fn step_one(
         }
 
         // ---- plain ALU ----
-        Inst::Imm { .. }
-        | Inst::Mov { .. }
-        | Inst::Alu { .. }
-        | Inst::AluI { .. }
-        | Inst::Nop => {
+        Inst::Imm { .. } | Inst::Mov { .. } | Inst::Alu { .. } | Inst::AluI { .. } | Inst::Nop => {
             let class = inst.class();
             let _ = exec::step(prog, &mut a.ctx, mem, &mut NoBlockHost);
             count_instr(hw);
@@ -821,6 +856,7 @@ fn step_one(
                 hw,
                 is_core,
                 tile,
+                engine,
                 now: slot,
                 invoke_acks: &mut a.invoke_acks,
                 invoke_count: &mut a.invoke_count,
@@ -904,6 +940,8 @@ struct TimedHost<'a> {
     hw: &'a mut Hw,
     is_core: bool,
     tile: u32,
+    /// The issuing engine when this context is an engine task.
+    engine: Option<EngineId>,
     now: u64,
     invoke_acks: &'a mut VecDeque<u64>,
     invoke_count: &'a mut u32,
@@ -916,6 +954,14 @@ struct TimedHost<'a> {
 }
 
 impl TimedHost<'_> {
+    /// The trace track of the issuing context.
+    fn track(&self) -> Track {
+        match self.engine {
+            Some(e) => Track::Engine(e),
+            None => Track::Core(self.tile),
+        }
+    }
+
     /// Picks the engine an invoke should run on (Sec. VI-B1).
     fn schedule_invoke(&mut self, req: &NdcRequest) -> EngineId {
         let line = req.actor >> crate::config::LINE_SHIFT;
@@ -961,7 +1007,7 @@ impl TimedHost<'_> {
         // remote DYNAMIC task locally to let hot data settle upward.
         if req.loc == Location::Dynamic && target.tile != self.tile {
             *self.invoke_count += 1;
-            if *self.invoke_count % 32 == 0 {
+            if (*self.invoke_count).is_multiple_of(32) {
                 self.hw.stats.invoke_migrations += 1;
                 return local_l2;
             }
@@ -991,10 +1037,30 @@ impl NdcHost for TimedHost<'_> {
         let target = self.schedule_invoke(&req);
         if !self.hw.engines[target.index()].try_reserve_ctx() {
             self.hw.stats.invoke_nacks += 1;
+            let (now, track) = (self.now, self.track());
+            self.hw.stats.trace.record(|| {
+                TraceEvent::instant(
+                    now,
+                    TraceCategory::Invoke,
+                    "invoke.nack",
+                    track,
+                    &[("target", target.tile as u64)],
+                )
+            });
             self.block = Some(WaitCond::EngineCtx(target));
             return Poll::Pending;
         }
         self.hw.stats.invokes += 1;
+        let (now, track) = (self.now, self.track());
+        self.hw.stats.trace.record(|| {
+            TraceEvent::instant(
+                now,
+                TraceCategory::Invoke,
+                "invoke.issue",
+                track,
+                &[("target", target.tile as u64), ("actor_addr", req.actor)],
+            )
+        });
 
         // Invoke packet: header + actor + action + args (+ future).
         let bytes = 24 + 8 * req.args.len() as u32 + if req.future.is_some() { 8 } else { 0 };
@@ -1016,10 +1082,17 @@ impl NdcHost for TimedHost<'_> {
         });
         if self.is_core && req.future.is_none() {
             // ACK returns once the engine accepts the task.
-            let ack = self
-                .hw
-                .noc
-                .send(target.tile, self.tile, INVOKE_ACK, arrival, &mut self.hw.stats);
+            let ack = self.hw.noc.send(
+                target.tile,
+                self.tile,
+                INVOKE_ACK,
+                arrival,
+                &mut self.hw.stats,
+            );
+            self.hw
+                .stats
+                .invoke_rtt
+                .record(ack.saturating_sub(self.now));
             self.invoke_acks.push_back(ack);
         }
         self.op_done = self.now + 1;
@@ -1070,14 +1143,26 @@ impl NdcHost for TimedHost<'_> {
         let addr = s.entry_addr(s.tail);
         let eng = s.engine;
         mem.write_u64(addr, val);
-        let done = match self.hw.access_engine(mem, eng, AccessKind::Write, addr, self.now, false)
+        let done = match self
+            .hw
+            .access_engine(mem, eng, AccessKind::Write, addr, self.now, false)
         {
             Walk::Done { at } => at,
             Walk::Blocked(_) => unreachable!("buffer writes cannot block"),
         };
         let s = self.hw.ndc.stream_mut(sid);
         s.tail += 1;
+        let depth = s.len();
         self.hw.stats.stream_pushes += 1;
+        self.hw.stats.trace.record(|| {
+            TraceEvent::instant(
+                done,
+                TraceCategory::Stream,
+                "stream.push",
+                Track::Engine(eng),
+                &[("sid", sid.0 as u64), ("depth", depth)],
+            )
+        });
         self.wakes.push((WaitCond::StreamData(sid), done));
         self.op_done = self.now + 1;
         Poll::Ready(())
@@ -1094,10 +1179,18 @@ impl NdcHost for TimedHost<'_> {
             (old, new, s.engine, s.consumer)
         };
         self.hw.stats.stream_pops += 1;
-        let run_ahead = matches!(
-            self.hw.ndc.stream(sid).mode,
-            StreamMode::RunAhead
-        );
+        let depth = self.hw.ndc.stream(sid).len();
+        let (now, track) = (self.now, self.track());
+        self.hw.stats.trace.record(|| {
+            TraceEvent::instant(
+                now,
+                TraceCategory::Stream,
+                "stream.pop",
+                track,
+                &[("sid", sid.0 as u64), ("depth", depth)],
+            )
+        });
+        let run_ahead = matches!(self.hw.ndc.stream(sid).mode, StreamMode::RunAhead);
         let old_line = old_addr >> crate::config::LINE_SHIFT;
         let new_line = new_addr >> crate::config::LINE_SHIFT;
         if old_line != new_line {
@@ -1160,7 +1253,11 @@ mod tests {
         let mut m = Machine::new(small_cfg());
         m.spawn_thread(0, prog, func, &[]);
         let res = m.run().unwrap();
-        assert!(res.cycles > 100, "cold miss pays DRAM latency: {}", res.cycles);
+        assert!(
+            res.cycles > 100,
+            "cold miss pays DRAM latency: {}",
+            res.cycles
+        );
         assert_eq!(m.mem().read_u64(0x1000), 77);
         assert!(m.stats().core_instrs >= 5);
     }
@@ -1402,7 +1499,10 @@ mod tests {
         let mut m = Machine::new(small_cfg());
         let buffer = 0x8000u64;
         let cap = 16u64;
-        let engine = EngineId { tile: 0, level: EngineLevel::Llc };
+        let engine = EngineId {
+            tile: 0,
+            level: EngineLevel::Llc,
+        };
         let sid = m.create_stream(buffer, 8, cap, engine, 0, StreamMode::RunAhead);
         // Consumer reads via a stream-backed L2 morph over the buffer.
         m.hw.ndc.register_morph(crate::ndc::MorphRegion {

@@ -288,6 +288,11 @@ impl NdcState {
         &self.streams[id.0 as usize]
     }
 
+    /// Total entries buffered across all streams (for occupancy sampling).
+    pub fn buffered_entries(&self) -> u64 {
+        self.streams.iter().map(|s| s.len()).sum()
+    }
+
     /// True if `addr` lies in a registered memory-side range.
     pub fn is_mem_side(&self, addr: Addr) -> bool {
         self.mem_side_ranges
@@ -315,8 +320,8 @@ impl NdcState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::EngineLevel;
     use crate::config::LINE_SIZE;
+    use crate::engine::EngineLevel;
 
     fn region(base: u64, bound: u64, obj: u64) -> MorphRegion {
         MorphRegion {
@@ -379,7 +384,10 @@ mod tests {
             capacity: 4,
             tail: 6,
             head: 3,
-            engine: EngineId { tile: 0, level: EngineLevel::Llc },
+            engine: EngineId {
+                tile: 0,
+                level: EngineLevel::Llc,
+            },
             consumer: 0,
             mode: StreamMode::RunAhead,
             closed: false,
@@ -399,7 +407,10 @@ mod tests {
             capacity: 64,
             tail: 0,
             head: 0,
-            engine: EngineId { tile: 0, level: EngineLevel::Llc },
+            engine: EngineId {
+                tile: 0,
+                level: EngineLevel::Llc,
+            },
             consumer: 0,
             mode: StreamMode::MissTriggered { reinit_instrs: 15 },
             closed: false,

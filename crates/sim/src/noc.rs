@@ -7,6 +7,7 @@
 
 use crate::config::NocConfig;
 use crate::stats::Stats;
+use crate::trace::{TraceCategory, TraceEvent, Track};
 
 /// Directions out of a router.
 const DIRS: usize = 4; // east, west, north, south
@@ -87,7 +88,18 @@ impl Noc {
             y = ny;
         }
         // Tail flits arrive `flits-1` cycles after the head.
-        t + flits.saturating_sub(1)
+        let arrive = t + flits.saturating_sub(1);
+        stats.trace.record(|| {
+            TraceEvent::span(
+                now,
+                arrive - now,
+                TraceCategory::Noc,
+                "noc.msg",
+                Track::Noc(from),
+                &[("to", to as u64), ("flits", flits)],
+            )
+        });
+        arrive
     }
 
     /// Latency of an uncontended message (no reservation; for estimates).
@@ -161,7 +173,10 @@ mod tests {
         // Two large messages over the same first link at the same time.
         let a = n.send(0, 3, 64, 0, &mut s);
         let b = n.send(0, 3, 64, 0, &mut s);
-        assert!(b > a, "second message serializes behind the first: {a} vs {b}");
+        assert!(
+            b > a,
+            "second message serializes behind the first: {a} vs {b}"
+        );
     }
 
     #[test]

@@ -7,6 +7,9 @@
 
 use std::fmt;
 
+use crate::hist::Histogram;
+use crate::trace::Tracer;
+
 /// Workload phase tag for phase-attributed counters (e.g. Fig. 21 splits
 /// DRAM accesses between PageRank's edge and vertex phases).
 pub const MAX_PHASES: usize = 4;
@@ -108,6 +111,22 @@ pub struct Stats {
     /// L2 prefetches issued.
     pub prefetches: u64,
 
+    /// Invoke round-trip latency (issue to acknowledgment) in cycles.
+    pub invoke_rtt: Histogram,
+    /// Load-to-use latency (issue of a core load to data return) in cycles.
+    pub load_to_use: Histogram,
+    /// DRAM controller queueing delay (arrival to service start) in cycles.
+    pub dram_queue: Histogram,
+    /// Duration of individual stream-pop stalls in cycles.
+    pub stream_stall: Histogram,
+
+    /// Structured event recorder (off by default; see
+    /// [`crate::config::MachineConfig::trace`]).
+    pub trace: Tracer,
+    /// Periodic time-series sampler (off by default; see
+    /// [`crate::config::MachineConfig::sample_interval`]).
+    pub timeline: TimeSeries,
+
     current_phase: usize,
 }
 
@@ -173,6 +192,18 @@ impl fmt::Display for Stats {
             self.llc.misses,
             self.llc.miss_ratio() * 100.0
         )?;
+        writeln!(
+            f,
+            "eL1 hits/misses:   {}/{} ({:.1}% miss)",
+            self.engine_l1.hits,
+            self.engine_l1.misses,
+            self.engine_l1.miss_ratio() * 100.0
+        )?;
+        writeln!(
+            f,
+            "writebacks:        L1 {} / L2 {} / LLC {} / eL1 {}",
+            self.l1.writebacks, self.l2.writebacks, self.llc.writebacks, self.engine_l1.writebacks
+        )?;
         writeln!(f, "DRAM accesses:     {}", self.dram_accesses)?;
         writeln!(f, "MC cache hits:     {}", self.mc_cache_hits)?;
         writeln!(f, "NoC flit-hops:     {}", self.noc_flit_hops)?;
@@ -183,9 +214,170 @@ impl fmt::Display for Stats {
             self.mispredict_ratio() * 100.0
         )?;
         writeln!(f, "fences:            {}", self.fences)?;
-        writeln!(f, "invokes:           {} ({} NACKed)", self.invokes, self.invoke_nacks)?;
-        writeln!(f, "ctor/dtor actions: {}/{}", self.ctor_actions, self.dtor_actions)?;
-        write!(f, "stream push/pop:   {}/{}", self.stream_pushes, self.stream_pops)
+        writeln!(
+            f,
+            "invokes:           {} ({} NACKed)",
+            self.invokes, self.invoke_nacks
+        )?;
+        writeln!(
+            f,
+            "ctor/dtor actions: {}/{}",
+            self.ctor_actions, self.dtor_actions
+        )?;
+        write!(
+            f,
+            "stream push/pop:   {}/{}",
+            self.stream_pushes, self.stream_pops
+        )?;
+        if !self.invoke_rtt.is_empty() {
+            write!(f, "\ninvoke RTT:        {}", self.invoke_rtt)?;
+        }
+        if !self.stream_stall.is_empty() {
+            write!(f, "\nstream stall:      {}", self.stream_stall)?;
+        }
+        Ok(())
+    }
+}
+
+/// One periodic snapshot of machine activity over a sampling interval.
+///
+/// Rate-like fields (`ipc`, miss ratios) and count fields are all computed
+/// over the *interval* since the previous sample, not cumulatively, so a
+/// plot of samples shows phase behavior directly (Fig. 21 style).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Sample {
+    /// Simulated cycle the sample was taken at.
+    pub cycle: u64,
+    /// Instructions (core + engine) per cycle over the interval.
+    pub ipc: f64,
+    /// Core instructions retired in the interval.
+    pub core_instrs: u64,
+    /// Engine instructions retired in the interval.
+    pub engine_instrs: u64,
+    /// L1 miss ratio over the interval.
+    pub l1_miss_ratio: f64,
+    /// L2 miss ratio over the interval.
+    pub l2_miss_ratio: f64,
+    /// LLC miss ratio over the interval.
+    pub llc_miss_ratio: f64,
+    /// NoC flit-hops in the interval.
+    pub noc_flit_hops: u64,
+    /// DRAM line accesses in the interval.
+    pub dram_accesses: u64,
+    /// Engine task contexts in use at the sample instant (all engines).
+    pub engine_ctxs: u32,
+    /// Entries buffered in hardware streams at the sample instant.
+    pub stream_depth: u64,
+}
+
+/// Counter snapshot used to compute per-interval deltas.
+#[derive(Clone, Copy, Debug, Default)]
+struct Baseline {
+    cycle: u64,
+    core_instrs: u64,
+    engine_instrs: u64,
+    l1: LevelStats,
+    l2: LevelStats,
+    llc: LevelStats,
+    noc_flit_hops: u64,
+    dram_accesses: u64,
+}
+
+/// Periodic time-series sampler: every `interval` cycles the machine
+/// snapshots interval deltas of the headline counters into a [`Sample`].
+/// Disabled when `interval == 0` (the default).
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    interval: u64,
+    next: u64,
+    samples: Vec<Sample>,
+    base: Baseline,
+}
+
+impl TimeSeries {
+    /// Creates a sampler firing every `interval` cycles (0 disables it).
+    pub fn new(interval: u64) -> Self {
+        TimeSeries {
+            interval,
+            next: interval,
+            samples: Vec::new(),
+            base: Baseline::default(),
+        }
+    }
+
+    /// True when sampling is enabled.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.interval != 0
+    }
+
+    /// True when the simulated clock has reached the next sample point.
+    #[inline]
+    pub fn due(&self, now: u64) -> bool {
+        self.interval != 0 && now >= self.next
+    }
+
+    /// The configured sampling interval in cycles.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// The recorded samples, in time order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+}
+
+impl Stats {
+    /// Takes one time-series sample at cycle `now`. `engine_ctxs` and
+    /// `stream_depth` are instantaneous occupancy readings supplied by the
+    /// caller ([`crate::hw::Hw::maybe_sample`]).
+    pub(crate) fn take_sample(&mut self, now: u64, engine_ctxs: u32, stream_depth: u64) {
+        let b = self.timeline.base;
+        let dt = now.saturating_sub(b.cycle);
+        let dc = self.core_instrs - b.core_instrs;
+        let de = self.engine_instrs - b.engine_instrs;
+        let delta = |cur: LevelStats, old: LevelStats| LevelStats {
+            hits: cur.hits - old.hits,
+            misses: cur.misses - old.misses,
+            writebacks: cur.writebacks - old.writebacks,
+        };
+        let l1 = delta(self.l1, b.l1);
+        let l2 = delta(self.l2, b.l2);
+        let llc = delta(self.llc, b.llc);
+        self.timeline.samples.push(Sample {
+            cycle: now,
+            ipc: if dt == 0 {
+                0.0
+            } else {
+                (dc + de) as f64 / dt as f64
+            },
+            core_instrs: dc,
+            engine_instrs: de,
+            l1_miss_ratio: l1.miss_ratio(),
+            l2_miss_ratio: l2.miss_ratio(),
+            llc_miss_ratio: llc.miss_ratio(),
+            noc_flit_hops: self.noc_flit_hops - b.noc_flit_hops,
+            dram_accesses: self.dram_accesses - b.dram_accesses,
+            engine_ctxs,
+            stream_depth,
+        });
+        self.timeline.base = Baseline {
+            cycle: now,
+            core_instrs: self.core_instrs,
+            engine_instrs: self.engine_instrs,
+            l1: self.l1,
+            l2: self.l2,
+            llc: self.llc,
+            noc_flit_hops: self.noc_flit_hops,
+            dram_accesses: self.dram_accesses,
+        };
+        // Schedule the next sample strictly after `now`, skipping any
+        // intervals the event-driven clock jumped over.
+        let interval = self.timeline.interval;
+        while self.timeline.next <= now {
+            self.timeline.next += interval;
+        }
     }
 }
 
@@ -234,5 +426,78 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("cycles"));
         assert!(text.contains("DRAM"));
+    }
+
+    #[test]
+    fn display_includes_engine_l1_and_writebacks() {
+        let mut s = Stats::new();
+        s.engine_l1.hits = 7;
+        s.engine_l1.misses = 3;
+        s.l2.writebacks = 11;
+        let text = s.to_string();
+        assert!(
+            text.contains("eL1 hits/misses:   7/3 (30.0% miss)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("writebacks:        L1 0 / L2 11 / LLC 0 / eL1 0"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn display_shows_histograms_when_populated() {
+        let mut s = Stats::new();
+        assert!(!s.to_string().contains("invoke RTT"));
+        s.invoke_rtt.record(40);
+        s.stream_stall.record(9);
+        let text = s.to_string();
+        assert!(text.contains("invoke RTT:        n=1"), "{text}");
+        assert!(text.contains("stream stall:      n=1"), "{text}");
+    }
+
+    #[test]
+    fn sampler_deltas_and_schedule() {
+        let mut s = Stats::new();
+        s.timeline = TimeSeries::new(100);
+        assert!(s.timeline.enabled());
+        assert!(!s.timeline.due(99));
+        assert!(s.timeline.due(100));
+
+        s.core_instrs = 400;
+        s.l1.hits = 90;
+        s.l1.misses = 10;
+        s.take_sample(100, 3, 5);
+        // The clock can jump past several intervals; the next sample point
+        // must land strictly after `now`.
+        assert!(!s.timeline.due(100));
+        assert!(s.timeline.due(200));
+
+        s.core_instrs = 600;
+        s.engine_instrs = 100;
+        s.l1.hits = 90; // no L1 activity this interval
+        s.take_sample(350, 0, 0);
+        assert!(!s.timeline.due(350));
+        assert!(s.timeline.due(400));
+
+        let samples = s.timeline.samples();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].cycle, 100);
+        assert!((samples[0].ipc - 4.0).abs() < 1e-12);
+        assert!((samples[0].l1_miss_ratio - 0.1).abs() < 1e-12);
+        assert_eq!(samples[0].engine_ctxs, 3);
+        assert_eq!(samples[0].stream_depth, 5);
+        // Second sample covers only the interval since the first.
+        assert_eq!(samples[1].core_instrs, 200);
+        assert_eq!(samples[1].engine_instrs, 100);
+        assert!((samples[1].ipc - 300.0 / 250.0).abs() < 1e-12);
+        assert_eq!(samples[1].l1_miss_ratio, 0.0);
+    }
+
+    #[test]
+    fn disabled_sampler_is_never_due() {
+        let s = Stats::new();
+        assert!(!s.timeline.enabled());
+        assert!(!s.timeline.due(u64::MAX));
     }
 }

@@ -1,0 +1,427 @@
+//! Structured event tracing with Chrome trace-event / Perfetto export.
+//!
+//! The [`Tracer`] is a categorized, ring-buffered recorder for the
+//! simulator's microarchitectural events: the invoke lifecycle
+//! (issue → NACK/dispatch → retire), coherence activity (invalidations,
+//! ownership transfers), stream push/pop/stall, DRAM queueing, and NoC
+//! messages. Recording is observational only — it never changes simulated
+//! timing — and is branch-cheap when disabled: every hook passes a closure
+//! that is not evaluated unless tracing is on.
+//!
+//! [`Tracer::to_chrome_json`] exports the buffer in the Chrome
+//! trace-event JSON format, loadable in Perfetto (<https://ui.perfetto.dev>)
+//! or `chrome://tracing`, with one process per tile and one thread track
+//! per unit (core, L2 engine, LLC engine, NoC port) keyed by simulated
+//! cycle (1 cycle = 1 µs on the viewer's timeline).
+
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt::Write as _;
+
+use crate::engine::{EngineId, EngineLevel};
+
+/// Default ring-buffer capacity (events retained) when tracing is enabled.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// Event category, mapped to the Chrome trace `cat` field so Perfetto can
+/// filter tracks by subsystem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceCategory {
+    /// Task-offload lifecycle: issue, NACK, dispatch, retire.
+    Invoke,
+    /// Coherence traffic: invalidations, ownership transfers.
+    Coherence,
+    /// Stream push / pop / consumer stall.
+    Stream,
+    /// DRAM controller queueing and service.
+    Dram,
+    /// NoC message traversal.
+    Noc,
+}
+
+impl TraceCategory {
+    /// The category's name in exported traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceCategory::Invoke => "invoke",
+            TraceCategory::Coherence => "coherence",
+            TraceCategory::Stream => "stream",
+            TraceCategory::Dram => "dram",
+            TraceCategory::Noc => "noc",
+        }
+    }
+}
+
+/// The hardware unit an event is attributed to (its track in the viewer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Track {
+    /// A core on the given tile.
+    Core(u32),
+    /// An engine (tile + level).
+    Engine(EngineId),
+    /// The NoC injection port of the given tile.
+    Noc(u32),
+    /// A DRAM memory controller.
+    Dram(u32),
+}
+
+impl Track {
+    /// Chrome trace `(pid, tid)` for this track. Tiles are processes
+    /// (pid = tile + 1); memory controllers share a synthetic "dram"
+    /// process.
+    fn pid_tid(self) -> (u32, u32) {
+        match self {
+            Track::Core(t) => (t + 1, 1),
+            Track::Engine(EngineId {
+                tile,
+                level: EngineLevel::L2,
+            }) => (tile + 1, 2),
+            Track::Engine(EngineId {
+                tile,
+                level: EngineLevel::Llc,
+            }) => (tile + 1, 3),
+            Track::Noc(t) => (t + 1, 4),
+            Track::Dram(mc) => (DRAM_PID, mc + 1),
+        }
+    }
+
+    /// Thread-track label for metadata events.
+    fn tid_name(self) -> String {
+        match self {
+            Track::Core(_) => "core".into(),
+            Track::Engine(EngineId {
+                level: EngineLevel::L2,
+                ..
+            }) => "engine.l2".into(),
+            Track::Engine(EngineId {
+                level: EngineLevel::Llc,
+                ..
+            }) => "engine.llc".into(),
+            Track::Noc(_) => "noc".into(),
+            Track::Dram(mc) => format!("mc{mc}"),
+        }
+    }
+}
+
+/// Synthetic process id for DRAM controller tracks.
+const DRAM_PID: u32 = 9999;
+
+/// Maximum key/value argument pairs per event.
+pub const MAX_ARGS: usize = 3;
+
+/// One recorded event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated cycle the event starts.
+    pub cycle: u64,
+    /// Duration in cycles; 0 renders as an instant event.
+    pub dur: u64,
+    /// Subsystem category.
+    pub category: TraceCategory,
+    /// Event name (static, e.g. `"invoke.issue"`).
+    pub name: &'static str,
+    /// The track the event belongs to.
+    pub track: Track,
+    /// Up to [`MAX_ARGS`] named arguments.
+    args: [(&'static str, u64); MAX_ARGS],
+    nargs: u8,
+}
+
+impl TraceEvent {
+    /// Builds an instant event.
+    ///
+    /// # Panics
+    /// Panics if more than [`MAX_ARGS`] arguments are given.
+    pub fn instant(
+        cycle: u64,
+        category: TraceCategory,
+        name: &'static str,
+        track: Track,
+        args: &[(&'static str, u64)],
+    ) -> Self {
+        Self::span(cycle, 0, category, name, track, args)
+    }
+
+    /// Builds a duration (span) event covering `[cycle, cycle + dur)`.
+    ///
+    /// # Panics
+    /// Panics if more than [`MAX_ARGS`] arguments are given.
+    pub fn span(
+        cycle: u64,
+        dur: u64,
+        category: TraceCategory,
+        name: &'static str,
+        track: Track,
+        args: &[(&'static str, u64)],
+    ) -> Self {
+        assert!(args.len() <= MAX_ARGS, "too many trace args");
+        let mut a = [("", 0u64); MAX_ARGS];
+        a[..args.len()].copy_from_slice(args);
+        TraceEvent {
+            cycle,
+            dur,
+            category,
+            name,
+            track,
+            args: a,
+            nargs: args.len() as u8,
+        }
+    }
+
+    /// The event's named arguments.
+    pub fn args(&self) -> &[(&'static str, u64)] {
+        &self.args[..self.nargs as usize]
+    }
+}
+
+/// The ring-buffered event recorder.
+///
+/// Disabled by default; when disabled, [`Tracer::record`] is a single
+/// branch and the event-building closure is never evaluated.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// Creates a tracer. `capacity` bounds retained events; older events
+    /// are dropped (and counted) once the ring is full.
+    pub fn new(enabled: bool, capacity: usize) -> Self {
+        Tracer {
+            enabled,
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// True when events are being recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records the event produced by `f` — only evaluated when enabled.
+    #[inline]
+    pub fn record(&mut self, f: impl FnOnce() -> TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(f());
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped from the front of the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over buffered events in record order.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Discards all buffered events (keeps the enabled state).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+
+    /// Exports the buffer as Chrome trace-event JSON (Perfetto-loadable).
+    ///
+    /// Instant events use phase `"i"` (thread scope), spans use complete
+    /// events (`"X"`). Timestamps are simulated cycles interpreted as
+    /// microseconds. Process/thread metadata names every tile and unit, so
+    /// the viewer shows one group per tile with per-unit tracks.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.events.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ms\",");
+        let _ = write!(out, "\"leviDroppedEvents\":{},", self.dropped);
+        out.push_str("\"traceEvents\":[");
+
+        // Metadata: name each (pid, tid) pair seen in the buffer.
+        let tracks: BTreeSet<Track> = self.events.iter().map(|e| e.track).collect();
+        let pids: BTreeSet<u32> = tracks.iter().map(|t| t.pid_tid().0).collect();
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+        };
+        for pid in &pids {
+            sep(&mut out);
+            let name = if *pid == DRAM_PID {
+                "dram".to_string()
+            } else {
+                format!("tile{}", pid - 1)
+            };
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            );
+        }
+        for track in &tracks {
+            let (pid, tid) = track.pid_tid();
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                 \"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+                track.tid_name()
+            );
+        }
+
+        for e in &self.events {
+            let (pid, tid) = e.track.pid_tid();
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{pid},\"tid\":{tid},\
+                 \"ts\":{}",
+                e.name,
+                e.category.as_str(),
+                e.cycle
+            );
+            if e.dur > 0 {
+                let _ = write!(out, ",\"ph\":\"X\",\"dur\":{}", e.dur);
+            } else {
+                out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+            }
+            if e.nargs > 0 {
+                out.push_str(",\"args\":{");
+                for (i, (k, v)) in e.args().iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{k}\":{v}");
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, name: &'static str) -> TraceEvent {
+        TraceEvent::instant(cycle, TraceCategory::Invoke, name, Track::Core(0), &[])
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::default();
+        assert!(!t.enabled());
+        t.record(|| panic!("closure must not run when disabled"));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_buffers_events() {
+        let mut t = Tracer::new(true, 16);
+        t.record(|| ev(10, "a"));
+        t.record(|| {
+            TraceEvent::span(
+                20,
+                5,
+                TraceCategory::Stream,
+                "b",
+                Track::Engine(EngineId {
+                    tile: 2,
+                    level: EngineLevel::Llc,
+                }),
+                &[("sid", 1), ("depth", 3)],
+            )
+        });
+        assert_eq!(t.len(), 2);
+        let evs: Vec<_> = t.events().collect();
+        assert_eq!(evs[0].cycle, 10);
+        assert_eq!(evs[1].dur, 5);
+        assert_eq!(evs[1].args(), &[("sid", 1), ("depth", 3)]);
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut t = Tracer::new(true, 4);
+        for i in 0..10 {
+            t.record(|| ev(i, "e"));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        assert_eq!(t.events().next().unwrap().cycle, 6);
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let mut t = Tracer::new(true, 16);
+        t.record(|| ev(1, "invoke.issue"));
+        t.record(|| {
+            TraceEvent::span(
+                2,
+                7,
+                TraceCategory::Dram,
+                "dram.access",
+                Track::Dram(1),
+                &[("line", 42)],
+            )
+        });
+        let json = t.to_chrome_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"invoke.issue\""));
+        assert!(json.contains("\"cat\":\"invoke\""));
+        assert!(json.contains("\"ph\":\"X\",\"dur\":7"));
+        assert!(json.contains("\"args\":{\"line\":42}"));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("tile0"));
+        assert!(json.contains("\"dram\""));
+        // Braces and brackets balance (cheap well-formedness check; no
+        // string in the output contains braces).
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json_skeleton() {
+        let t = Tracer::new(true, 4);
+        let json = t.to_chrome_json();
+        assert!(json.contains("\"traceEvents\":[]"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = Tracer::new(true, 2);
+        t.record(|| ev(0, "a"));
+        t.record(|| ev(1, "a"));
+        t.record(|| ev(2, "a"));
+        assert_eq!(t.dropped(), 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert!(t.enabled());
+    }
+}

@@ -95,7 +95,10 @@ fn stream_producer_halts_before_consumer_finishes() {
     let prog = Arc::new(pb.finish().unwrap());
     let mut m = Machine::new(small_cfg());
     let buf = 0x8000u64;
-    let eng = EngineId { tile: 0, level: EngineLevel::Llc };
+    let eng = EngineId {
+        tile: 0,
+        level: EngineLevel::Llc,
+    };
     let sid = m.create_stream(buf, 8, 8, eng, 0, StreamMode::RunAhead);
     m.hw.ndc.register_morph(MorphRegion {
         base: buf,
@@ -134,7 +137,10 @@ fn starved_consumer_reports_deadlock() {
     let prog = Arc::new(pb.finish().unwrap());
     let mut m = Machine::new(small_cfg());
     let buf = 0x9000u64;
-    let eng = EngineId { tile: 1, level: EngineLevel::Llc };
+    let eng = EngineId {
+        tile: 1,
+        level: EngineLevel::Llc,
+    };
     let sid = m.create_stream(buf, 8, 8, eng, 1, StreamMode::RunAhead);
     m.hw.ndc.register_morph(MorphRegion {
         base: buf,

@@ -16,7 +16,13 @@ fn build(loc: Location, n: u64) -> (Arc<Program>, FuncId) {
         let mut f = pb.function("bump");
         let (actor, one, old) = (Reg(0), Reg(1), Reg(2));
         f.imm(one, 1);
-        f.rmw_relaxed(levi_isa::RmwOp::Add, old, actor, one, levi_isa::MemWidth::B8);
+        f.rmw_relaxed(
+            levi_isa::RmwOp::Add,
+            old,
+            actor,
+            one,
+            levi_isa::MemWidth::B8,
+        );
         f.halt();
         f.finish();
     }
@@ -44,7 +50,9 @@ fn run(loc: Location) -> (u64, levi_sim::Stats) {
     cfg.prefetcher = false;
     let mut m = Machine::new(cfg);
     let action_fn = prog.func_by_name("bump").unwrap();
-    m.hw.ndc.actions.register(ActionId(0), prog.clone(), action_fn);
+    m.hw.ndc
+        .actions
+        .register(ActionId(0), prog.clone(), action_fn);
     let counter = 0x4040u64; // bank 1, invoked from core 0
     m.spawn_thread(0, prog, main, &[counter]);
     m.run().unwrap();
@@ -83,7 +91,13 @@ fn local_caches_hot_actors_remote_wins_scattered() {
             let mut f = pb.function("bump");
             let (actor, one, old) = (Reg(0), Reg(1), Reg(2));
             f.imm(one, 1);
-            f.rmw_relaxed(levi_isa::RmwOp::Add, old, actor, one, levi_isa::MemWidth::B8);
+            f.rmw_relaxed(
+                levi_isa::RmwOp::Add,
+                old,
+                actor,
+                one,
+                levi_isa::MemWidth::B8,
+            );
             f.halt();
             f.finish();
         }
@@ -112,7 +126,9 @@ fn local_caches_hot_actors_remote_wins_scattered() {
         cfg.prefetcher = false;
         let mut m = Machine::new(cfg);
         let action_fn = prog.func_by_name("bump").unwrap();
-        m.hw.ndc.actions.register(ActionId(0), prog.clone(), action_fn);
+        m.hw.ndc
+            .actions
+            .register(ActionId(0), prog.clone(), action_fn);
         m.spawn_thread(0, prog, main, &[0x10_0000]);
         m.run().unwrap();
         m.stats().clone()
@@ -144,7 +160,13 @@ fn exclusive_follows_the_owner() {
         let mut f = pb.function("bump");
         let (actor, one, old) = (Reg(0), Reg(1), Reg(2));
         f.imm(one, 1);
-        f.rmw_relaxed(levi_isa::RmwOp::Add, old, actor, one, levi_isa::MemWidth::B8);
+        f.rmw_relaxed(
+            levi_isa::RmwOp::Add,
+            old,
+            actor,
+            one,
+            levi_isa::MemWidth::B8,
+        );
         f.halt();
         f.finish();
     }
@@ -155,7 +177,7 @@ fn exclusive_follows_the_owner() {
         f.imm(one, 1).imm(two, 2);
         f.st8(actor, 0, one); // take ownership (dirty)
         f.st8(flag, 0, one); // signal readiness
-        // Spin until the invoker writes 2 to the flag.
+                             // Spin until the invoker writes 2 to the flag.
         let top = f.label();
         let out = f.label();
         f.bind(top);
@@ -189,7 +211,9 @@ fn exclusive_follows_the_owner() {
     cfg.prefetcher = false;
     let mut m = Machine::new(cfg);
     let action_fn = prog.func_by_name("bump").unwrap();
-    m.hw.ndc.actions.register(ActionId(0), prog.clone(), action_fn);
+    m.hw.ndc
+        .actions
+        .register(ActionId(0), prog.clone(), action_fn);
     let actor = 0x4040u64;
     let flag = 0x8000u64;
     m.spawn_thread(1, prog.clone(), owner_thread, &[actor, flag]);

@@ -4,7 +4,13 @@ use levi_workloads::hats::*;
 
 fn main() {
     let scale = HatsScale::test();
-    let graph = Graph::community(scale.vertices, scale.avg_degree, scale.community, scale.intra_pct, scale.seed);
+    let graph = Graph::community(
+        scale.vertices,
+        scale.avg_degree,
+        scale.community,
+        scale.intra_pct,
+        scale.seed,
+    );
     for v in HatsVariant::all() {
         let r = run_hats_on(v, &scale, &graph);
         let s = &r.metrics.stats;

@@ -4,11 +4,20 @@ use levi_workloads::hats::*;
 
 fn main() {
     let scale0 = HatsScale::paper();
-    let graph = Graph::community(scale0.vertices, scale0.avg_degree, scale0.community, scale0.intra_pct, scale0.seed);
+    let graph = Graph::community(
+        scale0.vertices,
+        scale0.avg_degree,
+        scale0.community,
+        scale0.intra_pct,
+        scale0.seed,
+    );
     for cap in [8u64, 32, 128] {
         let mut scale = scale0.clone();
         scale.stream_capacity = cap;
         let r = run_hats_on(HatsVariant::Leviathan, &scale, &graph);
-        println!("cap={cap:>4}: {} cycles, stalls {}", r.metrics.cycles, r.metrics.stats.stream_stall_cycles);
+        println!(
+            "cap={cap:>4}: {} cycles, stalls {}",
+            r.metrics.cycles, r.metrics.stats.stream_stall_cycles
+        );
     }
 }

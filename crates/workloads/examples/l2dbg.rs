@@ -36,6 +36,8 @@ fn main() {
     m.spawn_thread(0, prog, func, &[0x100000, 1024]); // 1024 lines = 64KB
     m.run().unwrap();
     let s = m.stats();
-    println!("l1 h/m = {}/{}  l2 h/m = {}/{}  llc h/m = {}/{}  dram = {}",
-        s.l1.hits, s.l1.misses, s.l2.hits, s.l2.misses, s.llc.hits, s.llc.misses, s.dram_accesses);
+    println!(
+        "l1 h/m = {}/{}  l2 h/m = {}/{}  llc h/m = {}/{}  dram = {}",
+        s.l1.hits, s.l1.misses, s.l2.hits, s.l2.misses, s.llc.hits, s.llc.misses, s.dram_accesses
+    );
 }

@@ -338,12 +338,16 @@ pub fn run_decompress(
     let mut host_pixels = vec![[0u16; 3]; n as usize];
     for c in 0..3 {
         for g in 0..n.div_ceil(8) {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = (x >> 40) as u16 & 0x3FFF;
             sys.write(bases[c] + 2 * g, b as u64, MemWidth::B2);
         }
         for i in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let d = (x >> 33) as u8;
             sys.write(deltas[c] + i, d as u64, MemWidth::B1);
             let b = sys.read(bases[c] + 2 * (i / 8), MemWidth::B2) as u16;
@@ -401,7 +405,12 @@ pub fn run_decompress(
             }
             DecompressVariant::Offload => {
                 let fut = sys.alloc_future();
-                sys.spawn_thread(t, &progs.prog, progs.ol_driver, &[ip, per, view, res, fut.addr]);
+                sys.spawn_thread(
+                    t,
+                    &progs.prog,
+                    progs.ol_driver,
+                    &[ip, per, view, res, fut.addr],
+                );
             }
             DecompressVariant::Leviathan | DecompressVariant::Ideal => {
                 sys.spawn_thread(t, &progs.prog, progs.consumer, &[ip, per, view, res]);
@@ -424,7 +433,8 @@ pub fn run_decompress(
         golden_covered += p[0] as u64 + p[1] as u64 + p[2] as u64;
     }
     assert_eq!(
-        access_sum, golden_covered,
+        access_sum,
+        golden_covered,
         "{} produced wrong pixel sums",
         variant.label()
     );

@@ -7,8 +7,7 @@
 //! traversal exploits. Key distributions (uniform and Zipfian) drive the
 //! hash-table and decompression studies.
 
-use rand::rngs::SmallRng;
-use rand::{seq::SliceRandom, Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// A directed graph in CSR (compressed sparse row) form: for each vertex,
 /// the list of its out-neighbors.
@@ -90,7 +89,7 @@ impl Graph {
         // Random permutation so hot vertices are scattered in the id space
         // (no accidental spatial clustering of hot lines).
         let mut perm: Vec<u32> = (0..num_vertices).collect();
-        perm.shuffle(&mut rng);
+        rng.shuffle(&mut perm);
         for _ in 0..n_edges {
             let s = rng.gen_range(0..num_vertices);
             let mut d = perm[zipf.sample() as usize];
@@ -194,7 +193,7 @@ impl Zipf {
 
     /// Draws the next sample.
     pub fn sample(&mut self) -> u64 {
-        let u: f64 = self.rng.gen();
+        let u: f64 = self.rng.gen_f64();
         match self
             .cdf
             .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN"))

@@ -229,8 +229,7 @@ fn build_programs(node_bytes: u64, first_loc: Location) -> Programs {
     let driver = {
         let mut f = pb.function("offload_lookups");
         let (ctx, n) = (Reg(0), Reg(1));
-        let (heads, nbuckets, keys, result, fut) =
-            (Reg(10), Reg(11), Reg(12), Reg(13), Reg(24));
+        let (heads, nbuckets, keys, result, fut) = (Reg(10), Reg(11), Reg(12), Reg(13), Reg(24));
         let (i, key, h, node, val, acc, zero, haddr, miss) = (
             Reg(14),
             Reg(15),
@@ -385,12 +384,22 @@ pub fn run_hashtable_with(
         sys.write_u64(ctx + 24, res);
         match variant {
             HtVariant::Baseline => {
-                sys.spawn_thread(t, &progs.prog, progs.baseline, &[ctx, scale.lookups_per_thread]);
+                sys.spawn_thread(
+                    t,
+                    &progs.prog,
+                    progs.baseline,
+                    &[ctx, scale.lookups_per_thread],
+                );
             }
             _ => {
                 let fut = sys.alloc_future();
                 sys.write_u64(ctx + 32, fut.addr);
-                sys.spawn_thread(t, &progs.prog, progs.driver, &[ctx, scale.lookups_per_thread]);
+                sys.spawn_thread(
+                    t,
+                    &progs.prog,
+                    progs.driver,
+                    &[ctx, scale.lookups_per_thread],
+                );
             }
         }
     }

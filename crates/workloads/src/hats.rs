@@ -28,10 +28,9 @@
 
 use std::sync::Arc;
 
+use crate::rng::SmallRng;
 use levi_isa::{FuncId, MemWidth, Program, ProgramBuilder, Reg};
 use leviathan::{StreamSpec, System, SystemConfig};
-use rand::rngs::SmallRng;
-use rand::{seq::SliceRandom, SeedableRng};
 
 use crate::gen::Graph;
 use crate::metrics::RunMetrics;
@@ -178,13 +177,7 @@ struct Programs {
 }
 
 /// Emits the edge-processing body: `rnext[dst] += rank[src]/outdeg[src]`.
-fn emit_process(
-    f: &mut FunctionBuilder<'_>,
-    ctxreg: Reg,
-    src: Reg,
-    dst: Reg,
-    scratch: [Reg; 4],
-) {
+fn emit_process(f: &mut FunctionBuilder<'_>, ctxreg: Reg, src: Reg, dst: Reg, scratch: [Reg; 4]) {
     let [a, deg, rank, cur] = scratch;
     f.ld8(a, ctxreg, ctx::OUTDEG);
     f.muli(deg, src, 4);
@@ -348,14 +341,8 @@ fn build_programs() -> Programs {
         let mut f = pb.function("consume_stream");
         let (c2, n, stream, ctxreg) = (Reg(0), Reg(1), Reg(2), Reg(3));
         let (buffer, bound) = (Reg(8), Reg(9));
-        let (i, addr, edge, src, dst, mask) = (
-            Reg(10),
-            Reg(12),
-            Reg(13),
-            Reg(14),
-            Reg(15),
-            Reg(16),
-        );
+        let (i, addr, edge, src, dst, mask) =
+            (Reg(10), Reg(12), Reg(13), Reg(14), Reg(15), Reg(16));
         let scratch = [Reg(20), Reg(21), Reg(22), Reg(23)];
         // The consumer issues *sequential* loads over the ring: a pointer
         // bump plus a predictable wrap branch (paper: "the core merely
@@ -590,7 +577,7 @@ pub fn run_hats_on(variant: HatsVariant, scale: &HatsScale, graph: &Graph) -> Ha
                 let order_a = sys.alloc_raw(4 * count.max(1), 64);
                 let mut order: Vec<u32> = (v0 as u32..v1 as u32).collect();
                 let mut rng = SmallRng::seed_from_u64(scale.seed ^ t as u64);
-                order.shuffle(&mut rng);
+                rng.shuffle(&mut order);
                 for (i, &d) in order.iter().enumerate() {
                     sys.write(order_a + 4 * i as u64, d as u64, MemWidth::B4);
                 }

@@ -22,6 +22,8 @@ pub mod hashtable;
 pub mod hats;
 pub mod metrics;
 pub mod phi;
+pub mod rng;
 
 pub use gen::{Graph, Uniform, Zipf};
 pub use metrics::RunMetrics;
+pub use rng::SmallRng;

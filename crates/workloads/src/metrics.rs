@@ -9,7 +9,10 @@ use leviathan::System;
 /// breaking LLC inclusivity (the LLC must stay larger than the private
 /// caches it backs).
 pub fn shrink_caches(cfg: &mut MachineConfig, factor: u64) {
-    assert!(factor.is_power_of_two(), "cache factor must be a power of two");
+    assert!(
+        factor.is_power_of_two(),
+        "cache factor must be a power of two"
+    );
     cfg.l1.size_bytes /= factor;
     cfg.l2.size_bytes /= factor;
     cfg.llc.size_bytes /= factor;

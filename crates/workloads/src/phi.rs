@@ -185,15 +185,8 @@ fn build_programs(variant: PhiVariant) -> PhiPrograms {
     let delta_dtor = {
         let mut f = pb.function("delta_dtor");
         let (obj, view, _dirty) = (Reg(0), Reg(1), Reg(2));
-        let (d, dbase, rbase, off, addr, cur, zero) = (
-            Reg(3),
-            Reg(4),
-            Reg(5),
-            Reg(6),
-            Reg(7),
-            Reg(8),
-            Reg(9),
-        );
+        let (d, dbase, rbase, off, addr, cur, zero) =
+            (Reg(3), Reg(4), Reg(5), Reg(6), Reg(7), Reg(8), Reg(9));
         let done = f.label();
         f.imm(zero, 0);
         f.ld8(d, obj, 0); // local: the evicted line's data
@@ -436,11 +429,15 @@ pub fn run_phi_on(variant: PhiVariant, scale: &PhiScale, graph: &Graph) -> PhiRe
     if use_log {
         let region = sys.alloc_raw(log_cap_bytes * banks, log_cap_bytes * banks);
         let ignore = (log_cap_bytes / 64).trailing_zeros();
-        sys.machine_mut().hw.ndc.bank_maps.push(levi_sim::BankMapRange {
-            base: region,
-            bound: region + log_cap_bytes * banks,
-            ignore_line_bits: ignore,
-        });
+        sys.machine_mut()
+            .hw
+            .ndc
+            .bank_maps
+            .push(levi_sim::BankMapRange {
+                base: region,
+                bound: region + log_cap_bytes * banks,
+                ignore_line_bits: ignore,
+            });
         sys.mark_streaming_stores(region, log_cap_bytes * banks);
         for i in 0..banks {
             let sub = region + i * log_cap_bytes;
@@ -592,8 +589,7 @@ mod tests {
         for variant in PhiVariant::all() {
             let r = run_phi_on(variant, &scale, &graph);
             assert_eq!(
-                r.rank_checksum,
-                golden,
+                r.rank_checksum, golden,
                 "variant {:?} diverged from the golden model",
                 variant
             );

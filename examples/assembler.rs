@@ -35,7 +35,11 @@ done:
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prog = Arc::new(assemble(SOURCE)?);
-    println!("assembled {} functions / {} instructions:", prog.len(), prog.total_insts());
+    println!(
+        "assembled {} functions / {} instructions:",
+        prog.len(),
+        prog.total_insts()
+    );
     println!("{prog}");
 
     let mut sys = System::new(SystemConfig::small());
@@ -45,7 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut x = 0x1234_5678u64;
     let mut expect = [0u64; 16];
     for i in 0..n {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let v = x >> 33;
         sys.write_u64(samples + 8 * i, v);
         expect[(v & 15) as usize] += 1;
@@ -62,6 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(got, e, "bucket {b}");
     }
     println!("histogram of {n} samples correct across 16 offloaded buckets");
-    println!("({} invokes, {} cycles)", sys.stats().invokes, sys.stats().cycles);
+    println!(
+        "({} invokes, {} cycles)",
+        sys.stats().invokes,
+        sys.stats().cycles
+    );
     Ok(())
 }

@@ -25,10 +25,8 @@ fn main() {
     );
     println!();
 
-    let base = run_decompress(DecompressVariant::Baseline, &scale)
-        .expect("baseline always runs");
-    let lev = run_decompress(DecompressVariant::Leviathan, &scale)
-        .expect("leviathan always runs");
+    let base = run_decompress(DecompressVariant::Baseline, &scale).expect("baseline always runs");
+    let lev = run_decompress(DecompressVariant::Leviathan, &scale).expect("leviathan always runs");
     assert_eq!(base.access_sum, lev.access_sum, "identical results");
 
     println!("software decompression:  {:>9} cycles", base.metrics.cycles);

@@ -96,7 +96,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    sys.spawn_long_lived(1, EngineLevel::Llc, &prog, serializer, &[src, n, dst, mailbox]);
+    sys.spawn_long_lived(
+        1,
+        EngineLevel::Llc,
+        &prog,
+        serializer,
+        &[src, n, dst, mailbox],
+    );
     sys.spawn_thread(0, &prog, main_fn, &[mailbox]);
     sys.run()?;
 
@@ -118,8 +124,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(v, 5, "first encoded value decodes");
 
     println!("serialized {n} integers into {got_len} bytes near the LLC");
-    println!("core kept busy meanwhile (result {:#x})", sys.read_u64(mailbox + 8));
+    println!(
+        "core kept busy meanwhile (result {:#x})",
+        sys.read_u64(mailbox + 8)
+    );
     println!("engine instructions: {}", sys.stats().engine_instrs);
-    println!("core L1 misses:      {} (the encoder's data never entered it)", sys.stats().l1.misses);
+    println!(
+        "core L1 misses:      {} (the encoder's data never entered it)",
+        sys.stats().l1.misses
+    );
     Ok(())
 }

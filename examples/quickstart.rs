@@ -60,13 +60,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     sys.run()?;
 
-    let total: u64 = (0..n_counters).map(|i| sys.read_u64(counters + 8 * i)).sum();
+    let total: u64 = (0..n_counters)
+        .map(|i| sys.read_u64(counters + 8 * i))
+        .sum();
     assert_eq!(total, per_thread * sys.tiles() as u64);
 
     println!("counters sum:        {total} (16 threads x 1000 updates)");
     println!("offloaded tasks:     {}", sys.stats().invokes);
-    println!("memory fences:       {} (fenced atomics would pay one each)", sys.stats().fences);
-    println!("line ping-pong:      {} ownership transfers", sys.stats().ownership_transfers);
+    println!(
+        "memory fences:       {} (fenced atomics would pay one each)",
+        sys.stats().fences
+    );
+    println!(
+        "line ping-pong:      {} ownership transfers",
+        sys.stats().ownership_transfers
+    );
     println!("total cycles:        {}", sys.stats().cycles);
     println!();
     println!("Updates execute on engines near the data. DYNAMIC placement");

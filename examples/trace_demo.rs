@@ -1,0 +1,150 @@
+//! Trace demo: run a multi-tile invoke + stream workload with the
+//! observability layer on and export a Chrome/Perfetto trace.
+//!
+//! Run with: `cargo run --release --example trace_demo [out.json]`
+//!
+//! Open the output at <https://ui.perfetto.dev> (or `chrome://tracing`):
+//! each tile is a process with tracks for its core, near-data engines, and
+//! NoC router; DRAM controllers get their own process. Timestamps are
+//! simulated cycles.
+
+use std::sync::Arc;
+
+use levi_isa::{ActionId, Location, MemWidth, ProgramBuilder, Reg, RmwOp};
+use leviathan::{StreamSpec, System, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "trace_demo.json".into());
+
+    let mut pb = ProgramBuilder::new();
+
+    // Offloaded action: atomic add on a counter actor.
+    let add_action = {
+        let mut f = pb.function("counter_add");
+        let (actor, amt, old) = (Reg(0), Reg(1), Reg(2));
+        f.rmw_relaxed(RmwOp::Add, old, actor, amt, MemWidth::B8);
+        f.halt();
+        f.finish()
+    };
+
+    // Stream producer: pushes 1..=n.
+    let producer = {
+        let mut f = pb.function("producer");
+        let (handle, n, i) = (Reg(0), Reg(1), Reg(2));
+        f.imm(i, 1);
+        let top = f.label();
+        let out = f.label();
+        f.bind(top);
+        f.bge_u(i, n, out);
+        f.push(handle, i);
+        f.addi(i, i, 1);
+        f.jmp(top);
+        f.bind(out);
+        f.halt();
+        f.finish()
+    };
+
+    // Per-core thread: invoke counters scattered across banks, then drain
+    // part of the stream (tile 0 only consumes).
+    let main_fn = {
+        let mut f = pb.function("main");
+        let ctx = Reg(0);
+        let (counters, sbuf, cap, sid, consume) = (Reg(8), Reg(9), Reg(10), Reg(11), Reg(12));
+        let (i, n, amt, addr, v) = (Reg(16), Reg(17), Reg(18), Reg(19), Reg(20));
+        f.ld8(counters, ctx, 0)
+            .ld8(sbuf, ctx, 8)
+            .ld8(cap, ctx, 16)
+            .ld8(sid, ctx, 24)
+            .ld8(consume, ctx, 32);
+        f.imm(i, 0).imm(n, 200).imm(amt, 1);
+        let t1 = f.label();
+        let d1 = f.label();
+        f.bind(t1);
+        f.bge_u(i, n, d1);
+        f.muli(addr, i, 7);
+        f.andi(addr, addr, 31);
+        f.muli(addr, addr, 64);
+        f.add(addr, addr, counters);
+        f.invoke(addr, ActionId(0), &[amt], Location::Dynamic);
+        f.addi(i, i, 1);
+        f.jmp(t1);
+        f.bind(d1);
+        // Consumer path: pop `consume` entries.
+        f.imm(i, 0);
+        let t2 = f.label();
+        let d2 = f.label();
+        let nowrap = f.label();
+        f.mov(addr, sbuf);
+        f.muli(cap, cap, 8);
+        f.add(cap, cap, sbuf);
+        f.bind(t2);
+        f.bge_u(i, consume, d2);
+        f.ld8(v, addr, 0);
+        f.pop(sid);
+        f.addi(addr, addr, 8);
+        f.blt_u(addr, cap, nowrap);
+        f.mov(addr, sbuf);
+        f.bind(nowrap);
+        f.addi(i, i, 1);
+        f.jmp(t2);
+        f.bind(d2);
+        f.halt();
+        f.finish()
+    };
+    let prog = Arc::new(pb.finish()?);
+
+    // 4 tiles, tracing + a 256-cycle time-series sampler.
+    let mut cfg = SystemConfig::small();
+    cfg.machine = cfg.machine.traced().sampled(256);
+    let mut sys = System::new(cfg);
+    sys.register_action(&prog, add_action);
+
+    let counters = sys.alloc_raw(64 * 32, 64);
+    let stream =
+        sys.create_stream(&StreamSpec::new("nums", 8, 0, &prog, producer).with_args(&[96]));
+    for t in 0..sys.tiles() {
+        let ctx = sys.alloc_raw(40, 64);
+        sys.write_u64(ctx, counters);
+        sys.write_u64(ctx + 8, stream.buffer);
+        sys.write_u64(ctx + 16, stream.capacity);
+        sys.write_u64(ctx + 24, stream.reg_value());
+        sys.write_u64(ctx + 32, if t == 0 { 64 } else { 0 });
+        sys.spawn_thread(t, &prog, main_fn, &[ctx]);
+    }
+    sys.run()?;
+
+    let s = sys.stats();
+    std::fs::write(&out_path, s.trace.to_chrome_json())?;
+
+    println!(
+        "wrote {out_path} ({} events, {} dropped)",
+        s.trace.len(),
+        s.trace.dropped()
+    );
+    println!("open it at https://ui.perfetto.dev");
+    println!();
+    println!("invoke RTT:      {}", s.invoke_rtt);
+    println!("load-to-use:     {}", s.load_to_use);
+    println!("DRAM queue:      {}", s.dram_queue);
+    println!("stream stall:    {}", s.stream_stall);
+    println!();
+    println!("time-series samples (every 256 cycles):");
+    println!(
+        "{:>8} {:>6} {:>8} {:>8} {:>8} {:>6}",
+        "cycle", "ipc", "l1miss", "flits", "dram", "ctxs"
+    );
+    for smp in s.timeline.samples().iter().take(12) {
+        println!(
+            "{:>8} {:>6.2} {:>7.1}% {:>8} {:>8} {:>6}",
+            smp.cycle,
+            smp.ipc,
+            smp.l1_miss_ratio * 100.0,
+            smp.noc_flit_hops,
+            smp.dram_accesses,
+            smp.engine_ctxs
+        );
+    }
+    Ok(())
+}

@@ -35,10 +35,7 @@ fn hats_is_deterministic() {
     let a = run_hats_on(HatsVariant::Leviathan, &scale, &graph);
     let b = run_hats_on(HatsVariant::Leviathan, &scale, &graph);
     assert_eq!(a.metrics.cycles, b.metrics.cycles);
-    assert_eq!(
-        a.metrics.stats.stream_pushes,
-        b.metrics.stats.stream_pushes
-    );
+    assert_eq!(a.metrics.stats.stream_pushes, b.metrics.stats.stream_pushes);
 }
 
 #[test]

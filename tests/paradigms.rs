@@ -150,9 +150,8 @@ fn all_four_paradigms_coexist() {
     // Offload target.
     let counter = sys.alloc_raw(8, 8);
     // Morph of 64 u64 squares.
-    let morph = sys.register_morph(
-        &MorphSpec::new("squares", 8, 64, MorphLevel::Llc).with_ctor(a_ctor),
-    );
+    let morph =
+        sys.register_morph(&MorphSpec::new("squares", 8, 64, MorphLevel::Llc).with_ctor(a_ctor));
     sys.write_u64(morph.view, morph.actors.base);
     // Long-lived background sum.
     let src = sys.alloc_raw(8 * 16, 64);
@@ -160,11 +159,16 @@ fn all_four_paradigms_coexist() {
         sys.write_u64(src + 8 * k, k + 1);
     }
     let mailbox = sys.alloc_raw(8, 8);
-    sys.spawn_long_lived(1, EngineLevel::Llc, &prog, background_sum, &[src, 16, mailbox]);
-    // Stream.
-    let stream = sys.create_stream(
-        &StreamSpec::new("nums", 8, 0, &prog, producer).with_args(&[64]),
+    sys.spawn_long_lived(
+        1,
+        EngineLevel::Llc,
+        &prog,
+        background_sum,
+        &[src, 16, mailbox],
     );
+    // Stream.
+    let stream =
+        sys.create_stream(&StreamSpec::new("nums", 8, 0, &prog, producer).with_args(&[64]));
 
     // Main thread context.
     let out = sys.alloc_raw(16, 64);

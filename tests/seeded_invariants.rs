@@ -1,0 +1,272 @@
+//! Randomized tests on the core data structures and invariants: cache
+//! banks, FU windows, the allocator's layout guarantees, the DRAM
+//! compaction translation, memory semantics, and the NoC. Formerly
+//! proptest-based; now driven by fixed seeds through the in-repo
+//! [`levi_workloads::SmallRng`] so the suite is deterministic and needs no
+//! external crates.
+
+use levi_isa::{Memory, PagedMem};
+use levi_sim::cache::CacheBank;
+use levi_sim::dram::{TranslationEntry, Translator};
+use levi_sim::engine::{EngineId, EngineLevel, EngineState, WindowFu};
+use levi_sim::{CacheConfig, MachineConfig, Replacement, Stats};
+use levi_workloads::SmallRng;
+use leviathan::alloc::{padded_size, Allocator, ArraySpec};
+
+/// PagedMem behaves exactly like a map of bytes.
+#[test]
+fn paged_mem_matches_model() {
+    let mut rng = SmallRng::seed_from_u64(0x11);
+    for _ in 0..20 {
+        let mut mem = PagedMem::new();
+        let mut model = std::collections::HashMap::new();
+        let n_ops = 1 + rng.gen_range(0usize..200);
+        for _ in 0..n_ops {
+            let a = rng.next_u64() & 0xffff_ffff;
+            let val = rng.gen_range(0u64..256) as u8;
+            if rng.next_u64() & 1 == 0 {
+                mem.write_u8(a, val);
+                model.insert(a, val);
+            } else {
+                let expect = model.get(&a).copied().unwrap_or(0);
+                assert_eq!(mem.read_u8(a), expect);
+            }
+        }
+    }
+}
+
+/// Multi-byte accesses round-trip for every width.
+#[test]
+fn mem_width_round_trip() {
+    use levi_isa::MemWidth::*;
+    let mut rng = SmallRng::seed_from_u64(0x22);
+    for _ in 0..100 {
+        let addr = rng.gen_range(0u64..1_000_000);
+        let val = rng.next_u64();
+        let mut mem = PagedMem::new();
+        for w in [B1, B2, B4, B8] {
+            mem.write(addr, val, w);
+            assert_eq!(mem.read(addr, w), w.truncate(val));
+        }
+    }
+}
+
+/// A cache bank never exceeds its capacity and never loses a line it
+/// did not report evicted.
+#[test]
+fn cache_bank_capacity_and_conservation() {
+    let mut rng = SmallRng::seed_from_u64(0x33);
+    for _ in 0..20 {
+        let cfg = CacheConfig {
+            size_bytes: 16 * 64, // 16 lines
+            ways: 4,
+            latency: 1,
+            replacement: Replacement::Srrip,
+        };
+        let mut bank = CacheBank::new(&cfg);
+        let mut resident = std::collections::HashSet::new();
+        let n_lines = 1 + rng.gen_range(0usize..300);
+        for _ in 0..n_lines {
+            let line = rng.gen_range(0u64..4096);
+            if resident.contains(&line) {
+                assert!(bank.probe(line).is_some());
+                continue;
+            }
+            let (_, victim) = bank.insert(line, &[]);
+            resident.insert(line);
+            if let Some(v) = victim {
+                assert!(resident.remove(&v.line), "evicted a non-resident line");
+            }
+            assert!(bank.resident() <= 16);
+            assert_eq!(bank.resident(), resident.len());
+        }
+        for &l in &resident {
+            assert!(bank.contains(l), "line {:#x} silently lost", l);
+        }
+    }
+}
+
+/// Pinned lines are never chosen as victims.
+#[test]
+fn pinned_lines_survive() {
+    let mut rng = SmallRng::seed_from_u64(0x44);
+    for _ in 0..20 {
+        let cfg = CacheConfig {
+            size_bytes: 8 * 64, // 2 sets x 4 ways
+            ways: 4,
+            latency: 1,
+            replacement: Replacement::Lru,
+        };
+        let mut bank = CacheBank::new(&cfg);
+        let pinned = 2u64; // set 0
+        bank.insert(pinned, &[]);
+        let n_fill = 8 + rng.gen_range(0usize..56);
+        for _ in 0..n_fill {
+            let line = rng.gen_range(0u64..64);
+            if !bank.contains(line) {
+                bank.insert(line, &[pinned]);
+            }
+            assert!(bank.contains(pinned), "pinned line evicted");
+        }
+    }
+}
+
+/// WindowFu grants at most `limit` slots per cycle.
+#[test]
+fn window_fu_respects_limit() {
+    let mut rng = SmallRng::seed_from_u64(0x55);
+    for _ in 0..20 {
+        let limit = 1 + rng.gen_range(0u32..7);
+        let mut fu = WindowFu::new(limit);
+        let mut per_cycle = std::collections::HashMap::new();
+        let n_times = 1 + rng.gen_range(0usize..300);
+        for _ in 0..n_times {
+            let t = rng.gen_range(0u64..2000);
+            let got = fu.reserve(t);
+            assert!(got >= t.min(got), "grant in the deep past");
+            let c = per_cycle.entry(got).or_insert(0u32);
+            *c += 1;
+            assert!(*c <= limit, "cycle {} over-subscribed", got);
+        }
+    }
+}
+
+/// Padded sizes are powers of two (up to the 4-line cap), at least the
+/// object size, and at least 8.
+#[test]
+fn padded_size_properties() {
+    for obj in 1u64..256 {
+        let p = padded_size(obj);
+        assert!(p >= obj);
+        assert!(p >= 8);
+        assert!(p.is_power_of_two());
+        assert!(p <= 256);
+    }
+}
+
+/// Allocator layouts: objects never straddle lines when padded, arrays
+/// from one allocator never overlap, and compaction translations map
+/// distinct backed bytes to distinct DRAM bytes.
+#[test]
+fn allocator_layout_invariants() {
+    let mut rng = SmallRng::seed_from_u64(0x66);
+    for _ in 0..25 {
+        let n_arrays = 1 + rng.gen_range(0usize..7);
+        let sizes: Vec<u64> = (0..n_arrays)
+            .map(|_| 1 + rng.gen_range(0u64..299))
+            .collect();
+        let mut alloc = Allocator::new();
+        let mut regions: Vec<(u64, u64)> = Vec::new();
+        for (k, obj) in sizes.iter().enumerate() {
+            let layout = alloc.plan_array(&ArraySpec::new(&format!("a{k}"), *obj, 16));
+            let arr = &layout.array;
+            // No overlap with prior regions.
+            for &(b, e) in &regions {
+                assert!(arr.bound() <= b || arr.base >= e);
+            }
+            regions.push((arr.base, arr.bound()));
+            // No line straddling for supported sizes.
+            if arr.stride <= 256 && arr.stride.is_power_of_two() {
+                for i in 0..arr.count {
+                    let a = arr.addr(i);
+                    let first = a / 64;
+                    let last = (a + arr.obj_size.min(arr.stride) - 1) / 64;
+                    if arr.stride <= 64 {
+                        assert_eq!(first, last, "object {} straddles a line", i);
+                    }
+                }
+            }
+            // Translation is injective over backed bytes.
+            if let Some(t) = layout.translation {
+                let mut seen = std::collections::HashSet::new();
+                for i in 0..arr.count {
+                    for off in 0..arr.obj_size {
+                        let d = t.translate(arr.addr(i) + off).expect("backed byte");
+                        assert!(seen.insert(d), "DRAM byte collision");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The translator maps every backed cache line to at most 4 DRAM lines
+/// and never panics across sizes.
+#[test]
+fn translator_line_mapping_total() {
+    for obj in 1u64..=128 {
+        let padded = padded_size(obj);
+        if padded == obj {
+            continue; // only compacted layouts translate
+        }
+        let mut tr = Translator::new();
+        tr.register(TranslationEntry {
+            cache_base: 0x10000,
+            cache_bound: 0x10000 + padded * 64,
+            dram_base: 0x100000,
+            padded_size: padded,
+            packed_size: obj,
+        });
+        for line in (0x10000 / 64)..((0x10000 + padded * 64) / 64) {
+            let lines = tr.dram_lines_for(line);
+            assert!(!lines.as_slice().is_empty());
+            assert!(lines.as_slice().len() <= 4);
+        }
+    }
+}
+
+/// Engine contexts: reserve/release is balanced and capped.
+#[test]
+fn engine_contexts_balanced() {
+    let mut rng = SmallRng::seed_from_u64(0x77);
+    for _ in 0..20 {
+        let cfg = MachineConfig::paper_default().engine;
+        let mut e = EngineState::new(
+            EngineId {
+                tile: 0,
+                level: EngineLevel::Llc,
+            },
+            &cfg,
+        );
+        let cap = e.offload_ctxs_cap;
+        let mut held = 0u32;
+        let n_ops = 1 + rng.gen_range(0usize..200);
+        for _ in 0..n_ops {
+            if rng.next_u64() & 1 == 0 {
+                if e.try_reserve_ctx() {
+                    held += 1;
+                    assert!(held <= cap);
+                } else {
+                    assert_eq!(held, cap, "NACK only when full");
+                }
+            } else if held > 0 {
+                e.release_ctx();
+                held -= 1;
+            }
+        }
+    }
+}
+
+/// NoC: hop counts are symmetric and bounded by the mesh diameter;
+/// sending never decreases time.
+#[test]
+fn noc_properties() {
+    let mut rng = SmallRng::seed_from_u64(0x88);
+    for _ in 0..500 {
+        let from = rng.gen_range(0u32..16);
+        let to = rng.gen_range(0u32..16);
+        let bytes = 1 + rng.gen_range(0u32..255);
+        let now = rng.gen_range(0u64..10_000);
+        let cfg = MachineConfig::paper_default();
+        let (c, r) = cfg.mesh_dims();
+        let mut noc = levi_sim::noc::Noc::new(c, r, cfg.noc);
+        assert_eq!(noc.hops(from, to), noc.hops(to, from));
+        assert!(noc.hops(from, to) <= (c - 1) + (r - 1));
+        let mut stats = Stats::new();
+        let t = noc.send(from, to, bytes, now, &mut stats);
+        assert!(t >= now);
+        if from == to {
+            assert_eq!(t, now);
+        }
+    }
+}

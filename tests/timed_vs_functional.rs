@@ -54,7 +54,9 @@ fn machine_matches_interpreter() {
     let mut ref_mem = PagedMem::new();
     let mut x = 12345u64;
     for k in 0..n {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ref_mem.write_u64(base + 8 * k, x >> 16);
     }
     // `run` treats the entry's Halt; use run_with_host? Halt ends ctx; run
@@ -70,7 +72,9 @@ fn machine_matches_interpreter() {
         let mut m = Machine::new(cfg);
         let mut x = 12345u64;
         for k in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             m.mem_mut().write_u64(base + 8 * k, x >> 16);
         }
         m.spawn_thread(0, prog.clone(), func, &[base, n, out]);
@@ -104,7 +108,11 @@ fn machine_matches_interpreter_multithreaded() {
     for t in 0..threads as u64 {
         let mut interp = Interpreter::new(&prog);
         let _ = interp
-            .run(func, &[0x10000 + t * 0x4000, n_per, 0x9_0000 + t * 8], &mut ref_mem)
+            .run(
+                func,
+                &[0x10000 + t * 0x4000, n_per, 0x9_0000 + t * 8],
+                &mut ref_mem,
+            )
             .unwrap();
         expected.push(ref_mem.read_u64(0x9_0000 + t * 8));
     }
