@@ -8,4 +8,11 @@ echo "== fmt ==";    cargo fmt --all -- --check
 echo "== clippy =="; cargo clippy --workspace --all-targets -- -D warnings
 echo "== build ==";  cargo build --workspace --release
 echo "== test ==";   cargo test --workspace -q
+echo "== fault smoke =="
+# Fault injection must be a pure function of the seed: two runs with the
+# same seed must print byte-identical output.
+tmp="$(mktemp -d)"; trap 'rm -rf "$tmp"' EXIT
+cargo run --release --quiet --example fault_demo -- 3 > "$tmp/a.txt"
+cargo run --release --quiet --example fault_demo -- 3 > "$tmp/b.txt"
+diff "$tmp/a.txt" "$tmp/b.txt"
 echo "== ok =="

@@ -122,7 +122,7 @@ fn main() {
             let mut cfg = MachineConfig::with_tiles(4);
             cfg.prefetcher = false;
             let mut m = Machine::new(cfg);
-            m.spawn_thread(0, prog.clone(), func, &[]);
+            m.spawn_thread(0, prog.clone(), func, &[]).unwrap();
             black_box(m.run().unwrap().cycles);
         });
     }

@@ -9,7 +9,10 @@
 use std::sync::Arc;
 
 use levi_isa::{ActionId, Addr, FuncId, MemWidth, Memory, Program};
-use levi_sim::{EngineId, EngineLevel, Machine, MachineConfig, MorphRegion, RunError, RunResult};
+use levi_sim::{
+    EngineId, EngineLevel, FaultPlan, Machine, MachineConfig, MorphRegion, RunError, RunResult,
+    SimError,
+};
 
 use crate::alloc::{Allocator, ArraySpec, Layout, ObjectArray};
 use crate::future::{FutureCell, FUTURE_SIZE};
@@ -49,6 +52,20 @@ impl SystemConfig {
     /// Switches the engines to the idealized model (the paper's "Ideal").
     pub fn idealized(mut self) -> Self {
         self.machine = self.machine.idealized();
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan (engine outages,
+    /// invoke-buffer squeezes, NoC link faults, DRAM throttles).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.machine = self.machine.faulted(plan);
+        self
+    }
+
+    /// Arms the run watchdog: `run()` aborts with `RunError::Watchdog`
+    /// once the simulated clock passes `max_cycles`.
+    pub fn with_watchdog(mut self, max_cycles: u64) -> Self {
+        self.machine = self.machine.watchdog(max_cycles);
         self
     }
 }
@@ -247,7 +264,11 @@ impl System {
     /// Creates a stream: allocates the circular buffer, installs the
     /// consumer-side phantom Morph, and spawns the long-lived producer on
     /// the consumer tile's engine.
-    pub fn create_stream(&mut self, spec: &StreamSpec) -> StreamHandle {
+    ///
+    /// # Errors
+    /// Returns [`SimError`] if the spec is rejected by the machine (e.g. a
+    /// zero capacity).
+    pub fn create_stream(&mut self, spec: &StreamSpec) -> Result<StreamHandle, SimError> {
         let entry_size = 8u64;
         // Place the whole ring on the consumer tile's LLC bank: allocate
         // a power-of-two-sized, self-aligned ring and use the bank-index
@@ -280,7 +301,7 @@ impl System {
             engine,
             spec.consumer,
             spec.mode,
-        );
+        )?;
         let array = ObjectArray {
             base: buffer,
             obj_size: entry_size,
@@ -298,12 +319,12 @@ impl System {
             &args,
             Some(id),
         );
-        StreamHandle {
+        Ok(StreamHandle {
             id,
             buffer,
             capacity: spec.capacity,
             entry_size,
-        }
+        })
     }
 
     /// Terminates a stream (the paper's `Stream::terminate`, Fig. 12):
@@ -314,13 +335,17 @@ impl System {
     }
 
     /// Spawns a software thread on a core.
+    ///
+    /// # Errors
+    /// Returns [`SimError`] if `core` is out of range or too many arguments
+    /// are given.
     pub fn spawn_thread(
         &mut self,
         core: u32,
         prog: &Arc<Program>,
         func: FuncId,
         args: &[u64],
-    ) -> levi_sim::ActorId {
+    ) -> Result<levi_sim::ActorId, SimError> {
         self.machine
             .spawn_thread(core, Arc::clone(prog), func, args)
     }
@@ -342,7 +367,8 @@ impl System {
     /// Runs until all spawned core threads halt.
     ///
     /// # Errors
-    /// Propagates [`RunError`] (deadlock) from the machine.
+    /// Propagates [`RunError`] from the machine: a deadlock, the watchdog
+    /// firing, or a fatal simulation fault.
     pub fn run(&mut self) -> Result<RunResult, RunError> {
         self.machine.run()
     }
@@ -413,7 +439,7 @@ mod tests {
         let counter = sys.alloc_raw(8, 8);
         let a = sys.register_action(&prog, action);
         assert_eq!(a, ActionId(0));
-        sys.spawn_thread(0, &prog, main, &[counter]);
+        sys.spawn_thread(0, &prog, main, &[counter]).unwrap();
         sys.run().unwrap();
         assert_eq!(sys.read_u64(counter), 20);
         assert_eq!(sys.stats().invokes, 10);
@@ -456,7 +482,8 @@ mod tests {
         let morph =
             sys.register_morph(&MorphSpec::new("magic", 8, 128, MorphLevel::Llc).with_ctor(ctor_a));
         let fut = sys.alloc_future();
-        sys.spawn_thread(0, &prog, main, &[morph.actor(5), fut.addr]);
+        sys.spawn_thread(0, &prog, main, &[morph.actor(5), fut.addr])
+            .unwrap();
         sys.run().unwrap();
         assert_eq!(fut.value(sys.machine().mem()), 4242);
         assert!(sys.stats().ctor_actions >= 1);
@@ -507,13 +534,14 @@ mod tests {
         let prog = Arc::new(pb.finish().unwrap());
         let mut sys = System::new(SystemConfig::small());
         let spec = StreamSpec::new("nums", 16, 0, &prog, producer);
-        let h = sys.create_stream(&spec);
+        let h = sys.create_stream(&spec).unwrap();
         sys.spawn_thread(
             0,
             &prog,
             consumer,
             &[h.reg_value(), h.buffer, h.capacity, 50],
-        );
+        )
+        .unwrap();
         sys.run().unwrap();
         assert_eq!(sys.read_u64(0x7777_0000), (0..50).sum::<u64>());
         assert_eq!(sys.stats().stream_pushes, 50);
@@ -565,7 +593,7 @@ mod tests {
         }
         let dst = sys.alloc_raw(8, 8);
         sys.spawn_long_lived(1, EngineLevel::Llc, &prog, worker, &[src, 32, dst]);
-        sys.spawn_thread(0, &prog, main, &[dst]);
+        sys.spawn_thread(0, &prog, main, &[dst]).unwrap();
         sys.run().unwrap();
         assert_eq!(sys.read_u64(dst), (1..=32).sum::<u64>());
         assert!(sys.stats().engine_instrs > 32 * 4);

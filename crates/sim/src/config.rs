@@ -5,6 +5,9 @@
 //! (one 512 KB bank per tile), a 4×4 mesh NoC, four memory controllers,
 //! and a Leviathan engine pair (L2 + LLC) per tile.
 
+use crate::error::SimError;
+use crate::fault::FaultPlan;
+
 /// Cache line size in bytes. Fixed at 64 B across the hierarchy, as in the
 /// paper's evaluation.
 pub const LINE_SIZE: u64 = 64;
@@ -201,6 +204,15 @@ pub struct MachineConfig {
     /// Time-series sampling interval in cycles
     /// ([`crate::stats::TimeSeries`]); 0 disables sampling.
     pub sample_interval: u64,
+    /// Deterministic fault-injection schedule
+    /// ([`crate::fault::FaultPlan`]); `None` (the default) injects nothing
+    /// and leaves every simulator code path untouched.
+    pub fault_plan: Option<FaultPlan>,
+    /// Watchdog: abort the run with
+    /// [`RunError::Watchdog`](crate::machine::RunError::Watchdog) if the
+    /// simulated clock passes this many cycles. 0 (the default) disables
+    /// the watchdog.
+    pub max_cycles: u64,
 }
 
 impl MachineConfig {
@@ -269,6 +281,8 @@ impl MachineConfig {
             trace: false,
             trace_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
             sample_interval: 0,
+            fault_plan: None,
+            max_cycles: 0,
         }
     }
 
@@ -303,6 +317,87 @@ impl MachineConfig {
     pub fn sampled(mut self, interval: u64) -> Self {
         self.sample_interval = interval;
         self
+    }
+
+    /// Attaches a deterministic fault-injection plan.
+    pub fn faulted(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enables the forward-progress watchdog: runs abort with
+    /// [`RunError::Watchdog`](crate::machine::RunError::Watchdog) past
+    /// `max_cycles` simulated cycles.
+    pub fn watchdog(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Validates the configuration, returning a typed error describing the
+    /// first offending field combination.
+    ///
+    /// [`Machine::new`](crate::Machine::new) panics on an invalid config
+    /// (with this error's message); use
+    /// [`Machine::try_new`](crate::Machine::try_new) for the fallible
+    /// path.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let bad = |what: String| Err(SimError::InvalidConfig { what });
+        if self.tiles == 0 || !self.tiles.is_power_of_two() {
+            return bad(format!("tile count {} must be a power of two", self.tiles));
+        }
+        for (name, c) in [("L1", &self.l1), ("L2", &self.l2), ("LLC", &self.llc)] {
+            if c.ways == 0 {
+                return bad(format!("{name} associativity must be positive"));
+            }
+            let set_bytes = LINE_SIZE * c.ways as u64;
+            if c.size_bytes == 0 || c.size_bytes % set_bytes != 0 {
+                return bad(format!(
+                    "{name} size {} must be a positive multiple of line x ways ({set_bytes} B)",
+                    c.size_bytes
+                ));
+            }
+        }
+        if self.core.issue_width == 0 {
+            return bad("core issue width must be positive".to_string());
+        }
+        if self.core.mshrs == 0 {
+            return bad("core MSHR count must be positive".to_string());
+        }
+        if self.core.invoke_buffer == 0 {
+            return bad("invoke buffer must have at least one entry".to_string());
+        }
+        if self.engine.int_fus == 0 || self.engine.mem_fus == 0 {
+            return bad("engine FU counts must be positive".to_string());
+        }
+        if self.engine.contexts == 0 {
+            return bad("engine context count must be positive".to_string());
+        }
+        let e_set_bytes = LINE_SIZE * 4; // engine L1d is fixed 4-way
+        if self.engine.l1d_bytes == 0 || !self.engine.l1d_bytes.is_multiple_of(e_set_bytes) {
+            return bad(format!(
+                "engine L1d size {} must be a positive multiple of {e_set_bytes} B",
+                self.engine.l1d_bytes
+            ));
+        }
+        if self.noc.flit_bits < 8 || !self.noc.flit_bits.is_multiple_of(8) {
+            return bad(format!(
+                "NoC flit width {} must be a positive multiple of 8 bits",
+                self.noc.flit_bits
+            ));
+        }
+        if self.mem.controllers == 0 {
+            return bad("memory controller count must be positive".to_string());
+        }
+        if self.mem.cycles_per_line == 0 {
+            return bad("DRAM cycles-per-line must be positive".to_string());
+        }
+        if self.quantum == 0 {
+            return bad("run-ahead quantum must be positive".to_string());
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate(self)?;
+        }
+        Ok(())
     }
 }
 
@@ -356,5 +451,51 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_pow2_tiles_rejected() {
         MachineConfig::with_tiles(12);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_catches_bad_fields() {
+        assert!(MachineConfig::paper_default().validate().is_ok());
+        assert!(MachineConfig::with_tiles(4).idealized().validate().is_ok());
+
+        let mut cfg = MachineConfig::with_tiles(4);
+        cfg.core.invoke_buffer = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("invoke buffer"), "{err}");
+
+        let mut cfg = MachineConfig::with_tiles(4);
+        cfg.quantum = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = MachineConfig::with_tiles(4);
+        cfg.l1.size_bytes = 1000; // not a multiple of line x ways
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = MachineConfig::with_tiles(4);
+        cfg.noc.flit_bits = 12;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = MachineConfig::with_tiles(4);
+        cfg.mem.controllers = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plan_builder_and_validation() {
+        use crate::fault::{CycleWindow, FaultPlan};
+        let cfg = MachineConfig::with_tiles(4)
+            .faulted(FaultPlan::new(7).add_invoke_squeeze(CycleWindow::new(0, 100), 1))
+            .watchdog(1_000_000);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.max_cycles, 1_000_000);
+        assert_eq!(cfg.fault_plan.as_ref().unwrap().seed, 7);
+
+        // An invalid plan makes the whole config invalid.
+        let cfg = MachineConfig::with_tiles(4).faulted(FaultPlan::new(0).add_dram_fault(
+            99,
+            CycleWindow::new(0, 10),
+            2,
+        ));
+        assert!(cfg.validate().is_err());
     }
 }

@@ -10,6 +10,7 @@
 use std::collections::VecDeque;
 
 use crate::config::{MemConfig, LINE_SHIFT, LINE_SIZE};
+use crate::fault::DramFault;
 use crate::stats::Stats;
 use crate::trace::{TraceCategory, TraceEvent, Track};
 
@@ -181,6 +182,9 @@ pub struct Dram {
     cfg: MemConfig,
     busy_until: Vec<u64>,
     fifo: Vec<VecDeque<u64>>,
+    /// Injected controller throttles (empty unless a fault plan installed
+    /// some).
+    faults: Vec<DramFault>,
 }
 
 impl Dram {
@@ -189,8 +193,14 @@ impl Dram {
         Dram {
             busy_until: vec![0; cfg.controllers as usize],
             fifo: vec![VecDeque::new(); cfg.controllers as usize],
+            faults: Vec::new(),
             cfg,
         }
+    }
+
+    /// Installs controller throttles from a fault plan.
+    pub fn install_faults(&mut self, faults: Vec<DramFault>) {
+        self.faults = faults;
     }
 
     #[inline]
@@ -220,7 +230,28 @@ impl Dram {
         // service slot frees up at `start`.
         let start = now.max(self.busy_until[mc]);
         stats.dram_queue.record(start - now);
-        self.busy_until[mc] = start + self.cfg.cycles_per_line;
+        let mut service = self.cfg.cycles_per_line;
+        if !self.faults.is_empty() {
+            for df in &self.faults {
+                if df.controller as usize == mc && df.factor > 1 && df.window.contains(start) {
+                    service = service.saturating_mul(df.factor);
+                }
+            }
+            if service > self.cfg.cycles_per_line {
+                let extra = service - self.cfg.cycles_per_line;
+                stats.fault_degraded_cycles += extra;
+                stats.trace.record(|| {
+                    TraceEvent::instant(
+                        start,
+                        TraceCategory::Fault,
+                        "fault.dram_throttled",
+                        Track::Dram(mc as u32),
+                        &[("line", dram_line), ("extra", extra)],
+                    )
+                });
+            }
+        }
+        self.busy_until[mc] = start + service;
         if self.cfg.fifo_cache_lines > 0 {
             if self.fifo[mc].len() >= self.cfg.fifo_cache_lines as usize {
                 self.fifo[mc].pop_front();
@@ -380,6 +411,39 @@ mod tests {
         assert_eq!(b, 113, "second access waits for the service slot");
         let c = d.access_line(1, 0, &mut s); // controller 1: parallel
         assert_eq!(c, 100);
+    }
+
+    #[test]
+    fn throttle_multiplies_service_time_in_window() {
+        use crate::fault::{CycleWindow, DramFault};
+        let mut d = Dram::new(mem_cfg());
+        d.install_faults(vec![DramFault {
+            controller: 0,
+            window: CycleWindow::new(0, 1000),
+            factor: 4,
+        }]);
+        let mut s = Stats::new();
+        let a = d.access_line(0, 0, &mut s);
+        let b = d.access_line(4, 0, &mut s); // same controller, queued
+        assert_eq!(a, 100, "access latency itself is unchanged");
+        assert_eq!(b, 152, "service slot now 4 x 13 = 52 cycles");
+        assert_eq!(s.fault_degraded_cycles, 2 * 39);
+        // Other controllers are unaffected.
+        let c = d.access_line(1, 0, &mut s);
+        assert_eq!(c, 100);
+        // After the window the controller recovers full bandwidth.
+        let mut d2 = Dram::new(mem_cfg());
+        d2.install_faults(vec![DramFault {
+            controller: 0,
+            window: CycleWindow::new(0, 10),
+            factor: 4,
+        }]);
+        let mut s2 = Stats::new();
+        let x = d2.access_line(0, 500, &mut s2);
+        let y = d2.access_line(4, 500, &mut s2);
+        assert_eq!(x, 600);
+        assert_eq!(y, 613);
+        assert_eq!(s2.fault_degraded_cycles, 0);
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Typed simulator errors.
+//!
+//! [`SimError`] replaces the panics that used to guard `levi-sim`'s public
+//! construction and setup APIs (action lookup, thread spawning, stream
+//! creation, configuration validation), so misuse is reportable and
+//! testable instead of aborting the process. Runtime failures inside a
+//! simulation surface through [`crate::machine::RunError`], which wraps a
+//! `SimError` when a program trips one mid-run (e.g. invoking an
+//! unregistered action).
+
+use std::fmt;
+
+use levi_isa::ActionId;
+
+/// An error from a `levi-sim` public API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// An `invoke` named an action id that was never registered in the
+    /// [`crate::ndc::ActionTable`].
+    UnknownAction(ActionId),
+    /// [`crate::Machine::spawn_thread`] targeted a core outside the
+    /// machine.
+    CoreOutOfRange {
+        /// The requested core.
+        core: u32,
+        /// Number of cores in the machine.
+        tiles: u32,
+    },
+    /// More entry-function arguments than argument registers.
+    TooManyArgs {
+        /// Arguments supplied.
+        given: usize,
+        /// Maximum supported (r0..r7).
+        max: usize,
+    },
+    /// [`crate::Machine::create_stream`] with an unsupported entry size
+    /// (v1 streams carry 8-byte entries).
+    UnsupportedEntrySize {
+        /// The requested entry size in bytes.
+        entry_size: u64,
+    },
+    /// [`crate::Machine::create_stream`] with a zero-capacity buffer.
+    ZeroStreamCapacity,
+    /// A [`crate::MachineConfig`] field combination is invalid
+    /// (see [`crate::MachineConfig::validate`]).
+    InvalidConfig {
+        /// Human-readable description of the offending field(s).
+        what: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownAction(id) => write!(f, "unregistered action {id:?}"),
+            SimError::CoreOutOfRange { core, tiles } => {
+                write!(f, "core {core} out of range (machine has {tiles} cores)")
+            }
+            SimError::TooManyArgs { given, max } => {
+                write!(f, "{given} entry arguments given, at most {max} supported")
+            }
+            SimError::UnsupportedEntrySize { entry_size } => {
+                write!(
+                    f,
+                    "stream entry size {entry_size} unsupported (v1 streams carry 8-byte entries)"
+                )
+            }
+            SimError::ZeroStreamCapacity => write!(f, "stream capacity must be positive"),
+            SimError::InvalidConfig { what } => write!(f, "invalid machine config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_readable() {
+        let e = SimError::CoreOutOfRange { core: 9, tiles: 4 };
+        assert_eq!(e.to_string(), "core 9 out of range (machine has 4 cores)");
+        let e = SimError::UnknownAction(ActionId(3));
+        assert!(e.to_string().contains("unregistered action"));
+        let e = SimError::InvalidConfig {
+            what: "quantum must be positive".into(),
+        };
+        assert!(e.to_string().contains("quantum"));
+    }
+}

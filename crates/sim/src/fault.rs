@@ -1,0 +1,678 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a seeded, reproducible schedule of hardware fault
+//! windows that stresses the failure paths the paper's protocols are built
+//! around: invoke NACKs and retries (Sec. VI), engine-context
+//! virtualization, and NoC/DRAM contention. Four fault classes are
+//! modeled:
+//!
+//! - **Engine outages** ([`EngineFault`]): an engine refuses new offloaded
+//!   tasks for a cycle window. Invokes targeting it NACK and retry with
+//!   bounded exponential backoff; past [`FaultPlan::retry_budget`] retries
+//!   the action falls back to executing on the issuing core (the paper's
+//!   software-fallback virtualization story).
+//! - **Invoke-buffer squeezes** ([`InvokeSqueeze`]): the per-core invoke
+//!   buffer temporarily shrinks to `entries`, throttling invoke issue.
+//! - **NoC link faults** ([`LinkFault`]): a link adds per-hop latency
+//!   (slowdown) or is unusable for the window (outage; traffic waits for
+//!   the window to end).
+//! - **DRAM throttles** ([`DramFault`]): a memory controller's per-line
+//!   service time is multiplied by `factor` (bandwidth cap reduction).
+//!
+//! Plans are either hand-built (`add_*`) or generated from a seed with the
+//! `gen_*` builders, which draw from per-class sub-RNGs so the generated
+//! windows for one class do not depend on how many faults of another class
+//! were requested. Everything is measured in simulated cycles, so a given
+//! seed + plan produces *identical* cycles, stats, and traces on every
+//! run, and an empty plan leaves every simulator code path untouched
+//! (byte-identical stats to running with no plan at all).
+
+use std::fmt;
+
+use crate::config::MachineConfig;
+use crate::engine::{EngineId, EngineLevel};
+use crate::error::SimError;
+use crate::rng::SmallRng;
+
+/// A half-open window of simulated cycles `[start, end)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CycleWindow {
+    /// First cycle the fault is active.
+    pub start: u64,
+    /// First cycle after the fault clears.
+    pub end: u64,
+}
+
+impl CycleWindow {
+    /// Creates the window `[start, end)`.
+    pub fn new(start: u64, end: u64) -> Self {
+        CycleWindow { start, end }
+    }
+
+    /// True if `t` falls inside the window.
+    #[inline]
+    pub fn contains(&self, t: u64) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Window length in cycles.
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True if the window covers no cycles.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+impl fmt::Display for CycleWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// An engine refuses new offloaded tasks for the window (context
+/// exhaustion / engine outage). In-flight tasks keep running.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineFault {
+    /// The refusing engine.
+    pub engine: EngineId,
+    /// When it refuses.
+    pub window: CycleWindow,
+}
+
+/// The per-core invoke buffer shrinks to `entries` slots for the window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvokeSqueeze {
+    /// When the squeeze is active.
+    pub window: CycleWindow,
+    /// Effective invoke-buffer capacity during the window (min 1).
+    pub entries: u32,
+}
+
+/// What a faulted NoC link does to traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkFaultKind {
+    /// Each hop over the link costs `extra` additional cycles.
+    Slowdown {
+        /// Added per-hop latency in cycles.
+        extra: u64,
+    },
+    /// The link carries nothing; traffic waits until the window ends.
+    Outage,
+}
+
+/// A fault on one directed mesh link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkFault {
+    /// Source node (`y * cols + x`).
+    pub node: u32,
+    /// Link direction from `node`: 0 = +x, 1 = −x, 2 = +y, 3 = −y
+    /// (matching the router's output-port encoding).
+    pub dir: u8,
+    /// When the fault is active.
+    pub window: CycleWindow,
+    /// Slowdown or outage.
+    pub kind: LinkFaultKind,
+}
+
+/// A memory controller's per-line service time is multiplied by `factor`
+/// for the window (i.e. bandwidth is cut to `1/factor`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramFault {
+    /// The throttled controller.
+    pub controller: u32,
+    /// When the throttle is active.
+    pub window: CycleWindow,
+    /// Service-time multiplier (≥ 1; 1 is a no-op).
+    pub factor: u64,
+}
+
+/// Default invoke retry budget before core fallback.
+pub const DEFAULT_RETRY_BUDGET: u32 = 4;
+/// Default first-retry backoff in cycles.
+pub const DEFAULT_BACKOFF_BASE: u64 = 16;
+/// Default backoff ceiling in cycles.
+pub const DEFAULT_BACKOFF_CAP: u64 = 1024;
+
+// Per-class seed salts so each gen_* builder draws from an independent
+// stream: adding faults of one class never changes another class's draws.
+const SALT_ENGINE: u64 = 0x9e1e_6e51_4e00_0001;
+const SALT_SQUEEZE: u64 = 0x9e1e_6e51_4e00_0002;
+const SALT_LINK: u64 = 0x9e1e_6e51_4e00_0003;
+const SALT_DRAM: u64 = 0x9e1e_6e51_4e00_0004;
+
+/// A seeded, deterministic schedule of fault windows.
+///
+/// Attach one to a machine via
+/// [`MachineConfig::faulted`](crate::MachineConfig::faulted) (or
+/// `SystemConfig::with_fault_plan` in `leviathan`). The default plan is
+/// empty and injects nothing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the `gen_*` builders (also recorded for reproducibility).
+    pub seed: u64,
+    /// Engine refusal windows.
+    pub engine_faults: Vec<EngineFault>,
+    /// Invoke-buffer squeeze windows.
+    pub invoke_squeezes: Vec<InvokeSqueeze>,
+    /// NoC link faults.
+    pub link_faults: Vec<LinkFault>,
+    /// DRAM controller throttles.
+    pub dram_faults: Vec<DramFault>,
+    /// Invoke retries against a refusing engine before falling back to the
+    /// issuing core.
+    pub retry_budget: u32,
+    /// First-retry backoff in cycles; retry `n` waits
+    /// `min(backoff_base << (n-1), backoff_cap)`.
+    pub backoff_base: u64,
+    /// Backoff ceiling in cycles.
+    pub backoff_cap: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::new(0)
+    }
+}
+
+impl FaultPlan {
+    /// Creates an empty plan with the given seed and default retry policy.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            engine_faults: Vec::new(),
+            invoke_squeezes: Vec::new(),
+            link_faults: Vec::new(),
+            dram_faults: Vec::new(),
+            retry_budget: DEFAULT_RETRY_BUDGET,
+            backoff_base: DEFAULT_BACKOFF_BASE,
+            backoff_cap: DEFAULT_BACKOFF_CAP,
+        }
+    }
+
+    /// Sets the retry budget (builder style).
+    pub fn retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Sets the backoff base and cap (builder style).
+    pub fn backoff(mut self, base: u64, cap: u64) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// Adds one engine refusal window.
+    pub fn add_engine_fault(mut self, engine: EngineId, window: CycleWindow) -> Self {
+        self.engine_faults.push(EngineFault { engine, window });
+        self
+    }
+
+    /// Adds one invoke-buffer squeeze window.
+    pub fn add_invoke_squeeze(mut self, window: CycleWindow, entries: u32) -> Self {
+        self.invoke_squeezes.push(InvokeSqueeze { window, entries });
+        self
+    }
+
+    /// Adds one NoC link fault.
+    pub fn add_link_fault(
+        mut self,
+        node: u32,
+        dir: u8,
+        window: CycleWindow,
+        kind: LinkFaultKind,
+    ) -> Self {
+        self.link_faults.push(LinkFault {
+            node,
+            dir,
+            window,
+            kind,
+        });
+        self
+    }
+
+    /// Adds one DRAM controller throttle.
+    pub fn add_dram_fault(mut self, controller: u32, window: CycleWindow, factor: u64) -> Self {
+        self.dram_faults.push(DramFault {
+            controller,
+            window,
+            factor,
+        });
+        self
+    }
+
+    /// Sub-RNG for one fault class: seeded from `seed ^ salt` so classes
+    /// draw independently.
+    fn rng_for(&self, salt: u64) -> SmallRng {
+        SmallRng::seed_from_u64(self.seed ^ salt)
+    }
+
+    /// Draws a window starting in `0..horizon` lasting
+    /// `min_len..=max_len` cycles.
+    fn gen_window(rng: &mut SmallRng, horizon: u64, min_len: u64, max_len: u64) -> CycleWindow {
+        let start = rng.gen_range(0u64..horizon.max(1));
+        let len = if max_len > min_len {
+            rng.gen_range(min_len..max_len + 1)
+        } else {
+            min_len
+        };
+        CycleWindow::new(start, start + len.max(1))
+    }
+
+    /// Generates `count` seeded engine refusal windows across `tiles`
+    /// tiles (both engine levels), starting within `0..horizon` and
+    /// lasting `min_len..=max_len` cycles.
+    pub fn gen_engine_outages(
+        mut self,
+        count: usize,
+        tiles: u32,
+        horizon: u64,
+        min_len: u64,
+        max_len: u64,
+    ) -> Self {
+        let mut rng = self.rng_for(SALT_ENGINE);
+        for _ in 0..count {
+            let tile = rng.gen_range(0u32..tiles.max(1));
+            let level = if rng.next_u64() & 1 == 0 {
+                EngineLevel::L2
+            } else {
+                EngineLevel::Llc
+            };
+            let window = Self::gen_window(&mut rng, horizon, min_len, max_len);
+            self.engine_faults.push(EngineFault {
+                engine: EngineId { tile, level },
+                window,
+            });
+        }
+        self
+    }
+
+    /// Generates `count` seeded invoke-buffer squeezes down to `entries`
+    /// slots.
+    pub fn gen_invoke_squeezes(
+        mut self,
+        count: usize,
+        entries: u32,
+        horizon: u64,
+        min_len: u64,
+        max_len: u64,
+    ) -> Self {
+        let mut rng = self.rng_for(SALT_SQUEEZE);
+        for _ in 0..count {
+            let window = Self::gen_window(&mut rng, horizon, min_len, max_len);
+            self.invoke_squeezes.push(InvokeSqueeze { window, entries });
+        }
+        self
+    }
+
+    /// Generates `count` seeded link slowdowns adding `extra` cycles per
+    /// hop on random links of a `tiles`-node mesh.
+    pub fn gen_link_slowdowns(
+        mut self,
+        count: usize,
+        tiles: u32,
+        extra: u64,
+        horizon: u64,
+        min_len: u64,
+        max_len: u64,
+    ) -> Self {
+        let mut rng = self.rng_for(SALT_LINK);
+        for _ in 0..count {
+            let node = rng.gen_range(0u32..tiles.max(1));
+            let dir = rng.gen_range(0u8..4);
+            let window = Self::gen_window(&mut rng, horizon, min_len, max_len);
+            self.link_faults.push(LinkFault {
+                node,
+                dir,
+                window,
+                kind: LinkFaultKind::Slowdown { extra },
+            });
+        }
+        self
+    }
+
+    /// Generates `count` seeded link outages on random links of a
+    /// `tiles`-node mesh.
+    pub fn gen_link_outages(
+        mut self,
+        count: usize,
+        tiles: u32,
+        horizon: u64,
+        min_len: u64,
+        max_len: u64,
+    ) -> Self {
+        // Same salt as slowdowns (both are link faults) but drawn after a
+        // domain-separating skip so the two builders stay independent.
+        let mut rng = self.rng_for(SALT_LINK ^ 0xff);
+        for _ in 0..count {
+            let node = rng.gen_range(0u32..tiles.max(1));
+            let dir = rng.gen_range(0u8..4);
+            let window = Self::gen_window(&mut rng, horizon, min_len, max_len);
+            self.link_faults.push(LinkFault {
+                node,
+                dir,
+                window,
+                kind: LinkFaultKind::Outage,
+            });
+        }
+        self
+    }
+
+    /// Generates `count` seeded DRAM throttles multiplying service time by
+    /// `factor` on random controllers.
+    pub fn gen_dram_throttles(
+        mut self,
+        count: usize,
+        controllers: u32,
+        factor: u64,
+        horizon: u64,
+        min_len: u64,
+        max_len: u64,
+    ) -> Self {
+        let mut rng = self.rng_for(SALT_DRAM);
+        for _ in 0..count {
+            let controller = rng.gen_range(0u32..controllers.max(1));
+            let window = Self::gen_window(&mut rng, horizon, min_len, max_len);
+            self.dram_faults.push(DramFault {
+                controller,
+                window,
+                factor,
+            });
+        }
+        self
+    }
+
+    /// Total fault windows in the plan.
+    pub fn total_faults(&self) -> u64 {
+        (self.engine_faults.len()
+            + self.invoke_squeezes.len()
+            + self.link_faults.len()
+            + self.dram_faults.len()) as u64
+    }
+
+    /// True if the plan injects nothing (retry policy is then irrelevant).
+    pub fn is_zero(&self) -> bool {
+        self.total_faults() == 0
+    }
+
+    /// Checks the plan against a machine shape: windows must be non-empty,
+    /// targets must exist, factors must be ≥ 1.
+    pub fn validate(&self, cfg: &MachineConfig) -> Result<(), SimError> {
+        let bad = |what: String| Err(SimError::InvalidConfig { what });
+        for ef in &self.engine_faults {
+            if ef.engine.tile >= cfg.tiles {
+                return bad(format!(
+                    "fault plan: {} does not exist ({} tiles)",
+                    ef.engine, cfg.tiles
+                ));
+            }
+            if ef.window.is_empty() {
+                return bad(format!(
+                    "fault plan: empty engine-fault window {}",
+                    ef.window
+                ));
+            }
+        }
+        for sq in &self.invoke_squeezes {
+            if sq.window.is_empty() {
+                return bad(format!(
+                    "fault plan: empty invoke-squeeze window {}",
+                    sq.window
+                ));
+            }
+        }
+        for lf in &self.link_faults {
+            if lf.node >= cfg.tiles {
+                return bad(format!(
+                    "fault plan: link fault on node {} ({} tiles)",
+                    lf.node, cfg.tiles
+                ));
+            }
+            if lf.dir >= 4 {
+                return bad(format!(
+                    "fault plan: link direction {} (must be 0..4)",
+                    lf.dir
+                ));
+            }
+            if lf.window.is_empty() {
+                return bad(format!("fault plan: empty link-fault window {}", lf.window));
+            }
+        }
+        for df in &self.dram_faults {
+            if df.controller >= cfg.mem.controllers {
+                return bad(format!(
+                    "fault plan: DRAM fault on controller {} ({} controllers)",
+                    df.controller, cfg.mem.controllers
+                ));
+            }
+            if df.factor == 0 {
+                return bad("fault plan: DRAM throttle factor must be >= 1".to_string());
+            }
+            if df.window.is_empty() {
+                return bad(format!("fault plan: empty DRAM-fault window {}", df.window));
+            }
+        }
+        if !self.is_zero() && self.backoff_base == 0 {
+            return bad("fault plan: backoff base must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fault plan (seed {}): {} engine outage(s), {} invoke squeeze(s), \
+             {} link fault(s), {} DRAM throttle(s); retry budget {}, backoff {}..{} cycles",
+            self.seed,
+            self.engine_faults.len(),
+            self.invoke_squeezes.len(),
+            self.link_faults.len(),
+            self.dram_faults.len(),
+            self.retry_budget,
+            self.backoff_base,
+            self.backoff_cap,
+        )
+    }
+}
+
+/// Runtime fault state carried by the hardware model.
+///
+/// Holds the fault classes the invoke path consults every issue
+/// (engine refusals, invoke squeezes) plus the retry policy; link and DRAM
+/// faults are installed directly into [`crate::noc::Noc`] and
+/// [`crate::dram::Dram`]. The default state is empty and every query
+/// early-exits, so unfaulted runs take the exact pre-fault code paths.
+#[derive(Clone, Debug, Default)]
+pub struct FaultState {
+    engine_faults: Vec<EngineFault>,
+    invoke_squeezes: Vec<InvokeSqueeze>,
+    /// Invoke retries against a refusing engine before core fallback.
+    pub retry_budget: u32,
+    /// First-retry backoff in cycles.
+    pub backoff_base: u64,
+    /// Backoff ceiling in cycles.
+    pub backoff_cap: u64,
+}
+
+impl FaultState {
+    /// Builds runtime state from the invoke-path-relevant parts of a plan.
+    pub fn from_plan(plan: &FaultPlan) -> Self {
+        FaultState {
+            engine_faults: plan.engine_faults.clone(),
+            invoke_squeezes: plan.invoke_squeezes.clone(),
+            retry_budget: plan.retry_budget,
+            backoff_base: plan.backoff_base.max(1),
+            backoff_cap: plan.backoff_cap.max(plan.backoff_base.max(1)),
+        }
+    }
+
+    /// True if no invoke-path faults are installed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.engine_faults.is_empty() && self.invoke_squeezes.is_empty()
+    }
+
+    /// True if `engine` refuses new offloaded tasks at cycle `now`.
+    #[inline]
+    pub fn engine_refusing(&self, engine: EngineId, now: u64) -> bool {
+        self.engine_faults
+            .iter()
+            .any(|ef| ef.engine == engine && ef.window.contains(now))
+    }
+
+    /// Effective invoke-buffer capacity at `now`: the configured limit,
+    /// shrunk by any active squeeze (floor 1).
+    #[inline]
+    pub fn invoke_buffer_limit(&self, cfg_limit: u32, now: u64) -> u32 {
+        if self.invoke_squeezes.is_empty() {
+            return cfg_limit;
+        }
+        let mut limit = cfg_limit;
+        for sq in &self.invoke_squeezes {
+            if sq.window.contains(now) {
+                limit = limit.min(sq.entries.max(1));
+            }
+        }
+        limit
+    }
+
+    /// Backoff delay before retry number `retries` (1-based):
+    /// `min(base << (retries-1), cap)`.
+    #[inline]
+    pub fn backoff_delay(&self, retries: u32) -> u64 {
+        let shift = retries.saturating_sub(1).min(32);
+        self.backoff_base
+            .saturating_mul(1u64 << shift)
+            .min(self.backoff_cap)
+            .max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mk = |seed| {
+            FaultPlan::new(seed)
+                .gen_engine_outages(3, 4, 10_000, 100, 500)
+                .gen_invoke_squeezes(2, 1, 10_000, 50, 200)
+                .gen_link_slowdowns(2, 4, 3, 10_000, 100, 400)
+                .gen_link_outages(1, 4, 10_000, 10, 50)
+                .gen_dram_throttles(2, 2, 4, 10_000, 100, 400)
+        };
+        let a = mk(7);
+        let b = mk(7);
+        let c = mk(8);
+        assert_eq!(a, b, "same seed must generate the same plan");
+        assert_ne!(a, c, "different seeds must differ");
+        assert_eq!(a.total_faults(), 10);
+    }
+
+    #[test]
+    fn class_generation_is_order_independent() {
+        // DRAM draws must not depend on how many engine faults were
+        // generated first.
+        let a = FaultPlan::new(5)
+            .gen_engine_outages(10, 4, 1000, 10, 20)
+            .gen_dram_throttles(2, 2, 4, 1000, 10, 20);
+        let b = FaultPlan::new(5).gen_dram_throttles(2, 2, 4, 1000, 10, 20);
+        assert_eq!(a.dram_faults, b.dram_faults);
+    }
+
+    #[test]
+    fn empty_plan_is_zero() {
+        let p = FaultPlan::new(42);
+        assert!(p.is_zero());
+        assert_eq!(p.total_faults(), 0);
+        assert!(FaultState::from_plan(&p).is_empty());
+    }
+
+    #[test]
+    fn window_contains_half_open() {
+        let w = CycleWindow::new(10, 20);
+        assert!(!w.contains(9));
+        assert!(w.contains(10));
+        assert!(w.contains(19));
+        assert!(!w.contains(20));
+        assert_eq!(w.len(), 10);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let plan = FaultPlan::new(0).backoff(16, 100);
+        let st = FaultState::from_plan(&plan);
+        assert_eq!(st.backoff_delay(1), 16);
+        assert_eq!(st.backoff_delay(2), 32);
+        assert_eq!(st.backoff_delay(3), 64);
+        assert_eq!(st.backoff_delay(4), 100, "capped");
+        assert_eq!(st.backoff_delay(40), 100, "shift saturates");
+    }
+
+    #[test]
+    fn squeeze_floors_at_one() {
+        let plan = FaultPlan::new(0).add_invoke_squeeze(CycleWindow::new(0, 100), 0);
+        let st = FaultState::from_plan(&plan);
+        assert_eq!(st.invoke_buffer_limit(16, 50), 1);
+        assert_eq!(st.invoke_buffer_limit(16, 100), 16, "window over");
+    }
+
+    #[test]
+    fn refusal_respects_engine_and_window() {
+        let e0 = EngineId {
+            tile: 0,
+            level: EngineLevel::L2,
+        };
+        let e1 = EngineId {
+            tile: 1,
+            level: EngineLevel::L2,
+        };
+        let plan = FaultPlan::new(0).add_engine_fault(e0, CycleWindow::new(100, 200));
+        let st = FaultState::from_plan(&plan);
+        assert!(st.engine_refusing(e0, 150));
+        assert!(!st.engine_refusing(e0, 99));
+        assert!(!st.engine_refusing(e0, 200));
+        assert!(!st.engine_refusing(e1, 150));
+    }
+
+    #[test]
+    fn validate_rejects_bad_targets() {
+        let cfg = MachineConfig::with_tiles(4);
+        let e_bad = EngineId {
+            tile: 9,
+            level: EngineLevel::L2,
+        };
+        let p = FaultPlan::new(0).add_engine_fault(e_bad, CycleWindow::new(0, 10));
+        assert!(matches!(
+            p.validate(&cfg),
+            Err(SimError::InvalidConfig { .. })
+        ));
+
+        let p = FaultPlan::new(0).add_dram_fault(99, CycleWindow::new(0, 10), 2);
+        assert!(p.validate(&cfg).is_err());
+
+        let p =
+            FaultPlan::new(0).add_link_fault(0, 7, CycleWindow::new(0, 10), LinkFaultKind::Outage);
+        assert!(p.validate(&cfg).is_err());
+
+        let p = FaultPlan::new(0).add_engine_fault(
+            EngineId {
+                tile: 0,
+                level: EngineLevel::Llc,
+            },
+            CycleWindow::new(10, 10),
+        );
+        assert!(p.validate(&cfg).is_err(), "empty window rejected");
+
+        let ok = FaultPlan::new(3)
+            .gen_engine_outages(2, 4, 1000, 10, 20)
+            .gen_dram_throttles(1, 2, 4, 1000, 10, 20);
+        assert!(ok.validate(&cfg).is_ok());
+    }
+}

@@ -15,6 +15,8 @@ use crate::cache::{CacheBank, PrivState};
 use crate::config::{MachineConfig, LINE_SHIFT, LINE_SIZE};
 use crate::dram::{Dram, Translator};
 use crate::engine::{EngineId, EngineLevel, EngineState};
+use crate::error::SimError;
+use crate::fault::FaultState;
 use crate::ndc::{MorphLevel, NdcState, WaitCond};
 use crate::noc::Noc;
 use crate::stats::Stats;
@@ -107,6 +109,14 @@ pub struct Hw {
     pub ndc: NdcState,
     /// Statistics.
     pub stats: Stats,
+    /// Injected-fault state (engine refusal windows, invoke squeezes, and
+    /// the retry/backoff policy). Empty unless the config carried a
+    /// [`crate::fault::FaultPlan`].
+    pub faults: FaultState,
+    /// A fatal simulation error raised mid-actor (e.g. an invoke of an
+    /// unregistered action); `Machine::run` drains it into
+    /// `RunError::Fault`.
+    pub(crate) fatal: Option<SimError>,
     /// Per-tile prefetchers.
     prefetchers: Vec<StridePf>,
     /// Lines with in-flight fills (MSHR/line-buffer protection): never
@@ -156,16 +166,27 @@ impl Hw {
         let mut stats = Stats::new();
         stats.trace = Tracer::new(cfg.trace, cfg.trace_capacity);
         stats.timeline = crate::stats::TimeSeries::new(cfg.sample_interval);
+        let mut noc = Noc::new(cols, rows, cfg.noc);
+        let mut dram = Dram::new(cfg.mem);
+        let mut faults = FaultState::default();
+        if let Some(plan) = &cfg.fault_plan {
+            noc.install_faults(plan.link_faults.clone());
+            dram.install_faults(plan.dram_faults.clone());
+            stats.faults_injected = plan.total_faults();
+            faults = FaultState::from_plan(plan);
+        }
         Hw {
             l1: (0..tiles).map(|_| CacheBank::new(&cfg.l1)).collect(),
             l2: (0..tiles).map(|_| CacheBank::new(&cfg.l2)).collect(),
             llc: (0..tiles).map(|_| CacheBank::new(&cfg.llc)).collect(),
             engines,
-            noc: Noc::new(cols, rows, cfg.noc),
-            dram: Dram::new(cfg.mem),
+            noc,
+            dram,
             translator: Translator::new(),
             ndc: NdcState::default(),
             stats,
+            faults,
+            fatal: None,
             prefetchers: vec![StridePf::default(); tiles],
             pins: Vec::new(),
             inline_depth: 0,
@@ -1405,7 +1426,10 @@ impl Hw {
 /// Clones the action reference out of the table (the borrow checker
 /// requires ending the `ndc` borrow before running the action).
 fn m_action(ndc: &NdcState, id: levi_isa::ActionId) -> crate::ndc::ActionRef {
-    ndc.actions.get(id).clone()
+    ndc.actions
+        .get(id)
+        .expect("morph ctor/dtor action not registered")
+        .clone()
 }
 
 #[cfg(test)]

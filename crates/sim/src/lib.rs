@@ -34,7 +34,7 @@
 //! let prog = Arc::new(pb.finish()?);
 //!
 //! let mut m = Machine::new(MachineConfig::with_tiles(4));
-//! m.spawn_thread(0, prog, func, &[]);
+//! m.spawn_thread(0, prog, func, &[])?;
 //! let result = m.run()?;
 //! assert!(result.cycles > 0);
 //! # Ok(())
@@ -50,20 +50,28 @@ pub mod config;
 pub mod dram;
 pub mod energy;
 pub mod engine;
+pub mod error;
+pub mod fault;
 pub mod hist;
 pub mod hw;
 pub mod machine;
 pub mod ndc;
 pub mod noc;
+pub mod rng;
 pub mod stats;
 pub mod trace;
 
 pub use config::{CacheConfig, EnergyConfig, MachineConfig, Replacement, LINE_SIZE};
 pub use energy::EnergyBreakdown;
 pub use engine::{EngineId, EngineLevel};
+pub use error::SimError;
+pub use fault::{
+    CycleWindow, DramFault, EngineFault, FaultPlan, FaultState, InvokeSqueeze, LinkFault,
+    LinkFaultKind,
+};
 pub use hist::Histogram;
 pub use hw::{AccessKind, Hw, Walk};
-pub use machine::{ActorId, Machine, RunError, RunResult};
+pub use machine::{ActorId, Machine, ParkOwner, ParkedActor, RunError, RunResult};
 pub use ndc::{BankMapRange, MorphLevel, MorphRegion, StreamId, StreamMode, StreamState};
 pub use stats::{Sample, Stats, TimeSeries};
 pub use trace::{TraceCategory, TraceEvent, Tracer, Track};

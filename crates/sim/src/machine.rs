@@ -27,6 +27,7 @@ use crate::branch::Gshare;
 use crate::config::MachineConfig;
 use crate::energy::{self, EnergyBreakdown};
 use crate::engine::{EngineId, EngineLevel, FuCursor};
+use crate::error::SimError;
 use crate::hw::{AccessKind, Hw, Walk, CTRL_MSG};
 use crate::ndc::{StreamId, StreamMode, WaitCond};
 use crate::stats::Stats;
@@ -75,6 +76,9 @@ struct Actor {
     invoke_acks: VecDeque<u64>,
     /// Deterministic counter for the 1/32 DYNAMIC migrate-local policy.
     invoke_count: u32,
+    /// Consecutive fault-induced NACK retries on the current invoke
+    /// (reset on a successful issue or a core fallback).
+    invoke_retries: u32,
     state: ActorState,
     sched_seq: u64,
     /// Cycle at which the current park began (for stall accounting).
@@ -88,33 +92,108 @@ pub struct RunResult {
     pub cycles: u64,
 }
 
+/// The unit a parked actor belongs to (deadlock diagnostics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParkOwner {
+    /// A software thread on the given core.
+    Core(u32),
+    /// A task on the given engine.
+    Engine(EngineId),
+}
+
+impl fmt::Display for ParkOwner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParkOwner::Core(c) => write!(f, "core {c}"),
+            ParkOwner::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// One actor found parked when the run queue drained (deadlock
+/// diagnostics): what it waits on, where it lives, and for how long it has
+/// been stuck.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParkedActor {
+    /// The parked actor.
+    pub actor: ActorId,
+    /// The condition it is waiting on.
+    pub cond: WaitCond,
+    /// The core or engine the actor runs on.
+    pub owner: ParkOwner,
+    /// Cycle the park began.
+    pub parked_at: u64,
+    /// Cycles parked when the deadlock was detected.
+    pub parked_for: u64,
+}
+
+impl fmt::Display for ParkedActor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "actor {} on {}: waiting on {}, parked {} cycles (since cycle {})",
+            self.actor, self.owner, self.cond, self.parked_for, self.parked_at
+        )
+    }
+}
+
 /// Errors from [`Machine::run`].
 #[derive(Clone, Debug)]
 pub enum RunError {
     /// The run queue drained while core threads were still parked — a
-    /// deadlock. Reports `(actor, condition)` pairs.
-    Deadlock(Vec<(ActorId, WaitCond)>),
+    /// deadlock. Reports every parked actor (cores first by id, then any
+    /// parked engine tasks for context).
+    Deadlock(Vec<ParkedActor>),
+    /// The watchdog fired: the simulated clock passed
+    /// [`MachineConfig::max_cycles`](crate::MachineConfig::max_cycles)
+    /// without the run completing.
+    Watchdog {
+        /// The configured limit.
+        limit: u64,
+        /// The clock value that tripped it.
+        at: u64,
+    },
+    /// A typed simulator error surfaced mid-run (e.g. a program invoked an
+    /// unregistered action).
+    Fault(SimError),
 }
 
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RunError::Deadlock(v) => {
-                write!(f, "deadlock: {} core context(s) parked: {v:?}", v.len())
+                let cores = v
+                    .iter()
+                    .filter(|p| matches!(p.owner, ParkOwner::Core(_)))
+                    .count();
+                write!(f, "deadlock: {cores} core context(s) parked")?;
+                for p in v {
+                    write!(f, "\n  {p}")?;
+                }
+                Ok(())
             }
+            RunError::Watchdog { limit, at } => write!(
+                f,
+                "watchdog: simulated clock reached cycle {at} without completing (limit {limit})"
+            ),
+            RunError::Fault(e) => write!(f, "simulation fault: {e}"),
         }
     }
 }
 
 impl std::error::Error for RunError {}
 
-/// A request (from the NDC host) to create an engine task.
+/// A request (from the NDC host) to create an engine task — or, for
+/// fault-degraded invokes past the retry budget, a core-fallback thread.
 struct SpawnReq {
     engine: EngineId,
     func: FuncId,
     prog: Arc<Program>,
     args: Vec<u64>,
     start: u64,
+    /// When set, spawn as a software handler thread on this core instead
+    /// of as an engine task (fault fallback).
+    fallback_core: Option<u32>,
 }
 
 /// The simulated machine.
@@ -136,12 +215,27 @@ pub struct Machine {
 
 impl Machine {
     /// Builds a machine from a configuration.
-    pub fn new(mut cfg: MachineConfig) -> Self {
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`MachineConfig::validate`]); use [`Machine::try_new`] for the
+    /// fallible path.
+    pub fn new(cfg: MachineConfig) -> Self {
+        match Self::try_new(cfg) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a machine, returning a typed error on an invalid
+    /// configuration.
+    pub fn try_new(mut cfg: MachineConfig) -> Result<Self, SimError> {
+        cfg.validate()?;
         if cfg.engine.idealized {
             // Idealized engines are energy-free (paper Sec. VII).
             cfg.energy.engine_inst_pj = 0.0;
         }
-        Machine {
+        Ok(Machine {
             hw: Hw::new(cfg),
             mem: PagedMem::new(),
             actors: Vec::new(),
@@ -152,7 +246,7 @@ impl Machine {
             live_core_threads: 0,
             traces: Vec::new(),
             free_slots: Vec::new(),
-        }
+        })
     }
 
     /// Installs `actor` into a recycled slot or appends a new one.
@@ -212,34 +306,61 @@ impl Machine {
 
     /// Spawns a software thread on `core`, entering `func(args…)`.
     ///
-    /// # Panics
-    /// Panics if `core` is out of range or more than 8 args are given.
+    /// # Errors
+    /// Returns [`SimError::CoreOutOfRange`] if `core` is not a valid tile
+    /// and [`SimError::TooManyArgs`] for more than 8 entry arguments.
     pub fn spawn_thread(
         &mut self,
         core: u32,
         prog: Arc<Program>,
         func: FuncId,
         args: &[u64],
+    ) -> Result<ActorId, SimError> {
+        if core >= self.hw.cfg.tiles {
+            return Err(SimError::CoreOutOfRange {
+                core,
+                tiles: self.hw.cfg.tiles,
+            });
+        }
+        if args.len() > 8 {
+            return Err(SimError::TooManyArgs {
+                given: args.len(),
+                max: 8,
+            });
+        }
+        let aid = self.spawn_core_actor(core, prog, func, args, self.now);
+        self.enqueue(aid, self.now);
+        Ok(aid)
+    }
+
+    /// Installs a core-thread actor starting at `clock` (shared by
+    /// [`Machine::spawn_thread`] and the fault-fallback path).
+    fn spawn_core_actor(
+        &mut self,
+        core: u32,
+        prog: Arc<Program>,
+        func: FuncId,
+        args: &[u64],
+        clock: u64,
     ) -> ActorId {
-        assert!(core < self.hw.cfg.tiles, "core {core} out of range");
         let cfg = self.hw.cfg.core;
         let aid = self.install_actor(Actor {
             kind: ActorKind::CoreThread { core },
             prog,
             ctx: ExecCtx::new(func, args),
-            clock: self.now,
-            reg_ready: [self.now; NUM_REGS],
+            clock,
+            reg_ready: [clock; NUM_REGS],
             pending_mem: Vec::new(),
             issue: FuCursor::new(cfg.issue_width),
             predictor: Some(Gshare::new(cfg.predictor_bits)),
             invoke_acks: VecDeque::new(),
             invoke_count: 0,
+            invoke_retries: 0,
             state: ActorState::Runnable,
             sched_seq: 0,
             parked_at: 0,
         });
         self.live_core_threads += 1;
-        self.enqueue(aid, self.now);
         aid
     }
 
@@ -269,6 +390,7 @@ impl Machine {
             predictor: None,
             invoke_acks: VecDeque::new(),
             invoke_count: 0,
+            invoke_retries: 0,
             state: ActorState::Runnable,
             sched_seq: 0,
             parked_at: 0,
@@ -280,6 +402,11 @@ impl Machine {
     /// Creates a stream and returns its id. The phantom/Morph registration
     /// for the consumer side is the caller's responsibility (the
     /// `leviathan` crate's `Stream<T>` does both).
+    ///
+    /// # Errors
+    /// Returns [`SimError::UnsupportedEntrySize`] for entry sizes other
+    /// than 8 bytes and [`SimError::ZeroStreamCapacity`] for an empty
+    /// ring.
     pub fn create_stream(
         &mut self,
         buffer: Addr,
@@ -288,9 +415,13 @@ impl Machine {
         engine: EngineId,
         consumer: u32,
         mode: StreamMode,
-    ) -> StreamId {
-        assert!(entry_size == 8, "v1 streams carry 8-byte entries");
-        assert!(capacity > 0);
+    ) -> Result<StreamId, SimError> {
+        if entry_size != 8 {
+            return Err(SimError::UnsupportedEntrySize { entry_size });
+        }
+        if capacity == 0 {
+            return Err(SimError::ZeroStreamCapacity);
+        }
         let id = StreamId(self.hw.ndc.streams.len() as u32);
         // The ring is a hardware-managed sequential write target: pushes
         // fully overwrite lines, so write misses skip the write-allocate
@@ -311,7 +442,7 @@ impl Machine {
             mode,
             closed: false,
         });
-        id
+        Ok(id)
     }
 
     /// Marks a stream closed (producer finished or terminated), waking any
@@ -398,8 +529,11 @@ impl Machine {
     ///
     /// # Errors
     /// Returns [`RunError::Deadlock`] if the run queue drains while a core
-    /// thread is still parked.
+    /// thread is still parked, [`RunError::Watchdog`] if the clock passes
+    /// [`MachineConfig::max_cycles`] (when non-zero), and
+    /// [`RunError::Fault`] when a typed error surfaces mid-run.
     pub fn run(&mut self) -> Result<RunResult, RunError> {
+        let max_cycles = self.hw.cfg.max_cycles;
         while let Some(Reverse((t, seq, aid))) = self.runq.pop() {
             {
                 let a = &self.actors[aid as usize];
@@ -408,22 +542,41 @@ impl Machine {
                 }
             }
             self.now = self.now.max(t);
+            if max_cycles != 0 && self.now > max_cycles {
+                return Err(RunError::Watchdog {
+                    limit: max_cycles,
+                    at: self.now,
+                });
+            }
             self.hw.maybe_sample(self.now);
             self.run_actor(aid);
+            if let Some(e) = self.hw.fatal.take() {
+                return Err(RunError::Fault(e));
+            }
             if self.live_core_threads == 0 && self.no_runnable_engine_tasks() {
                 break;
             }
         }
-        // Deadlock check: parked core threads with an empty queue.
+        // Deadlock check: parked core threads with an empty queue. The
+        // report also lists parked engine tasks — a blocked producer or
+        // consumer is usually the other half of the cycle.
         let mut stuck = Vec::new();
         for (i, a) in self.actors.iter().enumerate() {
-            if let ActorKind::CoreThread { .. } = a.kind {
-                if let ActorState::Parked(c) = a.state {
-                    stuck.push((i as ActorId, c));
-                }
+            if let ActorState::Parked(c) = a.state {
+                stuck.push(ParkedActor {
+                    actor: i as ActorId,
+                    cond: c,
+                    owner: match a.kind {
+                        ActorKind::CoreThread { core } => ParkOwner::Core(core),
+                        ActorKind::EngineTask { engine, .. } => ParkOwner::Engine(engine),
+                    },
+                    parked_at: a.parked_at,
+                    parked_for: self.now.saturating_sub(a.parked_at),
+                });
             }
         }
-        if !stuck.is_empty() && self.live_core_threads > 0 {
+        let core_stuck = stuck.iter().any(|p| matches!(p.owner, ParkOwner::Core(_)));
+        if core_stuck && self.live_core_threads > 0 {
             return Err(RunError::Deadlock(stuck));
         }
         let cycles = self
@@ -523,6 +676,22 @@ impl Machine {
             // -------- apply side effects gathered during the step --------
             for s in spawns {
                 let start = s.start;
+                if let Some(core) = s.fallback_core {
+                    // Fault fallback: run the action as a software handler
+                    // thread on the issuing core instead of an engine task.
+                    let id = self.spawn_core_actor(core, s.prog, s.func, &s.args, start);
+                    self.hw.stats.trace.record(|| {
+                        TraceEvent::instant(
+                            start,
+                            TraceCategory::Fault,
+                            "fault.core_fallback_task",
+                            Track::Core(core),
+                            &[("actor", id as u64)],
+                        )
+                    });
+                    self.enqueue(id, start);
+                    continue;
+                }
                 let target = s.engine;
                 let id = self.spawn_engine_task(s.engine, s.prog, s.func, &s.args, None);
                 self.hw.stats.trace.record(|| {
@@ -860,6 +1029,7 @@ fn step_one(
                 now: slot,
                 invoke_acks: &mut a.invoke_acks,
                 invoke_count: &mut a.invoke_count,
+                invoke_retries: &mut a.invoke_retries,
                 spawns,
                 wakes,
                 block: None,
@@ -945,6 +1115,7 @@ struct TimedHost<'a> {
     now: u64,
     invoke_acks: &'a mut VecDeque<u64>,
     invoke_count: &'a mut u32,
+    invoke_retries: &'a mut u32,
     spawns: &'a mut Vec<SpawnReq>,
     wakes: &'a mut Vec<(WaitCond, u64)>,
     block: Option<WaitCond>,
@@ -1027,14 +1198,102 @@ impl NdcHost for TimedHost<'_> {
                     break;
                 }
             }
-            if self.invoke_acks.len() >= self.hw.cfg.core.invoke_buffer as usize {
+            let cfg_limit = self.hw.cfg.core.invoke_buffer;
+            let limit = self.hw.faults.invoke_buffer_limit(cfg_limit, self.now);
+            if self.invoke_acks.len() >= limit as usize {
                 let earliest = *self.invoke_acks.front().expect("nonempty");
+                if limit < cfg_limit {
+                    // This stall only exists because a squeeze shrank the
+                    // buffer below its configured capacity.
+                    let wait = earliest.saturating_sub(self.now);
+                    self.hw.stats.fault_degraded_cycles += wait;
+                    let (now, track) = (self.now, self.track());
+                    self.hw.stats.trace.record(|| {
+                        TraceEvent::instant(
+                            now,
+                            TraceCategory::Fault,
+                            "fault.invoke_squeeze",
+                            track,
+                            &[("limit", limit as u64), ("wait", wait)],
+                        )
+                    });
+                }
                 self.sleep_until = Some(earliest);
                 return Poll::Pending;
             }
         }
 
+        // Resolve the action first: an unregistered id is a typed
+        // mid-run fault, not a panic.
+        let aref = match self.hw.ndc.actions.get(req.action) {
+            Ok(a) => a.clone(),
+            Err(e) => {
+                self.hw.fatal = Some(e);
+                self.op_done = self.now + 1;
+                return Poll::Ready(());
+            }
+        };
+
         let target = self.schedule_invoke(&req);
+
+        // Fault window: the engine refuses new tasks. Retry with bounded
+        // exponential backoff; past the budget, fall back to running the
+        // action on the issuing core (software-fallback virtualization).
+        if !self.hw.faults.is_empty() && self.hw.faults.engine_refusing(target, self.now) {
+            self.hw.stats.invoke_nacks += 1;
+            *self.invoke_retries += 1;
+            let retries = *self.invoke_retries;
+            let (now, track) = (self.now, self.track());
+            if retries <= self.hw.faults.retry_budget {
+                let delay = self.hw.faults.backoff_delay(retries);
+                self.hw.stats.fault_nack_retries += 1;
+                self.hw.stats.fault_degraded_cycles += delay;
+                self.hw.stats.fault_backoff.record(delay);
+                self.hw.stats.trace.record(|| {
+                    TraceEvent::instant(
+                        now,
+                        TraceCategory::Fault,
+                        "fault.invoke_backoff",
+                        track,
+                        &[
+                            ("target", target.tile as u64),
+                            ("retry", retries as u64),
+                            ("delay", delay),
+                        ],
+                    )
+                });
+                self.sleep_until = Some(now + delay);
+                return Poll::Pending;
+            }
+            *self.invoke_retries = 0;
+            self.hw.stats.fault_fallbacks += 1;
+            self.hw.stats.trace.record(|| {
+                TraceEvent::instant(
+                    now,
+                    TraceCategory::Fault,
+                    "fault.core_fallback",
+                    track,
+                    &[("target", target.tile as u64), ("actor_addr", req.actor)],
+                )
+            });
+            let mut args = Vec::with_capacity(1 + req.args.len());
+            args.push(req.actor);
+            args.extend_from_slice(&req.args);
+            self.spawns.push(SpawnReq {
+                engine: target,
+                func: aref.func,
+                prog: aref.prog,
+                args,
+                start: now + 1,
+                fallback_core: Some(self.tile),
+            });
+            self.op_done = now + 1;
+            return Poll::Ready(());
+        }
+        if *self.invoke_retries != 0 {
+            *self.invoke_retries = 0;
+        }
+
         if !self.hw.engines[target.index()].try_reserve_ctx() {
             self.hw.stats.invoke_nacks += 1;
             let (now, track) = (self.now, self.track());
@@ -1069,7 +1328,6 @@ impl NdcHost for TimedHost<'_> {
             .noc
             .send(self.tile, target.tile, bytes, self.now, &mut self.hw.stats);
 
-        let aref = self.hw.ndc.actions.get(req.action).clone();
         let mut args = Vec::with_capacity(1 + req.args.len());
         args.push(req.actor);
         args.extend_from_slice(&req.args);
@@ -1079,6 +1337,7 @@ impl NdcHost for TimedHost<'_> {
             prog: aref.prog,
             args,
             start: arrival,
+            fallback_core: None,
         });
         if self.is_core && req.future.is_none() {
             // ACK returns once the engine accepts the task.
@@ -1251,7 +1510,7 @@ mod tests {
         let prog = Arc::new(pb.finish().unwrap());
 
         let mut m = Machine::new(small_cfg());
-        m.spawn_thread(0, prog, func, &[]);
+        m.spawn_thread(0, prog, func, &[]).unwrap();
         let res = m.run().unwrap();
         assert!(
             res.cycles > 100,
@@ -1289,7 +1548,7 @@ mod tests {
             for k in 0..64u64 {
                 m.mem_mut().write_u64(base + 8 * k, k);
             }
-            m.spawn_thread(t, prog.clone(), func, &[base, 64]);
+            m.spawn_thread(t, prog.clone(), func, &[base, 64]).unwrap();
         }
         let res = m.run().unwrap();
         assert!(res.cycles > 0);
@@ -1325,7 +1584,7 @@ mod tests {
         let run = |relaxed: bool| {
             let (prog, func) = build(relaxed);
             let mut m = Machine::new(small_cfg());
-            m.spawn_thread(0, prog, func, &[0x2000]);
+            m.spawn_thread(0, prog, func, &[0x2000]).unwrap();
             let r = m.run().unwrap();
             (r.cycles, m.mem().read_u64(0x2000), m.stats().fences)
         };
@@ -1365,8 +1624,8 @@ mod tests {
         let mut cfg = small_cfg();
         cfg.quantum = 4;
         let mut m = Machine::new(cfg);
-        m.spawn_thread(0, prog.clone(), func, &[0x3000]);
-        m.spawn_thread(1, prog, func, &[0x3000]);
+        m.spawn_thread(0, prog.clone(), func, &[0x3000]).unwrap();
+        m.spawn_thread(1, prog, func, &[0x3000]).unwrap();
         m.run().unwrap();
         assert_eq!(m.mem().read_u64(0x3000), 64, "no update lost");
         assert!(
@@ -1402,7 +1661,7 @@ mod tests {
         let mut m = Machine::new(small_cfg());
         m.mem_mut().write_u64(0x4000, 37);
         m.hw.ndc.actions.register(ActionId(0), prog.clone(), action);
-        m.spawn_thread(0, prog, main, &[]);
+        m.spawn_thread(0, prog, main, &[]).unwrap();
         m.run().unwrap();
         assert_eq!(m.mem().read_u64(0x4000), 42);
         assert_eq!(m.stats().invokes, 1);
@@ -1446,7 +1705,7 @@ mod tests {
 
         let mut m = Machine::new(small_cfg());
         m.hw.ndc.actions.register(ActionId(0), prog.clone(), action);
-        m.spawn_thread(0, prog, main, &[]);
+        m.spawn_thread(0, prog, main, &[]).unwrap();
         let res = m.run().unwrap();
         assert_eq!(m.stats().invokes, 100);
         assert!(res.cycles > 100);
@@ -1503,7 +1762,9 @@ mod tests {
             tile: 0,
             level: EngineLevel::Llc,
         };
-        let sid = m.create_stream(buffer, 8, cap, engine, 0, StreamMode::RunAhead);
+        let sid = m
+            .create_stream(buffer, 8, cap, engine, 0, StreamMode::RunAhead)
+            .unwrap();
         // Consumer reads via a stream-backed L2 morph over the buffer.
         m.hw.ndc.register_morph(crate::ndc::MorphRegion {
             base: buffer,
@@ -1516,7 +1777,8 @@ mod tests {
             stream: Some(sid),
         });
         m.spawn_engine_task(engine, prog.clone(), producer, &[sid.0 as u64], Some(sid));
-        m.spawn_thread(0, prog, consumer, &[sid.0 as u64, buffer, cap, 100]);
+        m.spawn_thread(0, prog, consumer, &[sid.0 as u64, buffer, cap, 100])
+            .unwrap();
         m.run().unwrap();
         let expect: u64 = (0..100).sum();
         // The consumer's r0 is gone; check via stats instead + memory sum.
@@ -1535,14 +1797,162 @@ mod tests {
         let main = f.finish();
         let prog = Arc::new(pb.finish().unwrap());
         let mut m = Machine::new(small_cfg());
-        m.spawn_thread(0, prog, main, &[]);
+        m.spawn_thread(0, prog, main, &[]).unwrap();
         match m.run() {
-            Err(RunError::Deadlock(v)) => {
+            Err(ref e @ RunError::Deadlock(ref v)) => {
                 assert_eq!(v.len(), 1);
-                assert!(matches!(v[0].1, WaitCond::FutureFill(0x9000)));
+                assert!(matches!(v[0].cond, WaitCond::FutureFill(0x9000)));
+                assert!(matches!(v[0].owner, ParkOwner::Core(0)));
+                // Display is one readable line per parked actor, not a
+                // debug dump.
+                let text = e.to_string();
+                assert!(
+                    text.contains("actor 0 on core 0: waiting on future-fill @0x9000"),
+                    "{text}"
+                );
+                assert!(text.contains("parked"), "{text}");
+                assert!(!text.contains("FutureFill"), "no Debug output: {text}");
             }
             other => panic!("expected deadlock, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn watchdog_aborts_long_runs() {
+        // A long (but finite) pointer-chase loop; with a tiny max_cycles
+        // the watchdog must fire long before completion.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let (p, i, n, v) = (Reg(1), Reg(2), Reg(3), Reg(4));
+        f.imm(p, 0x10000).imm(i, 0).imm(n, 10_000);
+        let top = f.label();
+        let out = f.label();
+        f.bind(top);
+        f.bge_u(i, n, out);
+        f.ld8(v, p, 0);
+        f.addi(p, p, 64);
+        f.addi(i, i, 1);
+        f.jmp(top);
+        f.bind(out);
+        f.halt();
+        let main = f.finish();
+        let prog = Arc::new(pb.finish().unwrap());
+
+        let mut cfg = small_cfg();
+        cfg.max_cycles = 5_000;
+        let mut m = Machine::new(cfg);
+        m.spawn_thread(0, prog.clone(), main, &[]).unwrap();
+        match m.run() {
+            Err(RunError::Watchdog { limit, at }) => {
+                assert_eq!(limit, 5_000);
+                assert!(at > 5_000);
+            }
+            other => panic!("expected watchdog, got {other:?}"),
+        }
+        // Without the watchdog the same program completes.
+        let mut m = Machine::new(small_cfg());
+        m.spawn_thread(0, prog, main, &[]).unwrap();
+        assert!(m.run().is_ok());
+    }
+
+    #[test]
+    fn spawn_and_stream_errors_are_typed() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        f.halt();
+        let main = f.finish();
+        let prog = Arc::new(pb.finish().unwrap());
+        let mut m = Machine::new(small_cfg());
+        assert_eq!(
+            m.spawn_thread(99, prog.clone(), main, &[]),
+            Err(SimError::CoreOutOfRange { core: 99, tiles: 4 })
+        );
+        assert_eq!(
+            m.spawn_thread(0, prog.clone(), main, &[0; 9]),
+            Err(SimError::TooManyArgs { given: 9, max: 8 })
+        );
+        let engine = EngineId {
+            tile: 0,
+            level: EngineLevel::Llc,
+        };
+        assert_eq!(
+            m.create_stream(0x8000, 4, 16, engine, 0, StreamMode::RunAhead),
+            Err(SimError::UnsupportedEntrySize { entry_size: 4 })
+        );
+        assert_eq!(
+            m.create_stream(0x8000, 8, 0, engine, 0, StreamMode::RunAhead),
+            Err(SimError::ZeroStreamCapacity)
+        );
+        // A failed spawn must not leave a live thread behind.
+        m.spawn_thread(0, prog, main, &[]).unwrap();
+        assert!(m.run().is_ok());
+    }
+
+    #[test]
+    fn unregistered_action_is_a_run_fault() {
+        let mut pb = ProgramBuilder::new();
+        let mut mn = pb.function("main");
+        let actor = Reg(1);
+        mn.imm(actor, 0x6000);
+        mn.invoke(actor, ActionId(7), &[], Location::Remote);
+        mn.halt();
+        let main = mn.finish();
+        let prog = Arc::new(pb.finish().unwrap());
+        let mut m = Machine::new(small_cfg());
+        m.spawn_thread(0, prog, main, &[]).unwrap();
+        match m.run() {
+            Err(RunError::Fault(SimError::UnknownAction(id))) => assert_eq!(id, ActionId(7)),
+            other => panic!("expected fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulted_engine_backs_off_then_falls_back() {
+        use crate::fault::{CycleWindow, FaultPlan};
+        // Same invoke workload as invoke_runs_action_on_engine..., but
+        // every engine refuses for the whole run: the invoke must retry
+        // with backoff, fall back to the core, and still compute the right
+        // answer.
+        let mut pb = ProgramBuilder::new();
+        let action = {
+            let mut f = pb.function("add_action");
+            let (actor, amt, fut, v) = (Reg(0), Reg(1), Reg(2), Reg(3));
+            f.ld8(v, actor, 0);
+            f.add(v, v, amt);
+            f.st8(actor, 0, v);
+            f.future_send(fut, v);
+            f.halt();
+            f.finish()
+        };
+        let mut mn = pb.function("main");
+        let (actor, fut, amt, r) = (Reg(1), Reg(2), Reg(3), Reg(4));
+        mn.imm(actor, 0x4000).imm(fut, 0x5000).imm(amt, 5);
+        mn.invoke_future(actor, ActionId(0), &[amt, fut], fut, Location::Dynamic);
+        mn.future_wait(r, fut);
+        mn.mov(Reg(0), r).halt();
+        let main = mn.finish();
+        let prog = Arc::new(pb.finish().unwrap());
+
+        let mut plan = FaultPlan::new(1).retry_budget(3).backoff(8, 64);
+        for tile in 0..4 {
+            for level in [EngineLevel::L2, EngineLevel::Llc] {
+                plan =
+                    plan.add_engine_fault(EngineId { tile, level }, CycleWindow::new(0, u64::MAX));
+            }
+        }
+        let mut m = Machine::new(small_cfg().faulted(plan));
+        m.mem_mut().write_u64(0x4000, 37);
+        m.hw.ndc.actions.register(ActionId(0), prog.clone(), action);
+        m.spawn_thread(0, prog, main, &[]).unwrap();
+        m.run().unwrap();
+        assert_eq!(m.mem().read_u64(0x4000), 42, "fallback still computes");
+        let s = m.stats();
+        assert_eq!(s.fault_nack_retries, 3, "full retry budget consumed");
+        assert_eq!(s.fault_fallbacks, 1);
+        assert_eq!(s.invoke_nacks, 4, "3 retries + the final refusal");
+        assert_eq!(s.invokes, 0, "nothing was offloaded");
+        assert_eq!(s.fault_backoff.count(), 3);
+        assert!(s.fault_degraded_cycles >= 8 + 16 + 32);
     }
 
     #[test]
@@ -1553,7 +1963,7 @@ mod tests {
         let main = f.finish();
         let prog = Arc::new(pb.finish().unwrap());
         let mut m = Machine::new(small_cfg());
-        m.spawn_thread(0, prog, main, &[]);
+        m.spawn_thread(0, prog, main, &[]).unwrap();
         m.run().unwrap();
         assert_eq!(m.traces(), &[123]);
     }
@@ -1581,8 +1991,8 @@ mod tests {
         let run = || {
             let (prog, func) = build();
             let mut m = Machine::new(small_cfg());
-            m.spawn_thread(0, prog.clone(), func, &[]);
-            m.spawn_thread(1, prog, func, &[]);
+            m.spawn_thread(0, prog.clone(), func, &[]).unwrap();
+            m.spawn_thread(1, prog, func, &[]).unwrap();
             m.run().unwrap().cycles
         };
         assert_eq!(run(), run(), "simulation must be deterministic");

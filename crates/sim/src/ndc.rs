@@ -3,11 +3,13 @@
 //! contexts.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
 
 use levi_isa::{ActionId, Addr, FuncId, Program};
 
 use crate::engine::EngineId;
+use crate::error::SimError;
 
 /// A reference to executable action code: a program and a function in it.
 #[derive(Clone, Debug)]
@@ -33,13 +35,12 @@ impl ActionTable {
 
     /// Looks up an action.
     ///
-    /// # Panics
-    /// Panics on unregistered actions — an invoke of an unknown action is a
-    /// program bug.
-    pub fn get(&self, id: ActionId) -> &ActionRef {
-        self.map
-            .get(&id)
-            .unwrap_or_else(|| panic!("unregistered action {id:?}"))
+    /// Invoking an unregistered action is a program bug; rather than
+    /// panicking mid-simulation this surfaces as
+    /// [`SimError::UnknownAction`], which `Machine::run` converts into a
+    /// `RunError::Fault`.
+    pub fn get(&self, id: ActionId) -> Result<&ActionRef, SimError> {
+        self.map.get(&id).ok_or(SimError::UnknownAction(id))
     }
 
     /// Number of registered actions.
@@ -217,6 +218,17 @@ pub enum WaitCond {
     StreamSpace(StreamId),
     /// Waiting for a free offloaded-task context on an engine.
     EngineCtx(EngineId),
+}
+
+impl fmt::Display for WaitCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitCond::FutureFill(a) => write!(f, "future-fill @{a:#x}"),
+            WaitCond::StreamData(s) => write!(f, "stream-data sid={}", s.0),
+            WaitCond::StreamSpace(s) => write!(f, "stream-space sid={}", s.0),
+            WaitCond::EngineCtx(e) => write!(f, "engine-ctx {e}"),
+        }
+    }
 }
 
 /// All NDC architectural state.
@@ -436,9 +448,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unregistered action")]
-    fn unknown_action_panics() {
+    fn unknown_action_is_typed_error() {
         let t = ActionTable::default();
-        t.get(ActionId(9));
+        assert_eq!(
+            t.get(ActionId(9)).map(|_| ()),
+            Err(SimError::UnknownAction(ActionId(9)))
+        );
+    }
+
+    #[test]
+    fn wait_cond_display_is_compact() {
+        assert_eq!(
+            WaitCond::FutureFill(0x9000).to_string(),
+            "future-fill @0x9000"
+        );
+        assert_eq!(
+            WaitCond::StreamData(StreamId(3)).to_string(),
+            "stream-data sid=3"
+        );
+        assert_eq!(
+            WaitCond::StreamSpace(StreamId(1)).to_string(),
+            "stream-space sid=1"
+        );
+        let e = EngineId {
+            tile: 2,
+            level: EngineLevel::L2,
+        };
+        assert_eq!(
+            WaitCond::EngineCtx(e).to_string(),
+            format!("engine-ctx {e}")
+        );
     }
 }

@@ -111,6 +111,18 @@ pub struct Stats {
     /// L2 prefetches issued.
     pub prefetches: u64,
 
+    /// Fault windows injected by the configured
+    /// [`FaultPlan`](crate::fault::FaultPlan) (0 when no plan is set).
+    pub faults_injected: u64,
+    /// Invoke retries caused by fault-refused engines (backoff path).
+    pub fault_nack_retries: u64,
+    /// Invokes that exhausted the retry budget and fell back to executing
+    /// on the issuing core.
+    pub fault_fallbacks: u64,
+    /// Extra cycles attributable to injected faults: backoff waits,
+    /// squeeze stalls, NoC slowdown/outage delay, DRAM throttle delay.
+    pub fault_degraded_cycles: u64,
+
     /// Invoke round-trip latency (issue to acknowledgment) in cycles.
     pub invoke_rtt: Histogram,
     /// Load-to-use latency (issue of a core load to data return) in cycles.
@@ -119,6 +131,8 @@ pub struct Stats {
     pub dram_queue: Histogram,
     /// Duration of individual stream-pop stalls in cycles.
     pub stream_stall: Histogram,
+    /// Backoff delay per fault-induced invoke retry, in cycles.
+    pub fault_backoff: Histogram,
 
     /// Structured event recorder (off by default; see
     /// [`crate::config::MachineConfig::trace`]).
@@ -234,6 +248,21 @@ impl fmt::Display for Stats {
         }
         if !self.stream_stall.is_empty() {
             write!(f, "\nstream stall:      {}", self.stream_stall)?;
+        }
+        // Fault lines are emitted only when a plan injected something, so
+        // unfaulted runs keep byte-identical output to pre-fault builds.
+        if self.faults_injected > 0 {
+            write!(
+                f,
+                "\nfaults:            {} injected; {} NACK-retries, {} core-fallbacks, {} degraded cycles",
+                self.faults_injected,
+                self.fault_nack_retries,
+                self.fault_fallbacks,
+                self.fault_degraded_cycles
+            )?;
+            if !self.fault_backoff.is_empty() {
+                write!(f, "\nfault backoff:     {}", self.fault_backoff)?;
+            }
         }
         Ok(())
     }
@@ -454,6 +483,26 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("invoke RTT:        n=1"), "{text}");
         assert!(text.contains("stream stall:      n=1"), "{text}");
+    }
+
+    #[test]
+    fn display_fault_lines_gated_on_injection() {
+        let mut s = Stats::new();
+        // Degradation counters alone must not change the output: only an
+        // actual injected plan unlocks the fault lines.
+        s.fault_degraded_cycles = 7;
+        assert!(!s.to_string().contains("faults:"), "{s}");
+        s.faults_injected = 2;
+        s.fault_nack_retries = 3;
+        s.fault_fallbacks = 1;
+        let text = s.to_string();
+        assert!(
+            text.contains("faults:            2 injected; 3 NACK-retries, 1 core-fallbacks, 7 degraded cycles"),
+            "{text}"
+        );
+        assert!(!text.contains("fault backoff"), "{text}");
+        s.fault_backoff.record(16);
+        assert!(s.to_string().contains("fault backoff:     n=1"), "{s}");
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub enum TraceCategory {
     Dram,
     /// NoC message traversal.
     Noc,
+    /// Injected-fault activity: refusals, backoff retries, squeezes,
+    /// degradation, core fallback.
+    Fault,
 }
 
 impl TraceCategory {
@@ -47,6 +50,7 @@ impl TraceCategory {
             TraceCategory::Stream => "stream",
             TraceCategory::Dram => "dram",
             TraceCategory::Noc => "noc",
+            TraceCategory::Fault => "fault",
         }
     }
 }

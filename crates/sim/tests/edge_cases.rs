@@ -58,7 +58,7 @@ fn invoke_storm_all_cores_one_engine() {
     let counter = 0x5000u64;
     m.hw.ndc.actions.register(ActionId(0), prog.clone(), action);
     for t in 0..4 {
-        m.spawn_thread(t, prog.clone(), main, &[counter]);
+        m.spawn_thread(t, prog.clone(), main, &[counter]).unwrap();
     }
     m.run().expect("storm must complete");
     assert_eq!(m.mem().read_u64(counter), 4 * 200, "no task lost");
@@ -99,7 +99,9 @@ fn stream_producer_halts_before_consumer_finishes() {
         tile: 0,
         level: EngineLevel::Llc,
     };
-    let sid = m.create_stream(buf, 8, 8, eng, 0, StreamMode::RunAhead);
+    let sid = m
+        .create_stream(buf, 8, 8, eng, 0, StreamMode::RunAhead)
+        .unwrap();
     m.hw.ndc.register_morph(MorphRegion {
         base: buf,
         bound: buf + 64,
@@ -111,7 +113,8 @@ fn stream_producer_halts_before_consumer_finishes() {
         stream: Some(sid),
     });
     m.spawn_engine_task(eng, prog.clone(), producer, &[sid.0 as u64], Some(sid));
-    m.spawn_thread(0, prog, consumer, &[sid.0 as u64, buf]);
+    m.spawn_thread(0, prog, consumer, &[sid.0 as u64, buf])
+        .unwrap();
     m.run().unwrap();
     assert_eq!(m.mem().read_u64(buf + 64), 66);
 }
@@ -141,7 +144,9 @@ fn starved_consumer_reports_deadlock() {
         tile: 1,
         level: EngineLevel::Llc,
     };
-    let sid = m.create_stream(buf, 8, 8, eng, 1, StreamMode::RunAhead);
+    let sid = m
+        .create_stream(buf, 8, 8, eng, 1, StreamMode::RunAhead)
+        .unwrap();
     m.hw.ndc.register_morph(MorphRegion {
         base: buf,
         bound: buf + 64,
@@ -153,7 +158,8 @@ fn starved_consumer_reports_deadlock() {
         stream: Some(sid),
     });
     m.spawn_engine_task(eng, prog.clone(), producer, &[sid.0 as u64], Some(sid));
-    m.spawn_thread(1, prog, consumer, &[sid.0 as u64, buf]);
+    m.spawn_thread(1, prog, consumer, &[sid.0 as u64, buf])
+        .unwrap();
     // Producer halts => stream closes => consumer proceeds reading zeros
     // (closed streams do not stall). The pop past the tail is a program
     // bug; with debug assertions this panics, in release it is benign.
@@ -161,6 +167,7 @@ fn starved_consumer_reports_deadlock() {
     match result {
         Ok(Ok(_)) => {}
         Ok(Err(RunError::Deadlock(_))) => {}
+        Ok(Err(e)) => panic!("unexpected run error: {e}"),
         Err(_) => {} // debug_assert tripped on pop-past-tail: acceptable
     }
 }
@@ -206,7 +213,7 @@ fn flush_is_exactly_once() {
         view,
         stream: None,
     });
-    m.spawn_thread(0, prog, writer, &[base]);
+    m.spawn_thread(0, prog, writer, &[base]).unwrap();
     m.run().unwrap();
     let before = m.mem().read_u64(view);
     m.flush_morph_range(base, 4096);
@@ -252,7 +259,7 @@ fn long_lived_tasks_on_every_engine() {
             k += 1;
         }
     }
-    m.spawn_thread(0, prog, idle, &[]);
+    m.spawn_thread(0, prog, idle, &[]).unwrap();
     m.run().unwrap();
     for i in 0..k {
         assert_eq!(m.mem().read_u64(marks + 8 * i), 1, "engine task {i} ran");

@@ -54,7 +54,7 @@ fn run(loc: Location) -> (u64, levi_sim::Stats) {
         .actions
         .register(ActionId(0), prog.clone(), action_fn);
     let counter = 0x4040u64; // bank 1, invoked from core 0
-    m.spawn_thread(0, prog, main, &[counter]);
+    m.spawn_thread(0, prog, main, &[counter]).unwrap();
     m.run().unwrap();
     (m.mem().read_u64(counter), m.stats().clone())
 }
@@ -129,7 +129,7 @@ fn local_caches_hot_actors_remote_wins_scattered() {
         m.hw.ndc
             .actions
             .register(ActionId(0), prog.clone(), action_fn);
-        m.spawn_thread(0, prog, main, &[0x10_0000]);
+        m.spawn_thread(0, prog, main, &[0x10_0000]).unwrap();
         m.run().unwrap();
         m.stats().clone()
     };
@@ -216,8 +216,9 @@ fn exclusive_follows_the_owner() {
         .register(ActionId(0), prog.clone(), action_fn);
     let actor = 0x4040u64;
     let flag = 0x8000u64;
-    m.spawn_thread(1, prog.clone(), owner_thread, &[actor, flag]);
-    m.spawn_thread(0, prog, invoker, &[actor, flag]);
+    m.spawn_thread(1, prog.clone(), owner_thread, &[actor, flag])
+        .unwrap();
+    m.spawn_thread(0, prog, invoker, &[actor, flag]).unwrap();
     m.run().unwrap();
     // Owner stored 1, action added 1.
     assert_eq!(m.mem().read_u64(actor), 2);

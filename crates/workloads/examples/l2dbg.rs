@@ -33,7 +33,7 @@ fn main() {
     let mut cfg = MachineConfig::with_tiles(4);
     cfg.prefetcher = false;
     let mut m = Machine::new(cfg);
-    m.spawn_thread(0, prog, func, &[0x100000, 1024]); // 1024 lines = 64KB
+    m.spawn_thread(0, prog, func, &[0x100000, 1024]).unwrap(); // 1024 lines = 64KB
     m.run().unwrap();
     let s = m.stats();
     println!(

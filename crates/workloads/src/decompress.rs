@@ -401,7 +401,8 @@ pub fn run_decompress(
         let res = results + 8 * t as u64;
         match variant {
             DecompressVariant::Baseline => {
-                sys.spawn_thread(t, &progs.prog, progs.baseline, &[ip, per, view, res]);
+                sys.spawn_thread(t, &progs.prog, progs.baseline, &[ip, per, view, res])
+                    .unwrap();
             }
             DecompressVariant::Offload => {
                 let fut = sys.alloc_future();
@@ -410,10 +411,12 @@ pub fn run_decompress(
                     &progs.prog,
                     progs.ol_driver,
                     &[ip, per, view, res, fut.addr],
-                );
+                )
+                .unwrap();
             }
             DecompressVariant::Leviathan | DecompressVariant::Ideal => {
-                sys.spawn_thread(t, &progs.prog, progs.consumer, &[ip, per, view, res]);
+                sys.spawn_thread(t, &progs.prog, progs.consumer, &[ip, per, view, res])
+                    .unwrap();
             }
             DecompressVariant::NoPadding => unreachable!(),
         }

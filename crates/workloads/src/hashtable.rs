@@ -389,7 +389,8 @@ pub fn run_hashtable_with(
                     &progs.prog,
                     progs.baseline,
                     &[ctx, scale.lookups_per_thread],
-                );
+                )
+                .unwrap();
             }
             _ => {
                 let fut = sys.alloc_future();
@@ -399,7 +400,8 @@ pub fn run_hashtable_with(
                     &progs.prog,
                     progs.driver,
                     &[ctx, scale.lookups_per_thread],
-                );
+                )
+                .unwrap();
             }
         }
     }

@@ -582,10 +582,12 @@ pub fn run_hats_on(variant: HatsVariant, scale: &HatsScale, graph: &Graph) -> Ha
                     sys.write(order_a + 4 * i as u64, d as u64, MemWidth::B4);
                 }
                 sys.write_u64(ctx_a + ctx::ORDER as u64, order_a);
-                sys.spawn_thread(t, &progs.prog, progs.baseline, &[ctx_a, count]);
+                sys.spawn_thread(t, &progs.prog, progs.baseline, &[ctx_a, count])
+                    .unwrap();
             }
             HatsVariant::SoftwareBdfs => {
-                sys.spawn_thread(t, &progs.prog, progs.sw_bdfs, &[ctx_a]);
+                sys.spawn_thread(t, &progs.prog, progs.sw_bdfs, &[ctx_a])
+                    .unwrap();
             }
             HatsVariant::Tako | HatsVariant::Leviathan | HatsVariant::Ideal => {
                 let mut spec = StreamSpec::new(
@@ -599,7 +601,7 @@ pub fn run_hats_on(variant: HatsVariant, scale: &HatsScale, graph: &Graph) -> Ha
                 if tako_mode {
                     spec = spec.miss_triggered(scale.tako_reinit);
                 }
-                let h = sys.create_stream(&spec);
+                let h = sys.create_stream(&spec).unwrap();
                 let c2 = sys.alloc_raw(16, 64);
                 sys.write_u64(c2, h.buffer);
                 sys.write_u64(c2 + 8, h.capacity);
@@ -608,7 +610,8 @@ pub fn run_hats_on(variant: HatsVariant, scale: &HatsScale, graph: &Graph) -> Ha
                     &progs.prog,
                     progs.consumer,
                     &[c2, my_edges, h.reg_value(), ctx_a],
-                );
+                )
+                .unwrap();
             }
         }
     }
@@ -622,7 +625,8 @@ pub fn run_hats_on(variant: HatsVariant, scale: &HatsScale, graph: &Graph) -> Ha
     for t in 0..scale.tiles {
         let v0 = (t as u64 * per).min(nv);
         let v1 = ((t as u64 + 1) * per).min(nv);
-        sys.spawn_thread(t, &progs.prog, progs.vertex_phase, &[v0, v1, vctx]);
+        sys.spawn_thread(t, &progs.prog, progs.vertex_phase, &[v0, v1, vctx])
+            .unwrap();
     }
     sys.run().expect("HATS vertex phase deadlocked");
 

@@ -490,7 +490,8 @@ pub fn run_phi_on(variant: PhiVariant, scale: &PhiScale, graph: &Graph) -> PhiRe
     for t in 0..scale.tiles {
         let v0 = (t * per).min(graph.num_vertices) as u64;
         let v1 = ((t + 1) * per).min(graph.num_vertices) as u64;
-        sys.spawn_thread(t, &progs.prog, progs.edge_phase, &[v0, v1, ctx]);
+        sys.spawn_thread(t, &progs.prog, progs.edge_phase, &[v0, v1, ctx])
+            .unwrap();
     }
     sys.run().expect("edge phase deadlocked");
 
@@ -518,7 +519,8 @@ pub fn run_phi_on(variant: PhiVariant, scale: &PhiScale, graph: &Graph) -> PhiRe
                 &progs.prog,
                 progs.bin_log,
                 &[log_bases[b as usize], end, rnext],
-            );
+            )
+            .unwrap();
         }
         sys.run().expect("binning phase deadlocked");
     }
@@ -536,7 +538,8 @@ pub fn run_phi_on(variant: PhiVariant, scale: &PhiScale, graph: &Graph) -> PhiRe
     for t in 0..scale.tiles {
         let v0 = (t * per).min(graph.num_vertices) as u64;
         let v1 = ((t + 1) * per).min(graph.num_vertices) as u64;
-        sys.spawn_thread(t, &progs.prog, progs.vertex_phase, &[v0, v1, ctx2]);
+        sys.spawn_thread(t, &progs.prog, progs.vertex_phase, &[v0, v1, ctx2])
+            .unwrap();
     }
     sys.run().expect("vertex phase deadlocked");
 

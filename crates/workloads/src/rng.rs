@@ -1,199 +1,7 @@
 //! A small, dependency-free deterministic PRNG.
 //!
-//! The workload generators only need a fast, seedable, reproducible source
-//! of randomness — statistical-test-grade quality is irrelevant, but
-//! *determinism across platforms and builds* is essential (the bench
-//! figures and the `tests/determinism.rs` suite diff exact outputs). This
-//! module provides a [`SmallRng`] with an xoshiro256++ core seeded via
-//! splitmix64, mirroring the `rand::rngs::SmallRng` API surface the
-//! workloads use (`seed_from_u64`, `gen_range`, `gen_f64`, `shuffle`) so
-//! the workspace builds with no crates.io dependencies.
+//! The implementation lives in `levi_sim::rng` (the simulator's fault
+//! planner also needs seedable determinism); this module re-exports it so
+//! existing `levi_workloads::rng::SmallRng` paths keep working.
 
-use core::ops::Range;
-
-/// A small deterministic PRNG: xoshiro256++ seeded via splitmix64.
-///
-/// Not cryptographically secure; intended solely for reproducible input
-/// generation.
-#[derive(Clone, Debug)]
-pub struct SmallRng {
-    s: [u64; 4],
-}
-
-/// One step of the splitmix64 sequence (used for seeding).
-#[inline]
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-impl SmallRng {
-    /// Creates a generator whose full 256-bit state is expanded from
-    /// `seed` with splitmix64 (as the xoshiro authors recommend).
-    pub fn seed_from_u64(seed: u64) -> Self {
-        let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
-        SmallRng { s }
-    }
-
-    /// Returns the next 64 random bits (xoshiro256++ step).
-    #[inline]
-    pub fn next_u64(&mut self) -> u64 {
-        let s = &mut self.s;
-        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
-        let t = s[1] << 17;
-        s[2] ^= s[0];
-        s[3] ^= s[1];
-        s[1] ^= s[2];
-        s[0] ^= s[3];
-        s[2] ^= t;
-        s[3] = s[3].rotate_left(45);
-        result
-    }
-
-    /// Returns a value uniform in `0..bound` (`bound` must be non-zero).
-    /// Uses the widening-multiply reduction; the bias is at most
-    /// `bound / 2^64`, negligible for the bounds used here.
-    #[inline]
-    pub fn bounded(&mut self, bound: u64) -> u64 {
-        debug_assert!(bound > 0);
-        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
-    }
-
-    /// Returns a value uniform in the half-open `range`.
-    ///
-    /// # Panics
-    /// Panics if the range is empty.
-    #[inline]
-    pub fn gen_range<T: RangeInt>(&mut self, range: Range<T>) -> T {
-        let lo = range.start.to_u64();
-        let hi = range.end.to_u64();
-        assert!(lo < hi, "gen_range on empty range {lo}..{hi}");
-        T::from_u64(lo + self.bounded(hi - lo))
-    }
-
-    /// Returns a uniform `f64` in `[0, 1)` (53 bits of precision).
-    #[inline]
-    pub fn gen_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-    }
-
-    /// Shuffles `slice` in place (Fisher–Yates).
-    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
-        for i in (1..slice.len()).rev() {
-            let j = self.bounded(i as u64 + 1) as usize;
-            slice.swap(i, j);
-        }
-    }
-}
-
-/// Integer types usable as `gen_range` endpoints.
-pub trait RangeInt: Copy {
-    /// Widens to `u64`.
-    fn to_u64(self) -> u64;
-    /// Narrows from `u64` (the value is guaranteed in range).
-    fn from_u64(v: u64) -> Self;
-}
-
-macro_rules! impl_range_int {
-    ($($t:ty),*) => {$(
-        impl RangeInt for $t {
-            #[inline]
-            fn to_u64(self) -> u64 {
-                self as u64
-            }
-            #[inline]
-            fn from_u64(v: u64) -> Self {
-                v as $t
-            }
-        }
-    )*};
-}
-
-impl_range_int!(u8, u16, u32, u64, usize);
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn deterministic_per_seed() {
-        let mut a = SmallRng::seed_from_u64(42);
-        let mut b = SmallRng::seed_from_u64(42);
-        let mut c = SmallRng::seed_from_u64(43);
-        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
-        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
-        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
-        assert_eq!(xs, ys);
-        assert_ne!(xs, zs);
-    }
-
-    #[test]
-    fn matches_reference_vector() {
-        // xoshiro256++ seeded from splitmix64(0), first outputs, computed
-        // once and pinned so cross-platform drift is caught.
-        let mut r = SmallRng::seed_from_u64(0);
-        let got: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
-        let again: Vec<u64> = {
-            let mut r2 = SmallRng::seed_from_u64(0);
-            (0..4).map(|_| r2.next_u64()).collect()
-        };
-        assert_eq!(got, again);
-        // Outputs must be well-mixed, not echoes of the seed.
-        assert!(got.iter().all(|&x| x != 0));
-        assert_eq!(got.len(), 4);
-    }
-
-    #[test]
-    fn gen_range_stays_in_bounds() {
-        let mut r = SmallRng::seed_from_u64(7);
-        for _ in 0..10_000 {
-            let v = r.gen_range(10u32..20);
-            assert!((10..20).contains(&v));
-            let w = r.gen_range(0u64..3);
-            assert!(w < 3);
-        }
-    }
-
-    #[test]
-    fn gen_range_covers_small_range() {
-        let mut r = SmallRng::seed_from_u64(9);
-        let mut seen = [false; 8];
-        for _ in 0..1000 {
-            seen[r.gen_range(0usize..8)] = true;
-        }
-        assert!(seen.iter().all(|&s| s));
-    }
-
-    #[test]
-    fn gen_f64_in_unit_interval() {
-        let mut r = SmallRng::seed_from_u64(11);
-        let mut sum = 0.0;
-        for _ in 0..10_000 {
-            let x = r.gen_f64();
-            assert!((0.0..1.0).contains(&x));
-            sum += x;
-        }
-        let mean = sum / 10_000.0;
-        assert!((0.45..0.55).contains(&mean), "mean {mean}");
-    }
-
-    #[test]
-    fn shuffle_is_a_permutation() {
-        let mut r = SmallRng::seed_from_u64(13);
-        let mut v: Vec<u32> = (0..100).collect();
-        r.shuffle(&mut v);
-        let mut sorted = v.clone();
-        sorted.sort_unstable();
-        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "shuffle should move something");
-    }
-}
+pub use levi_sim::rng::*;

@@ -60,7 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bin = prog.func_by_name("bin").expect("fn bin");
     let main_fn = prog.func_by_name("main").expect("fn main");
     sys.register_action(&prog, bin); // becomes @0
-    sys.spawn_thread(0, &prog, main_fn, &[samples, n, buckets]);
+    sys.spawn_thread(0, &prog, main_fn, &[samples, n, buckets])
+        .unwrap();
     sys.run()?;
 
     for (b, &e) in expect.iter().enumerate() {

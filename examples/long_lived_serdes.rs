@@ -103,7 +103,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         serializer,
         &[src, n, dst, mailbox],
     );
-    sys.spawn_thread(0, &prog, main_fn, &[mailbox]);
+    sys.spawn_thread(0, &prog, main_fn, &[mailbox]).unwrap();
     sys.run()?;
 
     let got_len = sys.read_u64(mailbox);

@@ -89,7 +89,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fut = sys.alloc_future();
     let result = sys.alloc_raw(8, 8);
     let n = 512u64;
-    sys.spawn_thread(0, &prog, driver, &[memo.actors.base, n, fut.addr, result]);
+    sys.spawn_thread(0, &prog, driver, &[memo.actors.base, n, fut.addr, result])
+        .unwrap();
     sys.run()?;
 
     let s = sys.stats();

@@ -56,7 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let per_thread = 1000u64;
     for t in 0..sys.tiles() {
-        sys.spawn_thread(t, &prog, main_fn, &[counters, per_thread, n_counters]);
+        sys.spawn_thread(t, &prog, main_fn, &[counters, per_thread, n_counters])
+            .unwrap();
     }
     sys.run()?;
 

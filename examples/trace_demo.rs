@@ -102,8 +102,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sys.register_action(&prog, add_action);
 
     let counters = sys.alloc_raw(64 * 32, 64);
-    let stream =
-        sys.create_stream(&StreamSpec::new("nums", 8, 0, &prog, producer).with_args(&[96]));
+    let stream = sys
+        .create_stream(&StreamSpec::new("nums", 8, 0, &prog, producer).with_args(&[96]))
+        .unwrap();
     for t in 0..sys.tiles() {
         let ctx = sys.alloc_raw(40, 64);
         sys.write_u64(ctx, counters);
@@ -111,7 +112,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sys.write_u64(ctx + 16, stream.capacity);
         sys.write_u64(ctx + 24, stream.reg_value());
         sys.write_u64(ctx + 32, if t == 0 { 64 } else { 0 });
-        sys.spawn_thread(t, &prog, main_fn, &[ctx]);
+        sys.spawn_thread(t, &prog, main_fn, &[ctx]).unwrap();
     }
     sys.run()?;
 

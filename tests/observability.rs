@@ -107,8 +107,9 @@ fn run_mixed(trace: bool, sample_interval: u64) -> System {
     assert_eq!(a, ActionId(0));
 
     let counter = sys.alloc_raw(8 * 64, 64);
-    let stream =
-        sys.create_stream(&StreamSpec::new("nums", 8, 0, &prog, producer).with_args(&[64]));
+    let stream = sys
+        .create_stream(&StreamSpec::new("nums", 8, 0, &prog, producer).with_args(&[64]))
+        .unwrap();
     let out = sys.alloc_raw(8, 64);
     let ctx = sys.alloc_raw(40, 64);
     sys.write_u64(ctx, counter);
@@ -116,7 +117,7 @@ fn run_mixed(trace: bool, sample_interval: u64) -> System {
     sys.write_u64(ctx + 16, stream.capacity);
     sys.write_u64(ctx + 24, out);
     sys.write_u64(ctx + 32, stream.reg_value());
-    sys.spawn_thread(0, &prog, main_fn, &[ctx]);
+    sys.spawn_thread(0, &prog, main_fn, &[ctx]).unwrap();
     sys.run().expect("run completes");
 
     let total: u64 = (0..8).map(|k| sys.read_u64(counter + 64 * k)).sum();

@@ -167,8 +167,9 @@ fn all_four_paradigms_coexist() {
         &[src, 16, mailbox],
     );
     // Stream.
-    let stream =
-        sys.create_stream(&StreamSpec::new("nums", 8, 0, &prog, producer).with_args(&[64]));
+    let stream = sys
+        .create_stream(&StreamSpec::new("nums", 8, 0, &prog, producer).with_args(&[64]))
+        .unwrap();
 
     // Main thread context.
     let out = sys.alloc_raw(16, 64);
@@ -179,7 +180,7 @@ fn all_four_paradigms_coexist() {
     sys.write_u64(ctx + 24, stream.capacity);
     sys.write_u64(ctx + 32, out);
     sys.write_u64(ctx + 40, stream.reg_value());
-    sys.spawn_thread(0, &prog, main_fn, &[ctx]);
+    sys.spawn_thread(0, &prog, main_fn, &[ctx]).unwrap();
 
     sys.run().expect("no deadlock across paradigms");
 

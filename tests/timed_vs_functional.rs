@@ -77,7 +77,8 @@ fn machine_matches_interpreter() {
                 .wrapping_add(1442695040888963407);
             m.mem_mut().write_u64(base + 8 * k, x >> 16);
         }
-        m.spawn_thread(0, prog.clone(), func, &[base, n, out]);
+        m.spawn_thread(0, prog.clone(), func, &[base, n, out])
+            .unwrap();
         m.run().unwrap();
         assert_eq!(
             m.mem().read_u64(out),
@@ -122,7 +123,8 @@ fn machine_matches_interpreter_multithreaded() {
             prog.clone(),
             func,
             &[0x10000 + t as u64 * 0x4000, n_per, 0x9_0000 + t as u64 * 8],
-        );
+        )
+        .unwrap();
     }
     m.run().unwrap();
     for t in 0..threads as u64 {
