@@ -4,9 +4,23 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== module size guard =="
+# The sim monolith was split into layered modules on purpose; keep it
+# that way. Fails if any source file under a src/ tree reaches 1200 lines.
+oversized=0
+while IFS= read -r f; do
+  lines=$(wc -l < "$f")
+  if [ "$lines" -gt 1200 ]; then
+    echo "FAIL: $f has $lines lines (limit 1200) — split it into modules"
+    oversized=1
+  fi
+done < <(find . -path ./target -prune -o -path '*/src/*.rs' -print -o -path './src/*.rs' -print)
+[ "$oversized" -eq 0 ]
+
 echo "== fmt ==";    cargo fmt --all -- --check
 echo "== clippy =="; cargo clippy --workspace --all-targets -- -D warnings
 echo "== build ==";  cargo build --workspace --release
+echo "== doc ==";    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "== test ==";   cargo test --workspace -q
 echo "== fault smoke =="
 # Fault injection must be a pure function of the seed: two runs with the

@@ -3,7 +3,7 @@
 //! Paper: Leviathan 3.7×, tākō Relax 3.1×, tākō Fence 1.4×; Leviathan
 //! −22% energy, within 1.3% of Ideal; 40% less NoC traffic than tākō.
 
-use levi_bench::{header, quick_mode, report, Row};
+use levi_bench::{header, quick_mode, report, Row, Sweep};
 use levi_workloads::phi::{phi_graph, run_phi_on, PhiScale, PhiVariant};
 
 fn main() {
@@ -23,11 +23,12 @@ fn main() {
     );
 
     let graph = phi_graph(&scale);
-    let results: Vec<_> = PhiVariant::all()
-        .iter()
-        .map(|&v| {
-            let r = run_phi_on(v, &scale, &graph);
-            eprintln!("  ran {:<12} {:>12} cycles", v.label(), r.metrics.cycles);
+    let results: Vec<_> = Sweep::new()
+        .variants(PhiVariant::all().iter().map(|&v| (v.label(), v)))
+        .run(|_, &v| run_phi_on(v, &scale, &graph))
+        .into_iter()
+        .map(|(label, r)| {
+            eprintln!("  ran {:<12} {:>12} cycles", label, r.metrics.cycles);
             r
         })
         .collect();

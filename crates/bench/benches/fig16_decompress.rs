@@ -3,7 +3,7 @@
 //! Paper: Leviathan 2.4×, −65% energy, within 1.6% of Ideal; offload (OL)
 //! is 2.8× *worse* than baseline; no-padding prior work fails outright.
 
-use levi_bench::{header, quick_mode, report, Row};
+use levi_bench::{header, quick_mode, report, Row, Sweep};
 use levi_workloads::decompress::{run_decompress, DecompressScale, DecompressVariant};
 
 fn main() {
@@ -26,16 +26,18 @@ fn main() {
         (DecompressVariant::Leviathan, Some(2.4), Some(0.35)),
         (DecompressVariant::Ideal, Some(2.44), Some(0.345)),
     ];
+    let runs = Sweep::new()
+        .variants(paper.iter().map(|&(v, ps, pe)| (v.label(), (v, ps, pe))))
+        .run(|_, &(v, ps, pe)| (run_decompress(v, &scale), ps, pe));
     let mut results = Vec::new();
-    for (v, ps, pe) in paper {
-        match run_decompress(v, &scale) {
+    for (label, (run, ps, pe)) in runs {
+        match run {
             Some(r) => {
-                eprintln!("  ran {:<18} {:>12} cycles", v.label(), r.metrics.cycles);
+                eprintln!("  ran {:<18} {:>12} cycles", label, r.metrics.cycles);
                 results.push((r, ps, pe));
             }
             None => println!(
-                "{:<22} UNSUPPORTED — 6 B objects straddle cache lines without padding (as in the paper)",
-                v.label()
+                "{label:<22} UNSUPPORTED — 6 B objects straddle cache lines without padding (as in the paper)",
             ),
         }
     }

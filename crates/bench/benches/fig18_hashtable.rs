@@ -3,7 +3,7 @@
 //! Paper: Leviathan up to 2.0×, −77% energy; without padding 24 B drops
 //! to 1.5×; without LLC mapping 128 B drops to 0.91× (below baseline).
 
-use levi_bench::{header, quick_mode, table};
+use levi_bench::{header, quick_mode, table, Sweep};
 use levi_workloads::hashtable::{run_hashtable, HtScale, HtVariant};
 
 fn main() {
@@ -17,20 +17,40 @@ fn main() {
         (128, 1.8, 0.91, "w/o LLC mapping: 0.91x (paper)"),
     ];
 
-    let mut rows = Vec::new();
-    for &(size, paper_lev, paper_ablation, _) in paper {
-        let scale = if quick_mode() {
+    // Every (node size, variant) pair is an independent simulation, so
+    // the whole figure fans out as one flat sweep; results come back in
+    // declaration order, which the per-size loop below relies on.
+    let scale_for = |size: u64| {
+        if quick_mode() {
             HtScale::test(size)
         } else {
             HtScale::paper(size)
-        };
-        let base = run_hashtable(HtVariant::Baseline, &scale);
-        let lev = run_hashtable(HtVariant::Leviathan, &scale);
-        let ideal = run_hashtable(HtVariant::Ideal, &scale);
+        }
+    };
+    let mut jobs: Vec<(&str, (u64, HtVariant))> = Vec::new();
+    for &(size, _, _, _) in paper {
+        jobs.push(("base", (size, HtVariant::Baseline)));
+        jobs.push(("lev", (size, HtVariant::Leviathan)));
+        jobs.push(("ideal", (size, HtVariant::Ideal)));
+        match size {
+            24 => jobs.push(("w/o padding", (size, HtVariant::NoPadding))),
+            128 => jobs.push(("w/o mapping", (size, HtVariant::NoMapping))),
+            _ => {}
+        }
+    }
+    let mut runs = Sweep::new()
+        .variants(jobs)
+        .run(|_, &(size, v)| run_hashtable(v, &scale_for(size)))
+        .into_iter();
+
+    let mut rows = Vec::new();
+    for &(size, paper_lev, paper_ablation, _) in paper {
+        let base = runs.next().unwrap().1;
+        let lev = runs.next().unwrap().1;
+        let ideal = runs.next().unwrap().1;
         eprintln!("  ran size {size}B base/lev/ideal");
         let ablation = match size {
-            24 => Some(("w/o padding", run_hashtable(HtVariant::NoPadding, &scale))),
-            128 => Some(("w/o mapping", run_hashtable(HtVariant::NoMapping, &scale))),
+            24 | 128 => runs.next(),
             _ => None,
         };
         let s = |m: &levi_workloads::RunMetrics| base.metrics.cycles as f64 / m.cycles as f64;

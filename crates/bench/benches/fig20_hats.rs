@@ -4,7 +4,7 @@
 //! Paper: software BDFS 1.2×, tākō 1.4×, Leviathan 1.7× (≈ Ideal),
 //! −26% energy.
 
-use levi_bench::{header, quick_mode, report, Row};
+use levi_bench::{header, quick_mode, report, Row, Sweep};
 use levi_workloads::gen::Graph;
 use levi_workloads::hats::{run_hats_on, HatsScale, HatsVariant};
 
@@ -31,11 +31,12 @@ fn main() {
         scale.intra_pct,
         scale.seed,
     );
-    let results: Vec<_> = HatsVariant::all()
-        .iter()
-        .map(|&v| {
-            let r = run_hats_on(v, &scale, &graph);
-            eprintln!("  ran {:<10} {:>12} cycles", v.label(), r.metrics.cycles);
+    let results: Vec<_> = Sweep::new()
+        .variants(HatsVariant::all().iter().map(|&v| (v.label(), v)))
+        .run(|_, &v| run_hats_on(v, &scale, &graph))
+        .into_iter()
+        .map(|(label, r)| {
+            eprintln!("  ran {:<10} {:>12} cycles", label, r.metrics.cycles);
             r
         })
         .collect();

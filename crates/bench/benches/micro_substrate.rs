@@ -121,7 +121,7 @@ fn main() {
         bench("machine/scan_256_lines", 500, || {
             let mut cfg = MachineConfig::with_tiles(4);
             cfg.prefetcher = false;
-            let mut m = Machine::new(cfg);
+            let mut m = Machine::try_new(cfg).unwrap();
             m.spawn_thread(0, prog.clone(), func, &[]).unwrap();
             black_box(m.run().unwrap().cycles);
         });

@@ -22,6 +22,103 @@ pub fn quick_mode() -> bool {
     std::env::var("LEVI_BENCH_QUICK").is_ok()
 }
 
+/// True when `LEVI_SWEEP_SERIAL` is set: [`Sweep`] runs its variants on
+/// the calling thread instead of fanning out. The output is byte-identical
+/// either way; the switch exists for debugging and for comparing
+/// wall-clock times.
+pub fn sweep_serial() -> bool {
+    std::env::var("LEVI_SWEEP_SERIAL").is_ok()
+}
+
+/// A deterministic parallel experiment driver.
+///
+/// A `Sweep` holds a list of *named variants* — typically workload-variant
+/// enums or `SystemConfig`s — and runs one simulation per variant. Each
+/// simulated run is a pure function of its configuration and seed (the
+/// simulator shares no global state), so the variants fan out over
+/// [`std::thread::scope`] and the results are collected **in declaration
+/// order**: a parallel sweep prints byte-identical tables to a serial one,
+/// just sooner. Run functions must therefore not print; keep per-run
+/// logging in the closure's return value and emit it after [`Sweep::run`]
+/// returns.
+///
+/// ```no_run
+/// use levi_bench::Sweep;
+/// let results = Sweep::new()
+///     .variant("small", 4u32)
+///     .variant("large", 64u32)
+///     .run(|_, &tiles| tiles * 2);
+/// assert_eq!(results, [("small", 8), ("large", 128)]);
+/// ```
+pub struct Sweep<'a, C> {
+    variants: Vec<(&'a str, C)>,
+}
+
+impl<'a, C> Default for Sweep<'a, C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a, C> Sweep<'a, C> {
+    /// An empty sweep.
+    pub fn new() -> Self {
+        Sweep {
+            variants: Vec::new(),
+        }
+    }
+
+    /// Appends one named variant. Results come back in the order the
+    /// variants were declared, regardless of which finishes first.
+    pub fn variant(mut self, name: &'a str, cfg: C) -> Self {
+        self.variants.push((name, cfg));
+        self
+    }
+
+    /// Appends variants from an iterator.
+    pub fn variants(mut self, it: impl IntoIterator<Item = (&'a str, C)>) -> Self {
+        self.variants.extend(it);
+        self
+    }
+
+    /// Runs `f(name, cfg)` for every variant — concurrently unless
+    /// `LEVI_SWEEP_SERIAL` is set or there is at most one variant — and
+    /// returns `(name, result)` pairs in declaration order.
+    ///
+    /// # Panics
+    /// Propagates a panic from any variant's run (after all threads have
+    /// been joined by the scope).
+    pub fn run<R, F>(self, f: F) -> Vec<(&'a str, R)>
+    where
+        C: Sync,
+        R: Send,
+        F: Fn(&str, &C) -> R + Sync,
+    {
+        if sweep_serial() || self.variants.len() < 2 {
+            return self
+                .variants
+                .iter()
+                .map(|(name, cfg)| (*name, f(name, cfg)))
+                .collect();
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .variants
+                .iter()
+                .map(|(name, cfg)| (*name, s.spawn(move || f(name, cfg))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|(name, h)| match h.join() {
+                    Ok(r) => (name, r),
+                    Err(p) => std::panic::resume_unwind(p),
+                })
+                .collect()
+        })
+    }
+}
+
 /// Prints a figure/table header.
 pub fn header(title: &str, description: &str) {
     println!();
@@ -220,5 +317,60 @@ mod tests {
     #[test]
     fn escape_handles_quotes() {
         assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn sweep_collects_in_declaration_order() {
+        // The slowest variant is declared first; a completion-order
+        // collector would return it last.
+        let results = Sweep::new()
+            .variant("slow", 30u64)
+            .variant("mid", 5u64)
+            .variant("fast", 0u64)
+            .run(|name, &ms| {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                format!("{name}:{ms}")
+            });
+        assert_eq!(
+            results,
+            [
+                ("slow", "slow:30".to_string()),
+                ("mid", "mid:5".to_string()),
+                ("fast", "fast:0".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn sweep_parallel_matches_serial_on_simulated_runs() {
+        use levi_workloads::hashtable::{run_hashtable, HtScale, HtVariant};
+        let scale = HtScale::test(64);
+        let run = || {
+            Sweep::new()
+                .variant("Baseline", HtVariant::Baseline)
+                .variant("Leviathan", HtVariant::Leviathan)
+                .variant("Ideal", HtVariant::Ideal)
+                .variant("Baseline2", HtVariant::Baseline)
+                .run(|_, &v| {
+                    let r = run_hashtable(v, &scale);
+                    (r.metrics.cycles, r.checksum)
+                })
+        };
+        let parallel = run();
+        let serial: Vec<_> = [
+            ("Baseline", HtVariant::Baseline),
+            ("Leviathan", HtVariant::Leviathan),
+            ("Ideal", HtVariant::Ideal),
+            ("Baseline2", HtVariant::Baseline),
+        ]
+        .iter()
+        .map(|&(n, v)| {
+            let r = run_hashtable(v, &scale);
+            (n, (r.metrics.cycles, r.checksum))
+        })
+        .collect();
+        assert_eq!(parallel, serial);
+        // Identical configs give identical runs even across threads.
+        assert_eq!(parallel[0].1, parallel[3].1);
     }
 }

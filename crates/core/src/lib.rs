@@ -13,14 +13,14 @@
 //! * [`System`] — builds and drives a Leviathan machine; registers actions
 //!   (the engines' vtable), spawns core threads and long-lived engine
 //!   tasks, and runs the simulation.
-//! * [`Allocator`](alloc::Allocator) — the object-oriented memory
+//! * [`Allocator`] — the object-oriented memory
 //!   allocator of Sec. V-A3: pads objects to the next power of two in the
 //!   cache, maps multi-line objects to a single LLC bank, and compacts
 //!   objects in DRAM via the cache↔DRAM translation of Fig. 14.
-//! * [`MorphSpec`](morph::MorphSpec) — data-triggered actors: phantom
+//! * [`MorphSpec`] — data-triggered actors: phantom
 //!   address ranges whose constructors/destructors run on engines when
 //!   lines are inserted into or evicted from the registered cache level.
-//! * [`StreamSpec`](stream::StreamSpec) — decoupled streams: a long-lived
+//! * [`StreamSpec`] — decoupled streams: a long-lived
 //!   producer action pushes entries into a circular buffer which the
 //!   consumer reads through a phantom range with blocking semantics.
 //! * [`future`] — `Future`-style result delivery from near-data actions

@@ -80,16 +80,29 @@ pub struct System {
 
 impl System {
     /// Builds a system.
+    ///
+    /// # Panics
+    /// Panics if the machine configuration is invalid; use
+    /// [`System::try_new`] for the fallible path.
     pub fn new(cfg: SystemConfig) -> Self {
+        match Self::try_new(cfg) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a system, returning a typed error on an invalid machine
+    /// configuration.
+    pub fn try_new(cfg: SystemConfig) -> Result<Self, levi_sim::SimError> {
         let tiles = cfg.machine.tiles as u64;
         let mut alloc = Allocator::new();
         alloc.set_min_align(tiles * levi_sim::LINE_SIZE);
-        System {
-            machine: Machine::new(cfg.machine),
+        Ok(System {
+            machine: Machine::try_new(cfg.machine)?,
             alloc,
             next_action: 0,
             next_morph_name: 0,
-        }
+        })
     }
 
     /// The underlying machine (stats, energy, memory, NDC state).

@@ -25,7 +25,7 @@ impl fmt::Debug for FuncId {
 /// Identifies a registered near-data *action*.
 ///
 /// Actions are LevIR functions registered with the Leviathan runtime; an
-/// [`Inst::Invoke`](crate::Inst::Invoke) names the action to execute on an
+/// [`Inst::Invoke`] names the action to execute on an
 /// actor. The mapping from `ActionId` to `(Program, FuncId)` lives in the
 /// runtime's action table, mirroring the engine's vtable map (Sec. VI-B2).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

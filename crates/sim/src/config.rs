@@ -201,6 +201,14 @@ pub struct MachineConfig {
     pub trace: bool,
     /// Ring-buffer capacity (events) when tracing is enabled.
     pub trace_capacity: usize,
+    /// Also record invoke-scheduler decisions
+    /// ([`TraceCategory::Sched`](crate::trace::TraceCategory)): placement
+    /// (`sched.place`), NACKs (`sched.nack`), and the 1/32 migrate-local
+    /// policy (`sched.migrate_local`). Off by default — and gated
+    /// separately from [`MachineConfig::trace`] — so default traced runs
+    /// stay byte-identical across simulator versions. Has no effect
+    /// unless `trace` is also enabled.
+    pub trace_sched: bool,
     /// Time-series sampling interval in cycles
     /// ([`crate::stats::TimeSeries`]); 0 disables sampling.
     pub sample_interval: u64,
@@ -280,6 +288,7 @@ impl MachineConfig {
             quantum: 64,
             trace: false,
             trace_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
+            trace_sched: false,
             sample_interval: 0,
             fault_plan: None,
             max_cycles: 0,
@@ -313,6 +322,15 @@ impl MachineConfig {
         self
     }
 
+    /// Enables the tracer *and* the invoke-scheduler decision events
+    /// (`sched.place` / `sched.nack` / `sched.migrate_local` in the
+    /// `sched` category).
+    pub fn sched_traced(mut self) -> Self {
+        self.trace = true;
+        self.trace_sched = true;
+        self
+    }
+
     /// Enables time-series sampling every `interval` cycles.
     pub fn sampled(mut self, interval: u64) -> Self {
         self.sample_interval = interval;
@@ -336,10 +354,9 @@ impl MachineConfig {
     /// Validates the configuration, returning a typed error describing the
     /// first offending field combination.
     ///
-    /// [`Machine::new`](crate::Machine::new) panics on an invalid config
-    /// (with this error's message); use
-    /// [`Machine::try_new`](crate::Machine::try_new) for the fallible
-    /// path.
+    /// [`Machine::try_new`](crate::Machine::try_new) runs this check and
+    /// returns the error; the deprecated `Machine::new` panics with its
+    /// message instead.
     pub fn validate(&self) -> Result<(), SimError> {
         let bad = |what: String| Err(SimError::InvalidConfig { what });
         if self.tiles == 0 || !self.tiles.is_power_of_two() {

@@ -1,8 +1,8 @@
 //! Dynamic-energy model.
 //!
 //! Energy is derived after the fact from the event counters in
-//! [`Stats`](crate::stats::Stats) and the per-event parameters in
-//! [`EnergyConfig`](crate::config::EnergyConfig). The paper reports dynamic
+//! [`Stats`] and the per-event parameters in
+//! [`EnergyConfig`]. The paper reports dynamic
 //! execution energy relative to the baseline; this model mirrors that.
 
 use crate::config::EnergyConfig;

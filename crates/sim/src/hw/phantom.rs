@@ -1,0 +1,303 @@
+//! Phantom stage: data-triggered fills and the inline-action interpreter.
+//!
+//! Misses inside a Morph-registered phantom range do not fetch from the
+//! next level — they run the Morph's constructor action on the nearby
+//! engine and install the constructed line(s) directly (paper Secs. V-B2,
+//! VI-B2). This module holds the L2- and LLC-level phantom fill paths,
+//! constructor dispatch (including the built-in stream and zero-fill
+//! constructors), and [`Hw::run_inline_action`] — the synchronous
+//! interpreter that executes short ctor/dtor actions on an engine's
+//! dataflow fabric, charging FU slots and hierarchy walks as it goes.
+
+use levi_isa::{exec, Addr, ExecCtx, InstClass, MemEffect, NoNdc, Program};
+
+use crate::cache::PrivState;
+use crate::config::{LINE_SHIFT, LINE_SIZE};
+use crate::engine::{EngineId, EngineLevel};
+use crate::ndc::{NdcState, WaitCond};
+
+use super::{AccessKind, Hw, Walk};
+
+impl Hw {
+    /// L2-level phantom miss: run constructors on the tile's L2 engine and
+    /// install the object's line(s) into L2 (and the missed line into L1).
+    pub(super) fn phantom_fill_l2(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        tile: u32,
+        mi: usize,
+        addr: Addr,
+        kind: AccessKind,
+        now: u64,
+    ) -> Walk {
+        let m = self.ndc.morphs[mi].clone();
+        // Stream-backed phantoms stall when the producer has not yet
+        // pushed the entry being read (paper Sec. VI-B3).
+        if let Some(sid) = m.stream {
+            let s = self.ndc.stream(sid);
+            if s.is_empty() && !s.closed {
+                return Walk::Blocked(WaitCond::StreamData(sid));
+            }
+        }
+        let eid = EngineId {
+            tile,
+            level: EngineLevel::L2,
+        };
+        let mut t = now;
+        let (obj, lines) = if m.is_multiline() {
+            (m.obj_base(addr), m.obj_size / LINE_SIZE)
+        } else {
+            (addr & !(LINE_SIZE - 1), 1)
+        };
+
+        t = self.run_ctors(mem, eid, &m, obj, t);
+
+        // Install all lines of the object (or the one line) into L2.
+        let has_dtor = m.dtor.is_some();
+        for k in 0..lines {
+            let line = (obj >> LINE_SHIFT) + k;
+            if self.l2[tile as usize].contains(line) {
+                continue;
+            }
+            let (l, victim) = self.l2[tile as usize].insert(line, &self.pins);
+            l.state = PrivState::Owned;
+            l.dtor = has_dtor;
+            l.dirty = false;
+            if let Some(v) = victim {
+                self.handle_l2_victim(mem, tile, v, t);
+            }
+        }
+        self.fill_l1(mem, tile, addr >> LINE_SHIFT, PrivState::Owned, kind, t);
+        if kind.wants_ownership() {
+            if let Some(l) = self.l2[tile as usize].peek_mut(addr >> LINE_SHIFT) {
+                l.dirty = true;
+            }
+        }
+        Walk::Done {
+            at: t + self.cfg.l2.latency,
+        }
+    }
+
+    /// LLC-level phantom miss: run constructors on the bank's engine and
+    /// install the object's line(s) into the LLC.
+    pub(super) fn phantom_fill_llc(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        bank: u32,
+        mi: usize,
+        addr: Addr,
+        now: u64,
+    ) -> Walk {
+        let m = self.ndc.morphs[mi].clone();
+        if let Some(sid) = m.stream {
+            let s = self.ndc.stream(sid);
+            if s.is_empty() && !s.closed {
+                return Walk::Blocked(WaitCond::StreamData(sid));
+            }
+        }
+        let eid = EngineId {
+            tile: bank,
+            level: EngineLevel::Llc,
+        };
+        let (obj, lines) = if m.is_multiline() {
+            (m.obj_base(addr), m.obj_size / LINE_SIZE)
+        } else {
+            (addr & !(LINE_SIZE - 1), 1)
+        };
+        let t = self.run_ctors(mem, eid, &m, obj, now);
+        let has_dtor = m.dtor.is_some();
+        for k in 0..lines {
+            let line = (obj >> LINE_SHIFT) + k;
+            let b = self.bank_of(line << LINE_SHIFT) as usize;
+            if self.llc[b].contains(line) {
+                continue;
+            }
+            let (l, victim) = self.llc[b].insert(line, &self.pins);
+            l.dtor = has_dtor;
+            l.dirty = false;
+            if let Some(v) = victim {
+                self.handle_llc_victim(mem, b as u32, v, t);
+            }
+        }
+        Walk::Done { at: t }
+    }
+
+    /// Runs the constructor(s) covering the line/object at `obj`.
+    fn run_ctors(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        eid: EngineId,
+        m: &crate::ndc::MorphRegion,
+        obj: Addr,
+        now: u64,
+    ) -> u64 {
+        let mut t = now;
+        match m.ctor {
+            Some(ctor) => {
+                let aref = m_action(&self.ndc, ctor);
+                if m.is_multiline() {
+                    self.stats.ctor_actions += 1;
+                    let span = (obj, obj + m.obj_size);
+                    t = self.run_inline_action(mem, eid, &aref, &[obj, m.view], t, Some(span));
+                } else {
+                    // Parallel per-object constructors (see destructors).
+                    let span = (obj, obj + LINE_SIZE);
+                    let objs = LINE_SIZE / m.obj_size.min(LINE_SIZE);
+                    let mut t_max = t;
+                    for k in 0..objs.max(1) {
+                        let oa = obj + k * m.obj_size;
+                        if oa >= m.bound {
+                            break;
+                        }
+                        self.stats.ctor_actions += 1;
+                        t_max = t_max.max(self.run_inline_action(
+                            mem,
+                            eid,
+                            &aref,
+                            &[oa, m.view],
+                            t,
+                            Some(span),
+                        ));
+                    }
+                    t = t_max;
+                }
+            }
+            None => {
+                if let Some(sid) = m.stream {
+                    // Built-in stream constructor: read the buffer line
+                    // through the hierarchy and copy it into the phantom
+                    // line (2 engine memory ops per word).
+                    self.stats.ctor_actions += 1;
+                    let words = LINE_SIZE / 8;
+                    let mut done = t;
+                    for _ in 0..words {
+                        let slot = self.engines[eid.index()].reserve_mem(t);
+                        done = done.max(slot + self.engines[eid.index()].latency());
+                        self.stats.engine_instrs += 2;
+                    }
+                    // One read of the underlying buffer line.
+                    let buf_line_addr = obj; // phantom range *is* the ring buffer
+                    if let Walk::Done { at } =
+                        self.access_engine(mem, eid, AccessKind::Read, buf_line_addr, t, false)
+                    {
+                        done = done.max(at);
+                    }
+                    let _ = sid;
+                    t = done;
+                } else {
+                    // Default constructor: zero-fill the constructed
+                    // span, clamped to the Morph's bound (the tail line
+                    // may be shared with unrelated allocations).
+                    let span = m.obj_size.max(LINE_SIZE).min(m.bound.saturating_sub(obj));
+                    mem.fill(obj, span, 0);
+                    self.stats.ctor_actions += 1;
+                    let slot = self.engines[eid.index()].reserve_mem(t);
+                    t = slot + self.engines[eid.index()].latency();
+                    self.stats.engine_instrs += LINE_SIZE / 8;
+                }
+            }
+        }
+        t
+    }
+
+    // ------------------------------------------------------------------
+    // Inline action execution (data-triggered ctors/dtors)
+    // ------------------------------------------------------------------
+
+    /// Executes a short action to completion on `eid`'s dataflow fabric,
+    /// charging FU slots and walking the hierarchy for its memory accesses
+    /// (with phantom triggering disabled — data-triggered actions must not
+    /// nest). Returns the completion time.
+    ///
+    /// `local` is the byte range of the line(s) being constructed or
+    /// destructed: accesses inside it hit the engine's line buffer
+    /// directly (the data is in flight through the engine) instead of
+    /// walking the hierarchy.
+    pub fn run_inline_action(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        eid: EngineId,
+        aref: &crate::ndc::ActionRef,
+        args: &[u64],
+        start: u64,
+        local: Option<(Addr, Addr)>,
+    ) -> u64 {
+        let prog: &Program = &aref.prog;
+        let mut ctx = ExecCtx::new(aref.func, args);
+        let mut reg_ready = [start; levi_isa::NUM_REGS];
+        let mut done_max = start;
+        let mut host = NoNdc;
+        let mut fuel: u64 = 5_000_000;
+        self.inline_depth += 1;
+        while !ctx.halted {
+            assert!(
+                fuel > 0,
+                "inline action ran out of fuel: {}",
+                prog.func(aref.func).name()
+            );
+            fuel -= 1;
+            let inst = &prog.func(ctx.pc.func).insts()[ctx.pc.idx as usize];
+            let mut ready = start;
+            inst.for_each_use(|r| ready = ready.max(reg_ready[r.index()]));
+            let class = inst.class();
+            let def = inst.def();
+            let is_mem = class == InstClass::Mem;
+
+            // Compute the memory address before stepping (the walk may run
+            // nothing here — phantom is disabled — but must charge time).
+            let slot = if is_mem {
+                self.engines[eid.index()].reserve_mem(ready)
+            } else {
+                self.engines[eid.index()].reserve_int(ready)
+            };
+            let info =
+                exec::step(prog, &mut ctx, mem, &mut host).expect("inline action execution failed");
+            debug_assert!(info.retired(), "inline actions cannot block");
+            self.stats.engine_instrs += 1;
+
+            let mut complete = slot + self.engines[eid.index()].latency();
+            if let Some(effect) = info.mem {
+                let (kind, addr) = match effect {
+                    MemEffect::Load { addr, .. } => (AccessKind::Read, addr),
+                    MemEffect::Store { addr, .. } => (AccessKind::Write, addr),
+                    MemEffect::Rmw { addr, .. } => (AccessKind::Rmw, addr),
+                    MemEffect::Fence => (AccessKind::Read, 0),
+                };
+                let is_local = local.is_some_and(|(lo, hi)| addr >= lo && addr < hi);
+                if !matches!(effect, MemEffect::Fence) && !is_local {
+                    match self.access_engine(mem, eid, kind, addr, slot, false) {
+                        Walk::Done { at } => complete = at,
+                        Walk::Blocked(_) => unreachable!("non-phantom walks cannot block"),
+                    }
+                }
+            } else {
+                match class {
+                    InstClass::Mul => complete += 2,
+                    InstClass::Div => complete += 11,
+                    _ => {}
+                }
+            }
+            if let Some(rd) = def {
+                reg_ready[rd.index()] = complete;
+            }
+            done_max = done_max.max(complete);
+        }
+        self.inline_depth -= 1;
+        if self.inline_depth == 0 {
+            // Destructors deferred by this action's own evictions must run
+            // now — leaving them queued would let a later constructor
+            // zero-fill their unapplied data.
+            self.drain_pending_dtors(mem);
+        }
+        done_max
+    }
+}
+
+/// Clones the action reference out of the table (the borrow checker
+/// requires ending the `ndc` borrow before running the action).
+pub(super) fn m_action(ndc: &NdcState, id: levi_isa::ActionId) -> crate::ndc::ActionRef {
+    ndc.actions
+        .get(id)
+        .expect("morph ctor/dtor action not registered")
+        .clone()
+}

@@ -1,0 +1,315 @@
+//! Probe stage: the private-cache walks on the core and engine paths.
+//!
+//! [`Hw::access_core`] and [`Hw::access_engine`] are the two entry points
+//! of the hierarchy walk. This stage resolves stream-stall gates, probes
+//! the private caches (core L1/L2, engine L1d), and hands misses to the
+//! shared-LLC stage in [`super::directory`]. The L2 stride prefetcher also
+//! lives here — it observes demand L2 misses on the core path.
+
+use levi_isa::Addr;
+
+use crate::cache::PrivState;
+use crate::config::LINE_SHIFT;
+use crate::engine::{EngineId, EngineLevel};
+use crate::ndc::{MorphLevel, WaitCond};
+
+use super::{AccessKind, Hw, Walk, CTRL_MSG};
+
+impl Hw {
+    // ------------------------------------------------------------------
+    // Core-side walk
+    // ------------------------------------------------------------------
+
+    /// Resolves a core access. `allow_phantom` is false only when called
+    /// from within an inline (data-triggered) action, which must not nest.
+    pub fn access_core(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        tile: u32,
+        kind: AccessKind,
+        addr: Addr,
+        now: u64,
+        allow_phantom: bool,
+    ) -> Walk {
+        self.pin(addr >> LINE_SHIFT);
+        let w = self.access_core_inner(mem, tile, kind, addr, now, allow_phantom);
+        self.unpin();
+        w
+    }
+
+    fn access_core_inner(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        tile: u32,
+        kind: AccessKind,
+        addr: Addr,
+        now: u64,
+        allow_phantom: bool,
+    ) -> Walk {
+        let line = addr >> LINE_SHIFT;
+        let t = tile as usize;
+
+        // Stream stall check (Sec. VI-B3): loads to a stream's phantom
+        // range stall while the entry at the head has not been pushed —
+        // on every access, cached or not (the engine's tail register
+        // gates the load, not the cache).
+        if allow_phantom && !self.ndc.morphs.is_empty() {
+            if let Some(mi) = self.ndc.morph_at(addr) {
+                if let Some(sid) = self.ndc.morphs[mi].stream {
+                    let st = self.ndc.stream(sid);
+                    if st.is_empty() && !st.closed {
+                        return Walk::Blocked(WaitCond::StreamData(sid));
+                    }
+                }
+            }
+        }
+
+        // L1 probe.
+        if let Some(l) = self.l1[t].probe(line) {
+            if !kind.wants_ownership() || l.state == PrivState::Owned {
+                if kind.wants_ownership() {
+                    l.dirty = true;
+                }
+                self.stats.l1.hits += 1;
+                return Walk::Done {
+                    at: now + self.cfg.l1.latency,
+                };
+            }
+            // Present but shared and we need ownership: upgrade miss.
+        }
+        self.stats.l1.misses += 1;
+        let mut now = now + self.cfg.l1.latency;
+
+        // L2 probe.
+        if let Some(l) = self.l2[t].probe(line) {
+            if !kind.wants_ownership() || l.state == PrivState::Owned {
+                self.stats.l2.hits += 1;
+                if kind.wants_ownership() {
+                    l.dirty = true;
+                }
+                let state = l.state;
+                now += self.cfg.l2.latency;
+                self.fill_l1(mem, tile, line, state, kind, now);
+                return Walk::Done { at: now };
+            }
+        }
+        self.stats.l2.misses += 1;
+        now += self.cfg.l2.latency;
+
+        // L2-level phantom?
+        if allow_phantom {
+            if let Some(mi) = self.ndc.morph_at(addr) {
+                if self.ndc.morphs[mi].level == MorphLevel::L2 {
+                    return self.phantom_fill_l2(mem, tile, mi, addr, kind, now);
+                }
+            }
+        }
+
+        // Prefetcher observes demand L2 misses.
+        if self.cfg.prefetcher {
+            self.maybe_prefetch(mem, tile, line, now);
+        }
+
+        // Shared LLC.
+        let at = match self.llc_stage(mem, tile, Some(tile), kind, addr, now, allow_phantom) {
+            Walk::Done { at } => at,
+            blocked => return blocked,
+        };
+        // Fill private hierarchy.
+        let state = if kind.wants_ownership() {
+            PrivState::Owned
+        } else {
+            PrivState::Shared
+        };
+        self.fill_l2(mem, tile, line, state, kind, at);
+        self.fill_l1(mem, tile, line, state, kind, at);
+        Walk::Done { at }
+    }
+
+    // ------------------------------------------------------------------
+    // Engine-side walk
+    // ------------------------------------------------------------------
+
+    /// Resolves an engine access.
+    pub fn access_engine(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        eid: EngineId,
+        kind: AccessKind,
+        addr: Addr,
+        now: u64,
+        allow_phantom: bool,
+    ) -> Walk {
+        self.pin(addr >> LINE_SHIFT);
+        let w = self.access_engine_inner(mem, eid, kind, addr, now, allow_phantom);
+        self.unpin();
+        w
+    }
+
+    fn access_engine_inner(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        eid: EngineId,
+        kind: AccessKind,
+        addr: Addr,
+        now: u64,
+        allow_phantom: bool,
+    ) -> Walk {
+        let line = addr >> LINE_SHIFT;
+        let e = eid.index();
+        let l1d_lat = self.engines[e].l1d_latency;
+
+        // Stream stall gate (same as the core path): loads to an empty
+        // stream's range park before any resources are charged.
+        if allow_phantom && !self.ndc.morphs.is_empty() {
+            if let Some(mi) = self.ndc.morph_at(addr) {
+                if let Some(sid) = self.ndc.morphs[mi].stream {
+                    let st = self.ndc.stream(sid);
+                    if st.is_empty() && !st.closed && kind == AccessKind::Read {
+                        return Walk::Blocked(WaitCond::StreamData(sid));
+                    }
+                }
+            }
+        }
+
+        // Memory-side data bypasses the cache hierarchy entirely: the
+        // engine issues the access to the memory controller (the MC's
+        // FIFO line cache still absorbs same-line bursts).
+        if !self.ndc.mem_side_ranges.is_empty() && self.ndc.is_mem_side(addr) {
+            let mc_home = self.bank_of(addr);
+            let t = self
+                .noc
+                .send(eid.tile, mc_home, CTRL_MSG, now, &mut self.stats);
+            let at = self
+                .dram
+                .access_cache_line(&self.translator, line, t, &mut self.stats);
+            return Walk::Done { at };
+        }
+
+        // Engine L1d: read-allocate; reads hit, and writes to resident
+        // lines coalesce in place (write-back — the engine's private
+        // working state, e.g. a stream producer's traversal stack and
+        // cursors, stays local). Write misses and RMWs go through.
+        if kind == AccessKind::Read {
+            if self.engines[e].l1d.probe(line).is_some() {
+                self.stats.engine_l1.hits += 1;
+                return Walk::Done { at: now + l1d_lat };
+            }
+            self.stats.engine_l1.misses += 1;
+        } else if kind == AccessKind::Write {
+            if let Some(l) = self.engines[e].l1d.probe(line) {
+                l.dirty = true;
+                self.stats.engine_l1.hits += 1;
+                return Walk::Done { at: now + l1d_lat };
+            }
+        }
+        let now = now + l1d_lat;
+
+        let at = match eid.level {
+            EngineLevel::L2 => {
+                let t = eid.tile as usize;
+                if let Some(l) = self.l2[t].probe(line) {
+                    if !kind.wants_ownership() || l.state == PrivState::Owned {
+                        self.stats.l2.hits += 1;
+                        if kind.wants_ownership() {
+                            l.dirty = true;
+                        }
+                        let at = now + self.cfg.l2.latency;
+                        self.fill_engine_l1d(mem, eid, line, kind, at);
+                        return Walk::Done { at };
+                    }
+                }
+                self.stats.l2.misses += 1;
+                let now = now + self.cfg.l2.latency;
+                let at = match self.llc_stage(
+                    mem,
+                    eid.tile,
+                    Some(eid.tile),
+                    kind,
+                    addr,
+                    now,
+                    allow_phantom,
+                ) {
+                    Walk::Done { at } => at,
+                    blocked => return blocked,
+                };
+                let state = if kind.wants_ownership() {
+                    PrivState::Owned
+                } else {
+                    PrivState::Shared
+                };
+                self.fill_l2(mem, eid.tile, line, state, kind, at);
+                at
+            }
+            EngineLevel::Llc => {
+                // LLC engines access their home bank directly; other banks
+                // over the NoC (the cost Leviathan's mapping avoids).
+                match self.llc_stage(mem, eid.tile, None, kind, addr, now, allow_phantom) {
+                    Walk::Done { at } => at,
+                    blocked => return blocked,
+                }
+            }
+        };
+        self.fill_engine_l1d(mem, eid, line, kind, at);
+        Walk::Done { at }
+    }
+
+    pub(super) fn fill_engine_l1d(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        eid: EngineId,
+        line: u64,
+        kind: AccessKind,
+        _now: u64,
+    ) {
+        let _ = mem;
+        if kind != AccessKind::Read {
+            return;
+        }
+        let e = eid.index();
+        if self.engines[e].l1d.contains(line) {
+            return;
+        }
+        let (_, victim) = self.engines[e].l1d.insert(line, &[]);
+        if let Some(v) = victim {
+            if v.dirty {
+                // Write back coalesced engine writes to the attached level
+                // (timing/energy accounting only; values live in flat mem).
+                self.stats.llc.hits += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Prefetcher
+    // ------------------------------------------------------------------
+
+    pub(super) fn maybe_prefetch(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        tile: u32,
+        line: u64,
+        now: u64,
+    ) {
+        let Some(stride) = self.prefetchers[tile as usize].observe(line) else {
+            return;
+        };
+        for d in 1..=self.cfg.prefetch_degree as i64 {
+            let pf_line = line.wrapping_add((stride * d) as u64);
+            let pf_addr = pf_line << LINE_SHIFT;
+            if self.l2[tile as usize].contains(pf_line) {
+                continue;
+            }
+            // Never prefetch phantom data (the hardware NACKs those).
+            if self.ndc.morph_at(pf_addr).is_some() {
+                continue;
+            }
+            self.stats.prefetches += 1;
+            if let Walk::Done { .. } =
+                self.llc_stage(mem, tile, Some(tile), AccessKind::Read, pf_addr, now, false)
+            {
+                self.fill_l2(mem, tile, pf_line, PrivState::Shared, AccessKind::Read, now);
+            }
+        }
+    }
+}

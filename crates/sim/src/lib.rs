@@ -33,7 +33,7 @@
 //! let func = f.finish();
 //! let prog = Arc::new(pb.finish()?);
 //!
-//! let mut m = Machine::new(MachineConfig::with_tiles(4));
+//! let mut m = Machine::try_new(MachineConfig::with_tiles(4))?;
 //! m.spawn_thread(0, prog, func, &[])?;
 //! let result = m.run()?;
 //! assert!(result.cycles > 0);
@@ -47,6 +47,7 @@
 pub mod branch;
 pub mod cache;
 pub mod config;
+mod core_pipe;
 pub mod dram;
 pub mod energy;
 pub mod engine;
@@ -54,10 +55,13 @@ pub mod error;
 pub mod fault;
 pub mod hist;
 pub mod hw;
+mod invoke;
 pub mod machine;
 pub mod ndc;
+mod ndc_host;
 pub mod noc;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod trace;
 

@@ -1,5 +1,4 @@
-//! The machine: execution contexts (core threads and engine tasks), the
-//! run loop, and the timed NDC host.
+//! The machine facade: construction, spawning, and host-side control.
 //!
 //! Execution is *functional-first*: each context interprets its LevIR
 //! program in order via [`levi_isa::exec::step`], while a scoreboard
@@ -11,206 +10,54 @@
 //! cycle-approximate simulation that models exactly the effects the
 //! paper's evaluation measures: locality, coherence ping-pong, NoC
 //! traffic, fences, MLP, branch mispredictions, and DRAM bandwidth.
+//!
+//! This module holds the [`Machine`] itself — construction, actor
+//! spawning, stream management, and the host-side accessors. The layers
+//! behind it:
+//!
+//! * [`crate::sched`] — the deterministic run queue, park/wake
+//!   conditions, and deadlock diagnostics ([`Machine::run`] lives there);
+//! * `core_pipe` (crate-private) — per-instruction issue with scoreboard,
+//!   MSHR, fence, and branch timing;
+//! * `ndc_host` (crate-private) — the timed NDC host (futures, streams,
+//!   flush);
+//! * `invoke` (crate-private) — the task-offload scheduler (placement,
+//!   NACK, backpressure, migrate-local);
+//! * [`crate::hw`] — the memory-system walk (probe → directory → phantom
+//!   → evict stages).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
-use std::fmt;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
-use levi_isa::interp::future_layout;
-use levi_isa::{
-    exec, Addr, Control, ExecCtx, FuncId, Inst, InstClass, Location, MemOrder, Memory, NdcHost,
-    NdcRequest, PagedMem, Poll, Program, NUM_REGS,
-};
+use levi_isa::{Addr, FuncId, PagedMem, Program};
 
-use crate::branch::Gshare;
 use crate::config::MachineConfig;
 use crate::energy::{self, EnergyBreakdown};
-use crate::engine::{EngineId, EngineLevel, FuCursor};
+use crate::engine::EngineId;
 use crate::error::SimError;
-use crate::hw::{AccessKind, Hw, Walk, CTRL_MSG};
+use crate::hw::Hw;
 use crate::ndc::{StreamId, StreamMode, WaitCond};
+use crate::sched::Actor;
 use crate::stats::Stats;
-use crate::trace::{TraceCategory, TraceEvent, Track};
 
-/// Identifies an execution context (a core thread or an engine task).
-pub type ActorId = u32;
-
-/// What kind of context an actor is.
-#[derive(Clone, Debug)]
-enum ActorKind {
-    /// A software thread pinned to a core.
-    CoreThread { core: u32 },
-    /// An offloaded task or long-lived action on an engine.
-    EngineTask {
-        engine: EngineId,
-        /// Whether a task context was reserved (released on halt).
-        reserved_ctx: bool,
-        /// The producer side of this stream, if this is a `genStream` task.
-        stream: Option<StreamId>,
-    },
-}
-
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum ActorState {
-    Runnable,
-    Parked(WaitCond),
-    Done,
-}
-
-struct Actor {
-    kind: ActorKind,
-    prog: Arc<Program>,
-    ctx: ExecCtx,
-    /// Local clock: the cycle of the last issued instruction.
-    clock: u64,
-    reg_ready: [u64; NUM_REGS],
-    /// Completion times of outstanding memory accesses (for MSHR limits
-    /// and fences).
-    pending_mem: Vec<u64>,
-    /// Core issue-width cursor (cores only).
-    issue: FuCursor,
-    /// Branch predictor (cores only).
-    predictor: Option<Gshare>,
-    /// In-flight invoke ACK times (cores' invoke buffer).
-    invoke_acks: VecDeque<u64>,
-    /// Deterministic counter for the 1/32 DYNAMIC migrate-local policy.
-    invoke_count: u32,
-    /// Consecutive fault-induced NACK retries on the current invoke
-    /// (reset on a successful issue or a core fallback).
-    invoke_retries: u32,
-    state: ActorState,
-    sched_seq: u64,
-    /// Cycle at which the current park began (for stall accounting).
-    parked_at: u64,
-}
-
-/// Result of [`Machine::run`].
-#[derive(Clone, Debug)]
-pub struct RunResult {
-    /// Absolute cycle count when every core thread had halted.
-    pub cycles: u64,
-}
-
-/// The unit a parked actor belongs to (deadlock diagnostics).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ParkOwner {
-    /// A software thread on the given core.
-    Core(u32),
-    /// A task on the given engine.
-    Engine(EngineId),
-}
-
-impl fmt::Display for ParkOwner {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ParkOwner::Core(c) => write!(f, "core {c}"),
-            ParkOwner::Engine(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-/// One actor found parked when the run queue drained (deadlock
-/// diagnostics): what it waits on, where it lives, and for how long it has
-/// been stuck.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct ParkedActor {
-    /// The parked actor.
-    pub actor: ActorId,
-    /// The condition it is waiting on.
-    pub cond: WaitCond,
-    /// The core or engine the actor runs on.
-    pub owner: ParkOwner,
-    /// Cycle the park began.
-    pub parked_at: u64,
-    /// Cycles parked when the deadlock was detected.
-    pub parked_for: u64,
-}
-
-impl fmt::Display for ParkedActor {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "actor {} on {}: waiting on {}, parked {} cycles (since cycle {})",
-            self.actor, self.owner, self.cond, self.parked_for, self.parked_at
-        )
-    }
-}
-
-/// Errors from [`Machine::run`].
-#[derive(Clone, Debug)]
-pub enum RunError {
-    /// The run queue drained while core threads were still parked — a
-    /// deadlock. Reports every parked actor (cores first by id, then any
-    /// parked engine tasks for context).
-    Deadlock(Vec<ParkedActor>),
-    /// The watchdog fired: the simulated clock passed
-    /// [`MachineConfig::max_cycles`](crate::MachineConfig::max_cycles)
-    /// without the run completing.
-    Watchdog {
-        /// The configured limit.
-        limit: u64,
-        /// The clock value that tripped it.
-        at: u64,
-    },
-    /// A typed simulator error surfaced mid-run (e.g. a program invoked an
-    /// unregistered action).
-    Fault(SimError),
-}
-
-impl fmt::Display for RunError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RunError::Deadlock(v) => {
-                let cores = v
-                    .iter()
-                    .filter(|p| matches!(p.owner, ParkOwner::Core(_)))
-                    .count();
-                write!(f, "deadlock: {cores} core context(s) parked")?;
-                for p in v {
-                    write!(f, "\n  {p}")?;
-                }
-                Ok(())
-            }
-            RunError::Watchdog { limit, at } => write!(
-                f,
-                "watchdog: simulated clock reached cycle {at} without completing (limit {limit})"
-            ),
-            RunError::Fault(e) => write!(f, "simulation fault: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for RunError {}
-
-/// A request (from the NDC host) to create an engine task — or, for
-/// fault-degraded invokes past the retry budget, a core-fallback thread.
-struct SpawnReq {
-    engine: EngineId,
-    func: FuncId,
-    prog: Arc<Program>,
-    args: Vec<u64>,
-    start: u64,
-    /// When set, spawn as a software handler thread on this core instead
-    /// of as an engine task (fault fallback).
-    fallback_core: Option<u32>,
-}
+pub use crate::sched::{ActorId, ParkOwner, ParkedActor, RunError, RunResult};
 
 /// The simulated machine.
 pub struct Machine {
     /// All hardware state (caches, NoC, DRAM, engines, NDC tables, stats).
     pub hw: Hw,
-    mem: PagedMem,
-    actors: Vec<Actor>,
-    runq: BinaryHeap<Reverse<(u64, u64, ActorId)>>,
-    seq: u64,
-    now: u64,
-    waiters: HashMap<WaitCond, Vec<ActorId>>,
-    live_core_threads: u32,
-    traces: Vec<u64>,
+    pub(crate) mem: PagedMem,
+    pub(crate) actors: Vec<Actor>,
+    pub(crate) runq: BinaryHeap<Reverse<(u64, u64, ActorId)>>,
+    pub(crate) seq: u64,
+    pub(crate) now: u64,
+    pub(crate) waiters: HashMap<WaitCond, Vec<ActorId>>,
+    pub(crate) live_core_threads: u32,
+    pub(crate) traces: Vec<u64>,
     /// Recycled actor slots (finished engine tasks); bounds memory when a
     /// workload offloads millions of short tasks.
-    free_slots: Vec<ActorId>,
+    pub(crate) free_slots: Vec<ActorId>,
 }
 
 impl Machine {
@@ -220,6 +67,10 @@ impl Machine {
     /// Panics if the configuration is invalid (see
     /// [`MachineConfig::validate`]); use [`Machine::try_new`] for the
     /// fallible path.
+    #[deprecated(
+        since = "0.2.0",
+        note = "panics on an invalid configuration; use `Machine::try_new` and handle the error"
+    )]
     pub fn new(cfg: MachineConfig) -> Self {
         match Self::try_new(cfg) {
             Ok(m) => m,
@@ -247,21 +98,6 @@ impl Machine {
             traces: Vec::new(),
             free_slots: Vec::new(),
         })
-    }
-
-    /// Installs `actor` into a recycled slot or appends a new one.
-    fn install_actor(&mut self, actor: Actor) -> ActorId {
-        match self.free_slots.pop() {
-            Some(aid) => {
-                self.actors[aid as usize] = actor;
-                aid
-            }
-            None => {
-                let aid = self.actors.len() as ActorId;
-                self.actors.push(actor);
-                aid
-            }
-        }
     }
 
     /// The machine's configuration.
@@ -335,7 +171,7 @@ impl Machine {
 
     /// Installs a core-thread actor starting at `clock` (shared by
     /// [`Machine::spawn_thread`] and the fault-fallback path).
-    fn spawn_core_actor(
+    pub(crate) fn spawn_core_actor(
         &mut self,
         core: u32,
         prog: Arc<Program>,
@@ -344,22 +180,7 @@ impl Machine {
         clock: u64,
     ) -> ActorId {
         let cfg = self.hw.cfg.core;
-        let aid = self.install_actor(Actor {
-            kind: ActorKind::CoreThread { core },
-            prog,
-            ctx: ExecCtx::new(func, args),
-            clock,
-            reg_ready: [clock; NUM_REGS],
-            pending_mem: Vec::new(),
-            issue: FuCursor::new(cfg.issue_width),
-            predictor: Some(Gshare::new(cfg.predictor_bits)),
-            invoke_acks: VecDeque::new(),
-            invoke_count: 0,
-            invoke_retries: 0,
-            state: ActorState::Runnable,
-            sched_seq: 0,
-            parked_at: 0,
-        });
+        let aid = self.install_actor(Actor::core_thread(core, cfg, prog, func, args, clock));
         self.live_core_threads += 1;
         aid
     }
@@ -375,26 +196,9 @@ impl Machine {
         args: &[u64],
         stream: Option<StreamId>,
     ) -> ActorId {
-        let aid = self.install_actor(Actor {
-            kind: ActorKind::EngineTask {
-                engine,
-                reserved_ctx: false,
-                stream,
-            },
-            prog,
-            ctx: ExecCtx::new(func, args),
-            clock: self.now,
-            reg_ready: [self.now; NUM_REGS],
-            pending_mem: Vec::new(),
-            issue: FuCursor::new(64),
-            predictor: None,
-            invoke_acks: VecDeque::new(),
-            invoke_count: 0,
-            invoke_retries: 0,
-            state: ActorState::Runnable,
-            sched_seq: 0,
-            parked_at: 0,
-        });
+        let aid = self.install_actor(Actor::engine_task(
+            engine, prog, func, args, stream, self.now,
+        ));
         self.enqueue(aid, self.now);
         aid
     }
@@ -461,1540 +265,5 @@ impl Machine {
         let now = self.now;
         let Machine { hw, mem, .. } = self;
         hw.flush_range(mem, base, len, now)
-    }
-
-    fn enqueue(&mut self, aid: ActorId, at: u64) {
-        self.seq += 1;
-        let a = &mut self.actors[aid as usize];
-        a.sched_seq = self.seq;
-        a.state = ActorState::Runnable;
-        self.runq.push(Reverse((at, self.seq, aid)));
-    }
-
-    fn wake(&mut self, cond: WaitCond, at: u64) {
-        let Some(list) = self.waiters.remove(&cond) else {
-            return;
-        };
-        for aid in list {
-            let a = &mut self.actors[aid as usize];
-            if a.state == ActorState::Parked(cond) {
-                if let WaitCond::StreamData(sid) = cond {
-                    let stall = at.saturating_sub(a.parked_at);
-                    self.hw.stats.stream_stall_cycles += stall;
-                    self.hw.stats.stream_stall.record(stall);
-                    let track = match a.kind {
-                        ActorKind::CoreThread { core } => Track::Core(core),
-                        ActorKind::EngineTask { engine, .. } => Track::Engine(engine),
-                    };
-                    let parked_at = a.parked_at;
-                    self.hw.stats.trace.record(|| {
-                        TraceEvent::span(
-                            parked_at,
-                            stall,
-                            TraceCategory::Stream,
-                            "stream.stall",
-                            track,
-                            &[("sid", sid.0 as u64)],
-                        )
-                    });
-                }
-                a.clock = a.clock.max(at);
-                // Miss-triggered pseudo-stream producers pay a
-                // re-initialization cost on every activation
-                // (paper Sec. VIII-C: tako must rebuild its BDFS state per
-                // triggered line).
-                if let WaitCond::StreamSpace(sid) = cond {
-                    if let ActorKind::EngineTask {
-                        stream: Some(s), ..
-                    } = a.kind
-                    {
-                        if s == sid {
-                            if let StreamMode::MissTriggered { reinit_instrs } =
-                                self.hw.ndc.streams[sid.0 as usize].mode
-                            {
-                                self.hw.stats.engine_instrs += reinit_instrs as u64;
-                                a.clock += (reinit_instrs as u64).div_ceil(4);
-                            }
-                        }
-                    }
-                }
-                let clock = a.clock;
-                self.enqueue(aid, clock);
-            }
-        }
-    }
-
-    /// Runs until every spawned core thread has halted (engine tasks may
-    /// remain parked, e.g. stream producers blocked on a full buffer).
-    ///
-    /// # Errors
-    /// Returns [`RunError::Deadlock`] if the run queue drains while a core
-    /// thread is still parked, [`RunError::Watchdog`] if the clock passes
-    /// [`MachineConfig::max_cycles`] (when non-zero), and
-    /// [`RunError::Fault`] when a typed error surfaces mid-run.
-    pub fn run(&mut self) -> Result<RunResult, RunError> {
-        let max_cycles = self.hw.cfg.max_cycles;
-        while let Some(Reverse((t, seq, aid))) = self.runq.pop() {
-            {
-                let a = &self.actors[aid as usize];
-                if a.sched_seq != seq || a.state != ActorState::Runnable {
-                    continue;
-                }
-            }
-            self.now = self.now.max(t);
-            if max_cycles != 0 && self.now > max_cycles {
-                return Err(RunError::Watchdog {
-                    limit: max_cycles,
-                    at: self.now,
-                });
-            }
-            self.hw.maybe_sample(self.now);
-            self.run_actor(aid);
-            if let Some(e) = self.hw.fatal.take() {
-                return Err(RunError::Fault(e));
-            }
-            if self.live_core_threads == 0 && self.no_runnable_engine_tasks() {
-                break;
-            }
-        }
-        // Deadlock check: parked core threads with an empty queue. The
-        // report also lists parked engine tasks — a blocked producer or
-        // consumer is usually the other half of the cycle.
-        let mut stuck = Vec::new();
-        for (i, a) in self.actors.iter().enumerate() {
-            if let ActorState::Parked(c) = a.state {
-                stuck.push(ParkedActor {
-                    actor: i as ActorId,
-                    cond: c,
-                    owner: match a.kind {
-                        ActorKind::CoreThread { core } => ParkOwner::Core(core),
-                        ActorKind::EngineTask { engine, .. } => ParkOwner::Engine(engine),
-                    },
-                    parked_at: a.parked_at,
-                    parked_for: self.now.saturating_sub(a.parked_at),
-                });
-            }
-        }
-        let core_stuck = stuck.iter().any(|p| matches!(p.owner, ParkOwner::Core(_)));
-        if core_stuck && self.live_core_threads > 0 {
-            return Err(RunError::Deadlock(stuck));
-        }
-        let cycles = self
-            .actors
-            .iter()
-            .map(|a| a.clock)
-            .max()
-            .unwrap_or(self.now)
-            .max(self.now);
-        self.now = cycles;
-        self.hw.stats.cycles = cycles;
-        Ok(RunResult { cycles })
-    }
-
-    fn no_runnable_engine_tasks(&self) -> bool {
-        // After cores finish we still drain runnable engine work (offloaded
-        // tasks in flight) but not parked producers.
-        self.runq.iter().all(|Reverse((_, seq, aid))| {
-            let a = &self.actors[*aid as usize];
-            a.sched_seq != *seq || a.state != ActorState::Runnable
-        })
-    }
-
-    // ------------------------------------------------------------------
-    // The dispatch loop
-    // ------------------------------------------------------------------
-
-    #[allow(clippy::too_many_lines)]
-    fn run_actor(&mut self, aid: ActorId) {
-        let prog = self.actors[aid as usize].prog.clone();
-        let quantum = self.hw.cfg.quantum;
-        let quantum_end = self.actors[aid as usize].clock + quantum;
-
-        loop {
-            // -------- per-instruction outcome, gathered under a scoped
-            // borrow of the actor --------
-            use StepOutcome as Outcome;
-            let mut spawns: Vec<SpawnReq> = Vec::new();
-            let mut wakes: Vec<(WaitCond, u64)> = Vec::new();
-
-            let outcome = {
-                let Machine {
-                    actors,
-                    hw,
-                    mem,
-                    traces,
-                    ..
-                } = self;
-                let a = &mut actors[aid as usize];
-                if a.ctx.halted {
-                    Outcome::Finished
-                } else if a.clock > quantum_end {
-                    Outcome::Yield(a.clock)
-                } else {
-                    let inst = prog.func(a.ctx.pc.func).insts()[a.ctx.pc.idx as usize].clone();
-                    let is_core = matches!(a.kind, ActorKind::CoreThread { .. });
-                    let (tile, engine) = match a.kind {
-                        ActorKind::CoreThread { core } => (core, None),
-                        ActorKind::EngineTask { engine, .. } => (engine.tile, Some(engine)),
-                    };
-
-                    // Operand readiness.
-                    let mut ready = a.clock;
-                    inst.for_each_use(|r| ready = ready.max(a.reg_ready[r.index()]));
-
-                    // Issue slot.
-                    let class = inst.class();
-                    let slot = if is_core {
-                        a.issue.reserve(ready)
-                    } else {
-                        let e = &mut hw.engines[engine.expect("engine task").index()];
-                        match class {
-                            InstClass::Mem => e.reserve_mem(ready),
-                            _ => e.reserve_int(ready),
-                        }
-                    };
-
-                    step_one(
-                        StepEnv {
-                            hw,
-                            mem,
-                            traces,
-                            is_core,
-                            tile,
-                            engine,
-                            prog: &prog,
-                        },
-                        a,
-                        &inst,
-                        slot,
-                        &mut spawns,
-                        &mut wakes,
-                    )
-                }
-            };
-
-            // -------- apply side effects gathered during the step --------
-            for s in spawns {
-                let start = s.start;
-                if let Some(core) = s.fallback_core {
-                    // Fault fallback: run the action as a software handler
-                    // thread on the issuing core instead of an engine task.
-                    let id = self.spawn_core_actor(core, s.prog, s.func, &s.args, start);
-                    self.hw.stats.trace.record(|| {
-                        TraceEvent::instant(
-                            start,
-                            TraceCategory::Fault,
-                            "fault.core_fallback_task",
-                            Track::Core(core),
-                            &[("actor", id as u64)],
-                        )
-                    });
-                    self.enqueue(id, start);
-                    continue;
-                }
-                let target = s.engine;
-                let id = self.spawn_engine_task(s.engine, s.prog, s.func, &s.args, None);
-                self.hw.stats.trace.record(|| {
-                    TraceEvent::instant(
-                        start,
-                        TraceCategory::Invoke,
-                        "task.dispatch",
-                        Track::Engine(target),
-                        &[("actor", id as u64)],
-                    )
-                });
-                let a = &mut self.actors[id as usize];
-                a.clock = start;
-                // Mark that this task holds a reserved context.
-                if let ActorKind::EngineTask { reserved_ctx, .. } = &mut a.kind {
-                    *reserved_ctx = true;
-                }
-                self.enqueue(id, start);
-            }
-            for (cond, at) in wakes {
-                self.wake(cond, at);
-            }
-
-            match outcome {
-                Outcome::Continue => {}
-                Outcome::Finished => {
-                    self.finish_actor(aid);
-                    return;
-                }
-                Outcome::Yield(at) => {
-                    self.enqueue(aid, at);
-                    return;
-                }
-                Outcome::Park(cond) => {
-                    let a = &mut self.actors[aid as usize];
-                    a.state = ActorState::Parked(cond);
-                    a.parked_at = a.clock;
-                    self.waiters.entry(cond).or_default().push(aid);
-                    return;
-                }
-                Outcome::SleepUntil(at) => {
-                    self.enqueue(aid, at);
-                    return;
-                }
-            }
-        }
-    }
-
-    fn finish_actor(&mut self, aid: ActorId) {
-        let clock = self.actors[aid as usize].clock;
-        let (is_core, engine_task, engine_release, stream) = {
-            let a = &mut self.actors[aid as usize];
-            a.state = ActorState::Done;
-            match a.kind {
-                ActorKind::CoreThread { .. } => (true, None, None, None),
-                ActorKind::EngineTask {
-                    engine,
-                    reserved_ctx,
-                    stream,
-                } => (false, Some(engine), reserved_ctx.then_some(engine), stream),
-            }
-        };
-        if is_core {
-            self.live_core_threads -= 1;
-        }
-        if let Some(engine) = engine_task {
-            self.hw.stats.trace.record(|| {
-                TraceEvent::instant(
-                    clock,
-                    TraceCategory::Invoke,
-                    "task.retire",
-                    Track::Engine(engine),
-                    &[("actor", aid as u64)],
-                )
-            });
-        }
-        if let Some(engine) = engine_release {
-            self.hw.engines[engine.index()].release_ctx();
-            self.wake(WaitCond::EngineCtx(engine), clock);
-        }
-        if let Some(sid) = stream {
-            self.hw.ndc.stream_mut(sid).closed = true;
-            self.wake(WaitCond::StreamData(sid), clock);
-        }
-        self.now = self.now.max(clock);
-        if !is_core {
-            // Recycle the slot so offload-heavy workloads stay bounded.
-            self.free_slots.push(aid);
-        }
-    }
-}
-
-// ----------------------------------------------------------------------
-// Single-instruction execution with timing
-// ----------------------------------------------------------------------
-
-struct StepEnv<'a> {
-    hw: &'a mut Hw,
-    mem: &'a mut PagedMem,
-    traces: &'a mut Vec<u64>,
-    is_core: bool,
-    tile: u32,
-    engine: Option<EngineId>,
-    prog: &'a Arc<Program>,
-}
-
-/// Executes one instruction of `a` with issue slot `slot`; returns the
-/// outcome. Kept as a free function so borrows of the machine's fields
-/// stay disjoint.
-#[allow(clippy::too_many_lines)]
-fn step_one(
-    env: StepEnv<'_>,
-    a: &mut Actor,
-    inst: &Inst,
-    slot: u64,
-    spawns: &mut Vec<SpawnReq>,
-    wakes: &mut Vec<(WaitCond, u64)>,
-) -> StepOutcome {
-    use StepOutcome as O;
-    let StepEnv {
-        hw,
-        mem,
-        traces,
-        is_core,
-        tile,
-        engine,
-        prog,
-    } = env;
-
-    let count_instr = |hw: &mut Hw| {
-        if is_core {
-            hw.stats.core_instrs += 1;
-        } else {
-            hw.stats.engine_instrs += 1;
-        }
-    };
-
-    match inst {
-        // ---- memory instructions: pre-walk, then step ----
-        Inst::Ld { ra, off, .. } | Inst::St { ra, off, .. } => {
-            let addr = a.ctx.reg(*ra).wrapping_add(*off as i64 as u64);
-            let is_load = matches!(inst, Inst::Ld { .. });
-            let kind = if is_load {
-                AccessKind::Read
-            } else {
-                AccessKind::Write
-            };
-            let mut slot = slot;
-            if is_core {
-                slot = mshr_limit(a, hw.cfg.core.mshrs, slot);
-            }
-            let walk = match engine {
-                None => hw.access_core(mem, tile, kind, addr, slot, true),
-                Some(eid) => hw.access_engine(mem, eid, kind, addr, slot, true),
-            };
-            let at = match walk {
-                Walk::Done { at } => at,
-                Walk::Blocked(cond) => {
-                    if let WaitCond::StreamData(sid) = cond {
-                        // A consumer miss (re)triggers a miss-triggered
-                        // producer.
-                        if matches!(hw.ndc.stream(sid).mode, StreamMode::MissTriggered { .. }) {
-                            wakes.push((WaitCond::StreamSpace(sid), slot));
-                        }
-                    }
-                    return O::Park(cond);
-                }
-            };
-            if is_load {
-                hw.stats.load_to_use.record(at.saturating_sub(slot));
-            }
-            let info =
-                exec::step(prog, &mut a.ctx, mem, &mut NoBlockHost).expect("mem step failed");
-            debug_assert!(info.retired());
-            count_instr(hw);
-            if let Some(rd) = inst.def() {
-                a.reg_ready[rd.index()] = at;
-            }
-            a.pending_mem.push(at);
-            if a.pending_mem.len() > 128 {
-                // Engines have no MSHR pruning; bound the drain set.
-                let c = a.clock;
-                a.pending_mem.retain(|&t| t > c);
-            }
-            a.clock = a.clock.max(slot);
-            O::Continue
-        }
-        Inst::AtomicRmw { ordering, addr, .. } => {
-            let target = a.ctx.reg(*addr);
-            let fenced = *ordering == MemOrder::Fenced;
-            let mut slot = slot;
-            if fenced {
-                // Drain all outstanding accesses first.
-                for &p in &a.pending_mem {
-                    slot = slot.max(p);
-                }
-            } else if is_core {
-                slot = mshr_limit(a, hw.cfg.core.mshrs, slot);
-            }
-            let walk = match engine {
-                None => hw.access_core(mem, tile, AccessKind::Rmw, target, slot, true),
-                Some(eid) => hw.access_engine(mem, eid, AccessKind::Rmw, target, slot, true),
-            };
-            let at = match walk {
-                Walk::Done { at } => at,
-                Walk::Blocked(cond) => {
-                    if let WaitCond::StreamData(sid) = cond {
-                        if matches!(hw.ndc.stream(sid).mode, StreamMode::MissTriggered { .. }) {
-                            wakes.push((WaitCond::StreamSpace(sid), slot));
-                        }
-                    }
-                    return O::Park(cond);
-                }
-            };
-            if fenced {
-                hw.stats.fences += 1;
-            }
-            let info =
-                exec::step(prog, &mut a.ctx, mem, &mut NoBlockHost).expect("rmw step failed");
-            debug_assert!(info.retired());
-            count_instr(hw);
-            if is_core {
-                hw.stats.core_rmws += 1;
-            }
-            if let Some(rd) = inst.def() {
-                a.reg_ready[rd.index()] = at;
-            }
-            if fenced {
-                // The RMW completes before anything younger issues.
-                a.clock = at;
-                a.pending_mem.clear();
-            } else {
-                a.pending_mem.push(at);
-                a.clock = a.clock.max(slot);
-            }
-            O::Continue
-        }
-        Inst::Fence => {
-            let mut t = slot;
-            for &p in &a.pending_mem {
-                t = t.max(p);
-            }
-            a.pending_mem.clear();
-            hw.stats.fences += 1;
-            let _ = exec::step(prog, &mut a.ctx, mem, &mut NoBlockHost);
-            count_instr(hw);
-            a.clock = t;
-            O::Continue
-        }
-
-        // ---- control flow ----
-        Inst::Br { .. } => {
-            let pc_sig = ((a.ctx.pc.func.0 as u64) << 20) | a.ctx.pc.idx as u64;
-            let info =
-                exec::step(prog, &mut a.ctx, mem, &mut NoBlockHost).expect("branch step failed");
-            count_instr(hw);
-            let taken = matches!(info.control, Control::Branch { taken: true });
-            if let Some(pred) = a.predictor.as_mut() {
-                hw.stats.branches += 1;
-                let correct = pred.update(pc_sig, taken);
-                if correct {
-                    a.clock = a.clock.max(slot);
-                } else {
-                    hw.stats.mispredicts += 1;
-                    a.clock = slot + hw.cfg.core.mispredict_penalty;
-                }
-            } else {
-                a.clock = a.clock.max(slot);
-            }
-            O::Continue
-        }
-        Inst::Jmp { .. } | Inst::Call { .. } | Inst::Ret | Inst::Halt => {
-            let info =
-                exec::step(prog, &mut a.ctx, mem, &mut NoBlockHost).expect("ctrl step failed");
-            count_instr(hw);
-            a.clock = a.clock.max(slot);
-            if info.control == Control::Halt {
-                // Commit semantics: outstanding stores drain before the
-                // context retires.
-                for &p in &a.pending_mem {
-                    a.clock = a.clock.max(p);
-                }
-                a.pending_mem.clear();
-                return O::Finished;
-            }
-            O::Continue
-        }
-
-        // ---- plain ALU ----
-        Inst::Imm { .. } | Inst::Mov { .. } | Inst::Alu { .. } | Inst::AluI { .. } | Inst::Nop => {
-            let class = inst.class();
-            let _ = exec::step(prog, &mut a.ctx, mem, &mut NoBlockHost);
-            count_instr(hw);
-            let lat = if is_core {
-                match class {
-                    InstClass::Mul => hw.cfg.core.mul_latency,
-                    InstClass::Div => hw.cfg.core.div_latency,
-                    _ => 1,
-                }
-            } else {
-                let e = &hw.engines[engine.expect("engine").index()];
-                e.latency().max(match class {
-                    InstClass::Mul => 3,
-                    InstClass::Div => 12,
-                    _ => e.latency(),
-                })
-            };
-            if let Some(rd) = inst.def() {
-                a.reg_ready[rd.index()] = slot + lat;
-            }
-            a.clock = a.clock.max(slot);
-            O::Continue
-        }
-
-        Inst::Trace { rs } => {
-            traces.push(a.ctx.reg(*rs));
-            let _ = exec::step(prog, &mut a.ctx, mem, &mut NoBlockHost);
-            count_instr(hw);
-            a.clock = a.clock.max(slot);
-            O::Continue
-        }
-
-        // ---- NDC instructions: run through the timed host ----
-        Inst::Invoke { .. }
-        | Inst::FutureWait { .. }
-        | Inst::FutureSend { .. }
-        | Inst::Push { .. }
-        | Inst::Pop { .. }
-        | Inst::Flush { .. } => {
-            let mut host = TimedHost {
-                hw,
-                is_core,
-                tile,
-                engine,
-                now: slot,
-                invoke_acks: &mut a.invoke_acks,
-                invoke_count: &mut a.invoke_count,
-                invoke_retries: &mut a.invoke_retries,
-                spawns,
-                wakes,
-                block: None,
-                sleep_until: None,
-                op_done: slot + 1,
-                wait_fill: slot,
-            };
-            let info = exec::step(prog, &mut a.ctx, mem, &mut host).expect("ndc step failed");
-            let block = host.block;
-            let sleep = host.sleep_until;
-            let op_done = host.op_done;
-            let wait_fill = host.wait_fill;
-            if !info.retired() {
-                if let Some(at) = sleep {
-                    return O::SleepUntil(at.max(a.clock + 1));
-                }
-                return O::Park(block.expect("blocked NDC op must set a condition"));
-            }
-            count_instr(hw);
-            if let Some(rd) = inst.def() {
-                // FutureWait: value usable once the store-update arrives.
-                a.reg_ready[rd.index()] = wait_fill.max(slot) + 1;
-            }
-            a.clock = a.clock.max(op_done.max(slot + 1) - 1);
-            O::Continue
-        }
-    }
-}
-
-enum StepOutcome {
-    Continue,
-    Finished,
-    /// Produced by the quantum check: requeue at the given cycle.
-    Yield(u64),
-    Park(WaitCond),
-    SleepUntil(u64),
-}
-
-/// Applies the core MSHR limit: delays `slot` until an outstanding-miss
-/// slot frees, pruning completed entries.
-fn mshr_limit(a: &mut Actor, mshrs: u32, slot: u64) -> u64 {
-    a.pending_mem.retain(|&t| t > slot);
-    let mut slot = slot;
-    while a.pending_mem.len() >= mshrs as usize {
-        let min = *a.pending_mem.iter().min().expect("nonempty");
-        slot = slot.max(min);
-        a.pending_mem.retain(|&t| t > slot);
-    }
-    slot
-}
-
-/// Host used for non-NDC instructions (they never call host methods).
-struct NoBlockHost;
-
-impl NdcHost for NoBlockHost {
-    fn invoke(&mut self, _mem: &mut dyn Memory, _req: NdcRequest) -> Poll<()> {
-        unreachable!("invoke outside TimedHost")
-    }
-    fn future_wait(&mut self, _mem: &mut dyn Memory, _fut: Addr) -> Poll<u64> {
-        unreachable!("future_wait outside TimedHost")
-    }
-    fn future_send(&mut self, _mem: &mut dyn Memory, _fut: Addr, _val: u64) {
-        unreachable!("future_send outside TimedHost")
-    }
-    fn push(&mut self, _mem: &mut dyn Memory, _stream: u64, _val: u64) -> Poll<()> {
-        unreachable!("push outside TimedHost")
-    }
-    fn pop(&mut self, _mem: &mut dyn Memory, _stream: u64) {
-        unreachable!("pop outside TimedHost")
-    }
-    fn flush(&mut self, _mem: &mut dyn Memory, _addr: Addr, _len: u64) {
-        unreachable!("flush outside TimedHost")
-    }
-}
-
-/// The timed NDC host: implements Table III's microarchitectural support.
-struct TimedHost<'a> {
-    hw: &'a mut Hw,
-    is_core: bool,
-    tile: u32,
-    /// The issuing engine when this context is an engine task.
-    engine: Option<EngineId>,
-    now: u64,
-    invoke_acks: &'a mut VecDeque<u64>,
-    invoke_count: &'a mut u32,
-    invoke_retries: &'a mut u32,
-    spawns: &'a mut Vec<SpawnReq>,
-    wakes: &'a mut Vec<(WaitCond, u64)>,
-    block: Option<WaitCond>,
-    sleep_until: Option<u64>,
-    op_done: u64,
-    wait_fill: u64,
-}
-
-impl TimedHost<'_> {
-    /// The trace track of the issuing context.
-    fn track(&self) -> Track {
-        match self.engine {
-            Some(e) => Track::Engine(e),
-            None => Track::Core(self.tile),
-        }
-    }
-
-    /// Picks the engine an invoke should run on (Sec. VI-B1).
-    fn schedule_invoke(&mut self, req: &NdcRequest) -> EngineId {
-        let line = req.actor >> crate::config::LINE_SHIFT;
-        let local_l2 = EngineId {
-            tile: self.tile,
-            level: EngineLevel::L2,
-        };
-        let target = match req.loc {
-            Location::Local => local_l2,
-            Location::Remote => EngineId {
-                tile: self.hw.bank_of(req.actor),
-                level: EngineLevel::Llc,
-            },
-            Location::Dynamic => {
-                if self.is_core
-                    && (self.hw.l1[self.tile as usize].contains(line)
-                        || self.hw.l2[self.tile as usize].contains(line))
-                {
-                    local_l2
-                } else {
-                    let bank = self.hw.bank_of(req.actor);
-                    let mut t = EngineId {
-                        tile: bank,
-                        level: EngineLevel::Llc,
-                    };
-                    if req.exclusive {
-                        if let Some(l) = self.hw.llc[bank as usize].peek(line) {
-                            if let Some(o) = l.owner {
-                                if o as u32 != self.tile {
-                                    t = EngineId {
-                                        tile: o as u32,
-                                        level: EngineLevel::L2,
-                                    };
-                                }
-                            }
-                        }
-                    }
-                    t
-                }
-            }
-        };
-        // 1/32 migrate-local policy: occasionally execute a would-be
-        // remote DYNAMIC task locally to let hot data settle upward.
-        if req.loc == Location::Dynamic && target.tile != self.tile {
-            *self.invoke_count += 1;
-            if (*self.invoke_count).is_multiple_of(32) {
-                self.hw.stats.invoke_migrations += 1;
-                return local_l2;
-            }
-        }
-        target
-    }
-}
-
-impl NdcHost for TimedHost<'_> {
-    fn invoke(&mut self, _mem: &mut dyn Memory, req: NdcRequest) -> Poll<()> {
-        // Invoke-buffer backpressure (skipped for future-carrying invokes).
-        if self.is_core && req.future.is_none() {
-            while let Some(&front) = self.invoke_acks.front() {
-                if front <= self.now {
-                    self.invoke_acks.pop_front();
-                } else {
-                    break;
-                }
-            }
-            let cfg_limit = self.hw.cfg.core.invoke_buffer;
-            let limit = self.hw.faults.invoke_buffer_limit(cfg_limit, self.now);
-            if self.invoke_acks.len() >= limit as usize {
-                let earliest = *self.invoke_acks.front().expect("nonempty");
-                if limit < cfg_limit {
-                    // This stall only exists because a squeeze shrank the
-                    // buffer below its configured capacity.
-                    let wait = earliest.saturating_sub(self.now);
-                    self.hw.stats.fault_degraded_cycles += wait;
-                    let (now, track) = (self.now, self.track());
-                    self.hw.stats.trace.record(|| {
-                        TraceEvent::instant(
-                            now,
-                            TraceCategory::Fault,
-                            "fault.invoke_squeeze",
-                            track,
-                            &[("limit", limit as u64), ("wait", wait)],
-                        )
-                    });
-                }
-                self.sleep_until = Some(earliest);
-                return Poll::Pending;
-            }
-        }
-
-        // Resolve the action first: an unregistered id is a typed
-        // mid-run fault, not a panic.
-        let aref = match self.hw.ndc.actions.get(req.action) {
-            Ok(a) => a.clone(),
-            Err(e) => {
-                self.hw.fatal = Some(e);
-                self.op_done = self.now + 1;
-                return Poll::Ready(());
-            }
-        };
-
-        let target = self.schedule_invoke(&req);
-
-        // Fault window: the engine refuses new tasks. Retry with bounded
-        // exponential backoff; past the budget, fall back to running the
-        // action on the issuing core (software-fallback virtualization).
-        if !self.hw.faults.is_empty() && self.hw.faults.engine_refusing(target, self.now) {
-            self.hw.stats.invoke_nacks += 1;
-            *self.invoke_retries += 1;
-            let retries = *self.invoke_retries;
-            let (now, track) = (self.now, self.track());
-            if retries <= self.hw.faults.retry_budget {
-                let delay = self.hw.faults.backoff_delay(retries);
-                self.hw.stats.fault_nack_retries += 1;
-                self.hw.stats.fault_degraded_cycles += delay;
-                self.hw.stats.fault_backoff.record(delay);
-                self.hw.stats.trace.record(|| {
-                    TraceEvent::instant(
-                        now,
-                        TraceCategory::Fault,
-                        "fault.invoke_backoff",
-                        track,
-                        &[
-                            ("target", target.tile as u64),
-                            ("retry", retries as u64),
-                            ("delay", delay),
-                        ],
-                    )
-                });
-                self.sleep_until = Some(now + delay);
-                return Poll::Pending;
-            }
-            *self.invoke_retries = 0;
-            self.hw.stats.fault_fallbacks += 1;
-            self.hw.stats.trace.record(|| {
-                TraceEvent::instant(
-                    now,
-                    TraceCategory::Fault,
-                    "fault.core_fallback",
-                    track,
-                    &[("target", target.tile as u64), ("actor_addr", req.actor)],
-                )
-            });
-            let mut args = Vec::with_capacity(1 + req.args.len());
-            args.push(req.actor);
-            args.extend_from_slice(&req.args);
-            self.spawns.push(SpawnReq {
-                engine: target,
-                func: aref.func,
-                prog: aref.prog,
-                args,
-                start: now + 1,
-                fallback_core: Some(self.tile),
-            });
-            self.op_done = now + 1;
-            return Poll::Ready(());
-        }
-        if *self.invoke_retries != 0 {
-            *self.invoke_retries = 0;
-        }
-
-        if !self.hw.engines[target.index()].try_reserve_ctx() {
-            self.hw.stats.invoke_nacks += 1;
-            let (now, track) = (self.now, self.track());
-            self.hw.stats.trace.record(|| {
-                TraceEvent::instant(
-                    now,
-                    TraceCategory::Invoke,
-                    "invoke.nack",
-                    track,
-                    &[("target", target.tile as u64)],
-                )
-            });
-            self.block = Some(WaitCond::EngineCtx(target));
-            return Poll::Pending;
-        }
-        self.hw.stats.invokes += 1;
-        let (now, track) = (self.now, self.track());
-        self.hw.stats.trace.record(|| {
-            TraceEvent::instant(
-                now,
-                TraceCategory::Invoke,
-                "invoke.issue",
-                track,
-                &[("target", target.tile as u64), ("actor_addr", req.actor)],
-            )
-        });
-
-        // Invoke packet: header + actor + action + args (+ future).
-        let bytes = 24 + 8 * req.args.len() as u32 + if req.future.is_some() { 8 } else { 0 };
-        let arrival = self
-            .hw
-            .noc
-            .send(self.tile, target.tile, bytes, self.now, &mut self.hw.stats);
-
-        let mut args = Vec::with_capacity(1 + req.args.len());
-        args.push(req.actor);
-        args.extend_from_slice(&req.args);
-        self.spawns.push(SpawnReq {
-            engine: target,
-            func: aref.func,
-            prog: aref.prog,
-            args,
-            start: arrival,
-            fallback_core: None,
-        });
-        if self.is_core && req.future.is_none() {
-            // ACK returns once the engine accepts the task.
-            let ack = self.hw.noc.send(
-                target.tile,
-                self.tile,
-                INVOKE_ACK,
-                arrival,
-                &mut self.hw.stats,
-            );
-            self.hw
-                .stats
-                .invoke_rtt
-                .record(ack.saturating_sub(self.now));
-            self.invoke_acks.push_back(ack);
-        }
-        self.op_done = self.now + 1;
-        Poll::Ready(())
-    }
-
-    fn future_wait(&mut self, mem: &mut dyn Memory, fut: Addr) -> Poll<u64> {
-        if future_layout::is_filled(mem, fut) {
-            let arrival = self
-                .hw
-                .ndc
-                .futures
-                .get(&fut)
-                .map_or(self.now, |f| f.arrival);
-            self.wait_fill = arrival;
-            Poll::Ready(future_layout::value(mem, fut))
-        } else {
-            self.block = Some(WaitCond::FutureFill(fut));
-            Poll::Pending
-        }
-    }
-
-    fn future_send(&mut self, mem: &mut dyn Memory, fut: Addr, val: u64) {
-        future_layout::fill(mem, fut, val);
-        // store-update: the value travels to the waiter's core; we use the
-        // future's home bank as the destination proxy when no waiter is
-        // parked yet.
-        let dest = self.hw.bank_of(fut);
-        let arrival = self
-            .hw
-            .noc
-            .send(self.tile, dest, CTRL_MSG, self.now, &mut self.hw.stats);
-        self.hw
-            .ndc
-            .futures
-            .insert(fut, crate::ndc::FutureFill { arrival });
-        self.wakes.push((WaitCond::FutureFill(fut), arrival));
-        self.op_done = self.now + 1;
-    }
-
-    fn push(&mut self, mem: &mut dyn Memory, stream: u64, val: u64) -> Poll<()> {
-        let sid = StreamId(stream as u32);
-        let s = self.hw.ndc.stream(sid);
-        if s.is_full() {
-            self.block = Some(WaitCond::StreamSpace(sid));
-            return Poll::Pending;
-        }
-        let addr = s.entry_addr(s.tail);
-        let eng = s.engine;
-        mem.write_u64(addr, val);
-        let done = match self
-            .hw
-            .access_engine(mem, eng, AccessKind::Write, addr, self.now, false)
-        {
-            Walk::Done { at } => at,
-            Walk::Blocked(_) => unreachable!("buffer writes cannot block"),
-        };
-        let s = self.hw.ndc.stream_mut(sid);
-        s.tail += 1;
-        let depth = s.len();
-        self.hw.stats.stream_pushes += 1;
-        self.hw.stats.trace.record(|| {
-            TraceEvent::instant(
-                done,
-                TraceCategory::Stream,
-                "stream.push",
-                Track::Engine(eng),
-                &[("sid", sid.0 as u64), ("depth", depth)],
-            )
-        });
-        self.wakes.push((WaitCond::StreamData(sid), done));
-        self.op_done = self.now + 1;
-        Poll::Ready(())
-    }
-
-    fn pop(&mut self, _mem: &mut dyn Memory, stream: u64) {
-        let sid = StreamId(stream as u32);
-        let (old_addr, new_addr, engine, consumer) = {
-            let s = self.hw.ndc.stream_mut(sid);
-            debug_assert!(s.head < s.tail, "pop past the stream tail");
-            let old = s.entry_addr(s.head);
-            s.head += 1;
-            let new = s.entry_addr(s.head);
-            (old, new, s.engine, s.consumer)
-        };
-        self.hw.stats.stream_pops += 1;
-        let depth = self.hw.ndc.stream(sid).len();
-        let (now, track) = (self.now, self.track());
-        self.hw.stats.trace.record(|| {
-            TraceEvent::instant(
-                now,
-                TraceCategory::Stream,
-                "stream.pop",
-                track,
-                &[("sid", sid.0 as u64), ("depth", depth)],
-            )
-        });
-        let run_ahead = matches!(self.hw.ndc.stream(sid).mode, StreamMode::RunAhead);
-        let old_line = old_addr >> crate::config::LINE_SHIFT;
-        let new_line = new_addr >> crate::config::LINE_SHIFT;
-        if old_line != new_line {
-            // Head crossed a line: invalidate the dead line at the consumer
-            // and notify the producing engine.
-            self.hw.l1[consumer as usize].invalidate(old_line);
-            self.hw.l2[consumer as usize].invalidate(old_line);
-            let arrival = self.hw.noc.send(
-                consumer,
-                engine.tile,
-                INVAL_NOTIFY,
-                self.now,
-                &mut self.hw.stats,
-            );
-            if run_ahead {
-                self.wakes.push((WaitCond::StreamSpace(sid), arrival));
-            }
-        } else if run_ahead {
-            self.wakes.push((WaitCond::StreamSpace(sid), self.now + 1));
-        }
-        // Miss-triggered producers are only re-activated by consumer
-        // misses (they cannot run ahead of demand, Sec. VIII-C).
-        self.op_done = self.now + 1;
-    }
-
-    fn flush(&mut self, mem: &mut dyn Memory, addr: Addr, len: u64) {
-        let t = self.hw.flush_range(mem, addr, len, self.now);
-        self.op_done = t.max(self.now + 1);
-    }
-}
-
-/// ACK message size for invoke backpressure.
-const INVOKE_ACK: u32 = 8;
-/// Pop-notification message size.
-const INVAL_NOTIFY: u32 = 8;
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use levi_isa::{ActionId, ProgramBuilder, Reg, RmwOp};
-
-    fn small_cfg() -> MachineConfig {
-        let mut cfg = MachineConfig::with_tiles(4);
-        cfg.prefetcher = false;
-        cfg
-    }
-
-    #[test]
-    fn single_thread_store_load() {
-        let mut pb = ProgramBuilder::new();
-        let mut f = pb.function("main");
-        let (p, v, r) = (Reg(1), Reg(2), Reg(3));
-        f.imm(p, 0x1000).imm(v, 77);
-        f.st8(p, 0, v);
-        f.ld8(r, p, 0);
-        f.mov(Reg(0), r).halt();
-        let func = f.finish();
-        let prog = Arc::new(pb.finish().unwrap());
-
-        let mut m = Machine::new(small_cfg());
-        m.spawn_thread(0, prog, func, &[]).unwrap();
-        let res = m.run().unwrap();
-        assert!(
-            res.cycles > 100,
-            "cold miss pays DRAM latency: {}",
-            res.cycles
-        );
-        assert_eq!(m.mem().read_u64(0x1000), 77);
-        assert!(m.stats().core_instrs >= 5);
-    }
-
-    #[test]
-    fn parallel_threads_on_different_cores() {
-        // Each thread sums a private array; runs should overlap.
-        let mut pb = ProgramBuilder::new();
-        let mut f = pb.function("sum");
-        let (base, n, acc, i, v) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4));
-        let top = f.label();
-        let out = f.label();
-        f.imm(acc, 0).imm(i, 0);
-        f.bind(top);
-        f.bge_u(i, n, out);
-        f.ld8(v, base, 0);
-        f.add(acc, acc, v);
-        f.addi(base, base, 8);
-        f.addi(i, i, 1);
-        f.jmp(top);
-        f.bind(out);
-        f.mov(Reg(0), acc).halt();
-        let func = f.finish();
-        let prog = Arc::new(pb.finish().unwrap());
-
-        let mut m = Machine::new(small_cfg());
-        for t in 0..4u32 {
-            let base = 0x10_0000 + t as u64 * 0x1000;
-            for k in 0..64u64 {
-                m.mem_mut().write_u64(base + 8 * k, k);
-            }
-            m.spawn_thread(t, prog.clone(), func, &[base, 64]).unwrap();
-        }
-        let res = m.run().unwrap();
-        assert!(res.cycles > 0);
-        assert!(m.stats().core_instrs > 4 * 64 * 5);
-        assert!(m.stats().l1.hits > 0, "spatial locality in the arrays");
-    }
-
-    #[test]
-    fn fenced_rmw_is_slower_than_relaxed() {
-        fn build(relaxed: bool) -> (Arc<Program>, FuncId) {
-            let mut pb = ProgramBuilder::new();
-            let mut f = pb.function("updates");
-            let (p, v, i, n, old) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4));
-            f.imm(v, 1).imm(i, 0).imm(n, 64);
-            let top = f.label();
-            let out = f.label();
-            f.bind(top);
-            f.bge_u(i, n, out);
-            if relaxed {
-                f.rmw_relaxed(RmwOp::Add, old, p, v, levi_isa::MemWidth::B8);
-            } else {
-                f.rmw_fenced(RmwOp::Add, old, p, v, levi_isa::MemWidth::B8);
-            }
-            // Independent work that fences serialize against.
-            f.ld8(Reg(5), p, 64);
-            f.addi(i, i, 1);
-            f.jmp(top);
-            f.bind(out);
-            f.halt();
-            let func = f.finish();
-            (Arc::new(pb.finish().unwrap()), func)
-        }
-        let run = |relaxed: bool| {
-            let (prog, func) = build(relaxed);
-            let mut m = Machine::new(small_cfg());
-            m.spawn_thread(0, prog, func, &[0x2000]).unwrap();
-            let r = m.run().unwrap();
-            (r.cycles, m.mem().read_u64(0x2000), m.stats().fences)
-        };
-        let (fenced_cycles, fenced_val, fences) = run(false);
-        let (relaxed_cycles, relaxed_val, no_fences) = run(true);
-        assert_eq!(fenced_val, 64);
-        assert_eq!(relaxed_val, 64);
-        assert_eq!(fences, 64);
-        assert_eq!(no_fences, 0);
-        assert!(
-            fenced_cycles > relaxed_cycles,
-            "fences must cost cycles: {fenced_cycles} vs {relaxed_cycles}"
-        );
-    }
-
-    #[test]
-    fn rmw_ping_pong_between_cores() {
-        // Two cores hammer the same counter with relaxed RMWs.
-        let mut pb = ProgramBuilder::new();
-        let mut f = pb.function("hammer");
-        let (p, v, i, n, old) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4));
-        f.imm(v, 1).imm(i, 0).imm(n, 32);
-        let top = f.label();
-        let out = f.label();
-        f.bind(top);
-        f.bge_u(i, n, out);
-        f.rmw_relaxed(RmwOp::Add, old, p, v, levi_isa::MemWidth::B8);
-        f.addi(i, i, 1);
-        f.jmp(top);
-        f.bind(out);
-        f.halt();
-        let func = f.finish();
-        let prog = Arc::new(pb.finish().unwrap());
-
-        // A tiny quantum interleaves the two cores finely, exposing the
-        // line's ownership ping-pong.
-        let mut cfg = small_cfg();
-        cfg.quantum = 4;
-        let mut m = Machine::new(cfg);
-        m.spawn_thread(0, prog.clone(), func, &[0x3000]).unwrap();
-        m.spawn_thread(1, prog, func, &[0x3000]).unwrap();
-        m.run().unwrap();
-        assert_eq!(m.mem().read_u64(0x3000), 64, "no update lost");
-        assert!(
-            m.stats().ownership_transfers > 5,
-            "ping-pong visible: {}",
-            m.stats().ownership_transfers
-        );
-    }
-
-    #[test]
-    fn invoke_runs_action_on_engine_and_future_returns() {
-        let mut pb = ProgramBuilder::new();
-        // Action: add r1 to the actor's u64, send new value to future r2.
-        let action = {
-            let mut f = pb.function("add_action");
-            let (actor, amt, fut, v) = (Reg(0), Reg(1), Reg(2), Reg(3));
-            f.ld8(v, actor, 0);
-            f.add(v, v, amt);
-            f.st8(actor, 0, v);
-            f.future_send(fut, v);
-            f.halt();
-            f.finish()
-        };
-        let mut mn = pb.function("main");
-        let (actor, fut, amt, r) = (Reg(1), Reg(2), Reg(3), Reg(4));
-        mn.imm(actor, 0x4000).imm(fut, 0x5000).imm(amt, 5);
-        mn.invoke_future(actor, ActionId(0), &[amt, fut], fut, Location::Dynamic);
-        mn.future_wait(r, fut);
-        mn.mov(Reg(0), r).halt();
-        let main = mn.finish();
-        let prog = Arc::new(pb.finish().unwrap());
-
-        let mut m = Machine::new(small_cfg());
-        m.mem_mut().write_u64(0x4000, 37);
-        m.hw.ndc.actions.register(ActionId(0), prog.clone(), action);
-        m.spawn_thread(0, prog, main, &[]).unwrap();
-        m.run().unwrap();
-        assert_eq!(m.mem().read_u64(0x4000), 42);
-        assert_eq!(m.stats().invokes, 1);
-        assert!(m.stats().engine_instrs >= 4);
-    }
-
-    #[test]
-    fn invoke_buffer_backpressure_applies() {
-        // Fire-and-forget invokes far faster than engines can run them:
-        // the invoke buffer must throttle the core, not error.
-        let mut pb = ProgramBuilder::new();
-        let action = {
-            let mut f = pb.function("slow_action");
-            let (actor, v, i, n) = (Reg(0), Reg(1), Reg(2), Reg(3));
-            f.imm(i, 0).imm(n, 20);
-            let top = f.label();
-            let out = f.label();
-            f.bind(top);
-            f.bge_u(i, n, out);
-            f.ld8(v, actor, 0);
-            f.addi(i, i, 1);
-            f.jmp(top);
-            f.bind(out);
-            f.halt();
-            f.finish()
-        };
-        let mut mn = pb.function("main");
-        let (actor, i, n) = (Reg(1), Reg(2), Reg(3));
-        mn.imm(actor, 0x6000).imm(i, 0).imm(n, 100);
-        let top = mn.label();
-        let out = mn.label();
-        mn.bind(top);
-        mn.bge_u(i, n, out);
-        mn.invoke(actor, ActionId(0), &[], Location::Remote);
-        mn.addi(i, i, 1);
-        mn.jmp(top);
-        mn.bind(out);
-        mn.halt();
-        let main = mn.finish();
-        let prog = Arc::new(pb.finish().unwrap());
-
-        let mut m = Machine::new(small_cfg());
-        m.hw.ndc.actions.register(ActionId(0), prog.clone(), action);
-        m.spawn_thread(0, prog, main, &[]).unwrap();
-        let res = m.run().unwrap();
-        assert_eq!(m.stats().invokes, 100);
-        assert!(res.cycles > 100);
-    }
-
-    #[test]
-    fn stream_push_pop_round_trip() {
-        // Producer pushes 0..N on an engine; consumer reads each entry from
-        // the phantom/buffer range and pops.
-        let mut pb = ProgramBuilder::new();
-        let producer = {
-            let mut f = pb.function("producer");
-            let (handle, i, n) = (Reg(0), Reg(1), Reg(2));
-            f.imm(i, 0).imm(n, 100);
-            let top = f.label();
-            let out = f.label();
-            f.bind(top);
-            f.bge_u(i, n, out);
-            f.push(handle, i);
-            f.addi(i, i, 1);
-            f.jmp(top);
-            f.bind(out);
-            f.halt();
-            f.finish()
-        };
-        let consumer = {
-            let mut f = pb.function("consumer");
-            // r0 = handle, r1 = buffer base, r2 = capacity, r3 = n
-            let (handle, base, cap, n) = (Reg(0), Reg(1), Reg(2), Reg(3));
-            let (i, idx, addr, v, acc) = (Reg(4), Reg(5), Reg(6), Reg(7), Reg(8));
-            f.imm(i, 0).imm(acc, 0);
-            let top = f.label();
-            let out = f.label();
-            f.bind(top);
-            f.bge_u(i, n, out);
-            f.remu(idx, i, cap);
-            f.muli(idx, idx, 8);
-            f.add(addr, base, idx);
-            f.ld8(v, addr, 0);
-            f.pop(handle);
-            f.add(acc, acc, v);
-            f.addi(i, i, 1);
-            f.jmp(top);
-            f.bind(out);
-            f.mov(Reg(0), acc).halt();
-            f.finish()
-        };
-        let prog = Arc::new(pb.finish().unwrap());
-
-        let mut m = Machine::new(small_cfg());
-        let buffer = 0x8000u64;
-        let cap = 16u64;
-        let engine = EngineId {
-            tile: 0,
-            level: EngineLevel::Llc,
-        };
-        let sid = m
-            .create_stream(buffer, 8, cap, engine, 0, StreamMode::RunAhead)
-            .unwrap();
-        // Consumer reads via a stream-backed L2 morph over the buffer.
-        m.hw.ndc.register_morph(crate::ndc::MorphRegion {
-            base: buffer,
-            bound: buffer + cap * 8,
-            level: crate::ndc::MorphLevel::L2,
-            obj_size: 8,
-            ctor: None,
-            dtor: None,
-            view: 0,
-            stream: Some(sid),
-        });
-        m.spawn_engine_task(engine, prog.clone(), producer, &[sid.0 as u64], Some(sid));
-        m.spawn_thread(0, prog, consumer, &[sid.0 as u64, buffer, cap, 100])
-            .unwrap();
-        m.run().unwrap();
-        let expect: u64 = (0..100).sum();
-        // The consumer's r0 is gone; check via stats instead + memory sum.
-        assert_eq!(m.stats().stream_pushes, 100);
-        assert_eq!(m.stats().stream_pops, 100);
-        let _ = expect;
-    }
-
-    #[test]
-    fn deadlock_detected_for_never_filled_future() {
-        let mut pb = ProgramBuilder::new();
-        let mut f = pb.function("main");
-        f.imm(Reg(1), 0x9000);
-        f.future_wait(Reg(0), Reg(1));
-        f.halt();
-        let main = f.finish();
-        let prog = Arc::new(pb.finish().unwrap());
-        let mut m = Machine::new(small_cfg());
-        m.spawn_thread(0, prog, main, &[]).unwrap();
-        match m.run() {
-            Err(ref e @ RunError::Deadlock(ref v)) => {
-                assert_eq!(v.len(), 1);
-                assert!(matches!(v[0].cond, WaitCond::FutureFill(0x9000)));
-                assert!(matches!(v[0].owner, ParkOwner::Core(0)));
-                // Display is one readable line per parked actor, not a
-                // debug dump.
-                let text = e.to_string();
-                assert!(
-                    text.contains("actor 0 on core 0: waiting on future-fill @0x9000"),
-                    "{text}"
-                );
-                assert!(text.contains("parked"), "{text}");
-                assert!(!text.contains("FutureFill"), "no Debug output: {text}");
-            }
-            other => panic!("expected deadlock, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn watchdog_aborts_long_runs() {
-        // A long (but finite) pointer-chase loop; with a tiny max_cycles
-        // the watchdog must fire long before completion.
-        let mut pb = ProgramBuilder::new();
-        let mut f = pb.function("main");
-        let (p, i, n, v) = (Reg(1), Reg(2), Reg(3), Reg(4));
-        f.imm(p, 0x10000).imm(i, 0).imm(n, 10_000);
-        let top = f.label();
-        let out = f.label();
-        f.bind(top);
-        f.bge_u(i, n, out);
-        f.ld8(v, p, 0);
-        f.addi(p, p, 64);
-        f.addi(i, i, 1);
-        f.jmp(top);
-        f.bind(out);
-        f.halt();
-        let main = f.finish();
-        let prog = Arc::new(pb.finish().unwrap());
-
-        let mut cfg = small_cfg();
-        cfg.max_cycles = 5_000;
-        let mut m = Machine::new(cfg);
-        m.spawn_thread(0, prog.clone(), main, &[]).unwrap();
-        match m.run() {
-            Err(RunError::Watchdog { limit, at }) => {
-                assert_eq!(limit, 5_000);
-                assert!(at > 5_000);
-            }
-            other => panic!("expected watchdog, got {other:?}"),
-        }
-        // Without the watchdog the same program completes.
-        let mut m = Machine::new(small_cfg());
-        m.spawn_thread(0, prog, main, &[]).unwrap();
-        assert!(m.run().is_ok());
-    }
-
-    #[test]
-    fn spawn_and_stream_errors_are_typed() {
-        let mut pb = ProgramBuilder::new();
-        let mut f = pb.function("main");
-        f.halt();
-        let main = f.finish();
-        let prog = Arc::new(pb.finish().unwrap());
-        let mut m = Machine::new(small_cfg());
-        assert_eq!(
-            m.spawn_thread(99, prog.clone(), main, &[]),
-            Err(SimError::CoreOutOfRange { core: 99, tiles: 4 })
-        );
-        assert_eq!(
-            m.spawn_thread(0, prog.clone(), main, &[0; 9]),
-            Err(SimError::TooManyArgs { given: 9, max: 8 })
-        );
-        let engine = EngineId {
-            tile: 0,
-            level: EngineLevel::Llc,
-        };
-        assert_eq!(
-            m.create_stream(0x8000, 4, 16, engine, 0, StreamMode::RunAhead),
-            Err(SimError::UnsupportedEntrySize { entry_size: 4 })
-        );
-        assert_eq!(
-            m.create_stream(0x8000, 8, 0, engine, 0, StreamMode::RunAhead),
-            Err(SimError::ZeroStreamCapacity)
-        );
-        // A failed spawn must not leave a live thread behind.
-        m.spawn_thread(0, prog, main, &[]).unwrap();
-        assert!(m.run().is_ok());
-    }
-
-    #[test]
-    fn unregistered_action_is_a_run_fault() {
-        let mut pb = ProgramBuilder::new();
-        let mut mn = pb.function("main");
-        let actor = Reg(1);
-        mn.imm(actor, 0x6000);
-        mn.invoke(actor, ActionId(7), &[], Location::Remote);
-        mn.halt();
-        let main = mn.finish();
-        let prog = Arc::new(pb.finish().unwrap());
-        let mut m = Machine::new(small_cfg());
-        m.spawn_thread(0, prog, main, &[]).unwrap();
-        match m.run() {
-            Err(RunError::Fault(SimError::UnknownAction(id))) => assert_eq!(id, ActionId(7)),
-            other => panic!("expected fault, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn faulted_engine_backs_off_then_falls_back() {
-        use crate::fault::{CycleWindow, FaultPlan};
-        // Same invoke workload as invoke_runs_action_on_engine..., but
-        // every engine refuses for the whole run: the invoke must retry
-        // with backoff, fall back to the core, and still compute the right
-        // answer.
-        let mut pb = ProgramBuilder::new();
-        let action = {
-            let mut f = pb.function("add_action");
-            let (actor, amt, fut, v) = (Reg(0), Reg(1), Reg(2), Reg(3));
-            f.ld8(v, actor, 0);
-            f.add(v, v, amt);
-            f.st8(actor, 0, v);
-            f.future_send(fut, v);
-            f.halt();
-            f.finish()
-        };
-        let mut mn = pb.function("main");
-        let (actor, fut, amt, r) = (Reg(1), Reg(2), Reg(3), Reg(4));
-        mn.imm(actor, 0x4000).imm(fut, 0x5000).imm(amt, 5);
-        mn.invoke_future(actor, ActionId(0), &[amt, fut], fut, Location::Dynamic);
-        mn.future_wait(r, fut);
-        mn.mov(Reg(0), r).halt();
-        let main = mn.finish();
-        let prog = Arc::new(pb.finish().unwrap());
-
-        let mut plan = FaultPlan::new(1).retry_budget(3).backoff(8, 64);
-        for tile in 0..4 {
-            for level in [EngineLevel::L2, EngineLevel::Llc] {
-                plan =
-                    plan.add_engine_fault(EngineId { tile, level }, CycleWindow::new(0, u64::MAX));
-            }
-        }
-        let mut m = Machine::new(small_cfg().faulted(plan));
-        m.mem_mut().write_u64(0x4000, 37);
-        m.hw.ndc.actions.register(ActionId(0), prog.clone(), action);
-        m.spawn_thread(0, prog, main, &[]).unwrap();
-        m.run().unwrap();
-        assert_eq!(m.mem().read_u64(0x4000), 42, "fallback still computes");
-        let s = m.stats();
-        assert_eq!(s.fault_nack_retries, 3, "full retry budget consumed");
-        assert_eq!(s.fault_fallbacks, 1);
-        assert_eq!(s.invoke_nacks, 4, "3 retries + the final refusal");
-        assert_eq!(s.invokes, 0, "nothing was offloaded");
-        assert_eq!(s.fault_backoff.count(), 3);
-        assert!(s.fault_degraded_cycles >= 8 + 16 + 32);
-    }
-
-    #[test]
-    fn trace_reaches_machine() {
-        let mut pb = ProgramBuilder::new();
-        let mut f = pb.function("main");
-        f.imm(Reg(1), 123).trace(Reg(1)).halt();
-        let main = f.finish();
-        let prog = Arc::new(pb.finish().unwrap());
-        let mut m = Machine::new(small_cfg());
-        m.spawn_thread(0, prog, main, &[]).unwrap();
-        m.run().unwrap();
-        assert_eq!(m.traces(), &[123]);
-    }
-
-    #[test]
-    fn determinism_same_seed_same_cycles() {
-        let build = || {
-            let mut pb = ProgramBuilder::new();
-            let mut f = pb.function("main");
-            let (p, i, n, v) = (Reg(1), Reg(2), Reg(3), Reg(4));
-            f.imm(p, 0x10000).imm(i, 0).imm(n, 200);
-            let top = f.label();
-            let out = f.label();
-            f.bind(top);
-            f.bge_u(i, n, out);
-            f.ld8(v, p, 0);
-            f.addi(p, p, 64);
-            f.addi(i, i, 1);
-            f.jmp(top);
-            f.bind(out);
-            f.halt();
-            let func = f.finish();
-            (Arc::new(pb.finish().unwrap()), func)
-        };
-        let run = || {
-            let (prog, func) = build();
-            let mut m = Machine::new(small_cfg());
-            m.spawn_thread(0, prog.clone(), func, &[]).unwrap();
-            m.spawn_thread(1, prog, func, &[]).unwrap();
-            m.run().unwrap().cycles
-        };
-        assert_eq!(run(), run(), "simulation must be deterministic");
     }
 }

@@ -1,0 +1,576 @@
+//! The deterministic scheduler: actors, the run queue, park/wake
+//! conditions, and deadlock diagnostics.
+//!
+//! Every execution context (a core thread or an engine task) is an
+//! `Actor` in a single binary-heap run queue ordered by
+//! `(cycle, sequence, id)` — the sequence number makes same-cycle ordering
+//! deterministic, so a run is a pure function of its inputs. Actors run
+//! ahead of the global clock by at most a configurable quantum, then
+//! yield; blocking operations park an actor on a
+//! [`WaitCond`] until the matching wake fires. When
+//! the queue drains with core threads still parked, [`Machine::run`]
+//! reports every stuck actor as a [`ParkedActor`] — the core half and the
+//! engine half of a cycle usually appear together in the report.
+
+use std::cmp::Reverse;
+use std::fmt;
+use std::sync::Arc;
+
+use levi_isa::{ExecCtx, InstClass, Program, NUM_REGS};
+
+use crate::branch::Gshare;
+use crate::core_pipe::{step_one, StepEnv, StepOutcome};
+use crate::engine::{EngineId, FuCursor};
+use crate::error::SimError;
+use crate::machine::Machine;
+use crate::ndc::{StreamId, StreamMode, WaitCond};
+use crate::ndc_host::SpawnReq;
+use crate::trace::{TraceCategory, TraceEvent, Track};
+
+/// Identifies an execution context (a core thread or an engine task).
+pub type ActorId = u32;
+
+/// What kind of context an actor is.
+#[derive(Clone, Debug)]
+pub(crate) enum ActorKind {
+    /// A software thread pinned to a core.
+    CoreThread { core: u32 },
+    /// An offloaded task or long-lived action on an engine.
+    EngineTask {
+        engine: EngineId,
+        /// Whether a task context was reserved (released on halt).
+        reserved_ctx: bool,
+        /// The producer side of this stream, if this is a `genStream` task.
+        stream: Option<StreamId>,
+    },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ActorState {
+    Runnable,
+    Parked(WaitCond),
+    Done,
+}
+
+pub(crate) struct Actor {
+    pub(crate) kind: ActorKind,
+    pub(crate) prog: Arc<Program>,
+    pub(crate) ctx: ExecCtx,
+    /// Local clock: the cycle of the last issued instruction.
+    pub(crate) clock: u64,
+    pub(crate) reg_ready: [u64; NUM_REGS],
+    /// Completion times of outstanding memory accesses (for MSHR limits
+    /// and fences).
+    pub(crate) pending_mem: Vec<u64>,
+    /// Core issue-width cursor (cores only).
+    pub(crate) issue: FuCursor,
+    /// Branch predictor (cores only).
+    pub(crate) predictor: Option<Gshare>,
+    /// In-flight invoke ACK times (cores' invoke buffer).
+    pub(crate) invoke_acks: std::collections::VecDeque<u64>,
+    /// Deterministic counter for the 1/32 DYNAMIC migrate-local policy.
+    pub(crate) invoke_count: u32,
+    /// Consecutive fault-induced NACK retries on the current invoke
+    /// (reset on a successful issue or a core fallback).
+    pub(crate) invoke_retries: u32,
+    pub(crate) state: ActorState,
+    pub(crate) sched_seq: u64,
+    /// Cycle at which the current park began (for stall accounting).
+    pub(crate) parked_at: u64,
+}
+
+impl Actor {
+    /// Builds a core-thread actor starting at `clock`.
+    pub(crate) fn core_thread(
+        core: u32,
+        cfg: crate::config::CoreConfig,
+        prog: Arc<Program>,
+        func: levi_isa::FuncId,
+        args: &[u64],
+        clock: u64,
+    ) -> Self {
+        Actor {
+            kind: ActorKind::CoreThread { core },
+            prog,
+            ctx: ExecCtx::new(func, args),
+            clock,
+            reg_ready: [clock; NUM_REGS],
+            pending_mem: Vec::new(),
+            issue: FuCursor::new(cfg.issue_width),
+            predictor: Some(Gshare::new(cfg.predictor_bits)),
+            invoke_acks: std::collections::VecDeque::new(),
+            invoke_count: 0,
+            invoke_retries: 0,
+            state: ActorState::Runnable,
+            sched_seq: 0,
+            parked_at: 0,
+        }
+    }
+
+    /// Builds an engine-task actor starting at `clock`.
+    pub(crate) fn engine_task(
+        engine: EngineId,
+        prog: Arc<Program>,
+        func: levi_isa::FuncId,
+        args: &[u64],
+        stream: Option<StreamId>,
+        clock: u64,
+    ) -> Self {
+        Actor {
+            kind: ActorKind::EngineTask {
+                engine,
+                reserved_ctx: false,
+                stream,
+            },
+            prog,
+            ctx: ExecCtx::new(func, args),
+            clock,
+            reg_ready: [clock; NUM_REGS],
+            pending_mem: Vec::new(),
+            issue: FuCursor::new(64),
+            predictor: None,
+            invoke_acks: std::collections::VecDeque::new(),
+            invoke_count: 0,
+            invoke_retries: 0,
+            state: ActorState::Runnable,
+            sched_seq: 0,
+            parked_at: 0,
+        }
+    }
+}
+
+/// Result of [`Machine::run`].
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Absolute cycle count when every core thread had halted.
+    pub cycles: u64,
+}
+
+/// The unit a parked actor belongs to (deadlock diagnostics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParkOwner {
+    /// A software thread on the given core.
+    Core(u32),
+    /// A task on the given engine.
+    Engine(EngineId),
+}
+
+impl fmt::Display for ParkOwner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParkOwner::Core(c) => write!(f, "core {c}"),
+            ParkOwner::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// One actor found parked when the run queue drained (deadlock
+/// diagnostics): what it waits on, where it lives, and for how long it has
+/// been stuck.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParkedActor {
+    /// The parked actor.
+    pub actor: ActorId,
+    /// The condition it is waiting on.
+    pub cond: WaitCond,
+    /// The core or engine the actor runs on.
+    pub owner: ParkOwner,
+    /// Cycle the park began.
+    pub parked_at: u64,
+    /// Cycles parked when the deadlock was detected.
+    pub parked_for: u64,
+}
+
+impl fmt::Display for ParkedActor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "actor {} on {}: waiting on {}, parked {} cycles (since cycle {})",
+            self.actor, self.owner, self.cond, self.parked_for, self.parked_at
+        )
+    }
+}
+
+/// Errors from [`Machine::run`].
+#[derive(Clone, Debug)]
+pub enum RunError {
+    /// The run queue drained while core threads were still parked — a
+    /// deadlock. Reports every parked actor (cores first by id, then any
+    /// parked engine tasks for context).
+    Deadlock(Vec<ParkedActor>),
+    /// The watchdog fired: the simulated clock passed
+    /// [`MachineConfig::max_cycles`](crate::MachineConfig::max_cycles)
+    /// without the run completing.
+    Watchdog {
+        /// The configured limit.
+        limit: u64,
+        /// The clock value that tripped it.
+        at: u64,
+    },
+    /// A typed simulator error surfaced mid-run (e.g. a program invoked an
+    /// unregistered action).
+    Fault(SimError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Deadlock(v) => {
+                let cores = v
+                    .iter()
+                    .filter(|p| matches!(p.owner, ParkOwner::Core(_)))
+                    .count();
+                write!(f, "deadlock: {cores} core context(s) parked")?;
+                for p in v {
+                    write!(f, "\n  {p}")?;
+                }
+                Ok(())
+            }
+            RunError::Watchdog { limit, at } => write!(
+                f,
+                "watchdog: simulated clock reached cycle {at} without completing (limit {limit})"
+            ),
+            RunError::Fault(e) => write!(f, "simulation fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl Machine {
+    /// Installs `actor` into a recycled slot or appends a new one.
+    pub(crate) fn install_actor(&mut self, actor: Actor) -> ActorId {
+        match self.free_slots.pop() {
+            Some(aid) => {
+                self.actors[aid as usize] = actor;
+                aid
+            }
+            None => {
+                let aid = self.actors.len() as ActorId;
+                self.actors.push(actor);
+                aid
+            }
+        }
+    }
+
+    pub(crate) fn enqueue(&mut self, aid: ActorId, at: u64) {
+        self.seq += 1;
+        let a = &mut self.actors[aid as usize];
+        a.sched_seq = self.seq;
+        a.state = ActorState::Runnable;
+        self.runq.push(Reverse((at, self.seq, aid)));
+    }
+
+    pub(crate) fn wake(&mut self, cond: WaitCond, at: u64) {
+        let Some(list) = self.waiters.remove(&cond) else {
+            return;
+        };
+        for aid in list {
+            let a = &mut self.actors[aid as usize];
+            if a.state == ActorState::Parked(cond) {
+                if let WaitCond::StreamData(sid) = cond {
+                    let stall = at.saturating_sub(a.parked_at);
+                    self.hw.stats.stream_stall_cycles += stall;
+                    self.hw.stats.stream_stall.record(stall);
+                    let track = match a.kind {
+                        ActorKind::CoreThread { core } => Track::Core(core),
+                        ActorKind::EngineTask { engine, .. } => Track::Engine(engine),
+                    };
+                    let parked_at = a.parked_at;
+                    self.hw.stats.trace.record(|| {
+                        TraceEvent::span(
+                            parked_at,
+                            stall,
+                            TraceCategory::Stream,
+                            "stream.stall",
+                            track,
+                            &[("sid", sid.0 as u64)],
+                        )
+                    });
+                }
+                a.clock = a.clock.max(at);
+                // Miss-triggered pseudo-stream producers pay a
+                // re-initialization cost on every activation
+                // (paper Sec. VIII-C: tako must rebuild its BDFS state per
+                // triggered line).
+                if let WaitCond::StreamSpace(sid) = cond {
+                    if let ActorKind::EngineTask {
+                        stream: Some(s), ..
+                    } = a.kind
+                    {
+                        if s == sid {
+                            if let StreamMode::MissTriggered { reinit_instrs } =
+                                self.hw.ndc.streams[sid.0 as usize].mode
+                            {
+                                self.hw.stats.engine_instrs += reinit_instrs as u64;
+                                a.clock += (reinit_instrs as u64).div_ceil(4);
+                            }
+                        }
+                    }
+                }
+                let clock = a.clock;
+                self.enqueue(aid, clock);
+            }
+        }
+    }
+
+    /// Runs until every spawned core thread has halted (engine tasks may
+    /// remain parked, e.g. stream producers blocked on a full buffer).
+    ///
+    /// # Errors
+    /// Returns [`RunError::Deadlock`] if the run queue drains while a core
+    /// thread is still parked, [`RunError::Watchdog`] if the clock passes
+    /// [`MachineConfig::max_cycles`](crate::MachineConfig::max_cycles)
+    /// (when non-zero), and [`RunError::Fault`] when a typed error
+    /// surfaces mid-run.
+    pub fn run(&mut self) -> Result<RunResult, RunError> {
+        let max_cycles = self.hw.cfg.max_cycles;
+        while let Some(Reverse((t, seq, aid))) = self.runq.pop() {
+            {
+                let a = &self.actors[aid as usize];
+                if a.sched_seq != seq || a.state != ActorState::Runnable {
+                    continue;
+                }
+            }
+            self.now = self.now.max(t);
+            if max_cycles != 0 && self.now > max_cycles {
+                return Err(RunError::Watchdog {
+                    limit: max_cycles,
+                    at: self.now,
+                });
+            }
+            self.hw.maybe_sample(self.now);
+            self.run_actor(aid);
+            if let Some(e) = self.hw.fatal.take() {
+                return Err(RunError::Fault(e));
+            }
+            if self.live_core_threads == 0 && self.no_runnable_engine_tasks() {
+                break;
+            }
+        }
+        // Deadlock check: parked core threads with an empty queue. The
+        // report also lists parked engine tasks — a blocked producer or
+        // consumer is usually the other half of the cycle.
+        let mut stuck = Vec::new();
+        for (i, a) in self.actors.iter().enumerate() {
+            if let ActorState::Parked(c) = a.state {
+                stuck.push(ParkedActor {
+                    actor: i as ActorId,
+                    cond: c,
+                    owner: match a.kind {
+                        ActorKind::CoreThread { core } => ParkOwner::Core(core),
+                        ActorKind::EngineTask { engine, .. } => ParkOwner::Engine(engine),
+                    },
+                    parked_at: a.parked_at,
+                    parked_for: self.now.saturating_sub(a.parked_at),
+                });
+            }
+        }
+        let core_stuck = stuck.iter().any(|p| matches!(p.owner, ParkOwner::Core(_)));
+        if core_stuck && self.live_core_threads > 0 {
+            return Err(RunError::Deadlock(stuck));
+        }
+        let cycles = self
+            .actors
+            .iter()
+            .map(|a| a.clock)
+            .max()
+            .unwrap_or(self.now)
+            .max(self.now);
+        self.now = cycles;
+        self.hw.stats.cycles = cycles;
+        Ok(RunResult { cycles })
+    }
+
+    fn no_runnable_engine_tasks(&self) -> bool {
+        // After cores finish we still drain runnable engine work (offloaded
+        // tasks in flight) but not parked producers.
+        self.runq.iter().all(|Reverse((_, seq, aid))| {
+            let a = &self.actors[*aid as usize];
+            a.sched_seq != *seq || a.state != ActorState::Runnable
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // The dispatch loop
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn run_actor(&mut self, aid: ActorId) {
+        let prog = self.actors[aid as usize].prog.clone();
+        let quantum = self.hw.cfg.quantum;
+        let quantum_end = self.actors[aid as usize].clock + quantum;
+
+        loop {
+            // -------- per-instruction outcome, gathered under a scoped
+            // borrow of the actor --------
+            use StepOutcome as Outcome;
+            let mut spawns: Vec<SpawnReq> = Vec::new();
+            let mut wakes: Vec<(WaitCond, u64)> = Vec::new();
+
+            let outcome = {
+                let Machine {
+                    actors,
+                    hw,
+                    mem,
+                    traces,
+                    ..
+                } = self;
+                let a = &mut actors[aid as usize];
+                if a.ctx.halted {
+                    Outcome::Finished
+                } else if a.clock > quantum_end {
+                    Outcome::Yield(a.clock)
+                } else {
+                    let inst = prog.func(a.ctx.pc.func).insts()[a.ctx.pc.idx as usize].clone();
+                    let is_core = matches!(a.kind, ActorKind::CoreThread { .. });
+                    let (tile, engine) = match a.kind {
+                        ActorKind::CoreThread { core } => (core, None),
+                        ActorKind::EngineTask { engine, .. } => (engine.tile, Some(engine)),
+                    };
+
+                    // Operand readiness.
+                    let mut ready = a.clock;
+                    inst.for_each_use(|r| ready = ready.max(a.reg_ready[r.index()]));
+
+                    // Issue slot.
+                    let class = inst.class();
+                    let slot = if is_core {
+                        a.issue.reserve(ready)
+                    } else {
+                        let e = &mut hw.engines[engine.expect("engine task").index()];
+                        match class {
+                            InstClass::Mem => e.reserve_mem(ready),
+                            _ => e.reserve_int(ready),
+                        }
+                    };
+
+                    step_one(
+                        StepEnv {
+                            hw,
+                            mem,
+                            traces,
+                            is_core,
+                            tile,
+                            engine,
+                            prog: &prog,
+                        },
+                        a,
+                        &inst,
+                        slot,
+                        &mut spawns,
+                        &mut wakes,
+                    )
+                }
+            };
+
+            // -------- apply side effects gathered during the step --------
+            for s in spawns {
+                let start = s.start;
+                if let Some(core) = s.fallback_core {
+                    // Fault fallback: run the action as a software handler
+                    // thread on the issuing core instead of an engine task.
+                    let id = self.spawn_core_actor(core, s.prog, s.func, &s.args, start);
+                    self.hw.stats.trace.record(|| {
+                        TraceEvent::instant(
+                            start,
+                            TraceCategory::Fault,
+                            "fault.core_fallback_task",
+                            Track::Core(core),
+                            &[("actor", id as u64)],
+                        )
+                    });
+                    self.enqueue(id, start);
+                    continue;
+                }
+                let target = s.engine;
+                let id = self.spawn_engine_task(s.engine, s.prog, s.func, &s.args, None);
+                self.hw.stats.trace.record(|| {
+                    TraceEvent::instant(
+                        start,
+                        TraceCategory::Invoke,
+                        "task.dispatch",
+                        Track::Engine(target),
+                        &[("actor", id as u64)],
+                    )
+                });
+                let a = &mut self.actors[id as usize];
+                a.clock = start;
+                // Mark that this task holds a reserved context.
+                if let ActorKind::EngineTask { reserved_ctx, .. } = &mut a.kind {
+                    *reserved_ctx = true;
+                }
+                self.enqueue(id, start);
+            }
+            for (cond, at) in wakes {
+                self.wake(cond, at);
+            }
+
+            match outcome {
+                Outcome::Continue => {}
+                Outcome::Finished => {
+                    self.finish_actor(aid);
+                    return;
+                }
+                Outcome::Yield(at) => {
+                    self.enqueue(aid, at);
+                    return;
+                }
+                Outcome::Park(cond) => {
+                    let a = &mut self.actors[aid as usize];
+                    a.state = ActorState::Parked(cond);
+                    a.parked_at = a.clock;
+                    self.waiters.entry(cond).or_default().push(aid);
+                    return;
+                }
+                Outcome::SleepUntil(at) => {
+                    self.enqueue(aid, at);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn finish_actor(&mut self, aid: ActorId) {
+        let clock = self.actors[aid as usize].clock;
+        let (is_core, engine_task, engine_release, stream) = {
+            let a = &mut self.actors[aid as usize];
+            a.state = ActorState::Done;
+            match a.kind {
+                ActorKind::CoreThread { .. } => (true, None, None, None),
+                ActorKind::EngineTask {
+                    engine,
+                    reserved_ctx,
+                    stream,
+                } => (false, Some(engine), reserved_ctx.then_some(engine), stream),
+            }
+        };
+        if is_core {
+            self.live_core_threads -= 1;
+        }
+        if let Some(engine) = engine_task {
+            self.hw.stats.trace.record(|| {
+                TraceEvent::instant(
+                    clock,
+                    TraceCategory::Invoke,
+                    "task.retire",
+                    Track::Engine(engine),
+                    &[("actor", aid as u64)],
+                )
+            });
+        }
+        if let Some(engine) = engine_release {
+            self.hw.engines[engine.index()].release_ctx();
+            self.wake(WaitCond::EngineCtx(engine), clock);
+        }
+        if let Some(sid) = stream {
+            self.hw.ndc.stream_mut(sid).closed = true;
+            self.wake(WaitCond::StreamData(sid), clock);
+        }
+        self.now = self.now.max(clock);
+        if !is_core {
+            // Recycle the slot so offload-heavy workloads stay bounded.
+            self.free_slots.push(aid);
+        }
+    }
+}

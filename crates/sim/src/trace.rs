@@ -39,6 +39,11 @@ pub enum TraceCategory {
     /// Injected-fault activity: refusals, backoff retries, squeezes,
     /// degradation, core fallback.
     Fault,
+    /// Invoke-scheduler decisions: placement, NACKs, migrate-local.
+    /// Opt-in via [`MachineConfig::trace_sched`](crate::MachineConfig)
+    /// — off by default so traced runs stay byte-identical across
+    /// versions.
+    Sched,
 }
 
 impl TraceCategory {
@@ -51,6 +56,7 @@ impl TraceCategory {
             TraceCategory::Dram => "dram",
             TraceCategory::Noc => "noc",
             TraceCategory::Fault => "fault",
+            TraceCategory::Sched => "sched",
         }
     }
 }

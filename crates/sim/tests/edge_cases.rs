@@ -54,7 +54,7 @@ fn invoke_storm_all_cores_one_engine() {
     let prog = Arc::new(pb.finish().unwrap());
     let mut cfg = small_cfg();
     cfg.core.invoke_buffer = 2;
-    let mut m = Machine::new(cfg);
+    let mut m = Machine::try_new(cfg).unwrap();
     let counter = 0x5000u64;
     m.hw.ndc.actions.register(ActionId(0), prog.clone(), action);
     for t in 0..4 {
@@ -93,7 +93,7 @@ fn stream_producer_halts_before_consumer_finishes() {
         f.finish()
     };
     let prog = Arc::new(pb.finish().unwrap());
-    let mut m = Machine::new(small_cfg());
+    let mut m = Machine::try_new(small_cfg()).unwrap();
     let buf = 0x8000u64;
     let eng = EngineId {
         tile: 0,
@@ -138,7 +138,7 @@ fn starved_consumer_reports_deadlock() {
         f.finish()
     };
     let prog = Arc::new(pb.finish().unwrap());
-    let mut m = Machine::new(small_cfg());
+    let mut m = Machine::try_new(small_cfg()).unwrap();
     let buf = 0x9000u64;
     let eng = EngineId {
         tile: 1,
@@ -198,7 +198,7 @@ fn flush_is_exactly_once() {
         f.finish()
     };
     let prog = Arc::new(pb.finish().unwrap());
-    let mut m = Machine::new(small_cfg());
+    let mut m = Machine::try_new(small_cfg()).unwrap();
     let dtor_id = ActionId(0);
     m.hw.ndc.actions.register(dtor_id, prog.clone(), dtor);
     let view = 0xA000u64;
@@ -244,7 +244,7 @@ fn long_lived_tasks_on_every_engine() {
         f.finish()
     };
     let prog = Arc::new(pb.finish().unwrap());
-    let mut m = Machine::new(small_cfg());
+    let mut m = Machine::try_new(small_cfg()).unwrap();
     let marks = 0xB000u64;
     let mut k = 0u64;
     for tile in 0..4 {

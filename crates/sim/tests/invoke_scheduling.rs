@@ -48,7 +48,7 @@ fn run(loc: Location) -> (u64, levi_sim::Stats) {
     let (prog, main) = build(loc, 64);
     let mut cfg = MachineConfig::with_tiles(4);
     cfg.prefetcher = false;
-    let mut m = Machine::new(cfg);
+    let mut m = Machine::try_new(cfg).unwrap();
     let action_fn = prog.func_by_name("bump").unwrap();
     m.hw.ndc
         .actions
@@ -124,7 +124,7 @@ fn local_caches_hot_actors_remote_wins_scattered() {
         let (prog, main) = build_scatter(loc);
         let mut cfg = MachineConfig::with_tiles(4);
         cfg.prefetcher = false;
-        let mut m = Machine::new(cfg);
+        let mut m = Machine::try_new(cfg).unwrap();
         let action_fn = prog.func_by_name("bump").unwrap();
         m.hw.ndc
             .actions
@@ -209,7 +209,7 @@ fn exclusive_follows_the_owner() {
     let prog = Arc::new(pb.finish().unwrap());
     let mut cfg = MachineConfig::with_tiles(4);
     cfg.prefetcher = false;
-    let mut m = Machine::new(cfg);
+    let mut m = Machine::try_new(cfg).unwrap();
     let action_fn = prog.func_by_name("bump").unwrap();
     m.hw.ndc
         .actions

@@ -32,7 +32,7 @@ fn main() {
     let prog = Arc::new(pb.finish().unwrap());
     let mut cfg = MachineConfig::with_tiles(4);
     cfg.prefetcher = false;
-    let mut m = Machine::new(cfg);
+    let mut m = Machine::try_new(cfg).unwrap();
     m.spawn_thread(0, prog, func, &[0x100000, 1024]).unwrap(); // 1024 lines = 64KB
     m.run().unwrap();
     let s = m.stats();

@@ -1,0 +1,95 @@
+//! Golden determinism tests for the simulator refactor seam.
+//!
+//! Every value below was captured on `main` *before* `machine.rs` and
+//! `hw.rs` were split into the layered `sched` / `core_pipe` /
+//! `ndc_host` / `invoke` / `hw/{probe,directory,phantom,evict}` modules.
+//! A simulated run is a pure function of its configuration and seed, so
+//! these numbers pin the refactor to byte-identical behavior: any timing
+//! or functional drift — an instruction issued one cycle late, a NACK
+//! retried differently, a DRAM access added or lost — shows up as a
+//! golden mismatch. If a future PR changes simulated behavior *on
+//! purpose*, it must update these constants and say so in its changelog.
+
+use levi_workloads::decompress::{run_decompress, DecompressScale, DecompressVariant};
+use levi_workloads::gen::Graph;
+use levi_workloads::hashtable::{run_hashtable, HtScale, HtVariant};
+use levi_workloads::hats::{run_hats_on, HatsScale, HatsVariant};
+use levi_workloads::phi::{phi_graph, run_phi_on, PhiScale, PhiVariant};
+
+#[test]
+fn hashtable_matches_pre_split_goldens() {
+    let scale = HtScale::test(64);
+
+    let base = run_hashtable(HtVariant::Baseline, &scale);
+    assert_eq!(base.metrics.cycles, 86_024);
+    assert_eq!(base.metrics.stats.dram_accesses, 1_730);
+    assert_eq!(base.metrics.stats.noc_flit_hops, 13_260);
+    assert_eq!(base.checksum, 63_343);
+
+    let lev = run_hashtable(HtVariant::Leviathan, &scale);
+    assert_eq!(lev.metrics.cycles, 60_614);
+    assert_eq!(lev.metrics.stats.noc_flit_hops, 9_626);
+    assert_eq!(lev.metrics.stats.invokes, 2_196);
+    assert_eq!(lev.checksum, 63_343);
+}
+
+#[test]
+fn phi_matches_pre_split_goldens() {
+    let scale = PhiScale::test();
+    let graph = phi_graph(&scale);
+
+    let base = run_phi_on(PhiVariant::Baseline, &scale, &graph);
+    assert_eq!(base.metrics.cycles, 1_091_156);
+    assert_eq!(base.metrics.stats.dram_accesses, 25_816);
+    assert_eq!(base.metrics.stats.noc_flit_hops, 328_695);
+    assert_eq!(base.rank_checksum, 244_304_614);
+
+    let lev = run_phi_on(PhiVariant::Leviathan, &scale, &graph);
+    assert_eq!(lev.metrics.cycles, 329_176);
+    assert_eq!(lev.metrics.stats.dram_accesses, 16_974);
+    assert_eq!(lev.metrics.stats.noc_flit_hops, 135_363);
+    assert_eq!(lev.rank_checksum, 244_304_614);
+}
+
+#[test]
+fn decompress_matches_pre_split_goldens() {
+    let scale = DecompressScale::test();
+    let lev = run_decompress(DecompressVariant::Leviathan, &scale).unwrap();
+    assert_eq!(lev.metrics.cycles, 25_825);
+    assert_eq!(lev.metrics.stats.dram_accesses, 378);
+    assert_eq!(lev.access_sum, 170_338_498);
+}
+
+#[test]
+fn hats_matches_pre_split_goldens() {
+    // The heaviest golden: every variant of the graph-traversal figure,
+    // covering baseline cores, software BDFS, tākō-style callbacks, and
+    // the full Leviathan stream pipeline in one run.
+    let scale = HatsScale::test();
+    let graph = Graph::community(
+        scale.vertices,
+        scale.avg_degree,
+        scale.community,
+        scale.intra_pct,
+        scale.seed,
+    );
+    // (variant, cycles, dram accesses, noc flit-hops)
+    let golden = [
+        (HatsVariant::Baseline, 3_229_129, 83_246, 686_990),
+        (HatsVariant::SoftwareBdfs, 2_313_171, 51_478, 423_599),
+        (HatsVariant::Tako, 1_519_794, 43_285, 323_858),
+        (HatsVariant::Leviathan, 1_452_257, 43_488, 324_275),
+        (HatsVariant::Ideal, 1_450_137, 43_485, 324_523),
+    ];
+    for (v, cycles, dram, flits) in golden {
+        let r = run_hats_on(v, &scale, &graph);
+        let label = v.label();
+        assert_eq!(r.metrics.cycles, cycles, "{label} cycles");
+        assert_eq!(r.metrics.stats.dram_accesses, dram, "{label} dram");
+        assert_eq!(r.metrics.stats.noc_flit_hops, flits, "{label} flits");
+        assert_eq!(r.rank_checksum, 487_506_383, "{label} checksum");
+        if matches!(v, HatsVariant::Tako | HatsVariant::Leviathan) {
+            assert_eq!(r.metrics.stats.stream_pushes, 48_708, "{label} pushes");
+        }
+    }
+}

@@ -69,7 +69,7 @@ fn machine_matches_interpreter() {
     for tiles in [4u32, 16] {
         let mut cfg = MachineConfig::with_tiles(tiles);
         cfg.quantum = 16;
-        let mut m = Machine::new(cfg);
+        let mut m = Machine::try_new(cfg).unwrap();
         let mut x = 12345u64;
         for k in 0..n {
             x = x
@@ -97,7 +97,7 @@ fn machine_matches_interpreter_multithreaded() {
     let threads = 4u32;
 
     let mut ref_mem = PagedMem::new();
-    let mut m = Machine::new(MachineConfig::with_tiles(4));
+    let mut m = Machine::try_new(MachineConfig::with_tiles(4)).unwrap();
     for t in 0..threads as u64 {
         for k in 0..n_per {
             let v = (t * 1000 + k) * 2654435761 % 100000;
