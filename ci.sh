@@ -29,4 +29,10 @@ tmp="$(mktemp -d)"; trap 'rm -rf "$tmp"' EXIT
 cargo run --release --quiet --example fault_demo -- 3 > "$tmp/a.txt"
 cargo run --release --quiet --example fault_demo -- 3 > "$tmp/b.txt"
 diff "$tmp/a.txt" "$tmp/b.txt"
+echo "== bench runner =="
+# Every figure must run end-to-end at quick scale and the JSON report
+# must be complete (one line per figure + a manifest covering them all).
+rm -f "$tmp/bench-report.json"
+cargo run --release --quiet -p levi-bench -- run all --quick --json "$tmp/bench-report.json" > /dev/null
+cargo run --release --quiet -p levi-bench -- check-report "$tmp/bench-report.json"
 echo "== ok =="

@@ -1,50 +1,7 @@
-//! Ablation — the memory-controller FIFO line cache (DESIGN.md §4).
-//!
-//! Leviathan stores objects compacted in DRAM, so consecutive cache lines
-//! often map into one DRAM line; the small per-controller FIFO cache
-//! absorbs the repeats (paper Sec. VI-A3: "can reduce DRAM accesses by up
-//! to ≈3x"). Measured on the 24 B-node hash table, whose nodes are padded
-//! 32 B in cache and packed 24 B in DRAM.
-
-use levi_bench::{header, quick_mode, table};
-use levi_workloads::hashtable::{HtScale, HtVariant};
+//! Thin wrapper: `cargo bench --bench ablation_mc_cache` dispatches to the `ablation_mc_cache`
+//! descriptor in the unified figure registry (`levi_bench::figures`),
+//! which `levi-bench run ablation_mc_cache` executes identically.
 
 fn main() {
-    header(
-        "Ablation — memory-controller FIFO cache for compacted DRAM",
-        "paper: the 32-entry FIFO cache absorbs split-line refetches (up to ~3x)",
-    );
-    let mut scale = if quick_mode() {
-        HtScale::test(24)
-    } else {
-        HtScale::paper(24)
-    };
-    // Grow the table past the LLC so lookups actually reach DRAM.
-    scale = scale.with_table_bytes(if quick_mode() { 2 << 20 } else { 32 << 20 });
-
-    let mut rows = Vec::new();
-    for (name, fifo_lines) in [("with FIFO cache (32)", 32u32), ("without FIFO cache", 0)] {
-        // run_hashtable_cfg lets us pin the LLC; the FIFO size needs a
-        // config override, threaded through the machine config.
-        let r = run_with_fifo(&scale, fifo_lines);
-        eprintln!("  ran {name}");
-        rows.push(vec![
-            name.to_string(),
-            r.metrics.cycles.to_string(),
-            r.metrics.stats.dram_accesses.to_string(),
-            r.metrics.stats.mc_cache_hits.to_string(),
-        ]);
-    }
-    table(&["config", "cycles", "DRAM accesses", "FIFO hits"], &rows);
-    println!();
-    println!("DRAM accesses avoided = FIFO hits; disabling the cache converts");
-    println!("them back into DRAM traffic on the compacted node array.");
-}
-
-fn run_with_fifo(scale: &HtScale, fifo_lines: u32) -> levi_workloads::hashtable::HtResult {
-    // Thread the FIFO size through an env-var-free path: temporarily
-    // adjust the default config via the workload's cfg hook.
-    levi_workloads::hashtable::run_hashtable_with(HtVariant::Leviathan, scale, |cfg| {
-        cfg.machine.mem.fifo_cache_lines = fifo_lines;
-    })
+    levi_bench::runner::bench_main("ablation_mc_cache");
 }

@@ -1,59 +1,7 @@
-//! Ablation — PHI's delta-eviction policy (DESIGN.md §4).
-//!
-//! The paper's PHI "dynamically chooses the policy that minimizes memory
-//! bandwidth" between applying binned deltas in place and logging them for
-//! later. We expose both: `InPlace` applies memory-side at eviction; `Log`
-//! appends to bank-local streaming-store logs and runs a
-//! propagation-blocking binning pass.
-
-use levi_bench::{header, quick_mode, table};
-use levi_workloads::phi::{phi_graph, run_phi_on, PhiPolicy, PhiScale, PhiVariant};
+//! Thin wrapper: `cargo bench --bench ablation_phi_policy` dispatches to the `ablation_phi_policy`
+//! descriptor in the unified figure registry (`levi_bench::figures`),
+//! which `levi-bench run ablation_phi_policy` executes identically.
 
 fn main() {
-    let mut scale = if quick_mode() {
-        PhiScale::test()
-    } else {
-        PhiScale::paper()
-    };
-    header(
-        "Ablation — PHI delta-eviction policy (in-place vs log)",
-        "paper Sec. IV-A: PHI chooses the policy minimizing memory bandwidth",
-    );
-    let graph = phi_graph(&scale);
-    let mut rows = Vec::new();
-    let base = run_phi_on(PhiVariant::Baseline, &scale, &graph);
-    for (name, policy) in [
-        ("in-place (mem-side)", PhiPolicy::InPlace),
-        ("log + binning", PhiPolicy::Log),
-    ] {
-        scale.policy = policy;
-        let r = run_phi_on(PhiVariant::Leviathan, &scale, &graph);
-        eprintln!("  ran {name}");
-        assert_eq!(
-            r.rank_checksum, base.rank_checksum,
-            "policy changed results"
-        );
-        rows.push(vec![
-            name.to_string(),
-            format!(
-                "{:.2}x",
-                base.metrics.cycles as f64 / r.metrics.cycles as f64
-            ),
-            r.metrics.stats.dram_accesses.to_string(),
-            format!(
-                "{:.0}%",
-                r.metrics.energy.relative_to(&base.metrics.energy) * 100.0
-            ),
-        ]);
-    }
-    rows.insert(
-        0,
-        vec![
-            "baseline (no PHI)".into(),
-            "1.00x".into(),
-            base.metrics.stats.dram_accesses.to_string(),
-            "100%".into(),
-        ],
-    );
-    table(&["policy", "speedup", "DRAM accesses", "energy"], &rows);
+    levi_bench::runner::bench_main("ablation_phi_policy");
 }

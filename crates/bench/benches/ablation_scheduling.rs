@@ -1,41 +1,7 @@
-//! Ablation — DYNAMIC invoke scheduling and the 1/32 migrate-local policy
-//! (DESIGN.md §4, paper Sec. VI-B1).
-//!
-//! Compares REMOTE-only placement against DYNAMIC placement (which probes
-//! the hierarchy and occasionally migrates tasks up to let hot actors
-//! settle in private caches) on the hash-table workload, whose buckets
-//! have skewed popularity under Zipfian keys.
-
-use levi_bench::{header, quick_mode, table};
-use levi_workloads::hashtable::{run_hashtable_with, HtScale, HtVariant};
+//! Thin wrapper: `cargo bench --bench ablation_scheduling` dispatches to the `ablation_scheduling`
+//! descriptor in the unified figure registry (`levi_bench::figures`),
+//! which `levi-bench run ablation_scheduling` executes identically.
 
 fn main() {
-    header(
-        "Ablation — invoke placement (REMOTE vs DYNAMIC + migrate-local)",
-        "paper: DYNAMIC locates the actor wherever it currently is",
-    );
-    let scale = if quick_mode() {
-        HtScale::test(64)
-    } else {
-        HtScale::paper(64)
-    };
-    let mut rows = Vec::new();
-    for (name, variant) in [
-        ("baseline (core walk)", HtVariant::Baseline),
-        ("REMOTE placement", HtVariant::Leviathan),
-        ("DYNAMIC placement", HtVariant::LeviathanDynamic),
-    ] {
-        let r = run_hashtable_with(variant, &scale, |_| {});
-        eprintln!("  ran {name}");
-        rows.push(vec![
-            name.to_string(),
-            r.metrics.cycles.to_string(),
-            r.metrics.stats.invoke_migrations.to_string(),
-            r.metrics.stats.noc_flit_hops.to_string(),
-        ]);
-    }
-    table(
-        &["placement", "cycles", "migrations", "NoC flit-hops"],
-        &rows,
-    );
+    levi_bench::runner::bench_main("ablation_scheduling");
 }

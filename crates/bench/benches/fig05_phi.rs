@@ -1,84 +1,7 @@
-//! Fig. 5 — PHI: PageRank commutative scatter-updates.
-//!
-//! Paper: Leviathan 3.7×, tākō Relax 3.1×, tākō Fence 1.4×; Leviathan
-//! −22% energy, within 1.3% of Ideal; 40% less NoC traffic than tākō.
-
-use levi_bench::{header, quick_mode, report, Row, Sweep};
-use levi_workloads::phi::{phi_graph, run_phi_on, PhiScale, PhiVariant};
+//! Thin wrapper: `cargo bench --bench fig05_phi` dispatches to the `fig05_phi`
+//! descriptor in the unified figure registry (`levi_bench::figures`),
+//! which `levi-bench run fig05_phi` executes identically.
 
 fn main() {
-    let mut scale = PhiScale::paper();
-    if quick_mode() {
-        scale = PhiScale::test();
-    }
-    header(
-        "Fig. 5 — PHI (push PageRank, commutative scatter-updates)",
-        &format!(
-            "graph: {} vertices, ~{} edges (power-law in-degree), {} tiles, cache/{}x",
-            scale.vertices,
-            scale.vertices * scale.avg_degree,
-            scale.tiles,
-            scale.cache_factor
-        ),
-    );
-
-    let graph = phi_graph(&scale);
-    let results: Vec<_> = Sweep::new()
-        .variants(PhiVariant::all().iter().map(|&v| (v.label(), v)))
-        .run(|_, &v| run_phi_on(v, &scale, &graph))
-        .into_iter()
-        .map(|(label, r)| {
-            eprintln!("  ran {:<12} {:>12} cycles", label, r.metrics.cycles);
-            r
-        })
-        .collect();
-
-    // Cross-variant validation: identical rank vectors.
-    for r in &results {
-        assert_eq!(
-            r.rank_checksum, results[0].rank_checksum,
-            "variant {} diverged functionally",
-            r.metrics.label
-        );
-        assert_eq!(r.leftover_deltas, 0, "unapplied deltas after flush");
-    }
-
-    let paper_speedup = [1.0, 1.4, 3.1, 3.7, 3.75];
-    let paper_energy = [1.0, 0.92, 0.88, 0.78, 0.77];
-    let rows: Vec<Row> = results
-        .iter()
-        .zip(paper_speedup.iter().zip(paper_energy.iter()))
-        .map(|(r, (&ps, &pe))| Row {
-            label: &r.metrics.label,
-            metrics: &r.metrics,
-            paper_speedup: Some(ps),
-            paper_energy: Some(pe),
-        })
-        .collect();
-    report("fig05_phi", &rows);
-
-    // Mechanism breakdown (Sec. IV-D).
-    println!();
-    println!("mechanisms:");
-    let tako = &results[2].metrics.stats; // tako Relax
-    let lev = &results[3].metrics.stats;
-    let base = &results[0].metrics.stats;
-    println!(
-        "  fences:        baseline {:>9}   leviathan {:>9}  (offload eliminates fences)",
-        base.fences, lev.fences
-    );
-    println!(
-        "  line ping-pong: baseline {:>8}   leviathan {:>9}  (ownership transfers)",
-        base.ownership_transfers, lev.ownership_transfers
-    );
-    let noc_cut = 1.0 - lev.noc_flit_hops as f64 / tako.noc_flit_hops as f64;
-    println!(
-        "  NoC traffic vs tako: -{:.0}%  (paper: -40%)",
-        noc_cut * 100.0
-    );
-    let ideal_gap = results[3].metrics.cycles as f64 / results[4].metrics.cycles as f64 - 1.0;
-    println!(
-        "  gap to idealized engine: {:.1}%  (paper: 1.3%)",
-        ideal_gap * 100.0
-    );
+    levi_bench::runner::bench_main("fig05_phi");
 }

@@ -1,78 +1,7 @@
-//! Fig. 16 — near-cache data transformation (decompression of 6 B pixels).
-//!
-//! Paper: Leviathan 2.4×, −65% energy, within 1.6% of Ideal; offload (OL)
-//! is 2.8× *worse* than baseline; no-padding prior work fails outright.
-
-use levi_bench::{header, quick_mode, report, Row, Sweep};
-use levi_workloads::decompress::{run_decompress, DecompressScale, DecompressVariant};
+//! Thin wrapper: `cargo bench --bench fig16_decompress` dispatches to the `fig16_decompress`
+//! descriptor in the unified figure registry (`levi_bench::figures`),
+//! which `levi-bench run fig16_decompress` executes identically.
 
 fn main() {
-    let mut scale = DecompressScale::paper();
-    if quick_mode() {
-        scale = DecompressScale::test();
-    }
-    header(
-        "Fig. 16 — decompressing 6 B pixels (base+delta, Zipf accesses)",
-        &format!(
-            "{} pixels, {} accesses (theta={}), {} tiles",
-            scale.pixels, scale.accesses, scale.theta, scale.tiles
-        ),
-    );
-
-    let paper = [
-        (DecompressVariant::Baseline, Some(1.0), Some(1.0)),
-        (DecompressVariant::Offload, Some(1.0 / 2.8), None),
-        (DecompressVariant::NoPadding, None, None),
-        (DecompressVariant::Leviathan, Some(2.4), Some(0.35)),
-        (DecompressVariant::Ideal, Some(2.44), Some(0.345)),
-    ];
-    let runs = Sweep::new()
-        .variants(paper.iter().map(|&(v, ps, pe)| (v.label(), (v, ps, pe))))
-        .run(|_, &(v, ps, pe)| (run_decompress(v, &scale), ps, pe));
-    let mut results = Vec::new();
-    for (label, (run, ps, pe)) in runs {
-        match run {
-            Some(r) => {
-                eprintln!("  ran {:<18} {:>12} cycles", label, r.metrics.cycles);
-                results.push((r, ps, pe));
-            }
-            None => println!(
-                "{label:<22} UNSUPPORTED — 6 B objects straddle cache lines without padding (as in the paper)",
-            ),
-        }
-    }
-    for (r, _, _) in &results[1..] {
-        assert_eq!(
-            r.access_sum, results[0].0.access_sum,
-            "functional divergence"
-        );
-    }
-    let rows: Vec<Row> = results
-        .iter()
-        .map(|(r, ps, pe)| Row {
-            label: &r.metrics.label,
-            metrics: &r.metrics,
-            paper_speedup: *ps,
-            paper_energy: *pe,
-        })
-        .collect();
-    report("fig16_decompress", &rows);
-
-    let lev = results
-        .iter()
-        .find(|(r, _, _)| r.metrics.label == "Leviathan")
-        .unwrap();
-    let ideal = results
-        .iter()
-        .find(|(r, _, _)| r.metrics.label == "Ideal")
-        .unwrap();
-    println!();
-    println!(
-        "gap to idealized engine: {:.1}%  (paper: 1.6%)",
-        (lev.0.metrics.cycles as f64 / ideal.0.metrics.cycles as f64 - 1.0) * 100.0
-    );
-    println!(
-        "line fills (ctor groups): {}  — decompressed pixels reused from L1/L2",
-        lev.0.metrics.stats.ctor_actions / 8
-    );
+    levi_bench::runner::bench_main("fig16_decompress");
 }

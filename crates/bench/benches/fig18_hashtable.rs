@@ -1,89 +1,7 @@
-//! Fig. 18 — hash-table lookups across object sizes (24/64/128 B).
-//!
-//! Paper: Leviathan up to 2.0×, −77% energy; without padding 24 B drops
-//! to 1.5×; without LLC mapping 128 B drops to 0.91× (below baseline).
-
-use levi_bench::{header, quick_mode, table, Sweep};
-use levi_workloads::hashtable::{run_hashtable, HtScale, HtVariant};
+//! Thin wrapper: `cargo bench --bench fig18_hashtable` dispatches to the `fig18_hashtable`
+//! descriptor in the unified figure registry (`levi_bench::figures`),
+//! which `levi-bench run fig18_hashtable` executes identically.
 
 fn main() {
-    header(
-        "Fig. 18 — hash-table lookups (32 nodes/bucket, uniform keys)",
-        "per node size: Baseline vs Leviathan vs layout ablations",
-    );
-    let paper: &[(u64, f64, f64, &str)] = &[
-        (24, 2.0, 1.5, "w/o padding: 1.5x (paper)"),
-        (64, 1.9, f64::NAN, ""),
-        (128, 1.8, 0.91, "w/o LLC mapping: 0.91x (paper)"),
-    ];
-
-    // Every (node size, variant) pair is an independent simulation, so
-    // the whole figure fans out as one flat sweep; results come back in
-    // declaration order, which the per-size loop below relies on.
-    let scale_for = |size: u64| {
-        if quick_mode() {
-            HtScale::test(size)
-        } else {
-            HtScale::paper(size)
-        }
-    };
-    let mut jobs: Vec<(&str, (u64, HtVariant))> = Vec::new();
-    for &(size, _, _, _) in paper {
-        jobs.push(("base", (size, HtVariant::Baseline)));
-        jobs.push(("lev", (size, HtVariant::Leviathan)));
-        jobs.push(("ideal", (size, HtVariant::Ideal)));
-        match size {
-            24 => jobs.push(("w/o padding", (size, HtVariant::NoPadding))),
-            128 => jobs.push(("w/o mapping", (size, HtVariant::NoMapping))),
-            _ => {}
-        }
-    }
-    let mut runs = Sweep::new()
-        .variants(jobs)
-        .run(|_, &(size, v)| run_hashtable(v, &scale_for(size)))
-        .into_iter();
-
-    let mut rows = Vec::new();
-    for &(size, paper_lev, paper_ablation, _) in paper {
-        let base = runs.next().unwrap().1;
-        let lev = runs.next().unwrap().1;
-        let ideal = runs.next().unwrap().1;
-        eprintln!("  ran size {size}B base/lev/ideal");
-        let ablation = match size {
-            24 | 128 => runs.next(),
-            _ => None,
-        };
-        let s = |m: &levi_workloads::RunMetrics| base.metrics.cycles as f64 / m.cycles as f64;
-        let e = |m: &levi_workloads::RunMetrics| m.energy.relative_to(&base.metrics.energy);
-        rows.push(vec![
-            format!("{size} B"),
-            format!("{:.2}x", s(&lev.metrics)),
-            format!("{paper_lev:.2}x"),
-            format!("{:.0}%", e(&lev.metrics) * 100.0),
-            ablation
-                .as_ref()
-                .map_or("-".into(), |(n, r)| format!("{n}: {:.2}x", s(&r.metrics))),
-            if paper_ablation.is_nan() {
-                "-".into()
-            } else {
-                format!("{paper_ablation:.2}x")
-            },
-            format!("{:.2}x", s(&ideal.metrics)),
-        ]);
-    }
-    table(
-        &[
-            "node",
-            "Leviathan",
-            "(paper)",
-            "energy",
-            "ablation",
-            "(paper)",
-            "Ideal",
-        ],
-        &rows,
-    );
-    println!();
-    println!("Paper: up to 2.0x speedup, up to 77% energy savings; padding and");
-    println!("LLC object mapping are both required for cross-size robustness.");
+    levi_bench::runner::bench_main("fig18_hashtable");
 }

@@ -1,67 +1,7 @@
-//! Fig. 20 — HATS: decoupled BDFS graph traversal (one PageRank
-//! iteration on a community-structured graph).
-//!
-//! Paper: software BDFS 1.2×, tākō 1.4×, Leviathan 1.7× (≈ Ideal),
-//! −26% energy.
-
-use levi_bench::{header, quick_mode, report, Row, Sweep};
-use levi_workloads::gen::Graph;
-use levi_workloads::hats::{run_hats_on, HatsScale, HatsVariant};
+//! Thin wrapper: `cargo bench --bench fig20_hats` dispatches to the `fig20_hats`
+//! descriptor in the unified figure registry (`levi_bench::figures`),
+//! which `levi-bench run fig20_hats` executes identically.
 
 fn main() {
-    let mut scale = HatsScale::paper();
-    if quick_mode() {
-        scale = HatsScale::test();
-    }
-    header(
-        "Fig. 20 — HATS (decoupled BDFS streaming, 1 PageRank iteration)",
-        &format!(
-            "{} vertices, ~{} edges, communities of {} ({}% intra), {} tiles",
-            scale.vertices,
-            scale.vertices * scale.avg_degree,
-            scale.community,
-            scale.intra_pct,
-            scale.tiles
-        ),
-    );
-    let graph = Graph::community(
-        scale.vertices,
-        scale.avg_degree,
-        scale.community,
-        scale.intra_pct,
-        scale.seed,
-    );
-    let results: Vec<_> = Sweep::new()
-        .variants(HatsVariant::all().iter().map(|&v| (v.label(), v)))
-        .run(|_, &v| run_hats_on(v, &scale, &graph))
-        .into_iter()
-        .map(|(label, r)| {
-            eprintln!("  ran {:<10} {:>12} cycles", label, r.metrics.cycles);
-            r
-        })
-        .collect();
-    for r in &results {
-        assert_eq!(
-            r.rank_checksum, results[0].rank_checksum,
-            "variant {} diverged functionally",
-            r.metrics.label
-        );
-    }
-    let paper_speedup = [1.0, 1.2, 1.4, 1.7, 1.71];
-    let paper_energy = [1.0, f64::NAN, f64::NAN, 0.74, f64::NAN];
-    let rows: Vec<Row> = results
-        .iter()
-        .enumerate()
-        .map(|(i, r)| Row {
-            label: &r.metrics.label,
-            metrics: &r.metrics,
-            paper_speedup: Some(paper_speedup[i]),
-            paper_energy: if paper_energy[i].is_nan() {
-                None
-            } else {
-                Some(paper_energy[i])
-            },
-        })
-        .collect();
-    report("fig20_hats", &rows);
+    levi_bench::runner::bench_main("fig20_hats");
 }

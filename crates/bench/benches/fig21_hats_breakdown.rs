@@ -1,63 +1,7 @@
-//! Fig. 21 — HATS performance breakdown.
-//!
-//! Left: DRAM accesses split by PageRank phase (edge vs vertex) — BDFS
-//! variants cut edge-phase accesses ~40%. Middle: branch mispredictions
-//! per edge — streaming eliminates them. Right: average engine
-//! instructions per edge — tākō's per-line restarts cost more than
-//! Leviathan's continuously running producer.
-
-use levi_bench::{header, quick_mode, table};
-use levi_workloads::gen::Graph;
-use levi_workloads::hats::{run_hats_on, HatsScale, HatsVariant};
+//! Thin wrapper: `cargo bench --bench fig21_hats_breakdown` dispatches to the `fig21_hats_breakdown`
+//! descriptor in the unified figure registry (`levi_bench::figures`),
+//! which `levi-bench run fig21_hats_breakdown` executes identically.
 
 fn main() {
-    let mut scale = HatsScale::paper();
-    if quick_mode() {
-        scale = HatsScale::test();
-    }
-    header(
-        "Fig. 21 — HATS breakdown (DRAM by phase / mispredicts / engine work)",
-        "paper: BDFS cuts edge-phase DRAM ~40%; streams eliminate mispredicts;\ntako needs more engine instructions per edge than Leviathan",
-    );
-    let graph = Graph::community(
-        scale.vertices,
-        scale.avg_degree,
-        scale.community,
-        scale.intra_pct,
-        scale.seed,
-    );
-    let mut rows = Vec::new();
-    let mut base_edge_dram = 0u64;
-    for v in HatsVariant::all() {
-        let r = run_hats_on(v, &scale, &graph);
-        eprintln!("  ran {:<10}", v.label());
-        let s = &r.metrics.stats;
-        if v == HatsVariant::Baseline {
-            base_edge_dram = s.dram_by_phase[0];
-        }
-        rows.push(vec![
-            v.label().to_string(),
-            s.dram_by_phase[0].to_string(),
-            format!(
-                "{:+.0}%",
-                (s.dram_by_phase[0] as f64 / base_edge_dram as f64 - 1.0) * 100.0
-            ),
-            s.dram_by_phase[1].to_string(),
-            format!("{:.3}", s.mispredicts as f64 / r.edges as f64),
-            format!("{:.1}", s.engine_instrs as f64 / r.edges as f64),
-            s.stream_stall_cycles.to_string(),
-        ]);
-    }
-    table(
-        &[
-            "variant",
-            "DRAM(edge)",
-            "vs base",
-            "DRAM(vertex)",
-            "mispred/edge",
-            "engine instr/edge",
-            "stream stalls",
-        ],
-        &rows,
-    );
+    levi_bench::runner::bench_main("fig21_hats_breakdown");
 }

@@ -1,40 +1,7 @@
-//! Fig. 22 — sensitivity to the invoke-buffer size (PHI).
-//!
-//! Paper: 1–2 entries slow Leviathan through queueing backpressure;
-//! performance plateaus at 4 entries.
-
-use levi_bench::{header, quick_mode, table};
-use levi_workloads::phi::{phi_graph, run_phi_on, PhiScale, PhiVariant};
+//! Thin wrapper: `cargo bench --bench fig22_invoke_buffer` dispatches to the `fig22_invoke_buffer`
+//! descriptor in the unified figure registry (`levi_bench::figures`),
+//! which `levi-bench run fig22_invoke_buffer` executes identically.
 
 fn main() {
-    let mut scale = PhiScale::paper();
-    if quick_mode() {
-        scale = PhiScale::test();
-    }
-    header(
-        "Fig. 22 — PHI sensitivity to invoke-buffer entries",
-        "paper: slow at 1-2 entries, plateau at >= 4",
-    );
-    let graph = phi_graph(&scale);
-    let mut rows = Vec::new();
-    let mut best = u64::MAX;
-    let mut cycles_at = Vec::new();
-    for entries in [1u32, 2, 4, 8, 16] {
-        let mut s = scale.clone();
-        s.invoke_buffer = entries;
-        let r = run_phi_on(PhiVariant::Leviathan, &s, &graph);
-        eprintln!("  ran buffer={entries}");
-        best = best.min(r.metrics.cycles);
-        cycles_at.push((entries, r.metrics.cycles));
-        rows.push(vec![
-            entries.to_string(),
-            r.metrics.cycles.to_string(),
-            r.metrics.stats.invoke_nacks.to_string(),
-        ]);
-    }
-    // Normalize to the plateau.
-    for (row, (_, c)) in rows.iter_mut().zip(&cycles_at) {
-        row.push(format!("{:.2}x", best as f64 / *c as f64));
-    }
-    table(&["entries", "cycles", "NACKs", "rel. perf"], &rows);
+    levi_bench::runner::bench_main("fig22_invoke_buffer");
 }

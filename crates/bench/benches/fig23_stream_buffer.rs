@@ -1,49 +1,7 @@
-//! Fig. 23 — sensitivity to the stream-buffer size (HATS).
-//!
-//! Paper: performance plateaus at 64 entries; the buffer lives in shared
-//! memory so its capacity is nearly free.
-
-use levi_bench::{header, quick_mode, table};
-use levi_workloads::gen::Graph;
-use levi_workloads::hats::{run_hats_on, HatsScale, HatsVariant};
+//! Thin wrapper: `cargo bench --bench fig23_stream_buffer` dispatches to the `fig23_stream_buffer`
+//! descriptor in the unified figure registry (`levi_bench::figures`),
+//! which `levi-bench run fig23_stream_buffer` executes identically.
 
 fn main() {
-    let mut scale = HatsScale::paper();
-    if quick_mode() {
-        scale = HatsScale::test();
-    }
-    header(
-        "Fig. 23 — HATS sensitivity to stream-buffer entries",
-        "paper: plateau at 64 entries",
-    );
-    let graph = Graph::community(
-        scale.vertices,
-        scale.avg_degree,
-        scale.community,
-        scale.intra_pct,
-        scale.seed,
-    );
-    let mut rows = Vec::new();
-    let mut best = u64::MAX;
-    let mut cycles_at = Vec::new();
-    for cap in [8u64, 16, 32, 64, 128, 256] {
-        let mut s = scale.clone();
-        s.stream_capacity = cap;
-        let r = run_hats_on(HatsVariant::Leviathan, &s, &graph);
-        eprintln!("  ran capacity={cap}");
-        best = best.min(r.metrics.cycles);
-        cycles_at.push(r.metrics.cycles);
-        rows.push(vec![
-            cap.to_string(),
-            r.metrics.cycles.to_string(),
-            r.metrics.stats.stream_stall_cycles.to_string(),
-        ]);
-    }
-    for (row, c) in rows.iter_mut().zip(&cycles_at) {
-        row.push(format!("{:.2}x", best as f64 / *c as f64));
-    }
-    table(
-        &["entries", "cycles", "consumer stalls", "rel. perf"],
-        &rows,
-    );
+    levi_bench::runner::bench_main("fig23_stream_buffer");
 }

@@ -1,49 +1,7 @@
-//! Fig. 24 — sensitivity to input size (hash table).
-//!
-//! Paper: Leviathan performs well while the table fits the LLC; once the
-//! table exceeds the LLC, NoC savings are swamped by DRAM latency and the
-//! advantage shrinks.
-
-use levi_bench::{header, quick_mode, table};
-use levi_workloads::hashtable::{run_hashtable, HtScale, HtVariant};
+//! Thin wrapper: `cargo bench --bench fig24_input_size` dispatches to the `fig24_input_size`
+//! descriptor in the unified figure registry (`levi_bench::figures`),
+//! which `levi-bench run fig24_input_size` executes identically.
 
 fn main() {
-    header(
-        "Fig. 24 — hash-table sensitivity to total table size",
-        "paper: good while data <= LLC; drops past LLC capacity",
-    );
-    let quick = quick_mode();
-    let base_scale = if quick {
-        HtScale::test(64)
-    } else {
-        HtScale::paper(64)
-    };
-    // The 16-tile LLC is 8 MB; sweep the (padded) table across it.
-    let sizes_mb: &[u64] = if quick {
-        &[1, 2]
-    } else {
-        &[1, 2, 4, 8, 16, 32]
-    };
-    let mut rows = Vec::new();
-    for &mb in sizes_mb {
-        let scale = base_scale.clone().with_table_bytes(mb * 1024 * 1024);
-        let base = run_hashtable(HtVariant::Baseline, &scale);
-        let lev = run_hashtable(HtVariant::Leviathan, &scale);
-        eprintln!("  ran table={mb}MB");
-        rows.push(vec![
-            format!("{mb} MB"),
-            format!(
-                "{:.2}x",
-                base.metrics.cycles as f64 / lev.metrics.cycles as f64
-            ),
-            base.metrics.stats.dram_accesses.to_string(),
-            lev.metrics.stats.dram_accesses.to_string(),
-        ]);
-    }
-    table(
-        &["table size", "Leviathan speedup", "base DRAM", "lev DRAM"],
-        &rows,
-    );
-    println!();
-    println!("(16-tile LLC = 8 MB; expect the advantage to fall once the table no longer fits)");
+    levi_bench::runner::bench_main("fig24_input_size");
 }

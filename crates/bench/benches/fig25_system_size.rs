@@ -1,50 +1,7 @@
-//! Fig. 25 — sensitivity to system size (hash table).
-//!
-//! Paper: Leviathan's advantage grows with tile count — bigger meshes
-//! mean longer round trips for the baseline's per-node fetches, while the
-//! offloaded chain walk pays one hop per node.
-
-use levi_bench::{header, quick_mode, table};
-use levi_workloads::hashtable::{run_hashtable, HtScale, HtVariant};
+//! Thin wrapper: `cargo bench --bench fig25_system_size` dispatches to the `fig25_system_size`
+//! descriptor in the unified figure registry (`levi_bench::figures`),
+//! which `levi-bench run fig25_system_size` executes identically.
 
 fn main() {
-    header(
-        "Fig. 25 — hash-table sensitivity to tile count",
-        "paper: benefit grows with system size (NoC savings dominate)",
-    );
-    let tiles_list: &[u32] = if quick_mode() {
-        &[4, 8]
-    } else {
-        &[4, 8, 16, 32, 64]
-    };
-    let mut rows = Vec::new();
-    for &tiles in tiles_list {
-        let mut scale = if quick_mode() {
-            HtScale::test(64)
-        } else {
-            HtScale::paper(64)
-        };
-        scale.tiles = tiles;
-        let base = run_hashtable(HtVariant::Baseline, &scale);
-        let lev = run_hashtable(HtVariant::Leviathan, &scale);
-        eprintln!("  ran tiles={tiles}");
-        rows.push(vec![
-            tiles.to_string(),
-            format!(
-                "{:.2}x",
-                base.metrics.cycles as f64 / lev.metrics.cycles as f64
-            ),
-            base.metrics.stats.noc_flit_hops.to_string(),
-            lev.metrics.stats.noc_flit_hops.to_string(),
-        ]);
-    }
-    table(
-        &[
-            "tiles",
-            "Leviathan speedup",
-            "base flit-hops",
-            "lev flit-hops",
-        ],
-        &rows,
-    );
+    levi_bench::runner::bench_main("fig25_system_size");
 }

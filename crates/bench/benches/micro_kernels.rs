@@ -1,0 +1,7 @@
+//! Thin wrapper: `cargo bench --bench micro_kernels` dispatches to the `micro_kernels`
+//! descriptor in the unified figure registry (`levi_bench::figures`),
+//! which `levi-bench run micro_kernels` executes identically.
+
+fn main() {
+    levi_bench::runner::bench_main("micro_kernels");
+}

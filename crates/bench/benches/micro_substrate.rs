@@ -1,129 +1,7 @@
-//! Microbenchmarks for the substrate components: cache-bank operations,
-//! NoC sends, LevIR interpretation, allocator planning, and a small
-//! end-to-end simulation.
-//!
-//! Uses a small self-contained timing harness (median of batched runs)
-//! instead of an external bench framework, so the workspace builds with no
-//! crates.io dependencies. Numbers are indicative, not statistically
-//! rigorous.
-
-use levi_isa::{interp::Interpreter, Memory, PagedMem, ProgramBuilder, Reg};
-use levi_sim::cache::CacheBank;
-use levi_sim::noc::Noc;
-use levi_sim::{Machine, MachineConfig, Stats};
-use leviathan::alloc::{Allocator, ArraySpec};
-use std::hint::black_box;
-use std::sync::Arc;
-use std::time::Instant;
-
-/// Times `f` over `iters` iterations per batch, reporting the median
-/// per-iteration nanoseconds over `BATCHES` batches.
-fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
-    const BATCHES: usize = 7;
-    // Warm-up.
-    for _ in 0..iters.min(1000) {
-        f();
-    }
-    let mut per_iter: Vec<f64> = (0..BATCHES)
-        .map(|_| {
-            let start = Instant::now();
-            for _ in 0..iters {
-                f();
-            }
-            start.elapsed().as_nanos() as f64 / iters as f64
-        })
-        .collect();
-    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    println!("{name:<28} {:>10.1} ns/iter", per_iter[BATCHES / 2]);
-}
+//! Thin wrapper: `cargo bench --bench micro_substrate` dispatches to the `micro_substrate`
+//! descriptor in the unified figure registry (`levi_bench::figures`),
+//! which `levi-bench run micro_substrate` executes identically.
 
 fn main() {
-    let cfg = MachineConfig::paper_default();
-    println!("{:<28} {:>15}", "benchmark", "median");
-
-    {
-        let mut bank = CacheBank::new(&cfg.llc);
-        bank.insert(0x1234, &[]);
-        bench("cache/probe_hit", 1_000_000, || {
-            black_box(bank.probe(black_box(0x1234)).is_some());
-        });
-    }
-    {
-        let mut bank = CacheBank::new(&cfg.l1);
-        let mut line = 0u64;
-        bench("cache/insert_evict", 1_000_000, || {
-            line += 1;
-            black_box(bank.insert(black_box(line), &[]).1.is_some());
-        });
-    }
-    {
-        let (cols, rows) = cfg.mesh_dims();
-        let mut noc = Noc::new(cols, rows, cfg.noc);
-        let mut stats = Stats::new();
-        let mut t = 0u64;
-        bench("noc/send_corner_to_corner", 1_000_000, || {
-            t += 10;
-            black_box(noc.send(0, 15, 72, t, &mut stats));
-        });
-    }
-    {
-        // Sum a 64-element array (functional interpreter throughput).
-        let mut pb = ProgramBuilder::new();
-        let mut f = pb.function("sum");
-        let (base, n, acc, i, v) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4));
-        let top = f.label();
-        let out = f.label();
-        f.imm(acc, 0).imm(i, 0);
-        f.bind(top);
-        f.bge_u(i, n, out);
-        f.ld8(v, base, 0);
-        f.add(acc, acc, v);
-        f.addi(base, base, 8);
-        f.addi(i, i, 1);
-        f.jmp(top);
-        f.bind(out);
-        f.mov(Reg(0), acc).ret();
-        let sum = f.finish();
-        let prog = pb.finish().unwrap();
-        let mut mem = PagedMem::new();
-        for k in 0..64u64 {
-            mem.write_u64(0x1000 + 8 * k, k);
-        }
-        bench("isa/interp_sum64", 20_000, || {
-            let mut interp = Interpreter::new(&prog);
-            black_box(interp.run(sum, &[0x1000, 64], &mut mem).unwrap());
-        });
-    }
-    {
-        bench("alloc/plan_array", 200_000, || {
-            let mut a = Allocator::new();
-            black_box(a.plan_array(&ArraySpec::new("n", black_box(24), 1024)));
-        });
-    }
-    {
-        // End-to-end: one thread scanning 256 lines through the hierarchy.
-        let mut pb = ProgramBuilder::new();
-        let mut f = pb.function("scan");
-        let (p, i, n, v) = (Reg(1), Reg(2), Reg(3), Reg(4));
-        f.imm(p, 0x10000).imm(i, 0).imm(n, 256);
-        let top = f.label();
-        let out = f.label();
-        f.bind(top);
-        f.bge_u(i, n, out);
-        f.ld8(v, p, 0);
-        f.addi(p, p, 64);
-        f.addi(i, i, 1);
-        f.jmp(top);
-        f.bind(out);
-        f.halt();
-        let func = f.finish();
-        let prog = Arc::new(pb.finish().unwrap());
-        bench("machine/scan_256_lines", 500, || {
-            let mut cfg = MachineConfig::with_tiles(4);
-            cfg.prefetcher = false;
-            let mut m = Machine::try_new(cfg).unwrap();
-            m.spawn_thread(0, prog.clone(), func, &[]).unwrap();
-            black_box(m.run().unwrap().cycles);
-        });
-    }
+    levi_bench::runner::bench_main("micro_substrate");
 }

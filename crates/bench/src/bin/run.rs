@@ -1,0 +1,232 @@
+//! `levi-bench` — the unified experiment runner.
+//!
+//! One binary regenerates any figure or table of the paper's evaluation
+//! from the figure registry, replacing per-figure driver binaries:
+//!
+//! ```text
+//! levi-bench list
+//! levi-bench run <figure|all> [--quick] [--serial] [--json PATH]
+//!                             [--fault-plan SEED[:HORIZON]] [--filter VARIANT]
+//! levi-bench check-report <PATH>
+//! ```
+//!
+//! `run all --json PATH` truncates `PATH`, appends one JSON line per
+//! figure, and finishes with a roll-up manifest line; `check-report`
+//! validates such a file (parses, one manifest, every manifest figure
+//! present, every registry workload covered).
+
+use levi_bench::figures::ALL;
+use levi_bench::json::{parse, Json};
+use levi_bench::runner::{find_figure, manifest_json, run_figure, RunCtx};
+use levi_workloads::harness::FaultSpec;
+use levi_workloads::REGISTRY;
+
+fn usage() -> ! {
+    eprintln!("usage: levi-bench <command>");
+    eprintln!();
+    eprintln!("commands:");
+    eprintln!("  list                         list figures and the workloads they exercise");
+    eprintln!("  run <figure|all> [options]   regenerate one figure, or all in order");
+    eprintln!("  check-report <path>          validate a --json report file");
+    eprintln!();
+    eprintln!("run options:");
+    eprintln!("  --quick              reduced scales (sets LEVI_BENCH_QUICK)");
+    eprintln!("  --serial             run sweeps serially (sets LEVI_SWEEP_SERIAL)");
+    eprintln!("  --json PATH          append per-figure JSON lines to PATH");
+    eprintln!("                       ('all' truncates PATH and adds a manifest)");
+    eprintln!("  --fault-plan SEED[:HORIZON]");
+    eprintln!("                       inject a seeded fault plan into every run");
+    eprintln!("  --filter VARIANT     only run variants whose label contains VARIANT");
+    eprintln!("                       (baselines always run; knob sweeps ignore this)");
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("levi-bench: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("check-report") => cmd_check(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_list() {
+    println!("{:<22} {:<28} about", "figure", "workloads");
+    for f in ALL {
+        println!(
+            "{:<22} {:<28} {}",
+            f.id,
+            if f.workloads.is_empty() {
+                "-".to_string()
+            } else {
+                f.workloads.join(", ")
+            },
+            f.about
+        );
+    }
+}
+
+fn parse_fault_plan(spec: &str) -> FaultSpec {
+    let (seed_s, horizon_s) = match spec.split_once(':') {
+        Some((s, h)) => (s, Some(h)),
+        None => (spec, None),
+    };
+    let seed = seed_s
+        .parse()
+        .unwrap_or_else(|_| fail(&format!("--fault-plan: bad seed {seed_s:?}")));
+    let mut fault = FaultSpec::new(seed);
+    if let Some(h) = horizon_s {
+        fault.horizon = h
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("--fault-plan: bad horizon {h:?}")));
+        if fault.horizon == 0 {
+            fail("--fault-plan: horizon must be nonzero");
+        }
+    }
+    fault
+}
+
+fn cmd_run(args: &[String]) {
+    let mut target = None;
+    let mut ctx = RunCtx::from_env();
+    let mut serial = false;
+    let mut json: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--quick" => ctx.quick = true,
+            "--serial" => serial = true,
+            "--json" => json = Some(value("--json")),
+            "--fault-plan" => ctx.env.fault = Some(parse_fault_plan(&value("--fault-plan"))),
+            "--filter" => ctx.filter = Some(value("--filter")),
+            other if other.starts_with('-') => fail(&format!("unknown option {other}")),
+            other => {
+                if target.replace(other.to_string()).is_some() {
+                    fail("run takes one figure (or 'all')");
+                }
+            }
+        }
+    }
+    let Some(target) = target else {
+        fail("run needs a figure id (see 'levi-bench list') or 'all'");
+    };
+
+    // The workload layer reads these switches wherever a figure runs, so
+    // the flags just set the environment the bench wrappers already honor.
+    if ctx.quick {
+        std::env::set_var("LEVI_BENCH_QUICK", "1");
+    }
+    if serial {
+        std::env::set_var("LEVI_SWEEP_SERIAL", "1");
+    }
+    if let Some(path) = &json {
+        if target == "all" {
+            // A fresh roll-up: figures append to a truncated file.
+            std::fs::write(path, "").unwrap_or_else(|e| fail(&format!("--json {path}: {e}")));
+        }
+        std::env::set_var("LEVI_BENCH_JSON", path);
+    }
+
+    if target == "all" {
+        for fig in ALL {
+            run_figure(fig, &ctx);
+        }
+        levi_bench::emit_json_line(&manifest_json(ctx.quick));
+    } else {
+        let Some(fig) = find_figure(&target) else {
+            fail(&format!("unknown figure {target:?}; see 'levi-bench list'"));
+        };
+        run_figure(fig, &ctx);
+    }
+}
+
+fn cmd_check(args: &[String]) {
+    let [path] = args else {
+        fail("check-report takes exactly one path");
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+
+    let mut figures_seen = Vec::new();
+    let mut manifest = None;
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let doc =
+            parse(line).unwrap_or_else(|e| fail(&format!("{path}:{}: invalid JSON: {e}", i + 1)));
+        if let Some(fig) = doc.get("figure").and_then(Json::as_str) {
+            figures_seen.push(fig.to_string());
+        } else if let Some(m) = doc.get("manifest") {
+            if manifest.replace(m.clone()).is_some() {
+                fail(&format!("{path}: more than one manifest line"));
+            }
+        } else {
+            fail(&format!(
+                "{path}:{}: line is neither a figure nor a manifest",
+                i + 1
+            ));
+        }
+    }
+
+    let Some(manifest) = manifest else {
+        fail(&format!(
+            "{path}: no manifest line (reports come from 'levi-bench run all --json')"
+        ));
+    };
+    let figures = manifest
+        .get("figures")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| fail(&format!("{path}: manifest has no figures array")));
+    let mut covered_workloads = Vec::new();
+    for fig in figures {
+        let id = fig
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail(&format!("{path}: manifest figure without id")));
+        if !figures_seen.iter().any(|seen| seen == id) {
+            fail(&format!(
+                "{path}: manifest figure {id:?} emitted no JSON line"
+            ));
+        }
+        for w in fig.get("workloads").and_then(Json::as_arr).unwrap_or(&[]) {
+            if let Some(name) = w.as_str() {
+                covered_workloads.push(name.to_string());
+            }
+        }
+    }
+    for fig in &figures_seen {
+        if !figures
+            .iter()
+            .any(|f| f.get("id").and_then(Json::as_str) == Some(fig))
+        {
+            fail(&format!("{path}: figure {fig:?} missing from the manifest"));
+        }
+    }
+    for w in REGISTRY {
+        if !covered_workloads.iter().any(|c| c == w.name()) {
+            fail(&format!(
+                "{path}: registry workload {:?} covered by no figure",
+                w.name()
+            ));
+        }
+    }
+    println!(
+        "report OK: {} lines, {} figures, {} registry workloads covered",
+        lines,
+        figures.len(),
+        REGISTRY.len()
+    );
+}

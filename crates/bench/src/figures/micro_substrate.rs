@@ -1,0 +1,39 @@
+//! Microbenchmarks for the substrate components: cache-bank operations,
+//! NoC sends, LevIR interpretation, allocator planning, and a small
+//! end-to-end simulation — wall-clock simulator throughput, not simulated
+//! cycles (see `micro_kernels` for those).
+//!
+//! The timing kernels live in [`crate::micro_timers`]; this descriptor
+//! fans them out through a [`crate::Sweep`] like every other figure.
+//! Wall-clock numbers are indicative, not statistically rigorous, and a
+//! parallel sweep adds scheduling noise — run with `--serial` (or
+//! `LEVI_SWEEP_SERIAL`) for the quietest numbers.
+
+use crate::micro_timers::KERNELS;
+use crate::runner::{Figure, RunCtx};
+use crate::{table_json, Sweep};
+
+/// The figure descriptor.
+pub const FIG: Figure = Figure {
+    id: "micro_substrate",
+    about: "simulator wall-clock microbenchmarks (cache / NoC / interp / alloc)",
+    workloads: &[],
+    run,
+};
+
+fn run(_ctx: &RunCtx) {
+    println!("{:<28} {:>15}", "benchmark", "median");
+    let results = Sweep::new()
+        .variants(KERNELS.iter().map(|&(name, timer)| (name, timer)))
+        .run(|_, timer| timer());
+    let mut rows = Vec::new();
+    for (name, ns) in &results {
+        println!("{name:<28} {ns:>10.1} ns/iter");
+        rows.push(vec![name.to_string(), format!("{ns:.1}")]);
+    }
+    crate::emit_json_line(&table_json(
+        "micro_substrate",
+        &["benchmark", "median ns/iter"],
+        &rows,
+    ));
+}

@@ -16,6 +16,11 @@ use std::io::Write as _;
 use levi_sim::Histogram;
 use levi_workloads::metrics::RunMetrics;
 
+pub mod figures;
+pub mod json;
+pub mod micro_timers;
+pub mod runner;
+
 /// True when `LEVI_BENCH_QUICK` is set: benches drop to reduced scales
 /// (useful for smoke-testing the harness).
 pub fn quick_mode() -> bool {
@@ -180,10 +185,19 @@ pub fn speedup_table(rows: &[Row<'_>]) {
 /// ```
 pub fn report(figure: &str, rows: &[Row<'_>]) {
     speedup_table(rows);
+    emit_json_line(&figure_json(figure, rows));
+}
+
+/// Appends one line to the `LEVI_BENCH_JSON` report file, if the variable
+/// is set (no-op otherwise). All machine-readable emission — figure rows,
+/// table snapshots, the `all`-run manifest — funnels through here.
+///
+/// # Panics
+/// Panics if the report file cannot be opened or written.
+pub fn emit_json_line(json: &str) {
     let Ok(path) = std::env::var("LEVI_BENCH_JSON") else {
         return;
     };
-    let json = figure_json(figure, rows);
     let mut f = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -238,8 +252,54 @@ fn hist_json(h: &Histogram) -> String {
     )
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders a generic column table as a single JSON object (no trailing
+/// newline), mirroring [`figure_json`] for figures whose natural output is
+/// a [`table`] rather than a speedup comparison:
+///
+/// ```json
+/// {"figure": "fig22_invoke_buffer",
+///  "table": {"headers": ["entries", ...], "rows": [["1", ...], ...]}}
+/// ```
+pub fn table_json(figure: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"figure\":\"{}\",\"table\":{{\"headers\":[",
+        escape(figure)
+    );
+    for (i, h) in headers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\"", escape(h));
+    }
+    out.push_str("],\"rows\":[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, cell) in row.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", escape(cell));
+        }
+        out.push(']');
+    }
+    out.push_str("]}}");
+    out
+}
+
+/// Prints the table and, when `LEVI_BENCH_JSON` is set, appends its
+/// [`table_json`] line — the table-shaped counterpart of [`report`].
+pub fn table_report(figure: &str, headers: &[&str], rows: &[Vec<String>]) {
+    table(headers, rows);
+    emit_json_line(&table_json(figure, headers, rows));
 }
 
 /// Prints a generic column table.
@@ -280,7 +340,7 @@ mod tests {
 
     #[test]
     fn figure_json_contains_cycles_speedup_and_percentiles() {
-        let sys = System::new(SystemConfig::small());
+        let sys = System::try_new(SystemConfig::small()).expect("small config is valid");
         let mut base = RunMetrics::capture("Baseline", &sys);
         base.cycles = 1000;
         base.stats.invoke_rtt.record(40);
@@ -312,6 +372,16 @@ mod tests {
         );
         assert!(json.contains("\"stream_stall\":{\"count\":0"), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn table_json_round_trips_headers_and_rows() {
+        let json = table_json("t", &["a", "b"], &[vec!["1".into(), "x\"y".into()]]);
+        assert_eq!(
+            json,
+            "{\"figure\":\"t\",\"table\":{\"headers\":[\"a\",\"b\"],\
+             \"rows\":[[\"1\",\"x\\\"y\"]]}}"
+        );
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! The unified figure runner: a registry of figure descriptors and the
+//! shared machinery that drives [`levi_workloads::Workload`]s through
+//! [`crate::Sweep`].
+//!
+//! Each figure of the paper's evaluation is one [`Figure`] descriptor in
+//! [`crate::figures::ALL`]: a static id, a one-line summary, the registry
+//! workloads it exercises, and a `run` function that prints the figure.
+//! The `levi-bench` binary and the thin `cargo bench` wrappers both
+//! dispatch through [`bench_main`] / [`run_figure`], so there is exactly
+//! one implementation of every figure no matter how it is invoked.
+//!
+//! Shared plumbing lives here so descriptors stay declarative:
+//!
+//! * [`RunCtx`] — scale selection (`--quick`), variant filtering
+//!   (`--filter`), and the [`RunEnv`] injected into every run
+//!   (`--fault-plan`).
+//! * [`sweep_variants`] / [`sweep_prepared`] — run a workload's variants
+//!   through a parallel [`crate::Sweep`], print per-run progress, and
+//!   check every supported variant against its golden model.
+//! * [`report_figure`] — join measured outcomes with the paper's numbers
+//!   by label and emit the standard speedup/energy report.
+
+use levi_workloads::harness::{
+    DynWorkload, PreparedRun, RunEnv, RunOutcome, RunStatus, ScaleKind, Workload,
+};
+
+use crate::{report, Row, Sweep};
+
+/// Per-invocation context threaded into every figure's `run` function.
+#[derive(Clone, Debug, Default)]
+pub struct RunCtx {
+    /// Run at reduced scale (`--quick` / `LEVI_BENCH_QUICK`).
+    pub quick: bool,
+    /// Case-insensitive substring filter on variant labels; the baseline
+    /// (first) variant always runs so speedups stay well-defined.
+    pub filter: Option<String>,
+    /// Environment applied uniformly to every simulated run.
+    pub env: RunEnv,
+}
+
+impl RunCtx {
+    /// A context from the process environment, as the `cargo bench`
+    /// wrappers use: `LEVI_BENCH_QUICK` selects quick scale, no filter,
+    /// default environment.
+    pub fn from_env() -> Self {
+        RunCtx {
+            quick: crate::quick_mode(),
+            ..RunCtx::default()
+        }
+    }
+
+    /// The scale kind this context selects.
+    pub fn kind(&self) -> ScaleKind {
+        if self.quick {
+            ScaleKind::Quick
+        } else {
+            ScaleKind::Paper
+        }
+    }
+
+    /// Whether the variant at `index` with display `label` should run.
+    pub fn keeps(&self, index: usize, label: &str) -> bool {
+        index == 0
+            || match &self.filter {
+                None => true,
+                Some(f) => label.to_ascii_lowercase().contains(&f.to_ascii_lowercase()),
+            }
+    }
+}
+
+/// Labelled outcomes of one variant sweep, in presentation order.
+/// Unsupported variants are absent (they printed their reason instead).
+pub struct Outcomes {
+    entries: Vec<(&'static str, RunOutcome)>,
+}
+
+impl Outcomes {
+    /// The outcome for the variant labelled `label`, if it ran.
+    pub fn get(&self, label: &str) -> Option<&RunOutcome> {
+        self.entries
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, o)| o)
+    }
+
+    /// Iterates `(label, outcome)` pairs in presentation order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &RunOutcome)> {
+        self.entries.iter().map(|(l, o)| (*l, o))
+    }
+
+    /// How many variants actually ran.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no variant ran.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+fn collect_outcomes(runs: Vec<(&'static str, RunStatus)>, check: &dyn Fn(&str) -> u64) -> Outcomes {
+    let mut entries = Vec::new();
+    for (label, status) in runs {
+        match status {
+            RunStatus::Done(o) => {
+                eprintln!("  ran {:<18} {:>12} cycles", label, o.metrics.cycles);
+                assert_eq!(
+                    o.checksum,
+                    check(label),
+                    "{label} diverged from the golden model"
+                );
+                entries.push((label, *o));
+            }
+            RunStatus::Unsupported(reason) => {
+                println!("{label:<22} UNSUPPORTED — {reason}");
+            }
+        }
+    }
+    Outcomes { entries }
+}
+
+/// Runs the (filtered) variants of a typed workload at `scale` through a
+/// parallel [`Sweep`], checking every supported variant against the
+/// golden model. Figures that sweep scale knobs call [`Workload::run`]
+/// directly instead; this helper covers the standard "all variants at one
+/// scale" shape.
+pub fn sweep_variants<W: Workload>(w: &W, scale: &W::Scale, ctx: &RunCtx) -> Outcomes {
+    let input = w.build_input(scale);
+    let variants: Vec<(&'static str, W::Variant)> = w
+        .variants()
+        .into_iter()
+        .enumerate()
+        .filter(|&(i, (label, _))| ctx.keeps(i, label))
+        .map(|(_, pair)| pair)
+        .collect();
+    let env = &ctx.env;
+    let input_ref = &input;
+    let runs = Sweep::new()
+        .variants(variants.iter().map(|&(label, v)| (label, v)))
+        .run(|_, &v| w.run(v, scale, input_ref, env));
+    let variant_of = |label: &str| {
+        variants
+            .iter()
+            .find(|(l, _)| *l == label)
+            .expect("label came from this list")
+            .1
+    };
+    collect_outcomes(runs, &|label| w.golden(variant_of(label), scale, &input))
+}
+
+/// Registry-path counterpart of [`sweep_variants`]: runs a
+/// [`PreparedRun`]'s variants by label. This is how figures drive
+/// workloads they only know by registry name.
+pub fn sweep_prepared(w: &dyn DynWorkload, prepared: &dyn PreparedRun, ctx: &RunCtx) -> Outcomes {
+    let labels: Vec<&'static str> = w
+        .variant_labels()
+        .into_iter()
+        .enumerate()
+        .filter(|&(i, label)| ctx.keeps(i, label))
+        .map(|(_, label)| label)
+        .collect();
+    let env = &ctx.env;
+    let runs = Sweep::new()
+        .variants(labels.iter().map(|&l| (l, l)))
+        .run(|_, &label| prepared.run(label, env));
+    collect_outcomes(runs, &|label| prepared.golden(label))
+}
+
+/// Emits the standard speedup/energy report for a variant sweep, joining
+/// the paper's `(label, speedup, relative energy)` numbers by label.
+/// Rows keep the sweep's presentation order; the first outcome is the
+/// baseline.
+pub fn report_figure(
+    figure: &str,
+    outcomes: &Outcomes,
+    paper: &[(&str, Option<f64>, Option<f64>)],
+) {
+    let rows: Vec<Row<'_>> = outcomes
+        .iter()
+        .map(|(label, o)| {
+            let (ps, pe) = paper
+                .iter()
+                .find(|(l, _, _)| *l == label)
+                .map_or((None, None), |&(_, ps, pe)| (ps, pe));
+            Row {
+                label,
+                metrics: &o.metrics,
+                paper_speedup: ps,
+                paper_energy: pe,
+            }
+        })
+        .collect();
+    report(figure, &rows);
+}
+
+/// One figure or table of the paper's evaluation.
+pub struct Figure {
+    /// Stable identifier (`fig05_phi`, `table04_area`, ...) — the name
+    /// `levi-bench run` accepts and the `"figure"` key in report JSON.
+    pub id: &'static str,
+    /// One-line summary shown by `levi-bench list`.
+    pub about: &'static str,
+    /// Registry workloads this figure exercises (empty for figures that
+    /// measure the substrate or print static configuration).
+    pub workloads: &'static [&'static str],
+    /// Prints the figure (and emits its report JSON) for a context.
+    pub run: fn(&RunCtx),
+}
+
+/// Finds a figure by exact id, or by unique prefix.
+pub fn find_figure(id: &str) -> Option<&'static Figure> {
+    let all = crate::figures::ALL;
+    if let Some(f) = all.iter().find(|f| f.id == id) {
+        return Some(f);
+    }
+    let mut matches = all.iter().filter(|f| f.id.starts_with(id));
+    match (matches.next(), matches.next()) {
+        (Some(f), None) => Some(f),
+        _ => None,
+    }
+}
+
+/// Runs one figure under `ctx`.
+pub fn run_figure(fig: &Figure, ctx: &RunCtx) {
+    (fig.run)(ctx);
+}
+
+/// Entry point for the thin `cargo bench` wrappers: runs the named
+/// figure with a [`RunCtx`] built from the environment, exactly as the
+/// pre-refactor standalone bench binaries did.
+///
+/// # Panics
+/// Panics if `id` names no registered figure.
+pub fn bench_main(id: &str) {
+    let fig = find_figure(id).unwrap_or_else(|| panic!("unknown figure {id:?}"));
+    run_figure(fig, &RunCtx::from_env());
+}
+
+/// Renders the roll-up manifest emitted after `levi-bench run all`: which
+/// figures ran, which registry workloads each exercises, and the full
+/// registry, so report consumers can check coverage without compiling the
+/// workspace.
+pub fn manifest_json(quick: bool) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"manifest\":{{\"version\":1,\"quick\":{quick},\"figures\":["
+    );
+    for (i, f) in crate::figures::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"id\":\"{}\",\"workloads\":[", crate::escape(f.id));
+        for (j, w) in f.workloads.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", crate::escape(w));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"workloads\":[");
+    for (i, w) in levi_workloads::REGISTRY.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\"", crate::escape(w.name()));
+    }
+    out.push_str("]}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_ids_are_unique_and_prefix_resolvable() {
+        let mut ids: Vec<_> = crate::figures::ALL.iter().map(|f| f.id).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate figure ids");
+        assert!(find_figure("fig05_phi").is_some());
+        assert_eq!(find_figure("fig05").unwrap().id, "fig05_phi");
+        assert!(
+            find_figure("fig2").is_none(),
+            "ambiguous prefix must not resolve"
+        );
+        assert!(find_figure("nope").is_none());
+    }
+
+    #[test]
+    fn every_registry_workload_is_covered_by_some_figure() {
+        for w in levi_workloads::REGISTRY {
+            assert!(
+                crate::figures::ALL
+                    .iter()
+                    .any(|f| f.workloads.contains(&w.name())),
+                "workload {} appears in no figure",
+                w.name()
+            );
+        }
+        for f in crate::figures::ALL {
+            for w in f.workloads {
+                assert!(
+                    levi_workloads::harness::find_workload(w).is_some(),
+                    "figure {} names unregistered workload {w}",
+                    f.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn manifest_lists_every_figure_and_workload() {
+        let m = manifest_json(true);
+        for f in crate::figures::ALL {
+            assert!(m.contains(&format!("\"id\":\"{}\"", f.id)), "{m}");
+        }
+        for w in levi_workloads::REGISTRY {
+            assert!(m.contains(&format!("\"{}\"", w.name())), "{m}");
+        }
+        assert_eq!(m.matches('{').count(), m.matches('}').count());
+    }
+
+    #[test]
+    fn filter_keeps_the_baseline() {
+        let ctx = RunCtx {
+            filter: Some("leviathan".into()),
+            ..RunCtx::default()
+        };
+        assert!(ctx.keeps(0, "Baseline"));
+        assert!(ctx.keeps(3, "Leviathan"));
+        assert!(ctx.keeps(4, "Leviathan (DYNAMIC)"));
+        assert!(!ctx.keeps(2, "tako Relax"));
+        assert!(RunCtx::default().keeps(2, "tako Relax"));
+    }
+}

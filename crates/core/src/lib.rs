@@ -53,7 +53,7 @@
 //! };
 //! let prog = std::sync::Arc::new(pb.finish()?);
 //!
-//! let mut sys = System::new(SystemConfig::small());
+//! let mut sys = System::try_new(SystemConfig::small())?;
 //! let counter = sys.alloc_raw(8, 8);
 //! let action = sys.register_action(&prog, action_fn);
 //! assert_eq!(action, levi_isa::ActionId(0));

@@ -84,6 +84,10 @@ impl System {
     /// # Panics
     /// Panics if the machine configuration is invalid; use
     /// [`System::try_new`] for the fallible path.
+    #[deprecated(
+        since = "0.2.0",
+        note = "panics on an invalid configuration; use `System::try_new` and handle the error"
+    )]
     pub fn new(cfg: SystemConfig) -> Self {
         match Self::try_new(cfg) {
             Ok(s) => s,
@@ -410,7 +414,7 @@ mod tests {
 
     #[test]
     fn alloc_array_installs_translation_and_mapping() {
-        let mut sys = System::new(SystemConfig::small());
+        let mut sys = System::try_new(SystemConfig::small()).expect("small config is valid");
         let nodes = sys.alloc_array(&ArraySpec::new("nodes", 24, 64));
         assert_eq!(nodes.stride, 32);
         assert_eq!(sys.machine().hw.translator.len(), 1);
@@ -448,7 +452,7 @@ mod tests {
             f.finish()
         };
         let prog = Arc::new(pb.finish().unwrap());
-        let mut sys = System::new(SystemConfig::small());
+        let mut sys = System::try_new(SystemConfig::small()).expect("small config is valid");
         let counter = sys.alloc_raw(8, 8);
         let a = sys.register_action(&prog, action);
         assert_eq!(a, ActionId(0));
@@ -489,7 +493,7 @@ mod tests {
             f.finish()
         };
         let prog = Arc::new(pb.finish().unwrap());
-        let mut sys = System::new(SystemConfig::small());
+        let mut sys = System::try_new(SystemConfig::small()).expect("small config is valid");
         let ctor_a = sys.register_action(&prog, ctor);
         let _reader_a = sys.register_action(&prog, reader);
         let morph =
@@ -545,7 +549,7 @@ mod tests {
             f.finish()
         };
         let prog = Arc::new(pb.finish().unwrap());
-        let mut sys = System::new(SystemConfig::small());
+        let mut sys = System::try_new(SystemConfig::small()).expect("small config is valid");
         let spec = StreamSpec::new("nums", 16, 0, &prog, producer);
         let h = sys.create_stream(&spec).unwrap();
         sys.spawn_thread(
@@ -599,7 +603,7 @@ mod tests {
             f.finish()
         };
         let prog = Arc::new(pb.finish().unwrap());
-        let mut sys = System::new(SystemConfig::small());
+        let mut sys = System::try_new(SystemConfig::small()).expect("small config is valid");
         let src = sys.alloc_raw(8 * 32, 64);
         for k in 0..32u64 {
             sys.write_u64(src + 8 * k, k + 1);

@@ -355,8 +355,7 @@ impl MachineConfig {
     /// first offending field combination.
     ///
     /// [`Machine::try_new`](crate::Machine::try_new) runs this check and
-    /// returns the error; the deprecated `Machine::new` panics with its
-    /// message instead.
+    /// returns the error.
     pub fn validate(&self) -> Result<(), SimError> {
         let bad = |what: String| Err(SimError::InvalidConfig { what });
         if self.tiles == 0 || !self.tiles.is_power_of_two() {

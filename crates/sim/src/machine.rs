@@ -61,25 +61,8 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Builds a machine from a configuration.
-    ///
-    /// # Panics
-    /// Panics if the configuration is invalid (see
-    /// [`MachineConfig::validate`]); use [`Machine::try_new`] for the
-    /// fallible path.
-    #[deprecated(
-        since = "0.2.0",
-        note = "panics on an invalid configuration; use `Machine::try_new` and handle the error"
-    )]
-    pub fn new(cfg: MachineConfig) -> Self {
-        match Self::try_new(cfg) {
-            Ok(m) => m,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
     /// Builds a machine, returning a typed error on an invalid
-    /// configuration.
+    /// configuration (see [`MachineConfig::validate`]).
     pub fn try_new(mut cfg: MachineConfig) -> Result<Self, SimError> {
         cfg.validate()?;
         if cfg.engine.idealized {

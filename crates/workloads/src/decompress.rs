@@ -30,6 +30,7 @@ use levi_sim::MorphLevel;
 use leviathan::{MorphSpec, System, SystemConfig};
 
 use crate::gen::Zipf;
+use crate::harness::{RunEnv, RunOutcome, RunStatus, ScaleKind, Workload};
 use crate::metrics::RunMetrics;
 
 /// Decompression variant.
@@ -307,11 +308,87 @@ fn build_programs() -> Programs {
     }
 }
 
+/// The deterministic compressed content for one scale, generated
+/// host-side so the timed run and the golden model share one source.
+struct CompressedData {
+    /// Per-channel group bases (one per 8 pixels).
+    bases: [Vec<u16>; 3],
+    /// Per-channel per-pixel deltas.
+    deltas: [Vec<u8>; 3],
+    /// The decompressed pixels (the golden reference).
+    pixels: Vec<[u16; 3]>,
+}
+
+fn gen_compressed(scale: &DecompressScale) -> CompressedData {
+    let n = scale.pixels;
+    let mut x = scale.seed | 1;
+    let mut step = || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x
+    };
+    let mut bases: [Vec<u16>; 3] = Default::default();
+    let mut deltas: [Vec<u8>; 3] = Default::default();
+    let mut pixels = vec![[0u16; 3]; n as usize];
+    for c in 0..3 {
+        for _ in 0..n.div_ceil(8) {
+            bases[c].push((step() >> 40) as u16 & 0x3FFF);
+        }
+        for i in 0..n {
+            let d = (step() >> 33) as u8;
+            deltas[c].push(d);
+            pixels[i as usize][c] = decompress_value(bases[c][(i / 8) as usize], d);
+        }
+    }
+    CompressedData {
+        bases,
+        deltas,
+        pixels,
+    }
+}
+
+/// The seeded Zipfian access stream.
+fn gen_indices(scale: &DecompressScale) -> Vec<u32> {
+    let mut zipf = Zipf::new(scale.pixels, scale.theta, scale.seed);
+    (0..scale.accesses).map(|_| zipf.sample() as u32).collect()
+}
+
+/// Host-side golden model: the sum of decompressed channel values over
+/// the covered prefix of the access stream (threads cover
+/// `accesses / tiles * tiles` accesses).
+pub fn golden_access_sum(scale: &DecompressScale) -> u64 {
+    let data = gen_compressed(scale);
+    let indices = gen_indices(scale);
+    let covered = (scale.accesses / scale.tiles as u64) * scale.tiles as u64;
+    covered_sum(&data, &indices, covered)
+}
+
+fn covered_sum(data: &CompressedData, indices: &[u32], covered: u64) -> u64 {
+    indices[..covered as usize]
+        .iter()
+        .map(|&idx| {
+            let p = data.pixels[idx as usize];
+            p[0] as u64 + p[1] as u64 + p[2] as u64
+        })
+        .sum()
+}
+
 /// Runs one variant. Returns `None` for unsupported configurations
 /// (no-padding prior work cannot construct 6 B objects).
 pub fn run_decompress(
     variant: DecompressVariant,
     scale: &DecompressScale,
+) -> Option<DecompressResult> {
+    run_decompress_with(variant, scale, |_| {})
+}
+
+/// Runs one variant with arbitrary configuration customization (the
+/// unified harness injects fault plans and watchdogs through this hook).
+pub fn run_decompress_with(
+    variant: DecompressVariant,
+    scale: &DecompressScale,
+    customize: impl FnOnce(&mut SystemConfig),
 ) -> Option<DecompressResult> {
     if variant == DecompressVariant::NoPadding {
         // 6 B does not divide 64 B: lines would hold partial objects and
@@ -320,47 +397,33 @@ pub fn run_decompress(
         return None;
     }
     let mut cfg = SystemConfig::with_tiles(scale.tiles);
+    customize(&mut cfg);
     if variant == DecompressVariant::Ideal {
         cfg = cfg.idealized();
     }
-    let mut sys = System::new(cfg);
+    let mut sys = System::try_new(cfg).expect("decompress system config is valid");
     let n = scale.pixels;
 
     // ---- compressed data ----
+    let data = gen_compressed(scale);
     let mut bases = [0u64; 3];
     let mut deltas = [0u64; 3];
     for c in 0..3 {
         bases[c] = sys.alloc_raw(2 * n.div_ceil(8), 64);
         deltas[c] = sys.alloc_raw(n, 64);
-    }
-    // Deterministic compressed content.
-    let mut x = scale.seed | 1;
-    let mut host_pixels = vec![[0u16; 3]; n as usize];
-    for c in 0..3 {
-        for g in 0..n.div_ceil(8) {
-            x = x
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            let b = (x >> 40) as u16 & 0x3FFF;
-            sys.write(bases[c] + 2 * g, b as u64, MemWidth::B2);
+        for (g, &b) in data.bases[c].iter().enumerate() {
+            sys.write(bases[c] + 2 * g as u64, b as u64, MemWidth::B2);
         }
-        for i in 0..n {
-            x = x
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            let d = (x >> 33) as u8;
-            sys.write(deltas[c] + i, d as u64, MemWidth::B1);
-            let b = sys.read(bases[c] + 2 * (i / 8), MemWidth::B2) as u16;
-            host_pixels[i as usize][c] = decompress_value(b, d);
+        for (i, &d) in data.deltas[c].iter().enumerate() {
+            sys.write(deltas[c] + i as u64, d as u64, MemWidth::B1);
         }
     }
 
     // ---- access pattern (shared index array) ----
+    let indices = gen_indices(scale);
     let idx_arr = sys.alloc_raw(4 * scale.accesses, 64);
-    let mut zipf = Zipf::new(n, scale.theta, scale.seed);
-    for i in 0..scale.accesses {
-        let idx = zipf.sample();
-        sys.write(idx_arr + 4 * i, idx, MemWidth::B4);
+    for (i, &idx) in indices.iter().enumerate() {
+        sys.write(idx_arr + 4 * i as u64, idx as u64, MemWidth::B4);
     }
 
     let progs = build_programs();
@@ -429,12 +492,7 @@ pub fn run_decompress(
     }
     // Threads cover per*tiles accesses; recompute golden over that prefix.
     let covered = per * scale.tiles as u64;
-    let mut golden_covered = 0u64;
-    for i in 0..covered {
-        let idx = sys.read(idx_arr + 4 * i, MemWidth::B4);
-        let p = host_pixels[idx as usize];
-        golden_covered += p[0] as u64 + p[1] as u64 + p[2] as u64;
-    }
+    let golden_covered = covered_sum(&data, &indices, covered);
     assert_eq!(
         access_sum,
         golden_covered,
@@ -446,6 +504,61 @@ pub fn run_decompress(
         metrics: RunMetrics::capture(variant.label(), &sys),
         access_sum,
     })
+}
+
+/// Registry entry for the decompression study (see [`crate::harness`]).
+pub struct DecompressWorkload;
+
+impl Workload for DecompressWorkload {
+    type Variant = DecompressVariant;
+    type Scale = DecompressScale;
+    type Input = ();
+
+    fn name(&self) -> &'static str {
+        "decompress"
+    }
+
+    fn variants(&self) -> Vec<(&'static str, DecompressVariant)> {
+        DecompressVariant::all()
+            .iter()
+            .map(|&v| (v.label(), v))
+            .collect()
+    }
+
+    fn scale(&self, kind: ScaleKind) -> DecompressScale {
+        match kind {
+            ScaleKind::Paper => DecompressScale::paper(),
+            ScaleKind::Test | ScaleKind::Quick => DecompressScale::test(),
+        }
+    }
+
+    fn build_input(&self, _scale: &DecompressScale) {}
+
+    fn describe(&self, scale: &DecompressScale) -> String {
+        format!(
+            "{} pixels (6 B), {} Zipf({}) accesses, {} tiles",
+            scale.pixels, scale.accesses, scale.theta, scale.tiles
+        )
+    }
+
+    fn run(
+        &self,
+        variant: DecompressVariant,
+        scale: &DecompressScale,
+        _input: &(),
+        env: &RunEnv,
+    ) -> RunStatus {
+        match run_decompress_with(variant, scale, |cfg| env.customize(cfg)) {
+            Some(r) => RunStatus::Done(Box::new(RunOutcome::new(r.metrics, r.access_sum))),
+            None => RunStatus::Unsupported(
+                "6 B objects straddle cache lines without padding (as in the paper)",
+            ),
+        }
+    }
+
+    fn golden(&self, _variant: DecompressVariant, scale: &DecompressScale, _input: &()) -> u64 {
+        golden_access_sum(scale)
+    }
 }
 
 #[cfg(test)]

@@ -204,6 +204,35 @@ impl Zipf {
     }
 }
 
+/// Host-side golden model of one push-PageRank iteration over `graph`:
+/// every vertex scatters `INIT_RANK / deg` to its out-neighbors, then
+/// each accumulated mass folds as `((mass * 217) >> 8) + (1 << 12)` in
+/// fixed point. Returns the wrapping sum of the final rank vector.
+///
+/// Both graph workloads (PHI's push scatter and HATS's pull traversal)
+/// compute this same iteration, so both validate against this one model
+/// (re-exported as `phi::golden_checksum` / `hats::golden_checksum`).
+pub fn pagerank_checksum(graph: &Graph) -> u64 {
+    let nv = graph.num_vertices as usize;
+    let mut rnext = vec![0u64; nv];
+    for u in 0..graph.num_vertices {
+        let deg = graph.out_degree(u) as u64;
+        if deg == 0 {
+            continue;
+        }
+        let contrib = crate::phi::INIT_RANK / deg;
+        for &v in graph.neighbors_of(u) {
+            rnext[v as usize] = rnext[v as usize].wrapping_add(contrib);
+        }
+    }
+    let mut checksum = 0u64;
+    for &nx in &rnext {
+        let r = ((nx.wrapping_mul(217)) >> 8).wrapping_add(1 << 12);
+        checksum = checksum.wrapping_add(r);
+    }
+    checksum
+}
+
 /// A uniform sampler over `0..n`.
 #[derive(Clone, Debug)]
 pub struct Uniform {

@@ -20,6 +20,7 @@ use levi_isa::{ActionId, Location, Program, ProgramBuilder, Reg};
 use leviathan::{ArraySpec, System, SystemConfig};
 
 use crate::gen::Uniform;
+use crate::harness::{RunEnv, RunOutcome, RunStatus, ScaleKind, Workload};
 use crate::metrics::RunMetrics;
 
 /// Node field offsets. Per Fig. 17 the node is
@@ -63,6 +64,18 @@ impl HtVariant {
             HtVariant::LeviathanDynamic => "Leviathan (DYNAMIC)",
             HtVariant::Ideal => "Ideal",
         }
+    }
+
+    /// All variants in presentation order.
+    pub fn all() -> [HtVariant; 6] {
+        [
+            HtVariant::Baseline,
+            HtVariant::Leviathan,
+            HtVariant::NoPadding,
+            HtVariant::NoMapping,
+            HtVariant::LeviathanDynamic,
+            HtVariant::Ideal,
+        ]
     }
 }
 
@@ -324,7 +337,7 @@ pub fn run_hashtable_with(
     if variant == HtVariant::Ideal {
         cfg = cfg.idealized();
     }
-    let mut sys = System::new(cfg);
+    let mut sys = System::try_new(cfg).expect("hash-table system config is valid");
 
     // ---- allocate nodes per the variant's layout support ----
     let mut spec = ArraySpec::new("nodes", scale.node_bytes, scale.nodes);
@@ -356,12 +369,10 @@ pub fn run_hashtable_with(
     let total_lookups = scale.lookups_per_thread * scale.tiles as u64;
     let keys_arr = sys.alloc_raw(8 * total_lookups, 64);
     let mut uni = Uniform::new(scale.nodes, scale.seed);
-    let mut golden = 0u64;
     for i in 0..total_lookups {
-        let key = uni.sample();
-        sys.write_u64(keys_arr + 8 * i, key);
-        golden ^= key.wrapping_mul(31).wrapping_add(7);
+        sys.write_u64(keys_arr + 8 * i, uni.sample());
     }
+    let golden = golden_checksum(scale);
 
     let first_loc = if variant == HtVariant::LeviathanDynamic {
         Location::Dynamic
@@ -421,6 +432,67 @@ pub fn run_hashtable_with(
     HtResult {
         metrics: RunMetrics::capture(variant.label(), &sys),
         checksum,
+    }
+}
+
+/// Host-side golden model: the XOR of `value(key)` over the seeded lookup
+/// stream. Every key in `0..nodes` is present in the table, so every
+/// lookup hits; `value(key) = key * 31 + 7` matches the insertion loop.
+pub fn golden_checksum(scale: &HtScale) -> u64 {
+    let total = scale.lookups_per_thread * scale.tiles as u64;
+    let mut uni = Uniform::new(scale.nodes, scale.seed);
+    let mut golden = 0u64;
+    for _ in 0..total {
+        golden ^= uni.sample().wrapping_mul(31).wrapping_add(7);
+    }
+    golden
+}
+
+/// Registry entry for the hash-table study (see [`crate::harness`]).
+/// Registry runs use 64 B nodes; the node-size figure (Fig. 18) sweeps
+/// sizes through the typed [`Workload`] interface with custom scales.
+pub struct HashtableWorkload;
+
+impl Workload for HashtableWorkload {
+    type Variant = HtVariant;
+    type Scale = HtScale;
+    type Input = ();
+
+    fn name(&self) -> &'static str {
+        "hashtable"
+    }
+
+    fn variants(&self) -> Vec<(&'static str, HtVariant)> {
+        HtVariant::all().iter().map(|&v| (v.label(), v)).collect()
+    }
+
+    fn scale(&self, kind: ScaleKind) -> HtScale {
+        match kind {
+            ScaleKind::Paper => HtScale::paper(64),
+            ScaleKind::Test | ScaleKind::Quick => HtScale::test(64),
+        }
+    }
+
+    fn build_input(&self, _scale: &HtScale) {}
+
+    fn describe(&self, scale: &HtScale) -> String {
+        format!(
+            "{} nodes of {} B, {} per bucket, {} tiles x {} lookups",
+            scale.nodes,
+            scale.node_bytes,
+            scale.nodes_per_bucket,
+            scale.tiles,
+            scale.lookups_per_thread
+        )
+    }
+
+    fn run(&self, variant: HtVariant, scale: &HtScale, _input: &(), env: &RunEnv) -> RunStatus {
+        let r = run_hashtable_with(variant, scale, |cfg| env.customize(cfg));
+        RunStatus::Done(Box::new(RunOutcome::new(r.metrics, r.checksum)))
+    }
+
+    fn golden(&self, _variant: HtVariant, scale: &HtScale, _input: &()) -> u64 {
+        golden_checksum(scale)
     }
 }
 
@@ -489,7 +561,7 @@ mod tests {
         // 24B nodes padded to 32B: DRAM stores them at 24B stride.
         let scale = HtScale::test(24);
         let sys_cfg = SystemConfig::with_tiles(scale.tiles);
-        let mut sys = System::new(sys_cfg);
+        let mut sys = System::try_new(sys_cfg).expect("compaction test config is valid");
         let spec = ArraySpec::new("nodes", 24, scale.nodes);
         let arr = sys.alloc_array(&spec);
         assert_eq!(arr.stride, 32);

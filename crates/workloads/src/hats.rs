@@ -33,6 +33,7 @@ use levi_isa::{FuncId, MemWidth, Program, ProgramBuilder, Reg};
 use leviathan::{StreamSpec, System, SystemConfig};
 
 use crate::gen::Graph;
+use crate::harness::{RunEnv, RunOutcome, RunStatus, ScaleKind, Workload};
 use crate::metrics::RunMetrics;
 
 /// HATS variant.
@@ -511,12 +512,24 @@ pub fn run_hats(variant: HatsVariant, scale: &HatsScale) -> HatsResult {
 
 /// Runs one HATS variant on a pre-built graph.
 pub fn run_hats_on(variant: HatsVariant, scale: &HatsScale, graph: &Graph) -> HatsResult {
+    run_hats_with(variant, scale, graph, |_| {})
+}
+
+/// Runs one HATS variant with arbitrary configuration customization (the
+/// unified harness injects fault plans and watchdogs through this hook).
+pub fn run_hats_with(
+    variant: HatsVariant,
+    scale: &HatsScale,
+    graph: &Graph,
+    customize: impl FnOnce(&mut SystemConfig),
+) -> HatsResult {
     let mut cfg = SystemConfig::with_tiles(scale.tiles);
     crate::metrics::shrink_caches(&mut cfg.machine, scale.cache_factor);
+    customize(&mut cfg);
     if variant == HatsVariant::Ideal {
         cfg = cfg.idealized();
     }
-    let mut sys = System::new(cfg);
+    let mut sys = System::try_new(cfg).expect("HATS system config is valid");
     let nv = graph.num_vertices as u64;
     let (in_off, in_neigh, outdeg) = invert(graph);
 
@@ -642,23 +655,66 @@ pub fn run_hats_on(variant: HatsVariant, scale: &HatsScale, graph: &Graph) -> Ha
     }
 }
 
-/// Host golden model: one pull-style PageRank iteration.
-pub fn golden_checksum(graph: &Graph) -> u64 {
-    let (_, _, outdeg) = invert(graph);
-    let nv = graph.num_vertices as usize;
-    let mut rnext = vec![0u64; nv];
-    for s in 0..graph.num_vertices {
-        let contrib = crate::phi::INIT_RANK / outdeg[s as usize].max(1) as u64;
-        for &d in graph.neighbors_of(s) {
-            rnext[d as usize] = rnext[d as usize].wrapping_add(contrib);
+/// Host golden model: one PageRank iteration (the traversal order never
+/// changes the sums — shared with PHI via [`crate::gen::pagerank_checksum`]).
+pub use crate::gen::pagerank_checksum as golden_checksum;
+
+/// Registry entry for HATS (see [`crate::harness`]).
+pub struct HatsWorkload;
+
+impl Workload for HatsWorkload {
+    type Variant = HatsVariant;
+    type Scale = HatsScale;
+    type Input = Graph;
+
+    fn name(&self) -> &'static str {
+        "hats"
+    }
+
+    fn variants(&self) -> Vec<(&'static str, HatsVariant)> {
+        HatsVariant::all().iter().map(|&v| (v.label(), v)).collect()
+    }
+
+    fn scale(&self, kind: ScaleKind) -> HatsScale {
+        match kind {
+            ScaleKind::Paper => HatsScale::paper(),
+            ScaleKind::Test | ScaleKind::Quick => HatsScale::test(),
         }
     }
-    let mut checksum = 0u64;
-    for &nx in &rnext {
-        let r = ((nx.wrapping_mul(217)) >> 8).wrapping_add(1 << 12);
-        checksum = checksum.wrapping_add(r);
+
+    fn build_input(&self, scale: &HatsScale) -> Graph {
+        Graph::community(
+            scale.vertices,
+            scale.avg_degree,
+            scale.community,
+            scale.intra_pct,
+            scale.seed,
+        )
     }
-    checksum
+
+    fn describe(&self, scale: &HatsScale) -> String {
+        format!(
+            "{} vertices, communities of {} ({}% intra), {} tiles",
+            scale.vertices, scale.community, scale.intra_pct, scale.tiles
+        )
+    }
+
+    fn run(
+        &self,
+        variant: HatsVariant,
+        scale: &HatsScale,
+        graph: &Graph,
+        env: &RunEnv,
+    ) -> RunStatus {
+        let r = run_hats_with(variant, scale, graph, |cfg| env.customize(cfg));
+        RunStatus::Done(Box::new(
+            RunOutcome::new(r.metrics, r.rank_checksum).with_aux("edges", r.edges),
+        ))
+    }
+
+    fn golden(&self, _variant: HatsVariant, _scale: &HatsScale, graph: &Graph) -> u64 {
+        golden_checksum(graph)
+    }
 }
 
 #[cfg(test)]

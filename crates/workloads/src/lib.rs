@@ -9,21 +9,31 @@
 //! * [`hashtable`] — offloaded hash-table lookups (Figs. 18, 24, 25).
 //! * [`hats`] — decoupled BDFS graph traversal via streaming
 //!   (Figs. 20, 21, 23).
+//! * [`micro`] — substrate microkernels (scan, pointer chase, invoke).
 //!
-//! Supporting modules: [`gen`] (seeded graph and key-distribution
-//! generators) and [`metrics`] (measurement capture and comparison).
+//! Every workload implements the [`harness::Workload`] trait and is
+//! listed in [`harness::REGISTRY`]; drivers enumerate the registry
+//! instead of naming workloads. Supporting modules: [`gen`] (seeded graph
+//! and key-distribution generators) and [`metrics`] (measurement capture
+//! and comparison).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod decompress;
 pub mod gen;
+pub mod harness;
 pub mod hashtable;
 pub mod hats;
 pub mod metrics;
+pub mod micro;
 pub mod phi;
 pub mod rng;
 
 pub use gen::{Graph, Uniform, Zipf};
+pub use harness::{
+    DynWorkload, FaultSpec, PreparedRun, RunEnv, RunOutcome, RunStatus, ScaleKind, Workload,
+    REGISTRY,
+};
 pub use metrics::RunMetrics;
 pub use rng::SmallRng;

@@ -66,7 +66,7 @@ mod tests {
 
     #[test]
     fn capture_and_compare() {
-        let sys = System::new(SystemConfig::small());
+        let sys = System::try_new(SystemConfig::small()).expect("small config is valid");
         let mut a = RunMetrics::capture("a", &sys);
         let mut b = RunMetrics::capture("b", &sys);
         a.cycles = 1000;

@@ -27,6 +27,7 @@ use levi_sim::MorphLevel;
 use leviathan::{MorphSpec, System, SystemConfig};
 
 use crate::gen::Graph;
+use crate::harness::{RunEnv, RunOutcome, RunStatus, ScaleKind, Workload};
 use crate::metrics::RunMetrics;
 
 /// Initial (fixed-point) rank value.
@@ -378,13 +379,25 @@ pub fn run_phi(variant: PhiVariant, scale: &PhiScale) -> PhiResult {
 /// Runs one PHI variant on a pre-built graph (the harness reuses one graph
 /// across variants).
 pub fn run_phi_on(variant: PhiVariant, scale: &PhiScale, graph: &Graph) -> PhiResult {
+    run_phi_with(variant, scale, graph, |_| {})
+}
+
+/// Runs one PHI variant with arbitrary configuration customization (the
+/// unified harness injects fault plans and watchdogs through this hook).
+pub fn run_phi_with(
+    variant: PhiVariant,
+    scale: &PhiScale,
+    graph: &Graph,
+    customize: impl FnOnce(&mut SystemConfig),
+) -> PhiResult {
     let mut cfg = SystemConfig::with_tiles(scale.tiles);
     crate::metrics::shrink_caches(&mut cfg.machine, scale.cache_factor);
     cfg.machine.core.invoke_buffer = scale.invoke_buffer;
+    customize(&mut cfg);
     if variant == PhiVariant::Ideal {
         cfg = cfg.idealized();
     }
-    let mut sys = System::new(cfg);
+    let mut sys = System::try_new(cfg).expect("PHI system config is valid");
     let nv = graph.num_vertices as u64;
     let ne = graph.num_edges() as u64;
 
@@ -558,26 +571,62 @@ pub fn run_phi_on(variant: PhiVariant, scale: &PhiScale, graph: &Graph) -> PhiRe
 }
 
 /// Host-side golden model of one PageRank iteration; returns the expected
-/// rank checksum.
-pub fn golden_checksum(graph: &Graph) -> u64 {
-    let nv = graph.num_vertices as usize;
-    let mut rnext = vec![0u64; nv];
-    for u in 0..graph.num_vertices {
-        let deg = graph.out_degree(u) as u64;
-        if deg == 0 {
-            continue;
-        }
-        let contrib = INIT_RANK / deg;
-        for &v in graph.neighbors_of(u) {
-            rnext[v as usize] = rnext[v as usize].wrapping_add(contrib);
+/// rank checksum (shared with HATS — see [`crate::gen::pagerank_checksum`]).
+pub use crate::gen::pagerank_checksum as golden_checksum;
+
+/// Registry entry for PHI (see [`crate::harness`]).
+pub struct PhiWorkload;
+
+impl Workload for PhiWorkload {
+    type Variant = PhiVariant;
+    type Scale = PhiScale;
+    type Input = Graph;
+
+    fn name(&self) -> &'static str {
+        "phi"
+    }
+
+    fn variants(&self) -> Vec<(&'static str, PhiVariant)> {
+        PhiVariant::all().iter().map(|&v| (v.label(), v)).collect()
+    }
+
+    fn scale(&self, kind: ScaleKind) -> PhiScale {
+        match kind {
+            ScaleKind::Paper => PhiScale::paper(),
+            ScaleKind::Test | ScaleKind::Quick => PhiScale::test(),
         }
     }
-    let mut checksum = 0u64;
-    for &nx in &rnext {
-        let r = ((nx.wrapping_mul(217)) >> 8).wrapping_add(1 << 12);
-        checksum = checksum.wrapping_add(r);
+
+    fn build_input(&self, scale: &PhiScale) -> Graph {
+        phi_graph(scale)
     }
-    checksum
+
+    fn describe(&self, scale: &PhiScale) -> String {
+        format!(
+            "{} vertices, ~{} edges, {} tiles, caches/{}",
+            scale.vertices,
+            scale.vertices * scale.avg_degree,
+            scale.tiles,
+            scale.cache_factor
+        )
+    }
+
+    fn run(&self, variant: PhiVariant, scale: &PhiScale, graph: &Graph, env: &RunEnv) -> RunStatus {
+        let r = run_phi_with(variant, scale, graph, |cfg| env.customize(cfg));
+        assert_eq!(
+            r.leftover_deltas,
+            0,
+            "{}: deltas left unapplied after the flush",
+            variant.label()
+        );
+        RunStatus::Done(Box::new(
+            RunOutcome::new(r.metrics, r.rank_checksum).with_aux("rnext_mass", r.rnext_mass),
+        ))
+    }
+
+    fn golden(&self, _variant: PhiVariant, _scale: &PhiScale, graph: &Graph) -> u64 {
+        golden_checksum(graph)
+    }
 }
 
 #[cfg(test)]

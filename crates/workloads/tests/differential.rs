@@ -1,0 +1,63 @@
+//! Differential validation of the unified experiment harness: for every
+//! registered workload × variant at test scale, the timed-simulator
+//! checksum must equal the synchronous-host golden model's. This extends
+//! the ad-hoc spot checks the bench binaries used to carry into one
+//! uniform, registry-driven sweep — a new workload gets this coverage by
+//! appearing in [`levi_workloads::harness::REGISTRY`], nothing else.
+
+use levi_workloads::harness::{find_workload, RunEnv, RunStatus, ScaleKind};
+
+/// Runs every variant of `name` at test scale and checks it against the
+/// golden model. Returns how many variants actually ran.
+fn check(name: &str) -> usize {
+    let w = find_workload(name).unwrap_or_else(|| panic!("workload {name} not registered"));
+    let prepared = w.prepare(ScaleKind::Test);
+    let env = RunEnv::default();
+    let mut ran = 0;
+    for label in w.variant_labels() {
+        match prepared.run(label, &env) {
+            RunStatus::Done(outcome) => {
+                assert_eq!(
+                    outcome.checksum,
+                    prepared.golden(label),
+                    "{name}/{label} diverged from the golden model"
+                );
+                assert!(outcome.metrics.cycles > 0, "{name}/{label} ran no cycles");
+                ran += 1;
+            }
+            RunStatus::Unsupported(reason) => {
+                assert!(
+                    !reason.is_empty(),
+                    "{name}/{label} must explain why it is unsupported"
+                );
+            }
+        }
+    }
+    ran
+}
+
+#[test]
+fn phi_matches_golden_across_variants() {
+    assert_eq!(check("phi"), 5);
+}
+
+#[test]
+fn decompress_matches_golden_across_variants() {
+    // NoPadding is unsupported (6 B objects straddle lines), as in the paper.
+    assert_eq!(check("decompress"), 4);
+}
+
+#[test]
+fn hashtable_matches_golden_across_variants() {
+    assert_eq!(check("hashtable"), 6);
+}
+
+#[test]
+fn hats_matches_golden_across_variants() {
+    assert_eq!(check("hats"), 5);
+}
+
+#[test]
+fn micro_matches_golden_across_variants() {
+    assert_eq!(check("micro"), 3);
+}

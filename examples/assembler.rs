@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{prog}");
 
-    let mut sys = System::new(SystemConfig::small());
+    let mut sys = System::try_new(SystemConfig::small())?;
     let n = 256u64;
     let samples = sys.alloc_raw(8 * n, 64);
     let buckets = sys.alloc_raw(8 * 16, 64);

@@ -66,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("seed {seed}: {plan}");
 
     // Watchdog: a plan bug must terminate the demo, not hang it.
-    let mut sys = System::new(base.with_fault_plan(plan).with_watchdog(10_000_000));
+    let mut sys = System::try_new(base.with_fault_plan(plan).with_watchdog(10_000_000))?;
     let n_counters = 64u64;
     let counters = sys.alloc_raw(8 * n_counters, 64);
     sys.register_action(&prog, action);

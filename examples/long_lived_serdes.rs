@@ -77,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let prog = Arc::new(pb.finish()?);
 
-    let mut sys = System::new(SystemConfig::small());
+    let mut sys = System::try_new(SystemConfig::small())?;
     let n = 512u64;
     let src = sys.alloc_raw(8 * n, 64);
     let dst = sys.alloc_raw(10 * n, 64);

@@ -80,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let prog = Arc::new(pb.finish()?);
 
-    let mut sys = System::new(SystemConfig::small());
+    let mut sys = System::try_new(SystemConfig::small())?;
     let action = sys.register_action(&prog, memo_eval);
     assert_eq!(action, ActionId(0));
     // The memo table is *phantom*: constructed zero (EMPTY) on insertion,

@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let prog = Arc::new(pb.finish()?);
 
-    let mut sys = System::new(SystemConfig::paper_default());
+    let mut sys = System::try_new(SystemConfig::paper_default())?;
     let n_counters = 64u64;
     let counters = sys.alloc_raw(8 * n_counters, 64);
     sys.register_action(&prog, action);

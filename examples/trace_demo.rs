@@ -98,7 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4 tiles, tracing + a 256-cycle time-series sampler.
     let mut cfg = SystemConfig::small();
     cfg.machine = cfg.machine.traced().sampled(256);
-    let mut sys = System::new(cfg);
+    let mut sys = System::try_new(cfg)?;
     sys.register_action(&prog, add_action);
 
     let counters = sys.alloc_raw(64 * 32, 64);

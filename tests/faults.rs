@@ -42,7 +42,7 @@ fn run_counters(cfg: SystemConfig, per_thread: u64) -> System {
         f.finish()
     };
     let prog = Arc::new(pb.finish().unwrap());
-    let mut sys = System::new(cfg);
+    let mut sys = System::try_new(cfg).expect("config is valid");
     let counters = sys.alloc_raw(8 * 64, 64);
     sys.register_action(&prog, action);
     for t in 0..sys.tiles() {
@@ -174,7 +174,8 @@ fn watchdog_converts_runaway_into_error() {
         f.finish()
     };
     let prog = Arc::new(pb.finish().unwrap());
-    let mut sys = System::new(SystemConfig::small().with_watchdog(20_000));
+    let mut sys =
+        System::try_new(SystemConfig::small().with_watchdog(20_000)).expect("config is valid");
     sys.spawn_thread(0, &prog, main_fn, &[]).unwrap();
     match sys.run() {
         Err(RunError::Watchdog { limit, at }) => {

@@ -102,7 +102,7 @@ fn run_mixed(trace: bool, sample_interval: u64) -> System {
     if sample_interval != 0 {
         cfg.machine = cfg.machine.sampled(sample_interval);
     }
-    let mut sys = System::new(cfg);
+    let mut sys = System::try_new(cfg).expect("config is valid");
     let a = sys.register_action(&prog, add_action);
     assert_eq!(a, ActionId(0));
 

@@ -142,7 +142,7 @@ fn all_four_paradigms_coexist() {
     };
     let prog = Arc::new(pb.finish().expect("programs validate"));
 
-    let mut sys = System::new(SystemConfig::small());
+    let mut sys = System::try_new(SystemConfig::small()).expect("small config is valid");
     let a_add = sys.register_action(&prog, add_action);
     assert_eq!(a_add, ActionId(0));
     let a_ctor = sys.register_action(&prog, square_ctor);
