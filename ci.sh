@@ -35,4 +35,21 @@ echo "== bench runner =="
 rm -f "$tmp/bench-report.json"
 cargo run --release --quiet -p levi-bench -- run all --quick --json "$tmp/bench-report.json" > /dev/null
 cargo run --release --quiet -p levi-bench -- check-report "$tmp/bench-report.json"
+echo "== perf gate =="
+# Host-performance smoke: measure, accept a machine-local baseline, then
+# re-measure and compare against it. Gating is machine-local (wall-clock
+# baselines do not transfer between hosts) with a generous threshold —
+# this catches order-of-magnitude regressions and proves the run →
+# accept → compare pipeline end to end. A dated BENCH_<date>.json
+# trajectory file must come out of the run as well.
+mkdir -p "$tmp/perf"
+cargo run --release --quiet -p levi-bench -- perf run --quick \
+  --json "$tmp/perf/report-a.json" > /dev/null
+cargo run --release --quiet -p levi-bench -- perf accept \
+  "$tmp/perf/report-a.json" --baseline "$tmp/perf/local-baseline.json"
+cargo run --release --quiet -p levi-bench -- perf run --quick \
+  --json "$tmp/perf/report-b.json" --trajectory "$tmp/perf" > /dev/null
+cargo run --release --quiet -p levi-bench -- perf compare \
+  "$tmp/perf/report-b.json" --baseline "$tmp/perf/local-baseline.json" --threshold 75
+ls "$tmp"/perf/BENCH_*.json > /dev/null
 echo "== ok =="

@@ -8,6 +8,7 @@
 //! levi-bench run <figure|all> [--quick] [--serial] [--json PATH]
 //!                             [--fault-plan SEED[:HORIZON]] [--filter VARIANT]
 //! levi-bench check-report <PATH>
+//! levi-bench perf <run|compare|accept> [options]
 //! ```
 //!
 //! `run all --json PATH` truncates `PATH`, appends one JSON line per
@@ -28,6 +29,8 @@ fn usage() -> ! {
     eprintln!("  list                         list figures and the workloads they exercise");
     eprintln!("  run <figure|all> [options]   regenerate one figure, or all in order");
     eprintln!("  check-report <path>          validate a --json report file");
+    eprintln!("  perf <run|compare|accept>    host-performance measurement and");
+    eprintln!("                               regression gating ('perf' for details)");
     eprintln!();
     eprintln!("run options:");
     eprintln!("  --quick              reduced scales (sets LEVI_BENCH_QUICK)");
@@ -52,6 +55,7 @@ fn main() {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args[1..]),
         Some("check-report") => cmd_check(&args[1..]),
+        Some("perf") => levi_bench::perf_cli::cmd_perf(&args[1..]),
         _ => usage(),
     }
 }

@@ -6,6 +6,13 @@
 //! with `\\` / `\"` escapes (plus the standard control escapes), numbers,
 //! booleans, and null. Not a general-purpose parser: no `\uXXXX`
 //! escapes, and numbers are read as `f64`.
+//!
+//! Because the perf gate (`levi-bench perf compare`) feeds this parser
+//! files a human may have hand-edited, it is strict where laxity would
+//! corrupt a comparison: duplicate object keys are an error (lookup is
+//! first-match, so a duplicate would silently shadow), and nesting depth
+//! is capped so a pathological input fails with an error instead of
+//! overflowing the parser's recursion.
 
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -48,13 +55,24 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
 }
+
+/// Maximum nesting depth (objects + arrays) before the parser bails out.
+const MAX_DEPTH: u32 = 128;
 
 /// Parses one complete JSON document, rejecting trailing garbage.
 pub fn parse(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();
     let mut pos = 0;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing characters at byte {pos}"));
@@ -81,11 +99,14 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: u32) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
-        Some(b'{') => parse_obj(bytes, pos),
-        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'{') => parse_obj(bytes, pos, depth),
+        Some(b'[') => parse_arr(bytes, pos, depth),
         Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
         Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
@@ -158,9 +179,9 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_obj(bytes: &[u8], pos: &mut usize, depth: u32) -> Result<Json, String> {
     expect(bytes, pos, b'{')?;
-    let mut members = Vec::new();
+    let mut members: Vec<(String, Json)> = Vec::new();
     skip_ws(bytes, pos);
     if bytes.get(*pos) == Some(&b'}') {
         *pos += 1;
@@ -169,9 +190,12 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     loop {
         skip_ws(bytes, pos);
         let key = parse_string(bytes, pos)?;
+        if members.iter().any(|(k, _)| *k == key) {
+            return Err(format!("duplicate key {key:?} at byte {pos}"));
+        }
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
         members.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -190,7 +214,7 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_arr(bytes: &[u8], pos: &mut usize, depth: u32) -> Result<Json, String> {
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -199,7 +223,7 @@ fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -260,5 +284,74 @@ mod tests {
         assert!(parse(&table).is_ok(), "{table}");
         let manifest = crate::runner::manifest_json(false);
         assert!(parse(&manifest).is_ok(), "{manifest}");
+    }
+
+    #[test]
+    fn as_num_extracts_numbers_only() {
+        assert_eq!(Json::Num(2.5).as_num(), Some(2.5));
+        assert_eq!(Json::Str("2.5".into()).as_num(), None);
+        assert_eq!(Json::Null.as_num(), None);
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let err = parse("{\"a\":1,\"b\":2,\"a\":3}").unwrap_err();
+        assert!(err.contains("duplicate key \"a\""), "{err}");
+        // Same key in sibling objects is fine.
+        assert!(parse("{\"x\":{\"a\":1},\"y\":{\"a\":2}}").is_ok());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // Within the cap parses...
+        let depth = 100usize;
+        let ok = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(parse(&ok).is_ok());
+        // ...past the cap is an error, not a stack overflow or panic.
+        let deep = format!("{}1{}", "[".repeat(400), "]".repeat(400));
+        let err = parse(&deep).unwrap_err();
+        assert!(err.contains("nesting deeper"), "{err}");
+        // Unclosed-but-deep input hits the cap before the EOF error.
+        assert!(parse(&"[".repeat(400)).is_err());
+        assert!(parse(&"{\"k\":[".repeat(400)).is_err());
+    }
+
+    #[test]
+    fn every_truncation_of_a_valid_document_errors() {
+        let doc = "{\"figure\":\"fig05\",\"rows\":[{\"label\":\"B \\\"q\\\"\",\
+                   \"cycles\":1091156,\"speedup\":1.5e0,\"flags\":[true,false,null],\
+                   \"hist\":{\"p50\":32}}]}";
+        assert!(parse(doc).is_ok());
+        for cut in 0..doc.len() {
+            if !doc.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &doc[..cut];
+            assert!(
+                parse(prefix).is_err(),
+                "strict prefix of len {cut} parsed: {prefix:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_mutations_never_panic() {
+        use levi_sim::rng::SmallRng;
+        let doc = "{\"perf_report\":{\"version\":1,\"quick\":true,\"profiled\":false,\
+                   \"benches\":[{\"id\":\"micro/x\",\"median\":31.25,\
+                   \"rounds\":[31.2,-1.0e2]}]}}";
+        let mut rng = SmallRng::seed_from_u64(482_850_217);
+        for _ in 0..2000 {
+            let mut bytes = doc.as_bytes().to_vec();
+            // Flip 1-4 bytes to arbitrary values; parse must return
+            // Ok or Err, never panic or hang.
+            for _ in 0..(1 + rng.bounded(4)) {
+                let i = rng.bounded(bytes.len() as u64) as usize;
+                bytes[i] = (rng.next_u64() & 0xff) as u8;
+            }
+            if let Ok(text) = std::str::from_utf8(&bytes) {
+                let _ = parse(text);
+            }
+        }
     }
 }

@@ -19,6 +19,7 @@ use levi_workloads::metrics::RunMetrics;
 pub mod figures;
 pub mod json;
 pub mod micro_timers;
+pub mod perf_cli;
 pub mod runner;
 
 /// True when `LEVI_BENCH_QUICK` is set: benches drop to reduced scales

@@ -2,13 +2,14 @@
 //! operations, NoC sends, LevIR interpretation, allocator planning, and a
 //! small end-to-end simulation.
 //!
-//! A small self-contained harness (median of batched runs) instead of an
-//! external bench framework, so the workspace builds with no crates.io
-//! dependencies. Numbers are indicative, not statistically rigorous — and
-//! unlike every simulated figure they are *not* deterministic: wall-clock
-//! nanoseconds vary run to run, and a parallel sweep adds scheduling
-//! noise. Run with `--serial` / `LEVI_SWEEP_SERIAL` for the quietest
-//! numbers.
+//! The timing core (warmup + median-of-batches, histograms in the
+//! simulator's own log2 buckets) lives in `levi-perf` so this figure and
+//! the `levi-bench perf` regression gate cannot drift apart; [`median_ns`]
+//! is re-exported from there. Numbers are indicative, not statistically
+//! rigorous — and unlike every simulated figure they are *not*
+//! deterministic: wall-clock nanoseconds vary run to run, and a parallel
+//! sweep adds scheduling noise. Run with `--serial` / `LEVI_SWEEP_SERIAL`
+//! for the quietest numbers.
 
 use levi_isa::{interp::Interpreter, Memory, PagedMem, ProgramBuilder, Reg};
 use levi_sim::cache::CacheBank;
@@ -17,28 +18,8 @@ use levi_sim::{Machine, MachineConfig, Stats};
 use leviathan::alloc::{Allocator, ArraySpec};
 use std::hint::black_box;
 use std::sync::Arc;
-use std::time::Instant;
 
-/// Times `f` over `iters` iterations per batch, returning the median
-/// per-iteration nanoseconds over a fixed number of batches.
-pub fn median_ns(iters: u64, mut f: impl FnMut()) -> f64 {
-    const BATCHES: usize = 7;
-    // Warm-up.
-    for _ in 0..iters.min(1000) {
-        f();
-    }
-    let mut per_iter: Vec<f64> = (0..BATCHES)
-        .map(|_| {
-            let start = Instant::now();
-            for _ in 0..iters {
-                f();
-            }
-            start.elapsed().as_nanos() as f64 / iters as f64
-        })
-        .collect();
-    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    per_iter[BATCHES / 2]
-}
+pub use levi_perf::median_ns;
 
 /// A self-contained timing kernel returning its median ns/iter.
 pub type TimerFn = fn() -> f64;

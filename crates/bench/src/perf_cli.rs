@@ -1,0 +1,498 @@
+//! The `levi-bench perf` subcommands: host-performance tracking and
+//! regression gating on top of the `levi-perf` measurement harness.
+//!
+//! * `perf run` — measure the suite and write the machine-readable
+//!   report (see `levi_perf::report`), optionally also as a dated
+//!   `BENCH_<date>.json` trajectory file.
+//! * `perf accept` — promote a report to a baseline file (the committed
+//!   `perf/baseline.json` is the developer-facing trajectory anchor).
+//! * `perf compare` — gate a report against a baseline with a
+//!   noise-aware threshold: a benchmark counts as regressed only when its
+//!   overall median *and every per-round median* exceed the baseline
+//!   median by more than the threshold, so one noisy rep or round cannot
+//!   fail a build. Exits nonzero iff a regression is confirmed.
+//!
+//! Wall-clock numbers are machine-specific: comparing against a baseline
+//! from different hardware measures the hardware, not the code. CI
+//! therefore gates machine-locally (run → accept → run → compare in one
+//! job); the committed baseline serves same-machine development. Reports
+//! record their configuration (`quick`, `profiled`) and `compare` refuses
+//! mismatched pairs.
+
+use crate::json::{parse, Json};
+use levi_perf::{render_report, report_json, run_suite, PerfCfg};
+
+/// Default baseline location (committed to the repository).
+pub const DEFAULT_BASELINE: &str = "perf/baseline.json";
+
+/// Default regression threshold, in percent over the baseline median.
+pub const DEFAULT_THRESHOLD: f64 = 20.0;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("levi-bench: perf: {msg}");
+    std::process::exit(1);
+}
+
+fn usage() -> ! {
+    eprintln!("usage: levi-bench perf <run|compare|accept> [options]");
+    eprintln!();
+    eprintln!("  perf run [--quick] [--json PATH] [--trajectory DIR]");
+    eprintln!("           [--filter SUBSTR] [--rounds N] [--reps N] [--warmup N]");
+    eprintln!("      measure the suite; print a summary, write the JSON report");
+    eprintln!("  perf accept REPORT [--baseline PATH]");
+    eprintln!("      promote a report file to the baseline (default {DEFAULT_BASELINE})");
+    eprintln!("  perf compare REPORT [--baseline PATH] [--threshold PCT]");
+    eprintln!("      gate REPORT against the baseline; exit nonzero on a");
+    eprintln!("      regression confirmed by every measurement round");
+    std::process::exit(2);
+}
+
+/// Entry point for `levi-bench perf ...`.
+pub fn cmd_perf(args: &[String]) {
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("accept") => cmd_accept(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn parse_u32(flag: &str, s: &str) -> u32 {
+    s.parse()
+        .unwrap_or_else(|_| fail(&format!("{flag}: bad count {s:?}")))
+}
+
+fn cmd_run(args: &[String]) {
+    let mut cfg = PerfCfg::default();
+    let mut json: Option<String> = None;
+    let mut trajectory: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--quick" => cfg.quick = true,
+            "--json" => json = Some(value("--json")),
+            "--trajectory" => trajectory = Some(value("--trajectory")),
+            "--filter" => cfg.filter = Some(value("--filter")),
+            "--rounds" => cfg.rounds = Some(parse_u32("--rounds", &value("--rounds"))),
+            "--reps" => cfg.reps = Some(parse_u32("--reps", &value("--reps"))),
+            "--warmup" => cfg.warmup = Some(parse_u32("--warmup", &value("--warmup"))),
+            other => fail(&format!("unknown perf run option {other}")),
+        }
+    }
+
+    let benches = run_suite(&cfg);
+    if benches.is_empty() {
+        fail("no benchmark matched the filter");
+    }
+    print!("{}", render_report(&benches));
+    let doc = report_json(&benches, cfg.quick, cfg.opts());
+    if let Some(path) = &json {
+        std::fs::write(path, format!("{doc}\n"))
+            .unwrap_or_else(|e| fail(&format!("--json {path}: {e}")));
+        println!("report written to {path}");
+    }
+    if let Some(dir) = &trajectory {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| fail(&format!("--trajectory {dir}: {e}")));
+        let path = format!("{dir}/BENCH_{}.json", today());
+        std::fs::write(&path, format!("{doc}\n"))
+            .unwrap_or_else(|e| fail(&format!("--trajectory {path}: {e}")));
+        println!("trajectory written to {path}");
+    }
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days conversion; the
+/// workspace has no date dependency).
+fn today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Days-since-epoch to (year, month, day), Gregorian calendar.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn cmd_accept(args: &[String]) {
+    let mut report: Option<String> = None;
+    let mut baseline = DEFAULT_BASELINE.to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                baseline = it
+                    .next()
+                    .unwrap_or_else(|| fail("--baseline needs a value"))
+                    .clone();
+            }
+            other if other.starts_with('-') => fail(&format!("unknown perf accept option {other}")),
+            other => {
+                if report.replace(other.to_string()).is_some() {
+                    fail("accept takes one report path");
+                }
+            }
+        }
+    }
+    let Some(report) = report else {
+        fail("accept needs a report path (from 'perf run --json')");
+    };
+    let text = std::fs::read_to_string(&report).unwrap_or_else(|e| fail(&format!("{report}: {e}")));
+    // Validate before promoting: a baseline that does not parse would
+    // break every future compare.
+    let doc = parse(text.trim()).unwrap_or_else(|e| fail(&format!("{report}: invalid JSON: {e}")));
+    if doc.get("perf_report").is_none() {
+        fail(&format!("{report}: not a perf report (no \"perf_report\")"));
+    }
+    if let Some(dir) = std::path::Path::new(&baseline).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| fail(&format!("{}: {e}", dir.display())));
+        }
+    }
+    std::fs::write(&baseline, &text).unwrap_or_else(|e| fail(&format!("{baseline}: {e}")));
+    println!("baseline {baseline} accepted from {report}");
+}
+
+fn cmd_compare(args: &[String]) {
+    let mut report: Option<String> = None;
+    let mut baseline = DEFAULT_BASELINE.to_string();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--baseline" => baseline = value("--baseline"),
+            "--threshold" => {
+                let s = value("--threshold");
+                threshold = s
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--threshold: bad percent {s:?}")));
+                if !(0.0..=1000.0).contains(&threshold) {
+                    fail("--threshold: percent out of range");
+                }
+            }
+            other if other.starts_with('-') => {
+                fail(&format!("unknown perf compare option {other}"))
+            }
+            other => {
+                if report.replace(other.to_string()).is_some() {
+                    fail("compare takes one report path");
+                }
+            }
+        }
+    }
+    let Some(report) = report else {
+        fail("compare needs a report path (from 'perf run --json')");
+    };
+    let load = |path: &str| -> Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        parse(text.trim()).unwrap_or_else(|e| fail(&format!("{path}: invalid JSON: {e}")))
+    };
+    let cur = load(&report);
+    let base = load(&baseline);
+
+    let deltas = match compare_reports(&cur, &base, threshold) {
+        Ok(d) => d,
+        Err(e) => fail(&e),
+    };
+    println!(
+        "{:<28} {:>12} {:>12} {:>8}  verdict",
+        "benchmark", "baseline", "current", "delta"
+    );
+    let mut regressed = 0usize;
+    for d in &deltas {
+        let (delta, verdict) = match d.verdict {
+            Verdict::New => ("-".to_string(), "new (no baseline)"),
+            Verdict::Gone => ("-".to_string(), "gone (baseline only)"),
+            Verdict::Regressed => {
+                regressed += 1;
+                (format!("{:+.1}%", d.delta_pct), "REGRESSED")
+            }
+            Verdict::Improved => (format!("{:+.1}%", d.delta_pct), "improved"),
+            Verdict::Ok => (format!("{:+.1}%", d.delta_pct), "ok"),
+        };
+        println!(
+            "{:<28} {:>12} {:>12} {:>8}  {verdict}",
+            d.id,
+            fmt_ns(d.base_median),
+            fmt_ns(d.cur_median),
+            delta
+        );
+    }
+    if regressed > 0 {
+        fail(&format!(
+            "{regressed} benchmark(s) regressed by more than {threshold}% \
+             (confirmed across every round)"
+        ));
+    }
+    println!("perf compare OK: no regression beyond {threshold}% (baseline {baseline})");
+}
+
+fn fmt_ns(v: f64) -> String {
+    if v < 0.0 {
+        "-".into()
+    } else if v >= 1e6 {
+        format!("{:.2}ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}us", v / 1e3)
+    } else {
+        format!("{v:.1}ns")
+    }
+}
+
+/// Comparison verdict for one benchmark id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the threshold band.
+    Ok,
+    /// Median improved by more than the threshold.
+    Improved,
+    /// Median *and every round* regressed beyond the threshold.
+    Regressed,
+    /// Present only in the current report.
+    New,
+    /// Present only in the baseline.
+    Gone,
+}
+
+/// One row of a comparison.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// Benchmark id (the join key).
+    pub id: String,
+    /// Baseline median (ns), negative when absent.
+    pub base_median: f64,
+    /// Current median (ns), negative when absent.
+    pub cur_median: f64,
+    /// Median delta in percent of the baseline (0 when either is absent).
+    pub delta_pct: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+struct BenchEntry {
+    id: String,
+    median: f64,
+    rounds: Vec<f64>,
+}
+
+fn extract(doc: &Json, which: &str) -> Result<(bool, bool, Vec<BenchEntry>), String> {
+    let rep = doc
+        .get("perf_report")
+        .ok_or_else(|| format!("{which}: not a perf report (no \"perf_report\")"))?;
+    let flag = |key: &str| match rep.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        _ => Err(format!("{which}: perf_report has no boolean {key:?}")),
+    };
+    let quick = flag("quick")?;
+    let profiled = flag("profiled")?;
+    let benches = rep
+        .get("benches")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{which}: perf_report has no benches array"))?;
+    let mut out = Vec::new();
+    for b in benches {
+        let id = b
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{which}: bench without id"))?
+            .to_string();
+        let median = b
+            .get("median")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{which}: bench {id} without median"))?;
+        let rounds = b
+            .get("rounds")
+            .and_then(Json::as_arr)
+            .map(|items| items.iter().filter_map(Json::as_num).collect())
+            .unwrap_or_default();
+        out.push(BenchEntry { id, median, rounds });
+    }
+    Ok((quick, profiled, out))
+}
+
+/// Compares a current report against a baseline with a noise-aware
+/// threshold (percent over the baseline median). Pure logic, exercised by
+/// unit tests; the CLI handles I/O and exit codes.
+///
+/// # Errors
+/// Returns an error when either document is not a perf report or their
+/// configurations (`quick`, `profiled`) differ — mixed-mode numbers are
+/// not comparable.
+pub fn compare_reports(
+    current: &Json,
+    baseline: &Json,
+    threshold_pct: f64,
+) -> Result<Vec<Delta>, String> {
+    let (cq, cp, cur) = extract(current, "report")?;
+    let (bq, bp, base) = extract(baseline, "baseline")?;
+    if cq != bq || cp != bp {
+        return Err(format!(
+            "configuration mismatch: report is quick={cq}/profiled={cp}, \
+             baseline is quick={bq}/profiled={bp}; re-accept a matching baseline"
+        ));
+    }
+    let factor = 1.0 + threshold_pct / 100.0;
+    let mut out = Vec::new();
+    for c in &cur {
+        let Some(b) = base.iter().find(|b| b.id == c.id) else {
+            out.push(Delta {
+                id: c.id.clone(),
+                base_median: -1.0,
+                cur_median: c.median,
+                delta_pct: 0.0,
+                verdict: Verdict::New,
+            });
+            continue;
+        };
+        let delta_pct = if b.median > 0.0 {
+            (c.median - b.median) * 100.0 / b.median
+        } else {
+            0.0
+        };
+        let limit = b.median * factor;
+        // Noise-aware: the overall median AND every round's median must
+        // clear the threshold — one noisy round vetoes the regression.
+        let regressed = b.median > 0.0
+            && c.median > limit
+            && !c.rounds.is_empty()
+            && c.rounds.iter().all(|&r| r > limit);
+        let verdict = if regressed {
+            Verdict::Regressed
+        } else if b.median > 0.0 && c.median < b.median * (1.0 - threshold_pct / 100.0) {
+            Verdict::Improved
+        } else {
+            Verdict::Ok
+        };
+        out.push(Delta {
+            id: c.id.clone(),
+            base_median: b.median,
+            cur_median: c.median,
+            delta_pct,
+            verdict,
+        });
+    }
+    for b in &base {
+        if !cur.iter().any(|c| c.id == b.id) {
+            out.push(Delta {
+                id: b.id.clone(),
+                base_median: b.median,
+                cur_median: -1.0,
+                delta_pct: 0.0,
+                verdict: Verdict::Gone,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(quick: bool, benches: &[(&str, f64, &[f64])]) -> Json {
+        let items: Vec<String> = benches
+            .iter()
+            .map(|(id, med, rounds)| {
+                let rs: Vec<String> = rounds.iter().map(|r| format!("{r}")).collect();
+                format!(
+                    "{{\"id\":\"{id}\",\"median\":{med},\"rounds\":[{}]}}",
+                    rs.join(",")
+                )
+            })
+            .collect();
+        parse(&format!(
+            "{{\"perf_report\":{{\"version\":1,\"quick\":{quick},\"profiled\":false,\
+             \"benches\":[{}]}}}}",
+            items.join(",")
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn regression_needs_every_round() {
+        let base = report(true, &[("a", 100.0, &[100.0])]);
+        // Median over threshold but one quiet round: not a regression.
+        let noisy = report(true, &[("a", 140.0, &[150.0, 110.0])]);
+        let d = compare_reports(&noisy, &base, 20.0).unwrap();
+        assert_eq!(d[0].verdict, Verdict::Ok);
+        // Every round over threshold: confirmed regression.
+        let regressed = report(true, &[("a", 140.0, &[150.0, 135.0])]);
+        let d = compare_reports(&regressed, &base, 20.0).unwrap();
+        assert_eq!(d[0].verdict, Verdict::Regressed);
+        assert!((d[0].delta_pct - 40.0).abs() < 1e-9);
+        // Same data, generous threshold: fine.
+        let d = compare_reports(&regressed, &base, 75.0).unwrap();
+        assert_eq!(d[0].verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn improvements_new_and_gone_do_not_fail() {
+        let base = report(true, &[("a", 100.0, &[100.0]), ("dead", 5.0, &[5.0])]);
+        let cur = report(true, &[("a", 50.0, &[50.0]), ("fresh", 9.0, &[9.0])]);
+        let d = compare_reports(&cur, &base, 20.0).unwrap();
+        let by_id = |id: &str| d.iter().find(|x| x.id == id).unwrap();
+        assert_eq!(by_id("a").verdict, Verdict::Improved);
+        assert_eq!(by_id("fresh").verdict, Verdict::New);
+        assert_eq!(by_id("dead").verdict, Verdict::Gone);
+        assert!(d.iter().all(|x| x.verdict != Verdict::Regressed));
+    }
+
+    #[test]
+    fn mixed_configurations_are_rejected() {
+        let base = report(true, &[("a", 100.0, &[100.0])]);
+        let cur = report(false, &[("a", 100.0, &[100.0])]);
+        let err = compare_reports(&cur, &base, 20.0).unwrap_err();
+        assert!(err.contains("configuration mismatch"), "{err}");
+        let not_a_report = parse("{\"figure\":\"fig05\"}").unwrap();
+        assert!(compare_reports(&not_a_report, &base, 20.0).is_err());
+    }
+
+    #[test]
+    fn real_harness_reports_compare_clean_against_themselves() {
+        let cfg = levi_perf::PerfCfg {
+            quick: true,
+            filter: Some("micro/scoreboard".into()),
+            rounds: Some(1),
+            reps: Some(1),
+            warmup: Some(0),
+        };
+        let benches = levi_perf::run_suite(&cfg);
+        let doc = parse(&levi_perf::report_json(&benches, true, cfg.opts())).unwrap();
+        let d = compare_reports(&doc, &doc, 20.0).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn civil_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
+        assert_eq!(civil_from_days(20_666), (2026, 8, 1));
+        let t = today();
+        assert_eq!(t.len(), 10, "{t}");
+        assert_eq!(t.as_bytes()[4], b'-');
+    }
+}

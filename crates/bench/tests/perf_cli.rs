@@ -1,0 +1,181 @@
+//! End-to-end tests of the `levi-bench perf` CLI: run → accept → compare
+//! round-trips, the synthetic-regression exit code, and configuration
+//! mismatch refusal. Exercises the real binary via `CARGO_BIN_EXE`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_levi-bench"))
+}
+
+fn run_perf(dir: &PathBuf, args: &[&str]) -> Output {
+    bin()
+        .arg("perf")
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("spawn levi-bench")
+}
+
+fn assert_ok(out: &Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("levi-perf-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The cheapest real suite invocation: one micro bench, one rep.
+const QUICK: &[&str] = &[
+    "run",
+    "--quick",
+    "--filter",
+    "scoreboard",
+    "--rounds",
+    "1",
+    "--reps",
+    "1",
+    "--warmup",
+    "0",
+    "--json",
+    "report.json",
+];
+
+#[test]
+fn run_accept_compare_round_trip() {
+    let dir = tmpdir("roundtrip");
+    let out = run_perf(&dir, QUICK);
+    assert_ok(&out, "perf run");
+    let report = std::fs::read_to_string(dir.join("report.json")).unwrap();
+    assert!(report.contains("\"perf_report\""), "{report}");
+    assert!(report.contains("micro/scoreboard_issue"), "{report}");
+    assert!(report.contains("\"median\":"), "{report}");
+    assert!(report.contains("\"mad\":"), "{report}");
+    assert!(report.contains("\"min\":"), "{report}");
+
+    let out = run_perf(&dir, &["accept", "report.json", "--baseline", "base.json"]);
+    assert_ok(&out, "perf accept");
+
+    // A report compared against itself can never regress.
+    let out = run_perf(&dir, &["compare", "report.json", "--baseline", "base.json"]);
+    assert_ok(&out, "perf compare (self)");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("perf compare OK"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn synthetic_regression_fails_compare() {
+    let dir = tmpdir("regression");
+    let out = run_perf(&dir, QUICK);
+    assert_ok(&out, "perf run");
+    let report = std::fs::read_to_string(dir.join("report.json")).unwrap();
+
+    // Handcraft a baseline claiming the bench used to take a fraction of a
+    // nanosecond — any real measurement is a confirmed regression. The
+    // config flags must match the report or compare refuses before gating.
+    let profiled = report.contains("\"profiled\":true");
+    let baseline = format!(
+        "{{\"perf_report\":{{\"version\":1,\"quick\":true,\"profiled\":{profiled},\
+         \"rounds\":1,\"reps\":1,\"warmup\":0,\"benches\":[{{\
+         \"id\":\"micro/scoreboard_issue\",\"kind\":\"micro\",\"unit\":\"ns/iter\",\
+         \"median\":0.0001,\"mad\":0,\"min\":0.0001,\"mean\":0.0001,\"p90\":0,\
+         \"rounds\":[0.0001],\"sim_cycles\":0,\"kips\":0,\"phases\":[]}}]}}}}\n"
+    );
+    std::fs::write(dir.join("tiny.json"), &baseline).unwrap();
+    let out = run_perf(&dir, &["compare", "report.json", "--baseline", "tiny.json"]);
+    assert!(
+        !out.status.success(),
+        "compare against a tiny baseline must fail: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("regressed"), "{err}");
+
+    // The same pair passes with an absurdly generous threshold, proving
+    // the exit code comes from the gate and not an I/O failure.
+    let out = run_perf(
+        &dir,
+        &[
+            "compare",
+            "report.json",
+            "--baseline",
+            "tiny.json",
+            "--threshold",
+            "1000",
+        ],
+    );
+    // Still a regression: real ns vs 0.0001 ns exceeds even 1000%.
+    assert!(!out.status.success());
+
+    // Mismatched configuration (quick vs full) is refused outright.
+    let full = baseline.replace("\"quick\":true", "\"quick\":false");
+    std::fs::write(dir.join("full.json"), full).unwrap();
+    let out = run_perf(&dir, &["compare", "report.json", "--baseline", "full.json"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("configuration mismatch"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trajectory_and_error_paths() {
+    let dir = tmpdir("trajectory");
+    let mut args: Vec<&str> = QUICK.to_vec();
+    args.extend_from_slice(&["--trajectory", "traj"]);
+    let out = run_perf(&dir, &args);
+    assert_ok(&out, "perf run --trajectory");
+    let entries: Vec<String> = std::fs::read_dir(dir.join("traj"))
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(entries.len(), 1, "{entries:?}");
+    assert!(
+        entries[0].starts_with("BENCH_") && entries[0].ends_with(".json"),
+        "{entries:?}"
+    );
+
+    // An impossible filter matches nothing: that is an error, not an
+    // empty report.
+    let out = run_perf(
+        &dir,
+        &[
+            "run",
+            "--quick",
+            "--filter",
+            "no-such-bench",
+            "--json",
+            "x.json",
+        ],
+    );
+    assert!(!out.status.success());
+
+    // Accepting a non-report is refused.
+    std::fs::write(dir.join("junk.json"), "{\"figure\":\"fig05\"}\n").unwrap();
+    let out = run_perf(&dir, &["accept", "junk.json", "--baseline", "b.json"]);
+    assert!(!out.status.success());
+    assert!(!dir.join("b.json").exists());
+
+    // Comparing against a missing baseline is a clean failure.
+    let out = run_perf(
+        &dir,
+        &["compare", "report.json", "--baseline", "missing.json"],
+    );
+    assert!(!out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -79,22 +79,6 @@ pub struct System {
 }
 
 impl System {
-    /// Builds a system.
-    ///
-    /// # Panics
-    /// Panics if the machine configuration is invalid; use
-    /// [`System::try_new`] for the fallible path.
-    #[deprecated(
-        since = "0.2.0",
-        note = "panics on an invalid configuration; use `System::try_new` and handle the error"
-    )]
-    pub fn new(cfg: SystemConfig) -> Self {
-        match Self::try_new(cfg) {
-            Ok(s) => s,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
     /// Builds a system, returning a typed error on an invalid machine
     /// configuration.
     pub fn try_new(cfg: SystemConfig) -> Result<Self, levi_sim::SimError> {

@@ -1,0 +1,216 @@
+//! The machine-readable perf report and its human rendering.
+//!
+//! A report is one JSON document (single line) that `levi-bench perf`
+//! parses with its hand-rolled `json.rs` reader:
+//!
+//! ```json
+//! {"perf_report":{"version":1,"quick":true,"profiled":true,
+//!  "rounds":3,"reps":5,"warmup":2,"benches":[
+//!    {"id":"micro/cache_probe_hit","kind":"micro","unit":"ns/iter",
+//!     "median":31.2,"mad":0.4,"min":30.8,"mean":31.5,"p90":32,
+//!     "rounds":[31.2,31.0,31.6],"sim_cycles":0,"kips":0,"phases":[]},
+//!    {"id":"macro/phi","kind":"macro","unit":"ns/run", ...,
+//!     "sim_cycles":1091156,"kips":52340.1,
+//!     "phases":[{"phase":"exec","ns":812345,"calls":42}, ...]}]}}
+//! ```
+//!
+//! `median`/`mad`/`min` are the robust statistics gating compares;
+//! `rounds` carries one median per measurement round so a regression must
+//! be confirmed by every round. `profiled` records whether the producing
+//! build had `self-profile` compiled in — comparing a profiled report
+//! against an unprofiled baseline (or quick against full) is meaningless,
+//! so `perf compare` refuses mixed configurations.
+
+use crate::measure::{BenchOpts, Measurement};
+use std::fmt::Write as _;
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Formats a float for the report: finite, plain decimal, enough
+/// precision for gating math to survive a round-trip.
+fn num(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".into();
+    }
+    let s = format!("{v:.4}");
+    s.trim_end_matches('0').trim_end_matches('.').to_string()
+}
+
+/// True when any measurement carries phase attribution (i.e. the
+/// producing build had `self-profile` on somewhere in its graph).
+pub fn profiled(benches: &[Measurement]) -> bool {
+    benches.iter().any(|m| !m.phases.is_empty())
+}
+
+/// Renders the single-line JSON report document.
+pub fn report_json(benches: &[Measurement], quick: bool, opts: BenchOpts) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"perf_report\":{{\"version\":1,\"quick\":{quick},\"profiled\":{},\
+         \"rounds\":{},\"reps\":{},\"warmup\":{},\"benches\":[",
+        profiled(benches),
+        opts.rounds,
+        opts.reps,
+        opts.warmup
+    );
+    for (i, m) in benches.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":\"{}\",\"kind\":\"{}\",\"unit\":\"{}\",\"median\":{},\
+             \"mad\":{},\"min\":{},\"mean\":{},\"p90\":{},\"rounds\":[",
+            escape(&m.id),
+            m.kind,
+            m.unit,
+            num(m.median),
+            num(m.mad),
+            num(m.min),
+            num(m.mean),
+            m.hist.p90(),
+        );
+        for (j, r) in m.rounds.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&num(*r));
+        }
+        let _ = write!(
+            out,
+            "],\"sim_cycles\":{},\"kips\":{},\"phases\":[",
+            m.sim_cycles,
+            num(m.kips)
+        );
+        for (j, (phase, ns, calls)) in m.phases.ranked().into_iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"phase\":\"{}\",\"ns\":{ns},\"calls\":{calls}}}",
+                phase.name()
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}}");
+    out
+}
+
+/// Renders the human-readable summary table (plus a per-phase breakdown
+/// for profiled macro benches).
+pub fn render_report(benches: &[Measurement]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>14} {:>10} {:>14} {:>12}",
+        "benchmark", "median", "mad", "min", "KIPS"
+    );
+    for m in benches {
+        let kips = if m.kips > 0.0 {
+            format!("{:.0}", m.kips)
+        } else {
+            "-".into()
+        };
+        let _ = writeln!(
+            out,
+            "{:<28} {:>11.1} ns {:>10.1} {:>11.1} ns {:>12}",
+            m.id, m.median, m.mad, m.min, kips
+        );
+    }
+    let with_phases: Vec<&Measurement> = benches.iter().filter(|m| !m.phases.is_empty()).collect();
+    if !with_phases.is_empty() {
+        let _ = writeln!(out, "\nhost-time attribution (self time per phase):");
+        for m in with_phases {
+            let total = m.phases.total_ns().max(1);
+            let _ = writeln!(out, "  {}", m.id);
+            for (phase, ns, calls) in m.phases.ranked() {
+                let _ = writeln!(
+                    out,
+                    "    {:<8} {:>6.1}%  {:>14} ns  {:>12} calls",
+                    phase.name(),
+                    ns as f64 * 100.0 / total as f64,
+                    ns,
+                    calls
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::bench_micro;
+
+    fn sample_measurements() -> Vec<Measurement> {
+        let opts = BenchOpts {
+            warmup: 0,
+            rounds: 2,
+            reps: 2,
+        };
+        let mut x = 0u64;
+        let mut m = bench_micro("micro/t\"est", opts, 100, || {
+            x = x.wrapping_add(1);
+            std::hint::black_box(x);
+        });
+        m.median = 12.5;
+        let mut mac = bench_micro("macro/w", opts, 100, || {
+            std::hint::black_box(0u64);
+        });
+        mac.kind = "macro";
+        mac.sim_cycles = 1000;
+        mac.kips = 250.75;
+        mac.phases.ns[0] = 10;
+        mac.phases.calls[0] = 1;
+        vec![m, mac]
+    }
+
+    #[test]
+    fn json_is_balanced_and_escaped() {
+        let opts = BenchOpts {
+            warmup: 0,
+            rounds: 2,
+            reps: 2,
+        };
+        let j = report_json(&sample_measurements(), true, opts);
+        assert_eq!(j.matches('{').count(), j.matches('}').count(), "{j}");
+        assert_eq!(j.matches('[').count(), j.matches(']').count(), "{j}");
+        assert!(j.contains("\"perf_report\""));
+        assert!(j.contains("micro/t\\\"est"), "quote escaped: {j}");
+        assert!(j.contains("\"median\":12.5"), "{j}");
+        assert!(j.contains("\"kips\":250.75"), "{j}");
+        assert!(j.contains("\"phase\":\"build\""), "{j}");
+        assert!(!j.contains('\n'));
+    }
+
+    #[test]
+    fn num_formatting_round_trips() {
+        assert_eq!(num(12.5), "12.5");
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(3.0), "3");
+        assert_eq!(num(f64::NAN), "0");
+        assert_eq!(num(1234.5678), "1234.5678");
+    }
+
+    #[test]
+    fn render_mentions_every_bench_and_phases() {
+        let text = render_report(&sample_measurements());
+        assert!(text.contains("micro/t\"est"));
+        assert!(text.contains("macro/w"));
+        assert!(text.contains("host-time attribution"));
+        assert!(text.contains("build"));
+    }
+}

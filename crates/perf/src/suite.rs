@@ -1,0 +1,268 @@
+//! The benchmark suite: substrate micro-benchmarks and registry-workload
+//! macro runs.
+//!
+//! Micro-benchmarks time the simulator's hot paths in isolation — cache
+//! lookup, NoC flit routing, scoreboard issue, DRAM queueing — per call,
+//! out of any simulation context. Macro benchmarks run every registered
+//! workload end-to-end (baseline variant) and report simulated kilocycles
+//! per host second, the figure of merit for an execution-driven
+//! simulator, plus a per-phase host-time breakdown when profiling is
+//! compiled in.
+//!
+//! Benchmark ids are stable (`micro/...`, `macro/<workload>`): they are
+//! the join key for baseline comparison, so renaming one orphans its
+//! baseline entry.
+
+use levi_sim::cache::CacheBank;
+use levi_sim::dram::Dram;
+use levi_sim::engine::WindowFu;
+use levi_sim::noc::Noc;
+use levi_sim::{MachineConfig, Stats};
+use levi_workloads::harness::{RunEnv, ScaleKind};
+use levi_workloads::REGISTRY;
+use std::hint::black_box;
+
+use crate::measure::{bench_macro, bench_micro, BenchOpts, Measurement, RepOutcome};
+
+/// Suite configuration: scale, repetition counts, and an id filter.
+#[derive(Clone, Debug, Default)]
+pub struct PerfCfg {
+    /// Reduced iteration counts and quick workload scales.
+    pub quick: bool,
+    /// Case-insensitive substring filter on benchmark ids.
+    pub filter: Option<String>,
+    /// Override for [`BenchOpts::rounds`].
+    pub rounds: Option<u32>,
+    /// Override for [`BenchOpts::reps`].
+    pub reps: Option<u32>,
+    /// Override for [`BenchOpts::warmup`].
+    pub warmup: Option<u32>,
+}
+
+impl PerfCfg {
+    /// The effective repetition counts after overrides.
+    pub fn opts(&self) -> BenchOpts {
+        let mut o = if self.quick {
+            BenchOpts::quick()
+        } else {
+            BenchOpts::full()
+        };
+        if let Some(r) = self.rounds {
+            o.rounds = r.max(1);
+        }
+        if let Some(r) = self.reps {
+            o.reps = r.max(1);
+        }
+        if let Some(w) = self.warmup {
+            o.warmup = w;
+        }
+        o
+    }
+
+    fn keeps(&self, id: &str) -> bool {
+        match &self.filter {
+            None => true,
+            Some(f) => id.to_ascii_lowercase().contains(&f.to_ascii_lowercase()),
+        }
+    }
+
+    fn micro_iters(&self, full: u64) -> u64 {
+        if self.quick {
+            (full / 8).max(1)
+        } else {
+            full
+        }
+    }
+}
+
+/// Runs the (filtered) suite, returning measurements in suite order:
+/// micro-benchmarks first, then one macro benchmark per registry
+/// workload.
+pub fn run_suite(cfg: &PerfCfg) -> Vec<Measurement> {
+    let opts = cfg.opts();
+    let mut out = Vec::new();
+
+    if cfg.keeps("micro/cache_probe_hit") {
+        let mc = MachineConfig::paper_default();
+        let mut bank = CacheBank::new(&mc.llc);
+        bank.insert(0x1234, &[]);
+        out.push(bench_micro(
+            "micro/cache_probe_hit",
+            opts,
+            cfg.micro_iters(500_000),
+            || {
+                black_box(bank.probe(black_box(0x1234)).is_some());
+            },
+        ));
+    }
+
+    if cfg.keeps("micro/cache_insert_evict") {
+        let mc = MachineConfig::paper_default();
+        let mut bank = CacheBank::new(&mc.l1);
+        let mut line = 0u64;
+        out.push(bench_micro(
+            "micro/cache_insert_evict",
+            opts,
+            cfg.micro_iters(500_000),
+            || {
+                line += 1;
+                black_box(bank.insert(black_box(line), &[]).1.is_some());
+            },
+        ));
+    }
+
+    if cfg.keeps("micro/noc_flit_hop") {
+        let mc = MachineConfig::paper_default();
+        let (cols, rows) = mc.mesh_dims();
+        let mut noc = Noc::new(cols, rows, mc.noc);
+        let mut stats = Stats::new();
+        let corner = cols * rows - 1;
+        let mut t = 0u64;
+        out.push(bench_micro(
+            "micro/noc_flit_hop",
+            opts,
+            cfg.micro_iters(500_000),
+            || {
+                t += 10;
+                black_box(noc.send(0, corner, 72, t, &mut stats));
+            },
+        ));
+    }
+
+    if cfg.keeps("micro/scoreboard_issue") {
+        // The engine FU scoreboard: a sliding-window reservation per
+        // issued instruction.
+        let mut fu = WindowFu::new(4);
+        let mut t = 0u64;
+        out.push(bench_micro(
+            "micro/scoreboard_issue",
+            opts,
+            cfg.micro_iters(500_000),
+            || {
+                t += 1;
+                black_box(fu.reserve(black_box(t)));
+            },
+        ));
+    }
+
+    if cfg.keeps("micro/dram_queue") {
+        let mc = MachineConfig::paper_default();
+        let mut dram = Dram::new(mc.mem);
+        let mut stats = Stats::new();
+        let mut line = 0u64;
+        let mut now = 0u64;
+        out.push(bench_micro(
+            "micro/dram_queue",
+            opts,
+            cfg.micro_iters(500_000),
+            || {
+                // Strictly increasing lines never hit the FIFO cache, so
+                // every call exercises the queue + service path.
+                line += 1;
+                now += 4;
+                black_box(dram.access_line(black_box(line), now, &mut stats));
+            },
+        ));
+    }
+
+    let scale = if cfg.quick {
+        ScaleKind::Quick
+    } else {
+        ScaleKind::Paper
+    };
+    for w in REGISTRY {
+        let id = format!("macro/{}", w.name());
+        if !cfg.keeps(&id) {
+            continue;
+        }
+        let label = *w
+            .variant_labels()
+            .first()
+            .expect("registry workloads have variants");
+        // Input construction is excluded from timing: we measure the
+        // simulator, not the input generator.
+        let prepared = w.prepare(scale);
+        let env = RunEnv::default();
+        out.push(bench_macro(&id, opts, || {
+            // Drop any phase residue earlier host work left on this
+            // thread, so the rep's attribution is its own.
+            let _ = levi_sim::perf::take();
+            let outcome = prepared
+                .run(label, &env)
+                .expect_done("perf macro benchmark");
+            let mut rep = RepOutcome {
+                sim_cycles: outcome.metrics.cycles,
+                phases: outcome.metrics.stats.host_phases.clone(),
+            };
+            // Post-run teardown (flushes after the last `Machine::run`)
+            // is still this rep's time.
+            rep.phases.merge(&levi_sim::perf::take());
+            rep
+        }));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_selects_by_substring() {
+        let cfg = PerfCfg {
+            quick: true,
+            filter: Some("SCOREBOARD".into()),
+            rounds: Some(1),
+            reps: Some(1),
+            warmup: Some(0),
+        };
+        let ms = run_suite(&cfg);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].id, "micro/scoreboard_issue");
+        assert!(ms[0].median > 0.0);
+    }
+
+    #[test]
+    fn opts_respect_quick_and_overrides() {
+        let quick = PerfCfg {
+            quick: true,
+            ..PerfCfg::default()
+        };
+        assert_eq!(quick.opts().rounds, BenchOpts::quick().rounds);
+        let tuned = PerfCfg {
+            rounds: Some(7),
+            reps: Some(0),
+            ..PerfCfg::default()
+        };
+        assert_eq!(tuned.opts().rounds, 7);
+        assert_eq!(tuned.opts().reps, 1, "reps clamp to at least 1");
+        assert_eq!(quick.micro_iters(800), 100);
+        assert_eq!(PerfCfg::default().micro_iters(800), 800);
+    }
+
+    #[test]
+    fn macro_bench_runs_a_registry_workload() {
+        let cfg = PerfCfg {
+            quick: true,
+            filter: Some("macro/micro".into()),
+            rounds: Some(1),
+            reps: Some(1),
+            warmup: Some(0),
+        };
+        let ms = run_suite(&cfg);
+        assert_eq!(ms.len(), 1, "exactly the 'micro' workload macro bench");
+        let m = &ms[0];
+        assert_eq!(m.kind, "macro");
+        assert!(m.sim_cycles > 0);
+        assert!(m.kips > 0.0);
+        if cfg!(feature = "self-profile") {
+            assert!(
+                !m.phases.is_empty(),
+                "profiling is on, phases must be attributed: {m:?}"
+            );
+        } else {
+            assert!(m.phases.is_empty());
+        }
+    }
+}

@@ -207,6 +207,7 @@ impl CacheBank {
     /// Removes and returns every resident line whose *byte* range overlaps
     /// `[base, bound)`. Used by `flush`.
     pub fn drain_range(&mut self, base: u64, bound: u64) -> Vec<Line> {
+        crate::perf::prof_scope!(crate::perf::Phase::Flush);
         let first = base >> LINE_SHIFT;
         let last = (bound + (1 << LINE_SHIFT) - 1) >> LINE_SHIFT;
         let mut out = Vec::new();

@@ -211,6 +211,7 @@ impl Dram {
     /// Accesses one DRAM line (read or writeback) at `now`; returns the
     /// completion time. FIFO-cache hits skip the DRAM access entirely.
     pub fn access_line(&mut self, dram_line: u64, now: u64, stats: &mut Stats) -> u64 {
+        crate::perf::prof_scope!(crate::perf::Phase::Dram);
         let mc = self.controller_of(dram_line);
         if self.fifo[mc].contains(&dram_line) {
             stats.mc_cache_hits += 1;

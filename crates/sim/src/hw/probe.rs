@@ -31,6 +31,7 @@ impl Hw {
         now: u64,
         allow_phantom: bool,
     ) -> Walk {
+        crate::perf::prof_scope!(crate::perf::Phase::Cache);
         self.pin(addr >> LINE_SHIFT);
         let w = self.access_core_inner(mem, tile, kind, addr, now, allow_phantom);
         self.unpin();
@@ -140,6 +141,7 @@ impl Hw {
         now: u64,
         allow_phantom: bool,
     ) -> Walk {
+        crate::perf::prof_scope!(crate::perf::Phase::Cache);
         self.pin(addr >> LINE_SHIFT);
         let w = self.access_engine_inner(mem, eid, kind, addr, now, allow_phantom);
         self.unpin();

@@ -132,6 +132,7 @@ impl TimedHost<'_> {
     /// The full invoke issue path: backpressure, fault backoff/fallback,
     /// target scheduling, NACK, packet + ACK timing.
     pub(crate) fn do_invoke(&mut self, _mem: &mut dyn Memory, req: NdcRequest) -> Poll<()> {
+        crate::perf::prof_scope!(crate::perf::Phase::Invoke);
         // Invoke-buffer backpressure (skipped for future-carrying invokes).
         if self.is_core && req.future.is_none() {
             while let Some(&front) = self.invoke_acks.front() {

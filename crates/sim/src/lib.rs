@@ -60,6 +60,7 @@ pub mod machine;
 pub mod ndc;
 mod ndc_host;
 pub mod noc;
+pub mod perf;
 pub mod rng;
 pub mod sched;
 pub mod stats;
@@ -77,5 +78,6 @@ pub use hist::Histogram;
 pub use hw::{AccessKind, Hw, Walk};
 pub use machine::{ActorId, Machine, ParkOwner, ParkedActor, RunError, RunResult};
 pub use ndc::{BankMapRange, MorphLevel, MorphRegion, StreamId, StreamMode, StreamState};
+pub use perf::{Phase, PhaseProfile};
 pub use stats::{Sample, Stats, TimeSeries};
 pub use trace::{TraceCategory, TraceEvent, Tracer, Track};

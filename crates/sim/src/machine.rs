@@ -64,6 +64,7 @@ impl Machine {
     /// Builds a machine, returning a typed error on an invalid
     /// configuration (see [`MachineConfig::validate`]).
     pub fn try_new(mut cfg: MachineConfig) -> Result<Self, SimError> {
+        crate::perf::prof_scope!(crate::perf::Phase::Build);
         cfg.validate()?;
         if cfg.engine.idealized {
             // Idealized engines are energy-free (paper Sec. VII).
@@ -245,6 +246,7 @@ impl Machine {
     /// the `flush` instruction, used when unregistering a Morph between
     /// run segments). Returns the completion time.
     pub fn flush_morph_range(&mut self, base: Addr, len: u64) -> u64 {
+        crate::perf::prof_scope!(crate::perf::Phase::Flush);
         let now = self.now;
         let Machine { hw, mem, .. } = self;
         hw.flush_range(mem, base, len, now)

@@ -91,6 +91,7 @@ impl Noc {
     /// returns the arrival time. Reserves serialization time on every
     /// traversed link and counts flit-hops into `stats`.
     pub fn send(&mut self, from: u32, to: u32, bytes: u32, now: u64, stats: &mut Stats) -> u64 {
+        crate::perf::prof_scope!(crate::perf::Phase::Noc);
         stats.noc_messages += 1;
         if from == to {
             // Same tile: no network traversal.

@@ -324,6 +324,19 @@ impl Machine {
     /// (when non-zero), and [`RunError::Fault`] when a typed error
     /// surfaces mid-run.
     pub fn run(&mut self) -> Result<RunResult, RunError> {
+        let result = self.run_inner();
+        // Fold everything the scoped profiler measured on this thread
+        // since the last drain (construction included) into the stats.
+        // A no-op without the `self-profile` feature.
+        let profile = crate::perf::take();
+        if !profile.is_empty() {
+            self.hw.stats.host_phases.merge(&profile);
+        }
+        result
+    }
+
+    fn run_inner(&mut self) -> Result<RunResult, RunError> {
+        crate::perf::prof_scope!(crate::perf::Phase::Sched);
         let max_cycles = self.hw.cfg.max_cycles;
         while let Some(Reverse((t, seq, aid))) = self.runq.pop() {
             {
@@ -397,6 +410,7 @@ impl Machine {
 
     #[allow(clippy::too_many_lines)]
     fn run_actor(&mut self, aid: ActorId) {
+        crate::perf::prof_scope!(crate::perf::Phase::Exec);
         let prog = self.actors[aid as usize].prog.clone();
         let quantum = self.hw.cfg.quantum;
         let quantum_end = self.actors[aid as usize].clock + quantum;
@@ -422,7 +436,12 @@ impl Machine {
                 } else if a.clock > quantum_end {
                     Outcome::Yield(a.clock)
                 } else {
-                    let inst = prog.func(a.ctx.pc.func).insts()[a.ctx.pc.idx as usize].clone();
+                    // Borrow the instruction from the program: cloning
+                    // here allocated on every executed `Invoke` (its
+                    // `args: Vec<Reg>`) and memcpy'd every other
+                    // instruction, and this is the hottest line in the
+                    // simulator.
+                    let inst = &prog.func(a.ctx.pc.func).insts()[a.ctx.pc.idx as usize];
                     let is_core = matches!(a.kind, ActorKind::CoreThread { .. });
                     let (tile, engine) = match a.kind {
                         ActorKind::CoreThread { core } => (core, None),
@@ -456,7 +475,7 @@ impl Machine {
                             prog: &prog,
                         },
                         a,
-                        &inst,
+                        inst,
                         slot,
                         &mut spawns,
                         &mut wakes,

@@ -134,6 +134,14 @@ pub struct Stats {
     /// Backoff delay per fault-induced invoke retry, in cycles.
     pub fault_backoff: Histogram,
 
+    /// Host wall-time attributed to simulator phases by the scoped
+    /// profiler (see [`crate::perf`]). Empty unless the crate is built
+    /// with the `self-profile` feature; [`crate::Machine::run`] drains the
+    /// thread-local accumulator here when it returns. Never printed by
+    /// `Display` — wall-clock nanoseconds are nondeterministic and must
+    /// stay out of byte-identical outputs.
+    pub host_phases: crate::perf::PhaseProfile,
+
     /// Structured event recorder (off by default; see
     /// [`crate::config::MachineConfig::trace`]).
     pub trace: Tracer,
