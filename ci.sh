@@ -35,6 +35,16 @@ echo "== bench runner =="
 rm -f "$tmp/bench-report.json"
 cargo run --release --quiet -p levi-bench -- run all --quick --json "$tmp/bench-report.json" > /dev/null
 cargo run --release --quiet -p levi-bench -- check-report "$tmp/bench-report.json"
+echo "== telemetry smoke =="
+# --telemetry must be purely observational: one figure runs with and
+# without the flag and must print byte-identical stdout, and the dump it
+# produces must pass structural validation.
+cargo run --release --quiet -p levi-bench -- run fig05 --quick \
+  > "$tmp/fig05-plain.txt" 2> /dev/null
+cargo run --release --quiet -p levi-bench -- run fig05 --quick \
+  --telemetry "$tmp/telemetry.jsonl" > "$tmp/fig05-telemetry.txt" 2> /dev/null
+diff "$tmp/fig05-plain.txt" "$tmp/fig05-telemetry.txt"
+cargo run --release --quiet -p levi-bench -- check-report "$tmp/telemetry.jsonl"
 echo "== perf gate =="
 # Host-performance smoke: measure, accept a machine-local baseline, then
 # re-measure and compare against it. Gating is machine-local (wall-clock

@@ -6,6 +6,7 @@
 //! ```text
 //! levi-bench list
 //! levi-bench run <figure|all> [--quick] [--serial] [--json PATH]
+//!                             [--telemetry PATH]
 //!                             [--fault-plan SEED[:HORIZON]] [--filter VARIANT]
 //! levi-bench check-report <PATH>
 //! levi-bench perf <run|compare|accept> [options]
@@ -15,6 +16,13 @@
 //! figure, and finishes with a roll-up manifest line; `check-report`
 //! validates such a file (parses, one manifest, every manifest figure
 //! present, every registry workload covered).
+//!
+//! `run ... --telemetry PATH` additionally records invoke-lifecycle spans
+//! and trace events in every run and appends one self-describing
+//! JSON-lines registry dump per run to `PATH` (see
+//! `levi_sim::Telemetry::to_jsonl`); the printed tables are byte-identical
+//! with or without the flag. `check-report` recognizes such dumps by their
+//! `{"telemetry":...}` header lines and validates them structurally.
 
 use levi_bench::figures::ALL;
 use levi_bench::json::{parse, Json};
@@ -37,6 +45,9 @@ fn usage() -> ! {
     eprintln!("  --serial             run sweeps serially (sets LEVI_SWEEP_SERIAL)");
     eprintln!("  --json PATH          append per-figure JSON lines to PATH");
     eprintln!("                       ('all' truncates PATH and adds a manifest)");
+    eprintln!("  --telemetry PATH     record spans + traces in every run and dump");
+    eprintln!("                       the full telemetry registry to PATH (JSONL);");
+    eprintln!("                       printed output is identical with or without");
     eprintln!("  --fault-plan SEED[:HORIZON]");
     eprintln!("                       inject a seeded fault plan into every run");
     eprintln!("  --filter VARIANT     only run variants whose label contains VARIANT");
@@ -101,6 +112,7 @@ fn cmd_run(args: &[String]) {
     let mut ctx = RunCtx::from_env();
     let mut serial = false;
     let mut json: Option<String> = None;
+    let mut telemetry: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -112,6 +124,7 @@ fn cmd_run(args: &[String]) {
             "--quick" => ctx.quick = true,
             "--serial" => serial = true,
             "--json" => json = Some(value("--json")),
+            "--telemetry" => telemetry = Some(value("--telemetry")),
             "--fault-plan" => ctx.env.fault = Some(parse_fault_plan(&value("--fault-plan"))),
             "--filter" => ctx.filter = Some(value("--filter")),
             other if other.starts_with('-') => fail(&format!("unknown option {other}")),
@@ -141,6 +154,12 @@ fn cmd_run(args: &[String]) {
         }
         std::env::set_var("LEVI_BENCH_JSON", path);
     }
+    if let Some(path) = &telemetry {
+        // Each invocation starts a fresh dump; runs append blocks.
+        std::fs::write(path, "").unwrap_or_else(|e| fail(&format!("--telemetry {path}: {e}")));
+        std::env::set_var("LEVI_TELEMETRY", path);
+        ctx.env.telemetry = true;
+    }
 
     if target == "all" {
         for fig in ALL {
@@ -160,6 +179,18 @@ fn cmd_check(args: &[String]) {
         fail("check-report takes exactly one path");
     };
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+
+    // A telemetry dump announces itself with a `{"telemetry":...}` header
+    // on its first line; everything else is a figure report.
+    if let Some(first) = text.lines().find(|l| !l.trim().is_empty()) {
+        if parse(first)
+            .ok()
+            .is_some_and(|doc| doc.get("telemetry").is_some())
+        {
+            check_telemetry(path, &text);
+            return;
+        }
+    }
 
     let mut figures_seen = Vec::new();
     let mut manifest = None;
@@ -233,4 +264,83 @@ fn cmd_check(args: &[String]) {
         figures.len(),
         REGISTRY.len()
     );
+}
+
+/// Structurally validates a `--telemetry` registry dump: every line
+/// parses, every line is a known kind, every block starts with a
+/// version-1 header carrying a scope, and data lines only appear inside a
+/// block.
+fn check_telemetry(path: &str, text: &str) {
+    let line_fail = |i: usize, msg: &str| -> ! { fail(&format!("{path}:{}: {msg}", i + 1)) };
+    let mut blocks = 0usize;
+    let mut lines = 0usize;
+    let mut metrics = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let doc =
+            parse(line).unwrap_or_else(|e| fail(&format!("{path}:{}: invalid JSON: {e}", i + 1)));
+        if let Some(header) = doc.get("telemetry") {
+            if header.get("version").and_then(Json::as_num) != Some(1.0) {
+                line_fail(i, "unsupported telemetry version (expected 1)");
+            }
+            if header.get("scope").and_then(Json::as_str).is_none() {
+                line_fail(i, "telemetry header without a scope string");
+            }
+            blocks += 1;
+            continue;
+        }
+        if blocks == 0 {
+            line_fail(i, "data line before any telemetry header");
+        }
+        if doc.get("metric").is_some() {
+            if doc.get("metric").and_then(Json::as_str).is_none() {
+                line_fail(i, "metric name is not a string");
+            }
+            let ty = doc
+                .get("type")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| line_fail(i, "metric line without a type"));
+            match ty {
+                "counter" | "gauge" => {
+                    if doc.get("value").and_then(Json::as_num).is_none() {
+                        line_fail(i, "counter/gauge without a numeric value");
+                    }
+                }
+                "histogram" => {
+                    for key in ["count", "sum", "min", "max", "mean", "p50", "p90", "p99"] {
+                        if doc.get(key).and_then(Json::as_num).is_none() {
+                            line_fail(i, &format!("histogram missing numeric {key:?}"));
+                        }
+                    }
+                }
+                other => line_fail(i, &format!("unknown metric type {other:?}")),
+            }
+            metrics += 1;
+        } else if let Some(slow) = doc.get("slow_invoke") {
+            for key in [
+                "rank", "span", "rtt", "offload", "noc", "queue", "exec", "response",
+            ] {
+                if slow.get(key).and_then(Json::as_num).is_none() {
+                    line_fail(i, &format!("slow_invoke missing numeric {key:?}"));
+                }
+            }
+        } else if let Some(stage) = doc.get("span_stage") {
+            if stage.get("stage").and_then(Json::as_str).is_none()
+                || stage.get("cycles").and_then(Json::as_num).is_none()
+            {
+                line_fail(i, "span_stage needs a stage string and cycle count");
+            }
+        } else if doc.get("sample").is_none() && doc.get("span_summary").is_none() {
+            line_fail(i, "unknown telemetry line kind");
+        }
+    }
+    if blocks == 0 {
+        fail(&format!(
+            "{path}: no telemetry blocks (dumps come from 'levi-bench run --telemetry')"
+        ));
+    }
+    println!("telemetry OK: {lines} lines, {blocks} run blocks, {metrics} metrics");
 }

@@ -182,7 +182,7 @@ pub fn speedup_table(rows: &[Row<'_>]) {
 ///            "rel_energy": 1.0, "energy_uj": 5.6,
 ///            "invoke_rtt": {"count": 10, "p50": 32, "p90": 64, "p99": 64},
 ///            "load_to_use": {...}, "dram_queue": {...},
-///            "stream_stall": {...}}]}
+///            "stream_stall": {...}, "trace_dropped": 0}]}
 /// ```
 pub fn report(figure: &str, rows: &[Row<'_>]) {
     speedup_table(rows);
@@ -205,6 +205,26 @@ pub fn emit_json_line(json: &str) {
         .open(&path)
         .unwrap_or_else(|e| panic!("LEVI_BENCH_JSON={path}: {e}"));
     writeln!(f, "{json}").expect("write bench JSON");
+}
+
+/// Appends one pre-rendered telemetry block (JSON lines, newline-
+/// terminated) to the `LEVI_TELEMETRY` dump file, if the variable is set
+/// (no-op otherwise). `levi-bench run --telemetry PATH` truncates the
+/// file and sets the variable; every run's
+/// [`levi_sim::Telemetry::to_jsonl`] block funnels through here.
+///
+/// # Panics
+/// Panics if the dump file cannot be opened or written.
+pub fn emit_telemetry_block(block: &str) {
+    let Ok(path) = std::env::var("LEVI_TELEMETRY") else {
+        return;
+    };
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .unwrap_or_else(|e| panic!("LEVI_TELEMETRY={path}: {e}"));
+    write!(f, "{block}").expect("write telemetry dump");
 }
 
 /// Renders one figure's rows as a single JSON object (no trailing newline).
@@ -236,6 +256,11 @@ pub fn figure_json(figure: &str, rows: &[Row<'_>]) -> String {
         ] {
             let _ = write!(out, ",\"{name}\":{}", hist_json(h));
         }
+        let _ = write!(
+            out,
+            ",\"trace_dropped\":{}",
+            r.metrics.stats.trace.dropped()
+        );
         out.push('}');
     }
     out.push_str("]}");
@@ -372,6 +397,7 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"stream_stall\":{\"count\":0"), "{json}");
+        assert!(json.contains("\"trace_dropped\":0"), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

@@ -110,6 +110,7 @@ fn collect_outcomes(runs: Vec<(&'static str, RunStatus)>, check: &dyn Fn(&str) -
                     check(label),
                     "{label} diverged from the golden model"
                 );
+                emit_run_telemetry(label, &o.metrics.stats);
                 entries.push((label, *o));
             }
             RunStatus::Unsupported(reason) => {
@@ -118,6 +119,20 @@ fn collect_outcomes(runs: Vec<(&'static str, RunStatus)>, check: &dyn Fn(&str) -
         }
     }
     Outcomes { entries }
+}
+
+/// Appends one run's registry dump to the `LEVI_TELEMETRY` file (no-op
+/// when unset). The block's scope is `figure/label`, using the figure id
+/// [`run_figure`] exported for the runs it drives.
+fn emit_run_telemetry(label: &str, stats: &levi_sim::Stats) {
+    if std::env::var("LEVI_TELEMETRY").is_err() {
+        return;
+    }
+    let scope = match std::env::var("LEVI_BENCH_FIGURE") {
+        Ok(fig) if !fig.is_empty() => format!("{fig}/{label}"),
+        _ => label.to_string(),
+    };
+    crate::emit_telemetry_block(&levi_sim::Telemetry::new(stats).to_jsonl(&scope));
 }
 
 /// Runs the (filtered) variants of a typed workload at `scale` through a
@@ -221,8 +236,12 @@ pub fn find_figure(id: &str) -> Option<&'static Figure> {
     }
 }
 
-/// Runs one figure under `ctx`.
+/// Runs one figure under `ctx`. Exports the figure id as
+/// `LEVI_BENCH_FIGURE` so telemetry blocks emitted by the runs it drives
+/// carry a `figure/variant` scope (figures run sequentially; only their
+/// inner sweeps fan out).
 pub fn run_figure(fig: &Figure, ctx: &RunCtx) {
+    std::env::set_var("LEVI_BENCH_FIGURE", fig.id);
     (fig.run)(ctx);
 }
 

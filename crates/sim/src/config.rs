@@ -209,6 +209,15 @@ pub struct MachineConfig {
     /// stay byte-identical across simulator versions. Has no effect
     /// unless `trace` is also enabled.
     pub trace_sched: bool,
+    /// Record causal invoke-lifecycle spans
+    /// ([`crate::span::SpanTable`]): per-invoke stage cycle marks for the
+    /// post-run critical-path analyzer, plus `span.*` stage events in the
+    /// tracer (when `trace` is also on) joined by Perfetto flow arrows.
+    /// Off by default — and gated separately from
+    /// [`MachineConfig::trace`] — so default runs (traced or not) stay
+    /// byte-identical across simulator versions. The span table retains
+    /// at most [`crate::span::DEFAULT_SPAN_CAPACITY`] spans.
+    pub trace_spans: bool,
     /// Time-series sampling interval in cycles
     /// ([`crate::stats::TimeSeries`]); 0 disables sampling.
     pub sample_interval: u64,
@@ -289,6 +298,7 @@ impl MachineConfig {
             trace: false,
             trace_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
             trace_sched: false,
+            trace_spans: false,
             sample_interval: 0,
             fault_plan: None,
             max_cycles: 0,
@@ -328,6 +338,16 @@ impl MachineConfig {
     pub fn sched_traced(mut self) -> Self {
         self.trace = true;
         self.trace_sched = true;
+        self
+    }
+
+    /// Enables the tracer *and* causal invoke-lifecycle spans: the
+    /// [`SpanTable`](crate::span::SpanTable) fills for the critical-path
+    /// analyzer and `span.*` stage events land in the `span` trace
+    /// category, flow-linked in the Perfetto export.
+    pub fn span_traced(mut self) -> Self {
+        self.trace = true;
+        self.trace_spans = true;
         self
     }
 
@@ -461,6 +481,16 @@ mod tests {
     fn idealized_flag() {
         let cfg = MachineConfig::paper_default().idealized();
         assert!(cfg.engine.idealized);
+    }
+
+    #[test]
+    fn tracing_builders() {
+        let cfg = MachineConfig::with_tiles(4);
+        assert!(!cfg.trace && !cfg.trace_sched && !cfg.trace_spans);
+        let cfg = MachineConfig::with_tiles(4).span_traced();
+        assert!(cfg.trace && cfg.trace_spans && !cfg.trace_sched);
+        let cfg = MachineConfig::with_tiles(4).sched_traced();
+        assert!(cfg.trace && cfg.trace_sched && !cfg.trace_spans);
     }
 
     #[test]

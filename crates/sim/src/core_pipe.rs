@@ -274,6 +274,7 @@ pub(crate) fn step_one(
                 invoke_acks: &mut a.invoke_acks,
                 invoke_count: &mut a.invoke_count,
                 invoke_retries: &mut a.invoke_retries,
+                pending_span: &mut a.pending_span,
                 spawns,
                 wakes,
                 block: None,

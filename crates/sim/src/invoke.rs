@@ -22,7 +22,8 @@ use levi_isa::{Location, Memory, NdcRequest, Poll};
 use crate::engine::{EngineId, EngineLevel};
 use crate::ndc::WaitCond;
 use crate::ndc_host::{SpawnReq, TimedHost, INVOKE_ACK};
-use crate::trace::{TraceCategory, TraceEvent};
+use crate::span::SpanId;
+use crate::trace::{TraceCategory, TraceEvent, Track};
 
 /// Compact encoding of a placement decision for `sched.place` trace
 /// events: how the target engine was chosen.
@@ -42,6 +43,29 @@ enum Placement {
 }
 
 impl TimedHost<'_> {
+    /// Records one invoke-lifecycle stage event in the `span` trace
+    /// category, carrying the span id (plus up to two extra arguments)
+    /// so the Chrome export can flow-link the stages. Only reached when
+    /// spans are enabled, so span-disabled traced runs stay
+    /// byte-identical.
+    fn span_event(
+        &mut self,
+        id: SpanId,
+        name: &'static str,
+        at: u64,
+        track: Track,
+        extra: &[(&'static str, u64)],
+    ) {
+        debug_assert!(extra.len() <= 2, "span id plus at most two extras");
+        let mut args = [("span", id.0 as u64), ("", 0), ("", 0)];
+        let n = 1 + extra.len();
+        args[1..n].copy_from_slice(extra);
+        self.hw
+            .stats
+            .trace
+            .record(|| TraceEvent::instant(at, TraceCategory::Span, name, track, &args[..n]));
+    }
+
     /// Picks the engine an invoke should run on (Sec. VI-B1).
     fn schedule_invoke(&mut self, req: &NdcRequest) -> EngineId {
         let line = req.actor >> crate::config::LINE_SHIFT;
@@ -133,6 +157,12 @@ impl TimedHost<'_> {
     /// target scheduling, NACK, packet + ACK timing.
     pub(crate) fn do_invoke(&mut self, _mem: &mut dyn Memory, req: NdcRequest) -> Poll<()> {
         crate::perf::prof_scope!(crate::perf::Phase::Invoke);
+        // Open a lifecycle span on the *first* attempt; re-executions
+        // after backpressure sleeps and NACK parks reuse it, so the
+        // offload stage covers the whole wait.
+        if self.hw.stats.spans.enabled() && self.pending_span.is_none() {
+            *self.pending_span = self.hw.stats.spans.begin(self.tile, self.now);
+        }
         // Invoke-buffer backpressure (skipped for future-carrying invokes).
         if self.is_core && req.future.is_none() {
             while let Some(&front) = self.invoke_acks.front() {
@@ -206,6 +236,16 @@ impl TimedHost<'_> {
                         ],
                     )
                 });
+                if let Some(id) = *self.pending_span {
+                    self.hw.stats.spans.note_retry(id);
+                    self.span_event(
+                        id,
+                        "span.retried",
+                        now,
+                        track,
+                        &[("retry", retries as u64), ("delay", delay)],
+                    );
+                }
                 self.sleep_until = Some(now + delay);
                 return Poll::Pending;
             }
@@ -220,6 +260,17 @@ impl TimedHost<'_> {
                     &[("target", target.tile as u64), ("actor_addr", req.actor)],
                 )
             });
+            let span = self.pending_span.take();
+            if let Some(id) = span {
+                self.hw.stats.spans.note_issue(id, now, target, true);
+                self.span_event(
+                    id,
+                    "span.issued",
+                    now,
+                    track,
+                    &[("target", target.tile as u64), ("fallback", 1)],
+                );
+            }
             let mut args = Vec::with_capacity(1 + req.args.len());
             args.push(req.actor);
             args.extend_from_slice(&req.args);
@@ -230,6 +281,7 @@ impl TimedHost<'_> {
                 args,
                 start: now + 1,
                 fallback_core: Some(self.tile),
+                span,
             });
             self.op_done = now + 1;
             return Poll::Ready(());
@@ -261,6 +313,16 @@ impl TimedHost<'_> {
                     )
                 });
             }
+            if let Some(id) = *self.pending_span {
+                self.hw.stats.spans.note_nack(id);
+                self.span_event(
+                    id,
+                    "span.nacked",
+                    now,
+                    track,
+                    &[("target", target.tile as u64)],
+                );
+            }
             self.block = Some(WaitCond::EngineCtx(target));
             return Poll::Pending;
         }
@@ -275,13 +337,32 @@ impl TimedHost<'_> {
                 &[("target", target.tile as u64), ("actor_addr", req.actor)],
             )
         });
+        let span = self.pending_span.take();
+        if let Some(id) = span {
+            self.hw.stats.spans.note_issue(id, now, target, false);
+            self.span_event(
+                id,
+                "span.issued",
+                now,
+                track,
+                &[("target", target.tile as u64)],
+            );
+        }
 
         // Invoke packet: header + actor + action + args (+ future).
         let bytes = 24 + 8 * req.args.len() as u32 + if req.future.is_some() { 8 } else { 0 };
-        let arrival = self
-            .hw
-            .noc
-            .send(self.tile, target.tile, bytes, self.now, &mut self.hw.stats);
+        let arrival = self.hw.noc.send_tagged(
+            self.tile,
+            target.tile,
+            bytes,
+            self.now,
+            &mut self.hw.stats,
+            span,
+        );
+        if let Some(id) = span {
+            self.hw.stats.spans.note_arrival(id, arrival);
+            self.span_event(id, "span.enqueued", arrival, Track::Engine(target), &[]);
+        }
 
         let mut args = Vec::with_capacity(1 + req.args.len());
         args.push(req.actor);
@@ -293,20 +374,26 @@ impl TimedHost<'_> {
             args,
             start: arrival,
             fallback_core: None,
+            span,
         });
         if self.is_core && req.future.is_none() {
             // ACK returns once the engine accepts the task.
-            let ack = self.hw.noc.send(
+            let ack = self.hw.noc.send_tagged(
                 target.tile,
                 self.tile,
                 INVOKE_ACK,
                 arrival,
                 &mut self.hw.stats,
+                span,
             );
             self.hw
                 .stats
                 .invoke_rtt
                 .record(ack.saturating_sub(self.now));
+            if let Some(id) = span {
+                self.hw.stats.spans.note_ack(id, ack);
+                self.span_event(id, "span.responded", ack, Track::Core(self.tile), &[]);
+            }
             self.invoke_acks.push_back(ack);
         }
         self.op_done = self.now + 1;

@@ -63,7 +63,9 @@ pub mod noc;
 pub mod perf;
 pub mod rng;
 pub mod sched;
+pub mod span;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 
 pub use config::{CacheConfig, EnergyConfig, MachineConfig, Replacement, LINE_SIZE};
@@ -79,5 +81,7 @@ pub use hw::{AccessKind, Hw, Walk};
 pub use machine::{ActorId, Machine, ParkOwner, ParkedActor, RunError, RunResult};
 pub use ndc::{BankMapRange, MorphLevel, MorphRegion, StreamId, StreamMode, StreamState};
 pub use perf::{Phase, PhaseProfile};
-pub use stats::{Sample, Stats, TimeSeries};
+pub use span::{CriticalPath, InvokeSpan, SlowInvoke, SpanId, SpanTable, StageCycles};
+pub use stats::{Sample, Stats, TimeSeries, TOP_SLOW_INVOKES};
+pub use telemetry::{Telemetry, TELEMETRY_VERSION};
 pub use trace::{TraceCategory, TraceEvent, Tracer, Track};

@@ -37,6 +37,9 @@ pub(crate) struct SpawnReq {
     /// When set, spawn as a software handler thread on this core instead
     /// of as an engine task (fault fallback).
     pub(crate) fallback_core: Option<u32>,
+    /// The invoke-lifecycle span this spawn continues (None when span
+    /// tracing is off; see [`crate::span`]).
+    pub(crate) span: Option<crate::span::SpanId>,
 }
 
 /// Host used for non-NDC instructions (they never call host methods).
@@ -74,6 +77,11 @@ pub(crate) struct TimedHost<'a> {
     pub(crate) invoke_acks: &'a mut VecDeque<u64>,
     pub(crate) invoke_count: &'a mut u32,
     pub(crate) invoke_retries: &'a mut u32,
+    /// The open span of the invoke currently being issued. Survives
+    /// backpressure sleeps and NACK parks (so the span's first attempt
+    /// anchors the offload stage); cleared when the invoke issues or
+    /// falls back.
+    pub(crate) pending_span: &'a mut Option<crate::span::SpanId>,
     pub(crate) spawns: &'a mut Vec<SpawnReq>,
     pub(crate) wakes: &'a mut Vec<(WaitCond, u64)>,
     pub(crate) block: Option<WaitCond>,

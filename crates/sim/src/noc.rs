@@ -91,6 +91,22 @@ impl Noc {
     /// returns the arrival time. Reserves serialization time on every
     /// traversed link and counts flit-hops into `stats`.
     pub fn send(&mut self, from: u32, to: u32, bytes: u32, now: u64, stats: &mut Stats) -> u64 {
+        self.send_tagged(from, to, bytes, now, stats, None)
+    }
+
+    /// Like [`Noc::send`], but tags the recorded `noc.msg` trace event
+    /// with the invoke-lifecycle span the message belongs to, so the
+    /// Perfetto export links the packet's transit into the span's flow.
+    /// Timing is identical to `send`; `span` only affects trace output.
+    pub fn send_tagged(
+        &mut self,
+        from: u32,
+        to: u32,
+        bytes: u32,
+        now: u64,
+        stats: &mut Stats,
+        span: Option<crate::span::SpanId>,
+    ) -> u64 {
         crate::perf::prof_scope!(crate::perf::Phase::Noc);
         stats.noc_messages += 1;
         if from == to {
@@ -144,13 +160,21 @@ impl Noc {
             });
         }
         stats.trace.record(|| {
+            let mut args = [("to", to as u64), ("flits", flits), ("span", 0)];
+            let nargs = match span {
+                Some(id) => {
+                    args[2].1 = id.0 as u64;
+                    3
+                }
+                None => 2,
+            };
             TraceEvent::span(
                 now,
                 arrive - now,
                 TraceCategory::Noc,
                 "noc.msg",
                 Track::Noc(from),
-                &[("to", to as u64), ("flits", flits)],
+                &args[..nargs],
             )
         });
         arrive

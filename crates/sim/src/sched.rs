@@ -73,6 +73,12 @@ pub(crate) struct Actor {
     /// Consecutive fault-induced NACK retries on the current invoke
     /// (reset on a successful issue or a core fallback).
     pub(crate) invoke_retries: u32,
+    /// Open span of the invoke this actor is currently issuing (spans
+    /// enabled only; survives backpressure/NACK re-execution).
+    pub(crate) pending_span: Option<crate::span::SpanId>,
+    /// The invoke span this actor's task continues (engine tasks and
+    /// fault-fallback handlers; closed at retire).
+    pub(crate) span: Option<crate::span::SpanId>,
     pub(crate) state: ActorState,
     pub(crate) sched_seq: u64,
     /// Cycle at which the current park began (for stall accounting).
@@ -101,6 +107,8 @@ impl Actor {
             invoke_acks: std::collections::VecDeque::new(),
             invoke_count: 0,
             invoke_retries: 0,
+            pending_span: None,
+            span: None,
             state: ActorState::Runnable,
             sched_seq: 0,
             parked_at: 0,
@@ -132,6 +140,8 @@ impl Actor {
             invoke_acks: std::collections::VecDeque::new(),
             invoke_count: 0,
             invoke_retries: 0,
+            pending_span: None,
+            span: None,
             state: ActorState::Runnable,
             sched_seq: 0,
             parked_at: 0,
@@ -499,6 +509,19 @@ impl Machine {
                             &[("actor", id as u64)],
                         )
                     });
+                    if let Some(sp) = s.span {
+                        self.actors[id as usize].span = s.span;
+                        self.hw.stats.spans.note_dispatch(sp, start);
+                        self.hw.stats.trace.record(|| {
+                            TraceEvent::instant(
+                                start,
+                                TraceCategory::Span,
+                                "span.executing",
+                                Track::Core(core),
+                                &[("span", sp.0 as u64), ("actor", id as u64)],
+                            )
+                        });
+                    }
                     self.enqueue(id, start);
                     continue;
                 }
@@ -515,9 +538,22 @@ impl Machine {
                 });
                 let a = &mut self.actors[id as usize];
                 a.clock = start;
+                a.span = s.span;
                 // Mark that this task holds a reserved context.
                 if let ActorKind::EngineTask { reserved_ctx, .. } = &mut a.kind {
                     *reserved_ctx = true;
+                }
+                if let Some(sp) = s.span {
+                    self.hw.stats.spans.note_dispatch(sp, start);
+                    self.hw.stats.trace.record(|| {
+                        TraceEvent::instant(
+                            start,
+                            TraceCategory::Span,
+                            "span.executing",
+                            Track::Engine(target),
+                            &[("span", sp.0 as u64), ("actor", id as u64)],
+                        )
+                    });
                 }
                 self.enqueue(id, start);
             }
@@ -552,16 +588,23 @@ impl Machine {
 
     fn finish_actor(&mut self, aid: ActorId) {
         let clock = self.actors[aid as usize].clock;
-        let (is_core, engine_task, engine_release, stream) = {
+        let span = self.actors[aid as usize].span.take();
+        let (is_core, engine_task, engine_release, stream, track) = {
             let a = &mut self.actors[aid as usize];
             a.state = ActorState::Done;
             match a.kind {
-                ActorKind::CoreThread { .. } => (true, None, None, None),
+                ActorKind::CoreThread { core } => (true, None, None, None, Track::Core(core)),
                 ActorKind::EngineTask {
                     engine,
                     reserved_ctx,
                     stream,
-                } => (false, Some(engine), reserved_ctx.then_some(engine), stream),
+                } => (
+                    false,
+                    Some(engine),
+                    reserved_ctx.then_some(engine),
+                    stream,
+                    Track::Engine(engine),
+                ),
             }
         };
         if is_core {
@@ -575,6 +618,18 @@ impl Machine {
                     "task.retire",
                     Track::Engine(engine),
                     &[("actor", aid as u64)],
+                )
+            });
+        }
+        if let Some(sp) = span {
+            self.hw.stats.spans.note_retire(sp, clock);
+            self.hw.stats.trace.record(|| {
+                TraceEvent::instant(
+                    clock,
+                    TraceCategory::Span,
+                    "span.retired",
+                    track,
+                    &[("span", sp.0 as u64), ("actor", aid as u64)],
                 )
             });
         }

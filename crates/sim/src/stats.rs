@@ -8,7 +8,11 @@
 use std::fmt;
 
 use crate::hist::Histogram;
+use crate::span::SpanTable;
 use crate::trace::Tracer;
+
+/// Slowest invokes listed by the `Display` critical-path report.
+pub const TOP_SLOW_INVOKES: usize = 5;
 
 /// Workload phase tag for phase-attributed counters (e.g. Fig. 21 splits
 /// DRAM accesses between PageRank's edge and vertex phases).
@@ -145,6 +149,10 @@ pub struct Stats {
     /// Structured event recorder (off by default; see
     /// [`crate::config::MachineConfig::trace`]).
     pub trace: Tracer,
+    /// Causal invoke-lifecycle spans for the critical-path analyzer (off
+    /// by default; see
+    /// [`crate::config::MachineConfig::trace_spans`]).
+    pub spans: SpanTable,
     /// Periodic time-series sampler (off by default; see
     /// [`crate::config::MachineConfig::sample_interval`]).
     pub timeline: TimeSeries,
@@ -270,6 +278,43 @@ impl fmt::Display for Stats {
             )?;
             if !self.fault_backoff.is_empty() {
                 write!(f, "\nfault backoff:     {}", self.fault_backoff)?;
+            }
+        }
+        // Dropped-event and span lines are gated the same way: runs
+        // without tracing/spans keep byte-identical output.
+        if self.trace.dropped() > 0 {
+            write!(
+                f,
+                "\ntrace dropped:     {} events (ring capacity {} exceeded)",
+                self.trace.dropped(),
+                self.trace.len()
+            )?;
+        }
+        if !self.spans.is_empty() || self.spans.dropped() > 0 {
+            let cp = self.spans.critical_path(TOP_SLOW_INVOKES);
+            write!(
+                f,
+                "\ninvoke spans:      {} recorded ({} complete, {} incomplete, {} dropped)",
+                self.spans.len(),
+                cp.completed,
+                cp.incomplete,
+                self.spans.dropped()
+            )?;
+            if cp.completed > 0 {
+                write!(
+                    f,
+                    "\nspan stages:       {} (summed cycles; rtt {}, dominated by {})",
+                    cp.totals,
+                    cp.rtt_total,
+                    cp.dominant_stage().0
+                )?;
+                for s in &cp.slowest {
+                    write!(f, "\n  slow {}: rtt {} = {}", s.id, s.rtt, s.stages)?;
+                    match s.target {
+                        Some(t) => write!(f, " (tile {} -> {})", s.src_tile, t)?,
+                        None => write!(f, " (tile {})", s.src_tile)?,
+                    }
+                }
             }
         }
         Ok(())

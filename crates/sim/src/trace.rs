@@ -44,6 +44,14 @@ pub enum TraceCategory {
     /// — off by default so traced runs stay byte-identical across
     /// versions.
     Sched,
+    /// Causal invoke-lifecycle stage transitions (`span.issued`,
+    /// `span.nacked`, `span.retried`, `span.enqueued`, `span.executing`,
+    /// `span.responded`, `span.retired`), parent-linked by a `"span"`
+    /// argument carrying the [`SpanId`](crate::span::SpanId). Opt-in via
+    /// [`MachineConfig::trace_spans`](crate::MachineConfig) — gated
+    /// separately from `trace` so default traced runs stay
+    /// byte-identical across versions.
+    Span,
 }
 
 impl TraceCategory {
@@ -57,6 +65,7 @@ impl TraceCategory {
             TraceCategory::Noc => "noc",
             TraceCategory::Fault => "fault",
             TraceCategory::Sched => "sched",
+            TraceCategory::Span => "span",
         }
     }
 }
@@ -181,6 +190,16 @@ impl TraceEvent {
     pub fn args(&self) -> &[(&'static str, u64)] {
         &self.args[..self.nargs as usize]
     }
+
+    /// The invoke span this event belongs to (its `"span"` argument), if
+    /// any. Span-linked events are joined by flow arrows in
+    /// [`Tracer::to_chrome_json`].
+    pub fn span_arg(&self) -> Option<u64> {
+        self.args()
+            .iter()
+            .find(|(k, _)| *k == "span")
+            .map(|&(_, v)| v)
+    }
 }
 
 /// The ring-buffered event recorder.
@@ -258,6 +277,13 @@ impl Tracer {
     /// events (`"X"`). Timestamps are simulated cycles interpreted as
     /// microseconds. Process/thread metadata names every tile and unit, so
     /// the viewer shows one group per tile with per-unit tracks.
+    ///
+    /// Events sharing a `"span"` argument (the invoke-lifecycle stage
+    /// events; see [`crate::span`]) are additionally joined by flow
+    /// events (`ph` `"s"`/`"t"`/`"f"` with `id` = span id), which
+    /// Perfetto renders as arrows following each invoke from the issuing
+    /// core across the NoC to its engine and back. Buffers with no
+    /// span-linked events export exactly as before.
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::with_capacity(128 + self.events.len() * 96);
         out.push_str("{\"displayTimeUnit\":\"ms\",");
@@ -298,6 +324,18 @@ impl Tracer {
             );
         }
 
+        // Flow arrows need a start, zero or more steps, and an end: count
+        // how many events carry each span id so the per-event pass knows
+        // which flow phase to emit. Ids seen once get no flow events.
+        let mut flow_total: std::collections::BTreeMap<u64, u32> =
+            std::collections::BTreeMap::new();
+        for e in &self.events {
+            if let Some(id) = e.span_arg() {
+                *flow_total.entry(id).or_insert(0) += 1;
+            }
+        }
+        let mut flow_seen: std::collections::BTreeMap<u64, u32> = std::collections::BTreeMap::new();
+
         for e in &self.events {
             let (pid, tid) = e.track.pid_tid();
             sep(&mut out);
@@ -325,6 +363,35 @@ impl Tracer {
                 out.push('}');
             }
             out.push('}');
+
+            // Attach this event to its span's flow at the same (pid, tid,
+            // ts): "s" starts the flow, "t" continues it, "f" (binding to
+            // the enclosing slice) ends it.
+            if let Some(id) = e.span_arg() {
+                let total = flow_total[&id];
+                if total >= 2 {
+                    let seen = flow_seen.entry(id).or_insert(0);
+                    *seen += 1;
+                    let ph = if *seen == 1 {
+                        "s"
+                    } else if *seen == total {
+                        "f"
+                    } else {
+                        "t"
+                    };
+                    sep(&mut out);
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"{ph}\",\"cat\":\"span.flow\",\"name\":\"invoke\",\
+                         \"id\":{id},\"pid\":{pid},\"tid\":{tid},\"ts\":{}",
+                        e.cycle
+                    );
+                    if ph == "f" {
+                        out.push_str(",\"bp\":\"e\"");
+                    }
+                    out.push('}');
+                }
+            }
         }
         out.push_str("]}");
         out
@@ -413,6 +480,56 @@ mod tests {
         let close = json.matches('}').count();
         assert_eq!(open, close);
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn span_linked_events_emit_flow_arrows() {
+        let mut t = Tracer::new(true, 16);
+        let span_ev = |cycle, name: &'static str, track| {
+            TraceEvent::instant(cycle, TraceCategory::Span, name, track, &[("span", 7)])
+        };
+        t.record(|| span_ev(10, "span.issued", Track::Core(0)));
+        t.record(|| {
+            span_ev(
+                19,
+                "span.executing",
+                Track::Engine(EngineId {
+                    tile: 2,
+                    level: EngineLevel::Llc,
+                }),
+            )
+        });
+        t.record(|| span_ev(40, "span.responded", Track::Core(0)));
+        // An unrelated singleton span id gets no flow events.
+        t.record(|| {
+            TraceEvent::instant(
+                50,
+                TraceCategory::Span,
+                "span.issued",
+                Track::Core(1),
+                &[("span", 9)],
+            )
+        });
+        let json = t.to_chrome_json();
+        assert!(
+            json.contains("\"ph\":\"s\",\"cat\":\"span.flow\""),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"ph\":\"t\",\"cat\":\"span.flow\""),
+            "{json}"
+        );
+        assert!(json.contains("\"bp\":\"e\""), "{json}");
+        assert_eq!(json.matches("span.flow").count(), 3, "singleton skipped");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn spanless_export_has_no_flow_events() {
+        let mut t = Tracer::new(true, 16);
+        t.record(|| ev(1, "invoke.issue"));
+        t.record(|| ev(2, "invoke.nack"));
+        assert!(!t.to_chrome_json().contains("span.flow"));
     }
 
     #[test]

@@ -87,6 +87,10 @@ pub struct RunEnv {
     /// Inject a seeded fault plan into every run (the results must still
     /// match the golden model; only timing may change).
     pub fault: Option<FaultSpec>,
+    /// Record trace events and invoke-lifecycle spans so the driver can
+    /// export telemetry after the run. Purely observational: simulated
+    /// timing, checksums, and printed tables are identical either way.
+    pub telemetry: bool,
 }
 
 impl RunEnv {
@@ -97,6 +101,10 @@ impl RunEnv {
             // Faulted runs get a watchdog: a fault-handling bug must
             // abort the experiment, not hang it.
             cfg.machine = cfg.machine.clone().faulted(plan).watchdog(10_000_000_000);
+        }
+        if self.telemetry {
+            cfg.machine.trace = true;
+            cfg.machine.trace_spans = true;
         }
     }
 }
