@@ -45,6 +45,29 @@ cargo run --release --quiet -p levi-bench -- run fig05 --quick \
   --telemetry "$tmp/telemetry.jsonl" > "$tmp/fig05-telemetry.txt" 2> /dev/null
 diff "$tmp/fig05-plain.txt" "$tmp/fig05-telemetry.txt"
 cargo run --release --quiet -p levi-bench -- check-report "$tmp/telemetry.jsonl"
+echo "== crash recovery smoke =="
+# A journaled run that dies mid-sweep must resume to a byte-identical
+# report: run a figure to completion under --resume, truncate its journal
+# down to the header + one record + a torn half-written line (what a
+# kill mid-append leaves behind), resume, and diff the two reports.
+rm -f "$tmp/run.journal" "$tmp/resume-a.json" "$tmp/resume-b.json"
+cargo run --release --quiet -p levi-bench -- run fig05 --quick \
+  --json "$tmp/resume-a.json" --resume "$tmp/run.journal" > /dev/null 2> /dev/null
+head -n 2 "$tmp/run.journal" > "$tmp/dead.journal"
+sed -n '3p' "$tmp/run.journal" | head -c 40 >> "$tmp/dead.journal"
+mv "$tmp/dead.journal" "$tmp/run.journal"
+cargo run --release --quiet -p levi-bench -- run fig05 --quick \
+  --json "$tmp/resume-b.json" --resume "$tmp/run.journal" > /dev/null 2> "$tmp/resume.log"
+grep -q "(resumed)" "$tmp/resume.log"
+diff "$tmp/resume-a.json" "$tmp/resume-b.json"
+echo "== snapshot verify smoke =="
+# Periodic checkpointing + post-run replay verification must be purely
+# observational: fig05 prints byte-identical stdout with both armed, and
+# the verification replays must all pass.
+cargo run --release --quiet -p levi-bench -- run fig05 --quick \
+  --snapshot-verify --checkpoint-every 50000 \
+  > "$tmp/fig05-verified.txt" 2> /dev/null
+diff "$tmp/fig05-plain.txt" "$tmp/fig05-verified.txt"
 echo "== perf gate =="
 # Host-performance smoke: measure, accept a machine-local baseline, then
 # re-measure and compare against it. Gating is machine-local (wall-clock

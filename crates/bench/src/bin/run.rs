@@ -6,7 +6,8 @@
 //! ```text
 //! levi-bench list
 //! levi-bench run <figure|all> [--quick] [--serial] [--json PATH]
-//!                             [--telemetry PATH]
+//!                             [--telemetry PATH] [--resume PATH]
+//!                             [--checkpoint-every N] [--snapshot-verify]
 //!                             [--fault-plan SEED[:HORIZON]] [--filter VARIANT]
 //! levi-bench check-report <PATH>
 //! levi-bench perf <run|compare|accept> [options]
@@ -16,6 +17,15 @@
 //! figure, and finishes with a roll-up manifest line; `check-report`
 //! validates such a file (parses, one manifest, every manifest figure
 //! present, every registry workload covered).
+//!
+//! `run ... --resume PATH` journals every completed sweep variant to
+//! `PATH` and, when the journal already holds records (from a run that was
+//! killed or crashed part-way), loads them instead of re-running: the
+//! merged report is identical to an uninterrupted run, because every run
+//! is a pure function of its configuration. `--checkpoint-every N` arms
+//! the in-simulation snapshot hook, and `--snapshot-verify` restores each
+//! run's last checkpoint afterwards and replays it to the end, failing on
+//! divergence.
 //!
 //! `run ... --telemetry PATH` additionally records invoke-lifecycle spans
 //! and trace events in every run and appends one self-describing
@@ -48,6 +58,11 @@ fn usage() -> ! {
     eprintln!("  --telemetry PATH     record spans + traces in every run and dump");
     eprintln!("                       the full telemetry registry to PATH (JSONL);");
     eprintln!("                       printed output is identical with or without");
+    eprintln!("  --resume PATH        journal completed variants to PATH and skip");
+    eprintln!("                       the ones already on record (crash recovery)");
+    eprintln!("  --checkpoint-every N snapshot the machine every N cycles");
+    eprintln!("  --snapshot-verify    restore each run's last checkpoint and replay");
+    eprintln!("                       it to the end; fail on divergence");
     eprintln!("  --fault-plan SEED[:HORIZON]");
     eprintln!("                       inject a seeded fault plan into every run");
     eprintln!("  --filter VARIANT     only run variants whose label contains VARIANT");
@@ -113,6 +128,7 @@ fn cmd_run(args: &[String]) {
     let mut serial = false;
     let mut json: Option<String> = None;
     let mut telemetry: Option<String> = None;
+    let mut resume: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -125,6 +141,14 @@ fn cmd_run(args: &[String]) {
             "--serial" => serial = true,
             "--json" => json = Some(value("--json")),
             "--telemetry" => telemetry = Some(value("--telemetry")),
+            "--resume" => resume = Some(value("--resume")),
+            "--checkpoint-every" => {
+                let v = value("--checkpoint-every");
+                ctx.env.checkpoint_every = v.parse().unwrap_or_else(|_| {
+                    fail(&format!("--checkpoint-every: bad cycle count {v:?}"))
+                });
+            }
+            "--snapshot-verify" => ctx.env.snapshot_verify = true,
             "--fault-plan" => ctx.env.fault = Some(parse_fault_plan(&value("--fault-plan"))),
             "--filter" => ctx.filter = Some(value("--filter")),
             other if other.starts_with('-') => fail(&format!("unknown option {other}")),
@@ -159,6 +183,15 @@ fn cmd_run(args: &[String]) {
         std::fs::write(path, "").unwrap_or_else(|e| fail(&format!("--telemetry {path}: {e}")));
         std::env::set_var("LEVI_TELEMETRY", path);
         ctx.env.telemetry = true;
+    }
+    if let Some(path) = &resume {
+        // Validate (and create, if absent) the journal up front so a bad
+        // path or scale mismatch fails before any simulation starts. The
+        // runner re-opens it lazily through LEVI_BENCH_JOURNAL.
+        if let Err(e) = levi_bench::journal::Journal::open(path, ctx.quick) {
+            fail(&format!("--resume {path}: {e}"));
+        }
+        std::env::set_var("LEVI_BENCH_JOURNAL", path);
     }
 
     if target == "all" {

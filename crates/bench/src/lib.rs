@@ -17,6 +17,7 @@ use levi_sim::Histogram;
 use levi_workloads::metrics::RunMetrics;
 
 pub mod figures;
+pub mod journal;
 pub mod json;
 pub mod micro_timers;
 pub mod perf_cli;
@@ -92,36 +93,108 @@ impl<'a, C> Sweep<'a, C> {
     /// returns `(name, result)` pairs in declaration order.
     ///
     /// # Panics
-    /// Propagates a panic from any variant's run (after all threads have
-    /// been joined by the scope).
+    /// Every variant runs to completion even if some panic; if any did,
+    /// this panics afterwards with a summary naming each failed variant.
+    /// Use [`Sweep::try_run`] to handle per-variant panics as values.
     pub fn run<R, F>(self, f: F) -> Vec<(&'a str, R)>
     where
         C: Sync,
         R: Send,
         F: Fn(&str, &C) -> R + Sync,
     {
+        let mut ok = Vec::new();
+        let mut failed: Vec<VariantPanic> = Vec::new();
+        for (name, result) in self.try_run(f) {
+            match result {
+                Ok(r) => ok.push((name, r)),
+                Err(p) => failed.push(p),
+            }
+        }
+        if !failed.is_empty() {
+            let mut msg = format!("{} sweep variant(s) panicked:", failed.len());
+            for p in &failed {
+                msg.push_str(&format!("\n  {p}"));
+            }
+            panic!("{msg}");
+        }
+        ok
+    }
+
+    /// Like [`Sweep::run`], but a panicking variant becomes an
+    /// `Err(`[`VariantPanic`]`)` in its slot instead of aborting the
+    /// sweep: one poisoned configuration cannot take down the other
+    /// variants' (possibly hours of) completed work. Results stay in
+    /// declaration order.
+    pub fn try_run<R, F>(self, f: F) -> Vec<(&'a str, Result<R, VariantPanic>)>
+    where
+        C: Sync,
+        R: Send,
+        F: Fn(&str, &C) -> R + Sync,
+    {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let guarded = |name: &str, cfg: &C| {
+            catch_unwind(AssertUnwindSafe(|| f(name, cfg))).map_err(|p| VariantPanic {
+                label: name.to_string(),
+                message: panic_message(p.as_ref()),
+            })
+        };
         if sweep_serial() || self.variants.len() < 2 {
             return self
                 .variants
                 .iter()
-                .map(|(name, cfg)| (*name, f(name, cfg)))
+                .map(|(name, cfg)| (*name, guarded(name, cfg)))
                 .collect();
         }
-        let f = &f;
+        let guarded = &guarded;
         std::thread::scope(|s| {
             let handles: Vec<_> = self
                 .variants
                 .iter()
-                .map(|(name, cfg)| (*name, s.spawn(move || f(name, cfg))))
+                .map(|(name, cfg)| (*name, s.spawn(move || guarded(name, cfg))))
                 .collect();
             handles
                 .into_iter()
-                .map(|(name, h)| match h.join() {
-                    Ok(r) => (name, r),
-                    Err(p) => std::panic::resume_unwind(p),
+                .map(|(name, h)| {
+                    let result = match h.join() {
+                        Ok(r) => r,
+                        // The closure catches its own panics; a join error
+                        // would mean the thread died some other way.
+                        Err(p) => Err(VariantPanic {
+                            label: name.to_string(),
+                            message: panic_message(p.as_ref()),
+                        }),
+                    };
+                    (name, result)
                 })
                 .collect()
         })
+    }
+}
+
+/// A sweep variant whose run panicked (see [`Sweep::try_run`]).
+#[derive(Clone, Debug)]
+pub struct VariantPanic {
+    /// The variant's label.
+    pub label: String,
+    /// The panic payload, rendered as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for VariantPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "variant {:?} panicked: {}", self.label, self.message)
+    }
+}
+
+impl std::error::Error for VariantPanic {}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -362,6 +435,60 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(super::pct(0.064), "6.4%");
+    }
+
+    #[test]
+    fn try_run_contains_panics_and_completes_the_other_variants() {
+        let results = Sweep::new()
+            .variant("ok-1", 1u32)
+            .variant("boom", 2u32)
+            .variant("ok-2", 3u32)
+            .try_run(|name, &v| {
+                assert!(name != "boom", "variant {v} is poisoned");
+                v * 10
+            });
+        assert_eq!(results.len(), 3, "every variant reports, panicked or not");
+        assert_eq!(results[0].0, "ok-1");
+        assert_eq!(*results[0].1.as_ref().unwrap(), 10);
+        let (name, err) = (&results[1].0, results[1].1.as_ref().unwrap_err());
+        assert_eq!(*name, "boom");
+        assert_eq!(err.label, "boom");
+        assert!(
+            err.message.contains("variant 2 is poisoned"),
+            "payload text surfaces: {}",
+            err.message
+        );
+        assert_eq!(results[2].0, "ok-2");
+        assert_eq!(*results[2].1.as_ref().unwrap(), 30);
+    }
+
+    #[test]
+    fn run_panics_with_a_summary_after_completing_all_variants() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let completed = AtomicU32::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Sweep::new()
+                .variant("a", 0u32)
+                .variant("bad", 1u32)
+                .variant("c", 2u32)
+                .run(|name, _| {
+                    assert!(name != "bad", "injected failure");
+                    completed.fetch_add(1, Ordering::SeqCst);
+                })
+        }));
+        let msg = match caught {
+            Ok(_) => panic!("run() must re-panic when a variant panicked"),
+            Err(p) => *p.downcast::<String>().expect("summary is a String"),
+        };
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            2,
+            "the healthy variants still ran to completion"
+        );
+        assert!(
+            msg.contains("1 sweep variant(s) panicked") && msg.contains("\"bad\""),
+            "summary names the failed variant: {msg}"
+        );
     }
 
     #[test]

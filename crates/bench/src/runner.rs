@@ -40,11 +40,20 @@ pub struct RunCtx {
 
 impl RunCtx {
     /// A context from the process environment, as the `cargo bench`
-    /// wrappers use: `LEVI_BENCH_QUICK` selects quick scale, no filter,
-    /// default environment.
+    /// wrappers use: `LEVI_BENCH_QUICK` selects quick scale,
+    /// `LEVI_CHECKPOINT_EVERY` / `LEVI_SNAPSHOT_VERIFY` arm the snapshot
+    /// hook, no filter, default environment otherwise.
     pub fn from_env() -> Self {
+        let mut env = RunEnv::default();
+        if let Ok(v) = std::env::var("LEVI_CHECKPOINT_EVERY") {
+            env.checkpoint_every = v.parse().unwrap_or_else(|_| {
+                panic!("LEVI_CHECKPOINT_EVERY must be a cycle count, got {v:?}")
+            });
+        }
+        env.snapshot_verify = std::env::var("LEVI_SNAPSHOT_VERIFY").is_ok_and(|v| v != "0");
         RunCtx {
             quick: crate::quick_mode(),
+            env,
             ..RunCtx::default()
         }
     }
@@ -99,24 +108,89 @@ impl Outcomes {
     }
 }
 
-fn collect_outcomes(runs: Vec<(&'static str, RunStatus)>, check: &dyn Fn(&str) -> u64) -> Outcomes {
+/// The shared journal-aware sweep path behind [`sweep_variants`] and
+/// [`sweep_prepared`].
+///
+/// Labels already on record in the active run journal (see
+/// [`crate::journal`]) are loaded instead of re-run; the rest execute
+/// through [`Sweep::try_run`], so one panicking variant cannot abort its
+/// siblings. Results merge back in presentation order. Every outcome —
+/// resumed or fresh — is checked against the golden model (which also
+/// catches a stale journal from an older build), and every fresh
+/// completion is recorded in the journal *before* the deferred
+/// panic-summary fires, so a crashed or partly-failed invocation can be
+/// resumed without repeating its finished work.
+fn journaled_sweep<F, G>(labels: Vec<&'static str>, run: F, check: G) -> Outcomes
+where
+    F: Fn(&'static str) -> RunStatus + Sync,
+    G: Fn(&str) -> u64,
+{
+    let figure = std::env::var("LEVI_BENCH_FIGURE").unwrap_or_default();
+    let sweep_idx = crate::journal::begin_sweep(&figure);
+
+    let mut resumed: std::collections::HashMap<&'static str, RunOutcome> =
+        std::collections::HashMap::new();
+    let mut pending: Vec<&'static str> = Vec::new();
+    for &label in &labels {
+        match sweep_idx.and_then(|s| crate::journal::lookup(&figure, s, label)) {
+            Some(o) => {
+                resumed.insert(label, o);
+            }
+            None => pending.push(label),
+        }
+    }
+
+    let mut runs: std::collections::HashMap<&'static str, Result<RunStatus, crate::VariantPanic>> =
+        Sweep::new()
+            .variants(pending.iter().map(|&l| (l, l)))
+            .try_run(|_, &label| run(label))
+            .into_iter()
+            .collect();
+
     let mut entries = Vec::new();
-    for (label, status) in runs {
-        match status {
-            RunStatus::Done(o) => {
+    let mut failed: Vec<crate::VariantPanic> = Vec::new();
+    for &label in &labels {
+        if let Some(o) = resumed.remove(label) {
+            eprintln!(
+                "  journal {:<14} {:>12} cycles (resumed)",
+                label, o.metrics.cycles
+            );
+            assert_eq!(
+                o.checksum,
+                check(label),
+                "{label}: journaled outcome diverged from the golden model (stale journal?)"
+            );
+            emit_run_telemetry(label, &o.metrics.stats);
+            entries.push((label, o));
+            continue;
+        }
+        match runs.remove(label) {
+            Some(Ok(RunStatus::Done(o))) => {
                 eprintln!("  ran {:<18} {:>12} cycles", label, o.metrics.cycles);
                 assert_eq!(
                     o.checksum,
                     check(label),
                     "{label} diverged from the golden model"
                 );
+                if let Some(s) = sweep_idx {
+                    crate::journal::record(&figure, s, label, &o);
+                }
                 emit_run_telemetry(label, &o.metrics.stats);
                 entries.push((label, *o));
             }
-            RunStatus::Unsupported(reason) => {
+            Some(Ok(RunStatus::Unsupported(reason))) => {
                 println!("{label:<22} UNSUPPORTED — {reason}");
             }
+            Some(Err(p)) => failed.push(p),
+            None => unreachable!("every label was partitioned into resumed or pending"),
         }
+    }
+    if !failed.is_empty() {
+        let mut msg = format!("{} sweep variant(s) panicked:", failed.len());
+        for p in &failed {
+            msg.push_str(&format!("\n  {p}"));
+        }
+        panic!("{msg}");
     }
     Outcomes { entries }
 }
@@ -151,9 +225,7 @@ pub fn sweep_variants<W: Workload>(w: &W, scale: &W::Scale, ctx: &RunCtx) -> Out
         .collect();
     let env = &ctx.env;
     let input_ref = &input;
-    let runs = Sweep::new()
-        .variants(variants.iter().map(|&(label, v)| (label, v)))
-        .run(|_, &v| w.run(v, scale, input_ref, env));
+    let labels: Vec<&'static str> = variants.iter().map(|&(l, _)| l).collect();
     let variant_of = |label: &str| {
         variants
             .iter()
@@ -161,7 +233,11 @@ pub fn sweep_variants<W: Workload>(w: &W, scale: &W::Scale, ctx: &RunCtx) -> Out
             .expect("label came from this list")
             .1
     };
-    collect_outcomes(runs, &|label| w.golden(variant_of(label), scale, &input))
+    journaled_sweep(
+        labels,
+        |label| w.run(variant_of(label), scale, input_ref, env),
+        |label| w.golden(variant_of(label), scale, &input),
+    )
 }
 
 /// Registry-path counterpart of [`sweep_variants`]: runs a
@@ -176,10 +252,11 @@ pub fn sweep_prepared(w: &dyn DynWorkload, prepared: &dyn PreparedRun, ctx: &Run
         .map(|(_, label)| label)
         .collect();
     let env = &ctx.env;
-    let runs = Sweep::new()
-        .variants(labels.iter().map(|&l| (l, l)))
-        .run(|_, &label| prepared.run(label, env));
-    collect_outcomes(runs, &|label| prepared.golden(label))
+    journaled_sweep(
+        labels,
+        |label| prepared.run(label, env),
+        |label| prepared.golden(label),
+    )
 }
 
 /// Emits the standard speedup/energy report for a variant sweep, joining

@@ -65,6 +65,7 @@
 
 pub mod asm;
 pub mod builder;
+pub mod codec;
 pub mod exec;
 pub mod inst;
 pub mod interp;

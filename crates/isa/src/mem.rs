@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use crate::inst::{Addr, MemWidth};
 
 const PAGE_SHIFT: u32 = 12;
-const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+pub(crate) const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 
 /// Byte-addressed memory with typed accessors.
 ///
@@ -122,6 +122,16 @@ impl PagedMem {
     /// Resident memory footprint in bytes.
     pub fn resident_bytes(&self) -> usize {
         self.pages.len() * PAGE_SIZE
+    }
+
+    /// The resident page table, for serialization (see [`crate::codec`]).
+    pub(crate) fn pages_ref(&self) -> &HashMap<u64, Box<[u8; PAGE_SIZE]>> {
+        &self.pages
+    }
+
+    /// Rebuilds a memory from a deserialized page table.
+    pub(crate) fn from_pages(pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>) -> Self {
+        PagedMem { pages }
     }
 }
 

@@ -236,6 +236,84 @@ impl CacheBank {
     }
 }
 
+impl CacheBank {
+    /// Serializes bank contents (see [`crate::snapshot`]). Geometry
+    /// (set count, ways, replacement policy) comes from the config at
+    /// restore time and is validated, not serialized.
+    pub(crate) fn snap_write(&self, w: &mut levi_isa::codec::Writer) {
+        w.u64(self.tick);
+        w.u32(self.sets.len() as u32);
+        for set in &self.sets {
+            w.u32(set.len() as u32);
+            for l in set {
+                w.u64(l.line);
+                w.bool(l.dirty);
+                w.bool(l.dtor);
+                w.u8(match l.state {
+                    PrivState::Shared => 0,
+                    PrivState::Owned => 1,
+                });
+                w.u64(l.sharers);
+                match l.owner {
+                    Some(o) => {
+                        w.bool(true);
+                        w.u8(o);
+                    }
+                    None => w.bool(false),
+                }
+                w.u8(l.rrip);
+                w.u64(l.lru);
+            }
+        }
+    }
+
+    /// Restores bank contents written by [`CacheBank::snap_write`] into a
+    /// bank with matching geometry.
+    pub(crate) fn snap_read(
+        &mut self,
+        r: &mut levi_isa::codec::Reader,
+    ) -> Result<(), levi_isa::codec::CodecError> {
+        use levi_isa::codec::CodecError;
+        self.tick = r.u64()?;
+        let nsets = r.u32()? as usize;
+        if nsets != self.sets.len() {
+            return Err(CodecError::Invalid("cache set count"));
+        }
+        for set in &mut self.sets {
+            set.clear();
+            let n = r.count(12)?;
+            if n > self.ways {
+                return Err(CodecError::Invalid("cache set occupancy"));
+            }
+            for _ in 0..n {
+                let line = r.u64()?;
+                let dirty = r.bool()?;
+                let dtor = r.bool()?;
+                let state = match r.u8()? {
+                    0 => PrivState::Shared,
+                    1 => PrivState::Owned,
+                    _ => return Err(CodecError::Invalid("coherence state")),
+                };
+                let sharers = r.u64()?;
+                let owner = if r.bool()? { Some(r.u8()?) } else { None };
+                let rrip = r.u8()?;
+                let lru = r.u64()?;
+                set.push(Line {
+                    line,
+                    dirty,
+                    dtor,
+                    state,
+                    sharers,
+                    owner,
+                    rrip,
+                    lru,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -230,6 +230,18 @@ pub struct MachineConfig {
     /// simulated clock passes this many cycles. 0 (the default) disables
     /// the watchdog.
     pub max_cycles: u64,
+    /// Take a full machine checkpoint every this many cycles (0, the
+    /// default, disables checkpointing; the scheduler hook is then a
+    /// single always-false compare). The most recent checkpoint is kept
+    /// in [`Machine::last_checkpoint`](crate::Machine::last_checkpoint).
+    pub checkpoint_every: u64,
+    /// After a successful run that captured at least one mid-run
+    /// checkpoint, restore a replica from the latest checkpoint, run it
+    /// to completion, and fail with
+    /// [`RunError::SnapshotDivergence`](crate::RunError) unless the
+    /// replica's final cycle count and stats digest match the primary
+    /// run exactly. Off by default; costs roughly one partial re-run.
+    pub checkpoint_verify: bool,
 }
 
 impl MachineConfig {
@@ -302,6 +314,8 @@ impl MachineConfig {
             sample_interval: 0,
             fault_plan: None,
             max_cycles: 0,
+            checkpoint_every: 0,
+            checkpoint_verify: false,
         }
     }
 
@@ -368,6 +382,22 @@ impl MachineConfig {
     /// `max_cycles` simulated cycles.
     pub fn watchdog(mut self, max_cycles: u64) -> Self {
         self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Enables periodic checkpointing every `cycles` simulated cycles
+    /// (0 disables it). See
+    /// [`Machine::checkpoint`](crate::Machine::checkpoint).
+    pub fn checkpoint_every(mut self, cycles: u64) -> Self {
+        self.checkpoint_every = cycles;
+        self
+    }
+
+    /// Enables post-run checkpoint verification: restore a replica from
+    /// the latest mid-run checkpoint, run it to completion, and fail on
+    /// any divergence from the primary run.
+    pub fn checkpoint_verified(mut self) -> Self {
+        self.checkpoint_verify = true;
         self
     }
 

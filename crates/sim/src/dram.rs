@@ -291,6 +291,82 @@ impl Dram {
     }
 }
 
+impl Dram {
+    /// Serializes controller occupancy and FIFO-cache contents (see
+    /// [`crate::snapshot`]). Geometry and installed throttle faults are
+    /// config-derived and not serialized.
+    pub(crate) fn snap_write(&self, w: &mut levi_isa::codec::Writer) {
+        w.u32(self.busy_until.len() as u32);
+        for t in &self.busy_until {
+            w.u64(*t);
+        }
+        for f in &self.fifo {
+            w.u32(f.len() as u32);
+            for line in f {
+                w.u64(*line);
+            }
+        }
+    }
+
+    /// Restores state written by [`Dram::snap_write`].
+    pub(crate) fn snap_read(
+        &mut self,
+        r: &mut levi_isa::codec::Reader,
+    ) -> Result<(), levi_isa::codec::CodecError> {
+        let n = r.count(8)?;
+        if n != self.busy_until.len() {
+            return Err(levi_isa::codec::CodecError::Invalid(
+                "dram controller count",
+            ));
+        }
+        for t in &mut self.busy_until {
+            *t = r.u64()?;
+        }
+        for f in &mut self.fifo {
+            f.clear();
+            let len = r.count(8)?;
+            for _ in 0..len {
+                f.push_back(r.u64()?);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Translator {
+    /// Serializes registered translation regions (see [`crate::snapshot`]).
+    pub(crate) fn snap_write(&self, w: &mut levi_isa::codec::Writer) {
+        w.u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.u64(e.cache_base);
+            w.u64(e.cache_bound);
+            w.u64(e.dram_base);
+            w.u64(e.padded_size);
+            w.u64(e.packed_size);
+        }
+    }
+
+    /// Restores regions written by [`Translator::snap_write`].
+    pub(crate) fn snap_read(
+        &mut self,
+        r: &mut levi_isa::codec::Reader,
+    ) -> Result<(), levi_isa::codec::CodecError> {
+        let n = r.count(40)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(TranslationEntry {
+                cache_base: r.u64()?,
+                cache_bound: r.u64()?,
+                dram_base: r.u64()?,
+                padded_size: r.u64()?,
+                packed_size: r.u64()?,
+            });
+        }
+        self.entries = entries;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -58,6 +58,12 @@ pub struct Machine {
     /// Recycled actor slots (finished engine tasks); bounds memory when a
     /// workload offloads millions of short tasks.
     pub(crate) free_slots: Vec<ActorId>,
+    /// The next cycle at which the periodic checkpoint hook fires
+    /// (`u64::MAX` when [`MachineConfig::checkpoint_every`] is 0, so the
+    /// disabled hook is a single always-false compare).
+    pub(crate) next_ckpt: u64,
+    /// The most recent periodic checkpoint: `(cycle, bytes)`.
+    pub(crate) last_checkpoint: Option<(u64, Vec<u8>)>,
 }
 
 impl Machine {
@@ -70,6 +76,11 @@ impl Machine {
             // Idealized engines are energy-free (paper Sec. VII).
             cfg.energy.engine_inst_pj = 0.0;
         }
+        let next_ckpt = if cfg.checkpoint_every == 0 {
+            u64::MAX
+        } else {
+            cfg.checkpoint_every
+        };
         Ok(Machine {
             hw: Hw::new(cfg),
             mem: PagedMem::new(),
@@ -81,12 +92,65 @@ impl Machine {
             live_core_threads: 0,
             traces: Vec::new(),
             free_slots: Vec::new(),
+            next_ckpt,
+            last_checkpoint: None,
         })
+    }
+
+    /// Serializes the complete machine state — programs, memory,
+    /// scheduler, actors, caches, engines, NoC, DRAM, NDC tables, and
+    /// statistics — into the versioned, CRC-guarded snapshot container
+    /// (see [`crate::snapshot`]).
+    pub fn checkpoint(&self) -> Vec<u8> {
+        crate::perf::prof_scope!(crate::perf::Phase::Build);
+        crate::snapshot::seal(
+            crate::snapshot::config_digest(&self.hw.cfg),
+            crate::snapshot::encode_machine(self),
+        )
+    }
+
+    /// Rebuilds a machine from `cfg` plus snapshot bytes. The config must
+    /// digest-match the one the snapshot was taken under, with one
+    /// deliberate exception: the fault plan may differ, enabling
+    /// time-travel fault replay (restore the same cycle under different
+    /// fault seeds).
+    ///
+    /// # Errors
+    /// Corrupted, truncated, version-mismatched, or config-mismatched
+    /// bytes are rejected with a typed [`crate::snapshot::SnapshotError`];
+    /// restore never panics on bad input.
+    pub fn restore(
+        cfg: MachineConfig,
+        bytes: &[u8],
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let mut m = Machine::try_new(cfg).map_err(crate::snapshot::SnapshotError::InvalidConfig)?;
+        let payload =
+            crate::snapshot::open(bytes, crate::snapshot::config_digest(&m.hw.cfg))?.to_vec();
+        crate::snapshot::decode_machine_into(&mut m, &payload)?;
+        // Re-arm the periodic hook relative to the restored clock.
+        let every = m.hw.cfg.checkpoint_every;
+        m.next_ckpt = match m.now.checked_div(every) {
+            None => u64::MAX, // hook disabled (every == 0)
+            Some(periods) => (periods + 1).saturating_mul(every),
+        };
+        Ok(m)
+    }
+
+    /// The most recent periodic checkpoint taken by the scheduler hook
+    /// (see [`MachineConfig::checkpoint_every`]): `(cycle, bytes)`.
+    pub fn last_checkpoint(&self) -> Option<(u64, &[u8])> {
+        self.last_checkpoint.as_ref().map(|(c, b)| (*c, &b[..]))
     }
 
     /// The machine's configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.hw.cfg
+    }
+
+    /// Drops and returns the last periodic checkpoint, transferring
+    /// ownership of the bytes (e.g. to persist them to disk).
+    pub fn take_last_checkpoint(&mut self) -> Option<(u64, Vec<u8>)> {
+        self.last_checkpoint.take()
     }
 
     /// Functional memory (for workload setup and result checking).

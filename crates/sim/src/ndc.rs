@@ -48,6 +48,14 @@ impl ActionTable {
         self.map.len()
     }
 
+    /// All registered actions sorted by id — the canonical iteration
+    /// order for serialization (see [`crate::snapshot`]).
+    pub(crate) fn snap_entries(&self) -> Vec<(ActionId, &ActionRef)> {
+        let mut v: Vec<(ActionId, &ActionRef)> = self.map.iter().map(|(k, r)| (*k, r)).collect();
+        v.sort_unstable_by_key(|(id, _)| id.0);
+        v
+    }
+
     /// True if no actions are registered.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()

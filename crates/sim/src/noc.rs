@@ -188,6 +188,32 @@ impl Noc {
     }
 }
 
+impl Noc {
+    /// Serializes link occupancy (see [`crate::snapshot`]). Geometry and
+    /// installed faults are config-derived and not serialized.
+    pub(crate) fn snap_write(&self, w: &mut levi_isa::codec::Writer) {
+        w.u32(self.link_free.len() as u32);
+        for t in &self.link_free {
+            w.u64(*t);
+        }
+    }
+
+    /// Restores link occupancy written by [`Noc::snap_write`].
+    pub(crate) fn snap_read(
+        &mut self,
+        r: &mut levi_isa::codec::Reader,
+    ) -> Result<(), levi_isa::codec::CodecError> {
+        let n = r.count(8)?;
+        if n != self.link_free.len() {
+            return Err(levi_isa::codec::CodecError::Invalid("noc link count"));
+        }
+        for t in &mut self.link_free {
+            *t = r.u64()?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

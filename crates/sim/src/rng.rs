@@ -47,6 +47,18 @@ impl SmallRng {
         SmallRng { s }
     }
 
+    /// The generator's full 256-bit internal state, for checkpointing.
+    /// Feed it back through [`SmallRng::from_state`] to resume the exact
+    /// random stream (see [`crate::snapshot`]).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`SmallRng::state`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SmallRng { s }
+    }
+
     /// Returns the next 64 random bits (xoshiro256++ step).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

@@ -220,6 +220,21 @@ pub enum RunError {
     /// A typed simulator error surfaced mid-run (e.g. a program invoked an
     /// unregistered action).
     Fault(SimError),
+    /// Checkpoint self-verification failed: a replica restored from the
+    /// run's last mid-run checkpoint did not reproduce the original
+    /// outcome (see
+    /// [`MachineConfig::checkpoint_verified`](crate::MachineConfig::checkpoint_verified)).
+    SnapshotDivergence {
+        /// Cycle the diverging checkpoint was taken at.
+        checkpoint_cycle: u64,
+        /// `(cycles, stats digest)` of the original run.
+        expect: (u64, u64),
+        /// `(cycles, stats digest)` of the restored replica.
+        got: (u64, u64),
+    },
+    /// The run's last mid-run checkpoint could not be restored during
+    /// self-verification.
+    SnapshotRestore(crate::snapshot::SnapshotError),
 }
 
 impl fmt::Display for RunError {
@@ -241,6 +256,20 @@ impl fmt::Display for RunError {
                 "watchdog: simulated clock reached cycle {at} without completing (limit {limit})"
             ),
             RunError::Fault(e) => write!(f, "simulation fault: {e}"),
+            RunError::SnapshotDivergence {
+                checkpoint_cycle,
+                expect,
+                got,
+            } => write!(
+                f,
+                "snapshot divergence: replica restored from the checkpoint at cycle \
+                 {checkpoint_cycle} finished at cycle {} with stats digest {:#018x} \
+                 (original: cycle {} digest {:#018x})",
+                got.0, got.1, expect.0, expect.1
+            ),
+            RunError::SnapshotRestore(e) => {
+                write!(f, "snapshot verification could not restore checkpoint: {e}")
+            }
         }
     }
 }
@@ -334,6 +363,7 @@ impl Machine {
     /// (when non-zero), and [`RunError::Fault`] when a typed error
     /// surfaces mid-run.
     pub fn run(&mut self) -> Result<RunResult, RunError> {
+        let run_start = self.now;
         let result = self.run_inner();
         // Fold everything the scoped profiler measured on this thread
         // since the last drain (construction included) into the stats.
@@ -342,7 +372,55 @@ impl Machine {
         if !profile.is_empty() {
             self.hw.stats.host_phases.merge(&profile);
         }
-        result
+        let result = result?;
+        if self.hw.cfg.checkpoint_verify {
+            self.verify_last_checkpoint(result.cycles, run_start)?;
+        }
+        Ok(result)
+    }
+
+    /// Re-executes the run from its last mid-run checkpoint in a restored
+    /// replica and cross-checks the outcome (cycles + stats digest)
+    /// against the original. A no-op when no checkpoint was taken, or when
+    /// the last checkpoint predates this `run()` call: a replica can only
+    /// replay to the quiescence point of the phase it was captured in, so
+    /// a checkpoint from an earlier phase cannot reproduce host actions
+    /// (spawns, memory writes) performed between the two runs.
+    fn verify_last_checkpoint(&mut self, cycles: u64, run_start: u64) -> Result<(), RunError> {
+        let Some((ckpt_cycle, bytes)) = self.last_checkpoint.as_ref().map(|(c, b)| (*c, b)) else {
+            return Ok(());
+        };
+        if ckpt_cycle < run_start {
+            return Ok(());
+        }
+        let mut replica =
+            Machine::restore(self.hw.cfg.clone(), bytes).map_err(RunError::SnapshotRestore)?;
+        // No further checkpoints in the replica; it only replays the tail.
+        replica.next_ckpt = u64::MAX;
+        replica.run_inner()?;
+        // Host-phase wall-clock from the replica is measurement noise, not
+        // simulated state — drop it so it doesn't leak into our stats.
+        let _ = crate::perf::take();
+        let expect = (cycles, self.hw.stats.digest());
+        let got = (replica.now, replica.hw.stats.digest());
+        if expect != got {
+            return Err(RunError::SnapshotDivergence {
+                checkpoint_cycle: ckpt_cycle,
+                expect,
+                got,
+            });
+        }
+        Ok(())
+    }
+
+    /// Takes the periodic checkpoint and advances the hook past `now` in
+    /// whole multiples of `checkpoint_every`.
+    fn take_checkpoint(&mut self) {
+        let bytes = self.checkpoint();
+        self.last_checkpoint = Some((self.now, bytes));
+        let every = self.hw.cfg.checkpoint_every.max(1);
+        let periods = self.now / every + 1;
+        self.next_ckpt = periods.saturating_mul(every);
     }
 
     fn run_inner(&mut self) -> Result<RunResult, RunError> {
@@ -356,6 +434,15 @@ impl Machine {
                 }
             }
             self.now = self.now.max(t);
+            if self.now >= self.next_ckpt {
+                // Take the periodic checkpoint between actor dispatches:
+                // re-push the popped entry so the snapshot captures a
+                // consistent queue, checkpoint, then resume. A single
+                // always-false compare when disabled (`next_ckpt == MAX`).
+                self.runq.push(Reverse((t, seq, aid)));
+                self.take_checkpoint();
+                continue;
+            }
             if max_cycles != 0 && self.now > max_cycles {
                 return Err(RunError::Watchdog {
                     limit: max_cycles,

@@ -463,6 +463,246 @@ impl Stats {
     }
 }
 
+fn w_level(w: &mut levi_isa::codec::Writer, l: &LevelStats) {
+    w.u64(l.hits);
+    w.u64(l.misses);
+    w.u64(l.writebacks);
+}
+
+fn r_level(r: &mut levi_isa::codec::Reader) -> Result<LevelStats, levi_isa::codec::CodecError> {
+    Ok(LevelStats {
+        hits: r.u64()?,
+        misses: r.u64()?,
+        writebacks: r.u64()?,
+    })
+}
+
+impl TimeSeries {
+    /// Serializes sampler state (see [`crate::snapshot`]).
+    pub(crate) fn snap_write(&self, w: &mut levi_isa::codec::Writer) {
+        w.u64(self.interval);
+        w.u64(self.next);
+        w.u64(self.base.cycle);
+        w.u64(self.base.core_instrs);
+        w.u64(self.base.engine_instrs);
+        w_level(w, &self.base.l1);
+        w_level(w, &self.base.l2);
+        w_level(w, &self.base.llc);
+        w.u64(self.base.noc_flit_hops);
+        w.u64(self.base.dram_accesses);
+        w.u32(self.samples.len() as u32);
+        for s in &self.samples {
+            w.u64(s.cycle);
+            w.f64(s.ipc);
+            w.u64(s.core_instrs);
+            w.u64(s.engine_instrs);
+            w.f64(s.l1_miss_ratio);
+            w.f64(s.l2_miss_ratio);
+            w.f64(s.llc_miss_ratio);
+            w.u64(s.noc_flit_hops);
+            w.u64(s.dram_accesses);
+            w.u32(s.engine_ctxs);
+            w.u64(s.stream_depth);
+        }
+    }
+
+    /// Restores a sampler written by [`TimeSeries::snap_write`].
+    pub(crate) fn snap_read(
+        r: &mut levi_isa::codec::Reader,
+    ) -> Result<Self, levi_isa::codec::CodecError> {
+        let interval = r.u64()?;
+        let next = r.u64()?;
+        let base = Baseline {
+            cycle: r.u64()?,
+            core_instrs: r.u64()?,
+            engine_instrs: r.u64()?,
+            l1: r_level(r)?,
+            l2: r_level(r)?,
+            llc: r_level(r)?,
+            noc_flit_hops: r.u64()?,
+            dram_accesses: r.u64()?,
+        };
+        let n = r.count(40)?;
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            samples.push(Sample {
+                cycle: r.u64()?,
+                ipc: r.f64()?,
+                core_instrs: r.u64()?,
+                engine_instrs: r.u64()?,
+                l1_miss_ratio: r.f64()?,
+                l2_miss_ratio: r.f64()?,
+                llc_miss_ratio: r.f64()?,
+                noc_flit_hops: r.u64()?,
+                dram_accesses: r.u64()?,
+                engine_ctxs: r.u32()?,
+                stream_depth: r.u64()?,
+            });
+        }
+        Ok(TimeSeries {
+            interval,
+            next,
+            samples,
+            base,
+        })
+    }
+}
+
+impl Stats {
+    /// Serializes every deterministic counter, histogram, and recorder
+    /// (see [`crate::snapshot`]). `host_phases` is wall-clock data and is
+    /// deliberately excluded: it is nondeterministic, never part of
+    /// byte-identical outputs, and resets on restore.
+    pub(crate) fn snap_write(&self, w: &mut levi_isa::codec::Writer) {
+        for c in [
+            self.cycles,
+            self.core_instrs,
+            self.engine_instrs,
+            self.dir_lookups,
+            self.invalidations,
+            self.ownership_transfers,
+            self.noc_messages,
+            self.noc_flit_hops,
+            self.dram_accesses,
+            self.mc_cache_hits,
+            self.branches,
+            self.mispredicts,
+            self.fences,
+            self.core_rmws,
+            self.invokes,
+            self.invoke_nacks,
+            self.invoke_migrations,
+            self.ctor_actions,
+            self.dtor_actions,
+            self.stream_pushes,
+            self.stream_pops,
+            self.stream_stall_cycles,
+            self.prefetches,
+            self.faults_injected,
+            self.fault_nack_retries,
+            self.fault_fallbacks,
+            self.fault_degraded_cycles,
+        ] {
+            w.u64(c);
+        }
+        w_level(w, &self.l1);
+        w_level(w, &self.l2);
+        w_level(w, &self.llc);
+        w_level(w, &self.engine_l1);
+        for p in &self.dram_by_phase {
+            w.u64(*p);
+        }
+        w.u64(self.current_phase as u64);
+        self.invoke_rtt.snap_write(w);
+        self.load_to_use.snap_write(w);
+        self.dram_queue.snap_write(w);
+        self.stream_stall.snap_write(w);
+        self.fault_backoff.snap_write(w);
+        self.trace.snap_write(w);
+        self.spans.snap_write(w);
+        self.timeline.snap_write(w);
+    }
+
+    /// Restores statistics written by [`Stats::snap_write`] into `self`,
+    /// leaving `host_phases` untouched.
+    pub(crate) fn snap_read(
+        &mut self,
+        r: &mut levi_isa::codec::Reader,
+    ) -> Result<(), levi_isa::codec::CodecError> {
+        self.cycles = r.u64()?;
+        self.core_instrs = r.u64()?;
+        self.engine_instrs = r.u64()?;
+        self.dir_lookups = r.u64()?;
+        self.invalidations = r.u64()?;
+        self.ownership_transfers = r.u64()?;
+        self.noc_messages = r.u64()?;
+        self.noc_flit_hops = r.u64()?;
+        self.dram_accesses = r.u64()?;
+        self.mc_cache_hits = r.u64()?;
+        self.branches = r.u64()?;
+        self.mispredicts = r.u64()?;
+        self.fences = r.u64()?;
+        self.core_rmws = r.u64()?;
+        self.invokes = r.u64()?;
+        self.invoke_nacks = r.u64()?;
+        self.invoke_migrations = r.u64()?;
+        self.ctor_actions = r.u64()?;
+        self.dtor_actions = r.u64()?;
+        self.stream_pushes = r.u64()?;
+        self.stream_pops = r.u64()?;
+        self.stream_stall_cycles = r.u64()?;
+        self.prefetches = r.u64()?;
+        self.faults_injected = r.u64()?;
+        self.fault_nack_retries = r.u64()?;
+        self.fault_fallbacks = r.u64()?;
+        self.fault_degraded_cycles = r.u64()?;
+        self.l1 = r_level(r)?;
+        self.l2 = r_level(r)?;
+        self.llc = r_level(r)?;
+        self.engine_l1 = r_level(r)?;
+        for p in &mut self.dram_by_phase {
+            *p = r.u64()?;
+        }
+        let phase = r.u64()? as usize;
+        if phase >= MAX_PHASES {
+            return Err(levi_isa::codec::CodecError::Invalid("phase index"));
+        }
+        self.current_phase = phase;
+        self.invoke_rtt = Histogram::snap_read(r)?;
+        self.load_to_use = Histogram::snap_read(r)?;
+        self.dram_queue = Histogram::snap_read(r)?;
+        self.stream_stall = Histogram::snap_read(r)?;
+        self.fault_backoff = Histogram::snap_read(r)?;
+        self.trace = Tracer::snap_read(r)?;
+        self.spans = SpanTable::snap_read(r)?;
+        self.timeline = TimeSeries::snap_read(r)?;
+        Ok(())
+    }
+
+    /// Serializes the statistics (everything the machine snapshot
+    /// covers) into a standalone byte vector, for embedding in run
+    /// journals and other external records.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = levi_isa::codec::Writer::new();
+        self.snap_write(&mut w);
+        w.into_bytes()
+    }
+
+    /// Rebuilds statistics from [`Stats::to_snapshot_bytes`] output.
+    ///
+    /// # Errors
+    /// Malformed bytes are rejected with a typed
+    /// [`SnapshotError`](crate::snapshot::SnapshotError).
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, crate::snapshot::SnapshotError> {
+        let mut r = levi_isa::codec::Reader::new(bytes);
+        let mut s = Stats::new();
+        s.snap_read(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(crate::snapshot::SnapshotError::Corrupted(
+                "trailing bytes after stats",
+            ));
+        }
+        Ok(s)
+    }
+
+    /// A deterministic digest of every serialized statistic — counters,
+    /// histograms, traces, spans, and timeline (everything except the
+    /// wall-clock `host_phases`). Two runs with equal digests observed
+    /// identical simulated behavior; checkpoint verification compares the
+    /// digest of a restored replica against the primary run.
+    pub fn digest(&self) -> u64 {
+        let mut w = levi_isa::codec::Writer::new();
+        self.snap_write(&mut w);
+        let bytes = w.into_bytes();
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in &bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

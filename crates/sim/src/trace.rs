@@ -398,6 +398,144 @@ impl Tracer {
     }
 }
 
+/// Interns a deserialized event name, returning a `&'static str`.
+///
+/// Trace events carry `&'static str` names for zero-cost recording; a
+/// snapshot round-trip has to rebuild them from owned strings. Distinct
+/// names are leaked exactly once into a process-global registry, so the
+/// leak is bounded by the (small, fixed) vocabulary of event names no
+/// matter how many snapshots are restored.
+fn intern(s: &str) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let mut names = NAMES
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .expect("name registry poisoned");
+    if let Some(existing) = names.iter().find(|n| **n == s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    names.push(leaked);
+    leaked
+}
+
+fn category_tag(c: TraceCategory) -> u8 {
+    match c {
+        TraceCategory::Invoke => 0,
+        TraceCategory::Coherence => 1,
+        TraceCategory::Stream => 2,
+        TraceCategory::Dram => 3,
+        TraceCategory::Noc => 4,
+        TraceCategory::Fault => 5,
+        TraceCategory::Sched => 6,
+        TraceCategory::Span => 7,
+    }
+}
+
+fn category_from(tag: u8) -> Result<TraceCategory, levi_isa::codec::CodecError> {
+    Ok(match tag {
+        0 => TraceCategory::Invoke,
+        1 => TraceCategory::Coherence,
+        2 => TraceCategory::Stream,
+        3 => TraceCategory::Dram,
+        4 => TraceCategory::Noc,
+        5 => TraceCategory::Fault,
+        6 => TraceCategory::Sched,
+        7 => TraceCategory::Span,
+        _ => return Err(levi_isa::codec::CodecError::Invalid("trace category")),
+    })
+}
+
+impl Tracer {
+    /// Serializes the event ring (see [`crate::snapshot`]).
+    pub(crate) fn snap_write(&self, w: &mut levi_isa::codec::Writer) {
+        use crate::snapshot::w_engine_id;
+        w.bool(self.enabled);
+        w.u64(self.capacity as u64);
+        w.u64(self.dropped);
+        w.u32(self.events.len() as u32);
+        for e in &self.events {
+            w.u64(e.cycle);
+            w.u64(e.dur);
+            w.u8(category_tag(e.category));
+            w.str(e.name);
+            match e.track {
+                Track::Core(t) => {
+                    w.u8(0);
+                    w.u32(t);
+                }
+                Track::Engine(id) => {
+                    w.u8(1);
+                    w_engine_id(w, id);
+                }
+                Track::Noc(t) => {
+                    w.u8(2);
+                    w.u32(t);
+                }
+                Track::Dram(mc) => {
+                    w.u8(3);
+                    w.u32(mc);
+                }
+            }
+            w.u8(e.nargs);
+            for (name, val) in &e.args[..e.nargs as usize] {
+                w.str(name);
+                w.u64(*val);
+            }
+        }
+    }
+
+    /// Restores a tracer written by [`Tracer::snap_write`].
+    pub(crate) fn snap_read(
+        r: &mut levi_isa::codec::Reader,
+    ) -> Result<Self, levi_isa::codec::CodecError> {
+        use crate::snapshot::r_engine_id;
+        use levi_isa::codec::CodecError;
+        let enabled = r.bool()?;
+        let capacity = (r.u64()? as usize).max(1);
+        let dropped = r.u64()?;
+        let n = r.count(20)?;
+        let mut events = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let cycle = r.u64()?;
+            let dur = r.u64()?;
+            let category = category_from(r.u8()?)?;
+            let name = intern(r.str()?);
+            let track = match r.u8()? {
+                0 => Track::Core(r.u32()?),
+                1 => Track::Engine(r_engine_id(r)?),
+                2 => Track::Noc(r.u32()?),
+                3 => Track::Dram(r.u32()?),
+                _ => return Err(CodecError::Invalid("trace track")),
+            };
+            let nargs = r.u8()?;
+            if nargs as usize > MAX_ARGS {
+                return Err(CodecError::Invalid("trace arg count"));
+            }
+            let mut args = [("", 0u64); MAX_ARGS];
+            for a in args.iter_mut().take(nargs as usize) {
+                *a = (intern(r.str()?), r.u64()?);
+            }
+            events.push_back(TraceEvent {
+                cycle,
+                dur,
+                category,
+                name,
+                track,
+                args,
+                nargs,
+            });
+        }
+        Ok(Tracer {
+            enabled,
+            capacity,
+            events,
+            dropped,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,184 @@
+//! Time-travel fault replay: checkpoint a faulted run mid-flight, then
+//! restore the same snapshot under *different* fault plans and watch the
+//! timelines diverge.
+//!
+//! The snapshot config digest deliberately excludes the fault plan, so a
+//! checkpoint taken under plan A may be restored under plan B: identical
+//! architectural state, different injected future. Replaying both from
+//! the same cycle shows exactly when — and through which metric — the
+//! fault schedule first bends the execution, which is how one separates
+//! "the fault plan caused this" from "the workload was always going to
+//! do this".
+//!
+//! Run with: `cargo run --example fault_replay [-p levi-workloads]`
+
+use std::sync::Arc;
+
+use levi_isa::{ActionId, Location, Memory, ProgramBuilder, Reg};
+use levi_sim::{FaultPlan, Machine, MachineConfig};
+
+const TILES: u32 = 4;
+const SAMPLE_INTERVAL: u64 = 200;
+const CHECKPOINT_EVERY: u64 = 8_000;
+
+fn plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .retry_budget(3)
+        .backoff(8, 64)
+        .gen_engine_outages(24, TILES, 14_000, 300, 1_200)
+}
+
+fn config(seed: u64) -> MachineConfig {
+    let mut cfg = MachineConfig::with_tiles(TILES)
+        .faulted(plan(seed))
+        .sampled(SAMPLE_INTERVAL)
+        .checkpoint_every(CHECKPOINT_EVERY);
+    cfg.prefetcher = false;
+    cfg
+}
+
+/// A fig. 5-style scatter kernel: every core runs an invoke loop that
+/// scatters commutative updates to remote actors through the NDC engines,
+/// waiting on a future per update. Engine outage windows force NACK
+/// backoff and retries, so the fault schedule shapes the timeline.
+fn build(cfg: MachineConfig) -> Machine {
+    let mut pb = ProgramBuilder::new();
+    let action = {
+        let mut f = pb.function("scatter_add");
+        let (actor, amt, fut, v) = (Reg(0), Reg(1), Reg(2), Reg(3));
+        f.ld8(v, actor, 0);
+        f.add(v, v, amt);
+        f.st8(actor, 0, v);
+        f.future_send(fut, v);
+        f.halt();
+        f.finish()
+    };
+    let invoker = {
+        let mut f = pb.function("invoker");
+        let (abase, fbase, n) = (Reg(0), Reg(1), Reg(2));
+        let (i, amt, r) = (Reg(3), Reg(4), Reg(5));
+        f.imm(i, 0).imm(amt, 7);
+        let top = f.label();
+        let out = f.label();
+        f.bind(top);
+        f.bge_u(i, n, out);
+        f.invoke_future(abase, ActionId(0), &[amt, fbase], fbase, Location::Dynamic);
+        f.future_wait(r, fbase);
+        f.addi(abase, abase, 4096);
+        f.addi(fbase, fbase, 8);
+        f.addi(i, i, 1);
+        f.jmp(top);
+        f.bind(out);
+        f.halt();
+        f.finish()
+    };
+    let prog = Arc::new(pb.finish().unwrap());
+
+    let mut m = Machine::try_new(cfg).unwrap();
+    m.hw.ndc.actions.register(ActionId(0), prog.clone(), action);
+    for t in 0..TILES {
+        let abase = 0x10_0000 + t as u64 * 0x40_000;
+        let fbase = 0x50_0000 + t as u64 * 0x1000;
+        for k in 0..144u64 {
+            m.mem_mut().write_u64(abase + k * 4096, k);
+        }
+        m.spawn_thread(t, prog.clone(), invoker, &[abase, fbase, 144])
+            .unwrap();
+    }
+    m
+}
+
+fn finish(mut m: Machine, label: &str) -> Machine {
+    m.run()
+        .unwrap_or_else(|e| panic!("{label} run failed: {e}"));
+    m
+}
+
+fn main() {
+    // The original run, under fault plan A, with periodic checkpoints.
+    let original = finish(build(config(1)), "original");
+
+    // The checkpoint period exceeds half the run, so exactly one
+    // checkpoint fires — mid-run, with plenty of faulted future ahead.
+    let (at, bytes) = original
+        .last_checkpoint()
+        .expect("checkpoint period shorter than the run");
+    let bytes = bytes.to_vec();
+    println!(
+        "original (plan seed 1): {} cycles, {} NACK retries, checkpoint at cycle {at}",
+        original.now(),
+        original.stats().fault_nack_retries,
+    );
+
+    // Restore the same snapshot twice: once under the original plan, once
+    // under a different seed. The digest ignores the plan, so both load.
+    let same = finish(
+        Machine::restore(config(1), &bytes).expect("restore under plan A"),
+        "plan-A replica",
+    );
+    let other = finish(
+        Machine::restore(config(99), &bytes).expect("restore under plan B"),
+        "plan-B replica",
+    );
+
+    println!(
+        "replay under plan seed  1: {} cycles, {} NACK retries (digest {})",
+        same.now(),
+        same.stats().fault_nack_retries,
+        if (same.now(), same.stats().digest()) == (original.now(), original.stats().digest()) {
+            "matches the original — same plan, same future"
+        } else {
+            "DIVERGED — determinism bug"
+        }
+    );
+    println!(
+        "replay under plan seed 99: {} cycles, {} NACK retries",
+        other.now(),
+        other.stats().fault_nack_retries,
+    );
+
+    // Walk the sampled timelines for the first interval where the two
+    // futures differ. Samples up to the checkpoint ride in the snapshot,
+    // so any divergence is strictly after the restore point.
+    let a = same.stats().timeline.samples();
+    let b = other.stats().timeline.samples();
+    let diverged = a.iter().zip(b).find(|(x, y)| {
+        (
+            x.core_instrs,
+            x.engine_instrs,
+            x.noc_flit_hops,
+            x.dram_accesses,
+        ) != (
+            y.core_instrs,
+            y.engine_instrs,
+            y.noc_flit_hops,
+            y.dram_accesses,
+        )
+    });
+    match diverged {
+        Some((x, y)) => {
+            assert!(
+                x.cycle > at,
+                "divergence at cycle {} must postdate the checkpoint at {at}",
+                x.cycle
+            );
+            println!(
+                "timelines diverge at cycle {} ({} cycles after the checkpoint):",
+                x.cycle,
+                x.cycle - at
+            );
+            println!(
+                "  plan  1: core={:>6} engine={:>5} noc_hops={:>6} dram={:>4}",
+                x.core_instrs, x.engine_instrs, x.noc_flit_hops, x.dram_accesses
+            );
+            println!(
+                "  plan 99: core={:>6} engine={:>5} noc_hops={:>6} dram={:>4}",
+                y.core_instrs, y.engine_instrs, y.noc_flit_hops, y.dram_accesses
+            );
+        }
+        None => println!(
+            "timelines identical over {} shared samples (plans agree on this window)",
+            a.len().min(b.len())
+        ),
+    }
+}

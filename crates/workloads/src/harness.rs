@@ -91,6 +91,16 @@ pub struct RunEnv {
     /// export telemetry after the run. Purely observational: simulated
     /// timing, checksums, and printed tables are identical either way.
     pub telemetry: bool,
+    /// Take a snapshot of the full machine state every this many cycles
+    /// (0 disables the hook). Purely observational: the scheduler defers
+    /// the due event, checkpoints, and replays it, so simulated timing is
+    /// unchanged.
+    pub checkpoint_every: u64,
+    /// After each run, restore the last checkpoint and re-simulate to the
+    /// end, failing the run if the replica diverges from the original.
+    /// Implies a default `checkpoint_every` of 100 000 cycles when none
+    /// is set.
+    pub snapshot_verify: bool,
 }
 
 impl RunEnv {
@@ -105,6 +115,15 @@ impl RunEnv {
         if self.telemetry {
             cfg.machine.trace = true;
             cfg.machine.trace_spans = true;
+        }
+        if self.checkpoint_every > 0 {
+            cfg.machine.checkpoint_every = self.checkpoint_every;
+        }
+        if self.snapshot_verify {
+            cfg.machine.checkpoint_verify = true;
+            if cfg.machine.checkpoint_every == 0 {
+                cfg.machine.checkpoint_every = 100_000;
+            }
         }
     }
 }

@@ -61,3 +61,47 @@ fn hats_matches_golden_across_variants() {
 fn micro_matches_golden_across_variants() {
     assert_eq!(check("micro"), 3);
 }
+
+/// The periodic checkpoint hook must be purely observational: for every
+/// registered workload × variant, a run with `checkpoint_every` armed
+/// (and each run's last checkpoint replay-verified against the original)
+/// produces the same cycles, checksum, and stats digest as the plain run.
+fn check_checkpointed(name: &str) {
+    let w = find_workload(name).unwrap_or_else(|| panic!("workload {name} not registered"));
+    let prepared = w.prepare(ScaleKind::Test);
+    let plain = RunEnv::default();
+    let hooked = RunEnv {
+        checkpoint_every: 5_000,
+        snapshot_verify: true,
+        ..RunEnv::default()
+    };
+    for label in w.variant_labels() {
+        let (a, b) = (prepared.run(label, &plain), prepared.run(label, &hooked));
+        match (a, b) {
+            (RunStatus::Done(plain), RunStatus::Done(hooked)) => {
+                assert_eq!(
+                    (
+                        plain.metrics.cycles,
+                        plain.checksum,
+                        plain.metrics.stats.digest()
+                    ),
+                    (
+                        hooked.metrics.cycles,
+                        hooked.checksum,
+                        hooked.metrics.stats.digest()
+                    ),
+                    "{name}/{label}: the checkpoint hook perturbed the run"
+                );
+            }
+            (RunStatus::Unsupported(_), RunStatus::Unsupported(_)) => {}
+            _ => panic!("{name}/{label}: support status changed under the checkpoint hook"),
+        }
+    }
+}
+
+#[test]
+fn checkpoint_hook_is_observational_for_every_workload() {
+    for name in ["phi", "decompress", "hashtable", "hats", "micro"] {
+        check_checkpointed(name);
+    }
+}
