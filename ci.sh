@@ -85,4 +85,14 @@ cargo run --release --quiet -p levi-bench -- perf run --quick \
 cargo run --release --quiet -p levi-bench -- perf compare \
   "$tmp/perf/report-b.json" --baseline "$tmp/perf/local-baseline.json" --threshold 75
 ls "$tmp"/perf/BENCH_*.json > /dev/null
+echo "== alloc smoke =="
+# The data-oriented substrate's core claim: once warm, the per-instruction
+# hot path performs zero heap allocations. A counting global allocator
+# (release build, so the measured path is the shipped one) enforces it.
+cargo test --release -q -p levi-sim --test alloc_smoke
+echo "== trajectory validation =="
+# Both the fresh CI trajectory and the committed perf history must parse
+# as perf reports and be chronological in filename order.
+cargo run --release --quiet -p levi-bench -- perf trajectory "$tmp/perf"
+cargo run --release --quiet -p levi-bench -- perf trajectory perf
 echo "== ok =="

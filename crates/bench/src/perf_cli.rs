@@ -34,7 +34,7 @@ fn fail(msg: &str) -> ! {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: levi-bench perf <run|compare|accept> [options]");
+    eprintln!("usage: levi-bench perf <run|compare|accept|trajectory> [options]");
     eprintln!();
     eprintln!("  perf run [--quick] [--json PATH] [--trajectory DIR]");
     eprintln!("           [--filter SUBSTR] [--rounds N] [--reps N] [--warmup N]");
@@ -44,6 +44,9 @@ fn usage() -> ! {
     eprintln!("  perf compare REPORT [--baseline PATH] [--threshold PCT]");
     eprintln!("      gate REPORT against the baseline; exit nonzero on a");
     eprintln!("      regression confirmed by every measurement round");
+    eprintln!("  perf trajectory DIR");
+    eprintln!("      validate the BENCH_*.json history in DIR: names, JSON,");
+    eprintln!("      and chronological order");
     std::process::exit(2);
 }
 
@@ -53,8 +56,71 @@ pub fn cmd_perf(args: &[String]) {
         Some("run") => cmd_run(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("accept") => cmd_accept(&args[1..]),
+        Some("trajectory") => cmd_trajectory(&args[1..]),
         _ => usage(),
     }
+}
+
+/// `perf trajectory DIR`: validates the committed trajectory history.
+/// Every `BENCH_*.json` in DIR must have a well-formed dated name, parse
+/// as a perf report with at least one benchmark, and the files must be
+/// chronological in lexicographic filename order (which the `_N`
+/// same-day suffix preserves). Exits nonzero on any violation, so CI
+/// can gate the committed `perf/` directory.
+fn cmd_trajectory(args: &[String]) {
+    let [dir] = args else {
+        fail("trajectory takes exactly one directory");
+    };
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| fail(&format!("{dir}: {e}")))
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    if names.is_empty() {
+        fail(&format!("{dir}: no BENCH_*.json trajectory files"));
+    }
+    names.sort();
+    let mut prev: Option<(String, u64, String)> = None;
+    for name in &names {
+        let stamp = trajectory_stamp(name)
+            .unwrap_or_else(|| fail(&format!("{name}: not BENCH_<YYYY-MM-DD>[_N].json")));
+        if let Some((pd, ps, pn)) = &prev {
+            if stamp <= (pd.clone(), *ps) {
+                fail(&format!("{name}: not chronologically after {pn}"));
+            }
+        }
+        let path = format!("{dir}/{name}");
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        let doc =
+            parse(text.trim()).unwrap_or_else(|e| fail(&format!("{path}: invalid JSON: {e}")));
+        let (_, _, benches) = extract(&doc, name).unwrap_or_else(|e| fail(&e));
+        if benches.is_empty() {
+            fail(&format!("{path}: empty benchmark list"));
+        }
+        println!("{name}: ok ({} benchmarks)", benches.len());
+        prev = Some((stamp.0, stamp.1, name.clone()));
+    }
+    println!("trajectory {dir}: {} point(s), chronological", names.len());
+}
+
+/// Parses `BENCH_<YYYY-MM-DD>[_N].json` into its `(date, sequence)`
+/// ordering key; `None` if the name is malformed.
+fn trajectory_stamp(name: &str) -> Option<(String, u64)> {
+    let core = name.strip_prefix("BENCH_")?.strip_suffix(".json")?;
+    let (date, seq) = match core.split_once('_') {
+        Some((d, n)) => (d, n.parse::<u64>().ok().filter(|&n| n >= 2)?),
+        None => (core, 1),
+    };
+    let b = date.as_bytes();
+    let digits = |r: std::ops::Range<usize>| b[r].iter().all(u8::is_ascii_digit);
+    if b.len() != 10 || !digits(0..4) || b[4] != b'-' || !digits(5..7) || b[7] != b'-' {
+        return None;
+    }
+    if !digits(8..10) {
+        return None;
+    }
+    Some((date.to_string(), seq))
 }
 
 fn parse_u32(flag: &str, s: &str) -> u32 {
@@ -98,11 +164,27 @@ fn cmd_run(args: &[String]) {
     }
     if let Some(dir) = &trajectory {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| fail(&format!("--trajectory {dir}: {e}")));
-        let path = format!("{dir}/BENCH_{}.json", today());
+        let path = trajectory_file(dir, &today());
         std::fs::write(&path, format!("{doc}\n"))
             .unwrap_or_else(|e| fail(&format!("--trajectory {path}: {e}")));
         println!("trajectory written to {path}");
     }
+}
+
+/// Picks the trajectory filename for `date`, avoiding collisions: the
+/// first run of a day writes `BENCH_<date>.json`, later runs write
+/// `BENCH_<date>_2.json`, `_3.json`, … instead of clobbering the earlier
+/// point. The `_N` suffix sorts after the bare name, so lexicographic
+/// filename order stays chronological (which `perf trajectory` checks).
+fn trajectory_file(dir: &str, date: &str) -> String {
+    let bare = format!("{dir}/BENCH_{date}.json");
+    if !std::path::Path::new(&bare).exists() {
+        return bare;
+    }
+    (2..)
+        .map(|n| format!("{dir}/BENCH_{date}_{n:02}.json"))
+        .find(|p| !std::path::Path::new(p).exists())
+        .unwrap()
 }
 
 /// Today's UTC date as `YYYY-MM-DD` (civil-from-days conversion; the

@@ -134,6 +134,49 @@ fn synthetic_regression_fails_compare() {
 }
 
 #[test]
+fn same_day_trajectory_runs_do_not_clobber_and_validate() {
+    let dir = tmpdir("traj-validate");
+    let mut args: Vec<&str> = QUICK.to_vec();
+    args.extend_from_slice(&["--trajectory", "traj"]);
+    // Two runs on the same day: the second must pick a suffixed name
+    // instead of overwriting the first point.
+    assert_ok(&run_perf(&dir, &args), "first trajectory run");
+    assert_ok(&run_perf(&dir, &args), "second trajectory run");
+    let mut entries: Vec<String> = std::fs::read_dir(dir.join("traj"))
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    entries.sort();
+    assert_eq!(entries.len(), 2, "{entries:?}");
+    assert!(entries[1].ends_with("_02.json"), "{entries:?}");
+
+    // The validator accepts the history...
+    let traj = dir.join("traj").to_string_lossy().into_owned();
+    let out = run_perf(&dir, &["trajectory", &traj]);
+    assert_ok(&out, "perf trajectory");
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("2 point(s), chronological"), "{text}");
+
+    // ...and rejects a malformed name, a non-report file, and an empty
+    // directory.
+    std::fs::write(dir.join("traj/BENCH_today.json"), "{}\n").unwrap();
+    let out = run_perf(&dir, &["trajectory", &traj]);
+    assert!(!out.status.success(), "malformed name must fail");
+    std::fs::remove_file(dir.join("traj/BENCH_today.json")).unwrap();
+
+    std::fs::write(dir.join("traj/BENCH_2020-01-01.json"), "{\"x\":1}\n").unwrap();
+    let out = run_perf(&dir, &["trajectory", &traj]);
+    assert!(!out.status.success(), "non-report point must fail");
+    std::fs::remove_file(dir.join("traj/BENCH_2020-01-01.json")).unwrap();
+
+    let empty = dir.join("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let out = run_perf(&dir, &["trajectory", &empty.to_string_lossy()]);
+    assert!(!out.status.success(), "empty trajectory must fail");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn trajectory_and_error_paths() {
     let dir = tmpdir("trajectory");
     let mut args: Vec<&str> = QUICK.to_vec();

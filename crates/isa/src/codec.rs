@@ -13,8 +13,6 @@
 //! type information — framing and versioning are the responsibility of
 //! the embedding container (`levi-sim`'s snapshot header).
 
-use std::collections::HashMap;
-
 use crate::exec::{ExecCtx, Pc};
 use crate::inst::{AluOp, BrCond, Inst, Label, Location, MemOrder, MemWidth, Reg, RmwOp, NUM_REGS};
 use crate::mem::{PagedMem, PAGE_SIZE};
@@ -744,7 +742,8 @@ pub fn write_mem(w: &mut Writer, mem: &PagedMem) {
 /// Decodes a memory image written by [`write_mem`].
 pub fn read_mem(r: &mut Reader) -> Result<PagedMem, CodecError> {
     let npages = r.count(8 + PAGE_SIZE)?;
-    let mut pages: HashMap<u64, Box<[u8; PAGE_SIZE]>> = HashMap::with_capacity(npages);
+    let mut pages: crate::fx::FxHashMap<u64, Box<[u8; PAGE_SIZE]>> =
+        crate::fx::map_with_capacity(npages);
     for _ in 0..npages {
         let idx = r.u64()?;
         let data = r.raw(PAGE_SIZE)?;

@@ -1,0 +1,160 @@
+//! Hermetic Fx hashing: a fast, non-cryptographic hasher for hot-path maps.
+//!
+//! The simulator's inner loops are dominated by small-key hash lookups —
+//! page-table probes on every functional memory access, wait-condition
+//! lookups on every park/wake, future fills on every NDC send. The
+//! standard library's default `SipHash13` is DoS-resistant but costs tens
+//! of cycles per lookup; simulation state is never attacker-controlled,
+//! so we trade that resistance away.
+//!
+//! This is a from-scratch reimplementation of the well-known "Fx" scheme
+//! (a multiply–rotate–xor construction used by Firefox and the Rust
+//! compiler), kept in-repo so the workspace stays dependency-free and the
+//! build stays offline. Determinism note: like every `HashMap` in this
+//! workspace, iteration order is *never* observable in simulator output —
+//! all serialization paths sort before emitting (see `levi-sim`'s
+//! snapshot module) — so swapping hashers cannot change golden bytes.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant: `2^64 / φ`, the 64-bit golden-ratio mix used
+/// by the original FxHasher. Odd, so multiplication is a bijection.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Bits to rotate the running state by before each mix. Spreads low-entropy
+/// input bits (small integers, aligned addresses) across the word.
+const ROTATE: u32 = 5;
+
+/// A fast, non-cryptographic streaming hasher.
+///
+/// Each written word is folded into the state as
+/// `state = (rotl(state, 5) ^ word) * SEED`. Quality is adequate for the
+/// simulator's key distributions (dense integers, page indices, addresses);
+/// it is *not* collision-resistant against adversarial keys.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    /// Folds one 64-bit word into the running state.
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s (stateless, so `Default` works).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`]. Drop-in for `std::collections::HashMap`
+/// wherever keys are simulator-internal (never attacker-controlled).
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Builds an [`FxHashMap`] with room for `n` entries.
+pub fn map_with_capacity<K, V>(n: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(n, FxBuildHasher::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    fn hash_one<T: std::hash::Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_one(0xdead_beefu64), hash_one(0xdead_beefu64));
+        assert_eq!(hash_one("stream"), hash_one("stream"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Dense small integers (actor ids, page indices) must not collide
+        // in the low bits HashMap actually uses.
+        let mut low7 = HashSet::new();
+        for i in 0u64..128 {
+            low7.insert(hash_one(i) & 0x7f);
+        }
+        assert!(low7.len() > 100, "low bits too clumpy: {}", low7.len());
+    }
+
+    #[test]
+    fn byte_stream_tail_is_hashed() {
+        let a = {
+            let mut h = FxHasher::default();
+            h.write(b"abcdefgh-tail");
+            h.finish()
+        };
+        let b = {
+            let mut h = FxHasher::default();
+            h.write(b"abcdefgh-tail!");
+            h.finish()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+        assert!(map_with_capacity::<u64, u64>(32).capacity() >= 32);
+    }
+}

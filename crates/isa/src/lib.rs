@@ -67,6 +67,7 @@ pub mod asm;
 pub mod builder;
 pub mod codec;
 pub mod exec;
+pub mod fx;
 pub mod inst;
 pub mod interp;
 pub mod mem;

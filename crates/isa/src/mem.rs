@@ -6,8 +6,7 @@
 //! also live here — their contents are (re)materialized by constructors when
 //! lines are inserted into the cache.
 
-use std::collections::HashMap;
-
+use crate::fx::FxHashMap;
 use crate::inst::{Addr, MemWidth};
 
 const PAGE_SHIFT: u32 = 12;
@@ -105,7 +104,7 @@ impl<M: Memory + ?Sized> Memory for &mut M {
 /// return zero without allocating.
 #[derive(Clone, Debug, Default)]
 pub struct PagedMem {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: FxHashMap<u64, Box<[u8; PAGE_SIZE]>>,
 }
 
 impl PagedMem {
@@ -125,12 +124,12 @@ impl PagedMem {
     }
 
     /// The resident page table, for serialization (see [`crate::codec`]).
-    pub(crate) fn pages_ref(&self) -> &HashMap<u64, Box<[u8; PAGE_SIZE]>> {
+    pub(crate) fn pages_ref(&self) -> &FxHashMap<u64, Box<[u8; PAGE_SIZE]>> {
         &self.pages
     }
 
     /// Rebuilds a memory from a deserialized page table.
-    pub(crate) fn from_pages(pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>) -> Self {
+    pub(crate) fn from_pages(pages: FxHashMap<u64, Box<[u8; PAGE_SIZE]>>) -> Self {
         PagedMem { pages }
     }
 }
@@ -151,6 +150,50 @@ impl Memory for PagedMem {
             .entry(addr >> PAGE_SHIFT)
             .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
         page[(addr as usize) & (PAGE_SIZE - 1)] = val;
+    }
+
+    // Multi-byte accesses are the interpreter's hot path: one page-table
+    // lookup per access (instead of one per byte) when the access does not
+    // straddle a page boundary, which is the overwhelmingly common case.
+
+    #[inline]
+    fn read(&self, addr: Addr, width: MemWidth) -> u64 {
+        let n = width.bytes();
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + n as usize <= PAGE_SIZE {
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(page) => {
+                    let mut buf = [0u8; 8];
+                    buf[..n as usize].copy_from_slice(&page[off..off + n as usize]);
+                    u64::from_le_bytes(buf)
+                }
+                None => 0,
+            }
+        } else {
+            // Page-straddling access: fall back to the per-byte path.
+            let mut v: u64 = 0;
+            for i in 0..n {
+                v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+            }
+            v
+        }
+    }
+
+    #[inline]
+    fn write(&mut self, addr: Addr, val: u64, width: MemWidth) {
+        let n = width.bytes();
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + n as usize <= PAGE_SIZE {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[off..off + n as usize].copy_from_slice(&val.to_le_bytes()[..n as usize]);
+        } else {
+            for i in 0..n {
+                self.write_u8(addr.wrapping_add(i), (val >> (8 * i)) as u8);
+            }
+        }
     }
 }
 

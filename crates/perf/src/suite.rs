@@ -59,6 +59,27 @@ impl PerfCfg {
         o
     }
 
+    /// Repetition counts for the fastest micro-benchmarks (single-digit
+    /// nanoseconds per call: `cache_probe_hit`, `scoreboard_issue`).
+    ///
+    /// At that scale one stray scheduler preemption inflates a whole rep
+    /// batch — the committed trajectory once recorded a 3× outlier round
+    /// (12.0 ns vs a 4.1 ns median) for `scoreboard_issue` — which
+    /// desensitizes the noise-aware gate by bloating the per-round MAD.
+    /// Extra warmup and more reps per round let the round medians shrug
+    /// off a single bad batch. Explicit `--warmup`/`--reps` overrides
+    /// still win: this only adjusts the defaults.
+    fn fast_micro_opts(&self) -> BenchOpts {
+        let mut o = self.opts();
+        if self.warmup.is_none() {
+            o.warmup = o.warmup.max(4);
+        }
+        if self.reps.is_none() {
+            o.reps = o.reps.max(9);
+        }
+        o
+    }
+
     fn keeps(&self, id: &str) -> bool {
         match &self.filter {
             None => true,
@@ -88,7 +109,7 @@ pub fn run_suite(cfg: &PerfCfg) -> Vec<Measurement> {
         bank.insert(0x1234, &[]);
         out.push(bench_micro(
             "micro/cache_probe_hit",
-            opts,
+            cfg.fast_micro_opts(),
             cfg.micro_iters(500_000),
             || {
                 black_box(bank.probe(black_box(0x1234)).is_some());
@@ -136,7 +157,7 @@ pub fn run_suite(cfg: &PerfCfg) -> Vec<Measurement> {
         let mut t = 0u64;
         out.push(bench_micro(
             "micro/scoreboard_issue",
-            opts,
+            cfg.fast_micro_opts(),
             cfg.micro_iters(500_000),
             || {
                 t += 1;
@@ -239,6 +260,23 @@ mod tests {
         assert_eq!(tuned.opts().reps, 1, "reps clamp to at least 1");
         assert_eq!(quick.micro_iters(800), 100);
         assert_eq!(PerfCfg::default().micro_iters(800), 800);
+    }
+
+    #[test]
+    fn fast_micros_get_extra_warmup_and_reps_unless_overridden() {
+        let cfg = PerfCfg::default();
+        let fast = cfg.fast_micro_opts();
+        assert!(fast.warmup >= 4);
+        assert!(fast.reps >= 9);
+        assert_eq!(fast.rounds, cfg.opts().rounds, "rounds are untouched");
+        let pinned = PerfCfg {
+            warmup: Some(1),
+            reps: Some(2),
+            ..PerfCfg::default()
+        };
+        let o = pinned.fast_micro_opts();
+        assert_eq!(o.warmup, 1, "explicit warmup override wins");
+        assert_eq!(o.reps, 2, "explicit reps override wins");
     }
 
     #[test]

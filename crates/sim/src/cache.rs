@@ -5,6 +5,16 @@
 //! the flat [`levi_isa::PagedMem`] — so a bank tracks presence, dirtiness,
 //! replacement state, coherence metadata (for the LLC's in-tag directory),
 //! and Leviathan's per-line destructor-trigger bit (paper Sec. VI-B2).
+//!
+//! # Data layout
+//!
+//! Storage is a single flat slab indexed by `set * ways + way`, split into
+//! parallel arrays: `tags` (the probe loop's scan target), `rrip`/`lru`
+//! (the victim scan's targets), and `lines` (the coherence payload). A
+//! per-set occupancy count emulates the previous `Vec<Vec<Line>>` design's
+//! push/`swap_remove` discipline exactly, so way ordering — which SRRIP's
+//! first-match victim scan observes — is bit-for-bit identical to the
+//! nested-Vec implementation, and snapshots stay byte-identical.
 
 use crate::config::{CacheConfig, Replacement, LINE_SHIFT};
 
@@ -19,7 +29,11 @@ pub enum PrivState {
 }
 
 /// Metadata for one resident cache line.
-#[derive(Clone, Debug)]
+///
+/// Replacement state (SRRIP counter, LRU timestamp) lives in the bank's
+/// parallel metadata arrays, not here, so victim scans touch contiguous
+/// memory.
+#[derive(Clone, Copy, Debug)]
 pub struct Line {
     /// Line address (byte address >> 6).
     pub line: u64,
@@ -34,10 +48,6 @@ pub struct Line {
     pub sharers: u64,
     /// Directory: tile that owns the line exclusively (LLC banks only).
     pub owner: Option<u8>,
-    /// SRRIP re-reference counter (0 = near, 3 = distant).
-    rrip: u8,
-    /// LRU timestamp.
-    lru: u64,
 }
 
 impl Line {
@@ -49,16 +59,30 @@ impl Line {
             state: PrivState::Shared,
             sharers: 0,
             owner: None,
-            rrip: 2,
-            lru: 0,
         }
     }
 }
 
-/// One set-associative, tag-only cache bank.
+/// One set-associative, tag-only cache bank (flat slab storage; see the
+/// module docs for the layout).
+///
+/// Per-set occupancy (`len`) is the *only* liveness source: every scan is
+/// bounded by it, so dead slots hold stale values and are never read.
+/// That keeps construction cheap — `tags` starts as an all-zero
+/// allocation (fresh zero pages, no sentinel memset) and eviction never
+/// writes a tombstone.
 #[derive(Clone, Debug)]
 pub struct CacheBank {
-    sets: Vec<Vec<Line>>,
+    /// Line address per slot (`set * ways + way`); stale when dead.
+    tags: Vec<u64>,
+    /// SRRIP re-reference counter per slot (0 = near, 3 = distant).
+    rrip: Vec<u8>,
+    /// LRU timestamp per slot.
+    lru: Vec<u64>,
+    /// Coherence payload per slot.
+    lines: Vec<Line>,
+    /// Occupied ways per set (slots `[set*ways, set*ways+len)` are live).
+    len: Vec<u16>,
     ways: usize,
     set_mask: u64,
     replacement: Replacement,
@@ -73,8 +97,13 @@ impl CacheBank {
     pub fn new(cfg: &CacheConfig) -> Self {
         let sets = cfg.sets();
         assert!(sets.is_power_of_two(), "set count must be a power of two");
+        let slots = sets as usize * cfg.ways as usize;
         CacheBank {
-            sets: vec![Vec::with_capacity(cfg.ways as usize); sets as usize],
+            tags: vec![0; slots],
+            rrip: vec![0; slots],
+            lru: vec![0; slots],
+            lines: vec![Line::new(0); slots],
+            len: vec![0; sets as usize],
             ways: cfg.ways as usize,
             set_mask: sets - 1,
             replacement: cfg.replacement,
@@ -93,33 +122,57 @@ impl CacheBank {
         addr >> LINE_SHIFT
     }
 
+    /// Slot index of `line` if resident (scans the set's live tags).
+    #[inline]
+    fn find(&self, line: u64) -> Option<usize> {
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        let n = self.len[set] as usize;
+        self.tags[base..base + n]
+            .iter()
+            .position(|&t| t == line)
+            .map(|w| base + w)
+    }
+
     /// Looks up `line`; on a hit, updates replacement state and returns the
     /// line's metadata.
     pub fn probe(&mut self, line: u64) -> Option<&mut Line> {
         self.tick += 1;
-        let tick = self.tick;
-        let set = self.set_of(line);
-        let l = self.sets[set].iter_mut().find(|l| l.line == line)?;
-        l.lru = tick;
-        l.rrip = 0;
-        Some(l)
+        let slot = self.find(line)?;
+        self.lru[slot] = self.tick;
+        self.rrip[slot] = 0;
+        Some(&mut self.lines[slot])
     }
 
     /// Looks up `line` without touching replacement state.
     pub fn peek(&self, line: u64) -> Option<&Line> {
-        let set = self.set_of(line);
-        self.sets[set].iter().find(|l| l.line == line)
+        self.find(line).map(|slot| &self.lines[slot])
     }
 
     /// Mutable peek without touching replacement state.
     pub fn peek_mut(&mut self, line: u64) -> Option<&mut Line> {
-        let set = self.set_of(line);
-        self.sets[set].iter_mut().find(|l| l.line == line)
+        self.find(line).map(|slot| &mut self.lines[slot])
     }
 
     /// True if `line` is resident.
     pub fn contains(&self, line: u64) -> bool {
-        self.peek(line).is_some()
+        self.find(line).is_some()
+    }
+
+    /// Removes the line at `slot`, moving the set's last live slot into its
+    /// place (the flat equivalent of `Vec::swap_remove`, preserving the
+    /// way-order the old nested-Vec layout produced).
+    fn swap_remove(&mut self, set: usize, slot: usize) -> Line {
+        let last = set * self.ways + self.len[set] as usize - 1;
+        let victim = self.lines[slot];
+        if slot != last {
+            self.tags[slot] = self.tags[last];
+            self.rrip[slot] = self.rrip[last];
+            self.lru[slot] = self.lru[last];
+            self.lines[slot] = self.lines[last];
+        }
+        self.len[set] -= 1;
+        victim
     }
 
     /// Inserts `line`, evicting a victim if the set is full. Returns the
@@ -136,38 +189,41 @@ impl CacheBank {
     pub fn insert(&mut self, line: u64, pinned: &[u64]) -> (&mut Line, Option<Line>) {
         self.tick += 1;
         let tick = self.tick;
-        let set_idx = self.set_of(line);
+        let set = self.set_of(line);
+        let base = set * self.ways;
         debug_assert!(
-            !self.sets[set_idx].iter().any(|l| l.line == line),
+            self.find(line).is_none(),
             "inserting already-resident line {line:#x}"
         );
-        let victim = if self.sets[set_idx].len() >= self.ways {
-            let vi = self.pick_victim(set_idx, pinned);
-            Some(self.sets[set_idx].swap_remove(vi))
+        let victim = if self.len[set] as usize >= self.ways {
+            let vi = self.pick_victim(set, pinned);
+            Some(self.swap_remove(set, base + vi))
         } else {
             None
         };
-        let mut newline = Line::new(line);
-        newline.lru = tick;
-        newline.rrip = 2;
-        let set = &mut self.sets[set_idx];
-        set.push(newline);
-        let lref = set.last_mut().expect("just pushed");
-        (lref, victim)
+        let slot = base + self.len[set] as usize;
+        self.tags[slot] = line;
+        self.rrip[slot] = 2;
+        self.lru[slot] = tick;
+        self.lines[slot] = Line::new(line);
+        self.len[set] += 1;
+        (&mut self.lines[slot], victim)
     }
 
-    fn pick_victim(&mut self, set_idx: usize, pinned: &[u64]) -> usize {
+    /// Picks a victim *way* in `set` (the caller removes it).
+    fn pick_victim(&mut self, set: usize, pinned: &[u64]) -> usize {
+        let base = set * self.ways;
+        let n = self.len[set] as usize;
         match self.replacement {
             Replacement::Lru => {
-                let set = &self.sets[set_idx];
                 let mut vi = None;
-                for (i, l) in set.iter().enumerate() {
-                    if pinned.contains(&l.line) {
+                for w in 0..n {
+                    if pinned.contains(&self.tags[base + w]) {
                         continue;
                     }
                     match vi {
-                        None => vi = Some(i),
-                        Some(j) if l.lru < set[j].lru => vi = Some(i),
+                        None => vi = Some(w),
+                        Some(j) if self.lru[base + w] < self.lru[base + j] => vi = Some(w),
                         _ => {}
                     }
                 }
@@ -178,19 +234,19 @@ impl CacheBank {
                 // until one exists. Bounded: each pass increments every
                 // counter; pinned lines must not fill the whole set.
                 assert!(
-                    self.sets[set_idx].iter().any(|l| !pinned.contains(&l.line)),
+                    self.tags[base..base + n]
+                        .iter()
+                        .any(|t| !pinned.contains(t)),
                     "every way of the set is pinned"
                 );
                 loop {
-                    let set = &mut self.sets[set_idx];
-                    if let Some(i) = set
-                        .iter()
-                        .position(|l| l.rrip >= 3 && !pinned.contains(&l.line))
-                    {
-                        return i;
+                    if let Some(w) = (0..n).find(|&w| {
+                        self.rrip[base + w] >= 3 && !pinned.contains(&self.tags[base + w])
+                    }) {
+                        return w;
                     }
-                    for l in set.iter_mut() {
-                        l.rrip += 1;
+                    for r in &mut self.rrip[base..base + n] {
+                        *r += 1;
                     }
                 }
             }
@@ -199,53 +255,71 @@ impl CacheBank {
 
     /// Removes `line` if resident, returning its metadata.
     pub fn invalidate(&mut self, line: u64) -> Option<Line> {
-        let set = self.set_of(line);
-        let pos = self.sets[set].iter().position(|l| l.line == line)?;
-        Some(self.sets[set].swap_remove(pos))
+        let slot = self.find(line)?;
+        Some(self.swap_remove(self.set_of(line), slot))
     }
 
     /// Removes and returns every resident line whose *byte* range overlaps
     /// `[base, bound)`. Used by `flush`.
     pub fn drain_range(&mut self, base: u64, bound: u64) -> Vec<Line> {
+        let mut out = Vec::new();
+        self.drain_range_into(base, bound, &mut out);
+        out
+    }
+
+    /// Arena-reuse variant of [`CacheBank::drain_range`]: clears `out` and
+    /// fills it with the drained lines, sorted by line address. Hot flush
+    /// paths pass a scratch buffer owned by `Hw` to avoid a fresh
+    /// allocation per call.
+    pub fn drain_range_into(&mut self, base: u64, bound: u64, out: &mut Vec<Line>) {
         crate::perf::prof_scope!(crate::perf::Phase::Flush);
         let first = base >> LINE_SHIFT;
         let last = (bound + (1 << LINE_SHIFT) - 1) >> LINE_SHIFT;
-        let mut out = Vec::new();
-        for set in &mut self.sets {
+        out.clear();
+        for set in 0..self.len.len() {
+            let slab = set * self.ways;
             let mut i = 0;
-            while i < set.len() {
-                if set[i].line >= first && set[i].line < last {
-                    out.push(set.swap_remove(i));
+            while i < self.len[set] as usize {
+                let t = self.tags[slab + i];
+                if t >= first && t < last {
+                    out.push(self.swap_remove(set, slab + i));
                 } else {
                     i += 1;
                 }
             }
         }
         out.sort_by_key(|l| l.line);
-        out
     }
 
     /// Number of resident lines.
     pub fn resident(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.len.iter().map(|&n| n as usize).sum()
     }
 
     /// Iterates over all resident lines (diagnostics).
     pub fn iter(&self) -> impl Iterator<Item = &Line> {
-        self.sets.iter().flatten()
+        let ways = self.ways;
+        self.len.iter().enumerate().flat_map(move |(set, &n)| {
+            let base = set * ways;
+            self.lines[base..base + n as usize].iter()
+        })
     }
 }
 
 impl CacheBank {
     /// Serializes bank contents (see [`crate::snapshot`]). Geometry
     /// (set count, ways, replacement policy) comes from the config at
-    /// restore time and is validated, not serialized.
+    /// restore time and is validated, not serialized. The byte format is
+    /// identical to the pre-flat nested-Vec layout: per set, occupancy then
+    /// lines in way order.
     pub(crate) fn snap_write(&self, w: &mut levi_isa::codec::Writer) {
         w.u64(self.tick);
-        w.u32(self.sets.len() as u32);
-        for set in &self.sets {
-            w.u32(set.len() as u32);
-            for l in set {
+        w.u32(self.len.len() as u32);
+        for set in 0..self.len.len() {
+            let n = self.len[set] as usize;
+            w.u32(n as u32);
+            for slot in set * self.ways..set * self.ways + n {
+                let l = &self.lines[slot];
                 w.u64(l.line);
                 w.bool(l.dirty);
                 w.bool(l.dtor);
@@ -261,8 +335,8 @@ impl CacheBank {
                     }
                     None => w.bool(false),
                 }
-                w.u8(l.rrip);
-                w.u64(l.lru);
+                w.u8(self.rrip[slot]);
+                w.u64(self.lru[slot]);
             }
         }
     }
@@ -276,16 +350,17 @@ impl CacheBank {
         use levi_isa::codec::CodecError;
         self.tick = r.u64()?;
         let nsets = r.u32()? as usize;
-        if nsets != self.sets.len() {
+        if nsets != self.len.len() {
             return Err(CodecError::Invalid("cache set count"));
         }
-        for set in &mut self.sets {
-            set.clear();
+        for set in 0..nsets {
+            let base = set * self.ways;
             let n = r.count(12)?;
             if n > self.ways {
                 return Err(CodecError::Invalid("cache set occupancy"));
             }
-            for _ in 0..n {
+            self.len[set] = n as u16;
+            for slot in base..base + n {
                 let line = r.u64()?;
                 let dirty = r.bool()?;
                 let dtor = r.bool()?;
@@ -296,18 +371,17 @@ impl CacheBank {
                 };
                 let sharers = r.u64()?;
                 let owner = if r.bool()? { Some(r.u8()?) } else { None };
-                let rrip = r.u8()?;
-                let lru = r.u64()?;
-                set.push(Line {
+                self.rrip[slot] = r.u8()?;
+                self.lru[slot] = r.u64()?;
+                self.tags[slot] = line;
+                self.lines[slot] = Line {
                     line,
                     dirty,
                     dtor,
                     state,
                     sharers,
                     owner,
-                    rrip,
-                    lru,
-                });
+                };
             }
         }
         Ok(())
@@ -411,5 +485,17 @@ mod tests {
         l.sharers |= 1 << 3;
         l.owner = Some(3);
         assert_eq!(c.peek(7).unwrap().owner, Some(3));
+    }
+
+    #[test]
+    fn drain_range_into_reuses_buffer() {
+        let mut c = tiny(4, Replacement::Lru);
+        c.insert(1, &[]);
+        c.insert(2, &[]);
+        let mut buf = vec![Line::new(99)]; // stale content must be cleared
+        c.drain_range_into(0x40, 0xC0, &mut buf);
+        let lines: Vec<u64> = buf.iter().map(|l| l.line).collect();
+        assert_eq!(lines, vec![1, 2]);
+        assert_eq!(c.resident(), 0);
     }
 }

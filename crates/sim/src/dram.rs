@@ -7,8 +7,6 @@
 //! computation of Fig. 14, and the FIFO cache absorbs the extra accesses
 //! when consecutive cache lines map into one DRAM line.
 
-use std::collections::VecDeque;
-
 use crate::config::{MemConfig, LINE_SHIFT, LINE_SIZE};
 use crate::fault::DramFault;
 use crate::stats::Stats;
@@ -177,30 +175,60 @@ impl DramLines {
 
 /// The DRAM subsystem: N controllers, each with fixed latency, a service
 /// rate, and a small FIFO line cache.
+///
+/// Per-controller state is struct-of-arrays: `busy_until` is one flat
+/// array, and the FIFO line caches live in a single flat slab
+/// (`fifo_buf`) with per-controller occupancy counts, oldest entry first —
+/// the hit check is a contiguous scan of at most `fifo_cache_lines`
+/// words.
 #[derive(Clone, Debug)]
 pub struct Dram {
     cfg: MemConfig,
     busy_until: Vec<u64>,
-    fifo: Vec<VecDeque<u64>>,
-    /// Injected controller throttles (empty unless a fault plan installed
-    /// some).
-    faults: Vec<DramFault>,
+    /// FIFO line caches: controller `mc` owns
+    /// `fifo_buf[mc*cap .. mc*cap + fifo_len[mc]]` (`cap` =
+    /// `fifo_cache_lines`), oldest first.
+    fifo_buf: Vec<u64>,
+    fifo_len: Vec<u32>,
+    /// Injected controller throttles, bucketed per controller in CSR form:
+    /// controller `mc`'s faults are
+    /// `fault_entries[fault_start[mc]..fault_start[mc+1]]` (empty unless a
+    /// fault plan installed some).
+    fault_start: Vec<u32>,
+    fault_entries: Vec<DramFault>,
 }
 
 impl Dram {
     /// Creates the DRAM subsystem.
     pub fn new(cfg: MemConfig) -> Self {
+        let mcs = cfg.controllers as usize;
+        let cap = cfg.fifo_cache_lines as usize;
         Dram {
-            busy_until: vec![0; cfg.controllers as usize],
-            fifo: vec![VecDeque::new(); cfg.controllers as usize],
-            faults: Vec::new(),
+            busy_until: vec![0; mcs],
+            fifo_buf: vec![0; mcs * cap],
+            fifo_len: vec![0; mcs],
+            fault_start: vec![0; mcs + 1],
+            fault_entries: Vec::new(),
             cfg,
         }
     }
 
-    /// Installs controller throttles from a fault plan.
+    /// Installs controller throttles from a fault plan, bucketed per
+    /// controller. Faults naming controllers that don't exist are dropped
+    /// (they could never fire).
     pub fn install_faults(&mut self, faults: Vec<DramFault>) {
-        self.faults = faults;
+        let mcs = self.busy_until.len();
+        let mut entries = faults;
+        entries.retain(|df| (df.controller as usize) < mcs);
+        entries.sort_by_key(|df| df.controller);
+        self.fault_start = vec![0; mcs + 1];
+        for df in &entries {
+            self.fault_start[df.controller as usize + 1] += 1;
+        }
+        for mc in 0..mcs {
+            self.fault_start[mc + 1] += self.fault_start[mc];
+        }
+        self.fault_entries = entries;
     }
 
     #[inline]
@@ -211,9 +239,14 @@ impl Dram {
     /// Accesses one DRAM line (read or writeback) at `now`; returns the
     /// completion time. FIFO-cache hits skip the DRAM access entirely.
     pub fn access_line(&mut self, dram_line: u64, now: u64, stats: &mut Stats) -> u64 {
-        crate::perf::prof_scope!(crate::perf::Phase::Dram);
         let mc = self.controller_of(dram_line);
-        if self.fifo[mc].contains(&dram_line) {
+        let cap = self.cfg.fifo_cache_lines as usize;
+        let base = mc * cap;
+        let n = self.fifo_len[mc] as usize;
+        if self.fifo_buf[base..base + n].contains(&dram_line) {
+            // FIFO-cache hit: resolved without entering the profiling
+            // scope — burst-friendly workloads hit here far more often
+            // than they queue, and the scan is a handful of compares.
             stats.mc_cache_hits += 1;
             stats.trace.record(|| {
                 TraceEvent::instant(
@@ -226,15 +259,18 @@ impl Dram {
             });
             return now + self.cfg.fifo_hit_latency;
         }
+        crate::perf::prof_scope!(crate::perf::Phase::Dram);
         stats.count_dram();
         // Queue: the request waits from `now` until the controller's
         // service slot frees up at `start`.
         let start = now.max(self.busy_until[mc]);
         stats.dram_queue.record(start - now);
         let mut service = self.cfg.cycles_per_line;
-        if !self.faults.is_empty() {
-            for df in &self.faults {
-                if df.controller as usize == mc && df.factor > 1 && df.window.contains(start) {
+        if !self.fault_entries.is_empty() {
+            let lo = self.fault_start[mc] as usize;
+            let hi = self.fault_start[mc + 1] as usize;
+            for df in &self.fault_entries[lo..hi] {
+                if df.factor > 1 && df.window.contains(start) {
                     service = service.saturating_mul(df.factor);
                 }
             }
@@ -253,11 +289,15 @@ impl Dram {
             }
         }
         self.busy_until[mc] = start + service;
-        if self.cfg.fifo_cache_lines > 0 {
-            if self.fifo[mc].len() >= self.cfg.fifo_cache_lines as usize {
-                self.fifo[mc].pop_front();
+        if cap > 0 {
+            if n >= cap {
+                // Full: drop the oldest (shift left; `cap` is small).
+                self.fifo_buf.copy_within(base + 1..base + n, base);
+                self.fifo_buf[base + n - 1] = dram_line;
+            } else {
+                self.fifo_buf[base + n] = dram_line;
+                self.fifo_len[mc] = n as u32 + 1;
             }
-            self.fifo[mc].push_back(dram_line);
         }
         let done = start + self.cfg.latency;
         stats.trace.record(|| {
@@ -300,9 +340,11 @@ impl Dram {
         for t in &self.busy_until {
             w.u64(*t);
         }
-        for f in &self.fifo {
-            w.u32(f.len() as u32);
-            for line in f {
+        let cap = self.cfg.fifo_cache_lines as usize;
+        for mc in 0..self.fifo_len.len() {
+            let n = self.fifo_len[mc] as usize;
+            w.u32(n as u32);
+            for line in &self.fifo_buf[mc * cap..mc * cap + n] {
                 w.u64(*line);
             }
         }
@@ -322,11 +364,15 @@ impl Dram {
         for t in &mut self.busy_until {
             *t = r.u64()?;
         }
-        for f in &mut self.fifo {
-            f.clear();
+        let cap = self.cfg.fifo_cache_lines as usize;
+        for mc in 0..self.fifo_len.len() {
             let len = r.count(8)?;
-            for _ in 0..len {
-                f.push_back(r.u64()?);
+            if len > cap {
+                return Err(levi_isa::codec::CodecError::Invalid("dram fifo length"));
+            }
+            self.fifo_len[mc] = len as u32;
+            for k in 0..len {
+                self.fifo_buf[mc * cap + k] = r.u64()?;
             }
         }
         Ok(())

@@ -8,8 +8,6 @@
 //! actor buffer ([`Hw::dtor_or_queue`]) and drained iteratively, so
 //! eviction cascades cannot recurse unboundedly.
 
-use std::collections::HashSet;
-
 use levi_isa::Addr;
 
 use crate::cache::PrivState;
@@ -330,33 +328,48 @@ impl Hw {
     ) -> u64 {
         let bound = base + len;
         let mut t = now;
+        // Scratch arenas reused across calls. Taken (not borrowed) so the
+        // victim handlers below can re-enter `flush_range` from inline
+        // destructor actions — a nested call just sees empty arenas.
+        let mut drained = std::mem::take(&mut self.scratch_lines);
+        let mut l1_dirty = std::mem::take(&mut self.scratch_dirty);
         for tile in 0..self.cfg.tiles {
-            let l1_dirty: HashSet<u64> = self.l1[tile as usize]
-                .drain_range(base, bound)
-                .into_iter()
-                .filter(|l| l.dirty)
-                .map(|l| l.line)
-                .collect();
-            for mut v in self.l2[tile as usize].drain_range(base, bound) {
-                v.dirty |= l1_dirty.contains(&v.line);
+            self.l1[tile as usize].drain_range_into(base, bound, &mut drained);
+            l1_dirty.clear();
+            // `drained` is sorted by line, so `l1_dirty` is too: membership
+            // below is a binary search.
+            l1_dirty.extend(drained.iter().filter(|l| l.dirty).map(|l| l.line));
+            self.l2[tile as usize].drain_range_into(base, bound, &mut drained);
+            for v in &drained {
+                let mut v = *v;
+                v.dirty |= l1_dirty.binary_search(&v.line).is_ok();
                 t = t.max(self.handle_l2_victim_flush(mem, tile, v, now));
             }
         }
         for bank in 0..self.cfg.tiles {
-            for v in self.llc[bank as usize].drain_range(base, bound) {
-                t = t.max(self.handle_llc_victim(mem, bank, v, now));
+            self.llc[bank as usize].drain_range_into(base, bound, &mut drained);
+            for v in &drained {
+                t = t.max(self.handle_llc_victim(mem, bank, *v, now));
             }
             let eid = EngineId {
                 tile: bank,
                 level: EngineLevel::Llc,
             };
-            self.engines[eid.index()].l1d.drain_range(base, bound);
+            self.engines[eid.index()]
+                .l1d
+                .drain_range_into(base, bound, &mut drained);
             let eid2 = EngineId {
                 tile: bank,
                 level: EngineLevel::L2,
             };
-            self.engines[eid2.index()].l1d.drain_range(base, bound);
+            self.engines[eid2.index()]
+                .l1d
+                .drain_range_into(base, bound, &mut drained);
         }
+        drained.clear();
+        l1_dirty.clear();
+        self.scratch_lines = drained;
+        self.scratch_dirty = l1_dirty;
         t
     }
 

@@ -150,6 +150,13 @@ pub struct Hw {
     /// actor buffer): drained iteratively once the current action ends,
     /// preventing unbounded eviction cascades.
     pending_dtors: Vec<PendingDtor>,
+    /// Scratch arena for drained lines in `flush_range` — reused across
+    /// calls so flushes don't allocate. Always empty between calls; never
+    /// serialized.
+    scratch_lines: Vec<crate::cache::Line>,
+    /// Scratch arena for the sorted dirty-line set in `flush_range`. Always
+    /// empty between calls; never serialized.
+    scratch_dirty: Vec<u64>,
 }
 
 /// A deferred destructor invocation (see [`Hw::pending_dtors`]).
@@ -215,6 +222,8 @@ impl Hw {
             pins: Vec::new(),
             inline_depth: 0,
             pending_dtors: Vec::new(),
+            scratch_lines: Vec::new(),
+            scratch_dirty: Vec::new(),
             cfg,
         }
     }

@@ -31,24 +31,7 @@ impl Hw {
         now: u64,
         allow_phantom: bool,
     ) -> Walk {
-        crate::perf::prof_scope!(crate::perf::Phase::Cache);
-        self.pin(addr >> LINE_SHIFT);
-        let w = self.access_core_inner(mem, tile, kind, addr, now, allow_phantom);
-        self.unpin();
-        w
-    }
-
-    fn access_core_inner(
-        &mut self,
-        mem: &mut dyn levi_isa::Memory,
-        tile: u32,
-        kind: AccessKind,
-        addr: Addr,
-        now: u64,
-        allow_phantom: bool,
-    ) -> Walk {
         let line = addr >> LINE_SHIFT;
-        let t = tile as usize;
 
         // Stream stall check (Sec. VI-B3): loads to a stream's phantom
         // range stall while the entry at the head has not been pushed —
@@ -65,8 +48,13 @@ impl Hw {
             }
         }
 
-        // L1 probe.
-        if let Some(l) = self.l1[t].probe(line) {
+        // L1 probe, outside the profiling scope: hits are the
+        // overwhelmingly common case and two clock reads would dominate
+        // the probe itself (Phase::Cache self-time covers the miss walk;
+        // hit time lands in the caller's phase). Pinning is only
+        // victim-selection protection for nested fills, so the hit path —
+        // which inserts nothing — safely skips it.
+        if let Some(l) = self.l1[tile as usize].probe(line) {
             if !kind.wants_ownership() || l.state == PrivState::Owned {
                 if kind.wants_ownership() {
                     l.dirty = true;
@@ -78,6 +66,27 @@ impl Hw {
             }
             // Present but shared and we need ownership: upgrade miss.
         }
+        crate::perf::prof_scope!(crate::perf::Phase::Cache);
+        self.pin(line);
+        let w = self.access_core_miss(mem, tile, kind, addr, now, allow_phantom);
+        self.unpin();
+        w
+    }
+
+    /// The core walk past a missed (or ownership-upgrading) L1 probe.
+    /// The L1 replacement state was already touched by the caller's probe;
+    /// this must not probe L1 again.
+    fn access_core_miss(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        tile: u32,
+        kind: AccessKind,
+        addr: Addr,
+        now: u64,
+        allow_phantom: bool,
+    ) -> Walk {
+        let line = addr >> LINE_SHIFT;
+        let t = tile as usize;
         self.stats.l1.misses += 1;
         let mut now = now + self.cfg.l1.latency;
 
@@ -141,22 +150,6 @@ impl Hw {
         now: u64,
         allow_phantom: bool,
     ) -> Walk {
-        crate::perf::prof_scope!(crate::perf::Phase::Cache);
-        self.pin(addr >> LINE_SHIFT);
-        let w = self.access_engine_inner(mem, eid, kind, addr, now, allow_phantom);
-        self.unpin();
-        w
-    }
-
-    fn access_engine_inner(
-        &mut self,
-        mem: &mut dyn levi_isa::Memory,
-        eid: EngineId,
-        kind: AccessKind,
-        addr: Addr,
-        now: u64,
-        allow_phantom: bool,
-    ) -> Walk {
         let line = addr >> LINE_SHIFT;
         let e = eid.index();
         let l1d_lat = self.engines[e].l1d_latency;
@@ -176,8 +169,10 @@ impl Hw {
 
         // Memory-side data bypasses the cache hierarchy entirely: the
         // engine issues the access to the memory controller (the MC's
-        // FIFO line cache still absorbs same-line bursts).
+        // FIFO line cache still absorbs same-line bursts). No cache
+        // insert happens on this path, so pinning is unnecessary.
         if !self.ndc.mem_side_ranges.is_empty() && self.ndc.is_mem_side(addr) {
+            crate::perf::prof_scope!(crate::perf::Phase::Cache);
             let mc_home = self.bank_of(addr);
             let t = self
                 .noc
@@ -191,7 +186,8 @@ impl Hw {
         // Engine L1d: read-allocate; reads hit, and writes to resident
         // lines coalesce in place (write-back — the engine's private
         // working state, e.g. a stream producer's traversal stack and
-        // cursors, stays local). Write misses and RMWs go through.
+        // cursors, stays local). Write misses and RMWs go through. Hits
+        // resolve outside the profiling scope, like the core L1 path.
         if kind == AccessKind::Read {
             if self.engines[e].l1d.probe(line).is_some() {
                 self.stats.engine_l1.hits += 1;
@@ -205,6 +201,27 @@ impl Hw {
                 return Walk::Done { at: now + l1d_lat };
             }
         }
+        crate::perf::prof_scope!(crate::perf::Phase::Cache);
+        self.pin(line);
+        let w = self.access_engine_miss(mem, eid, kind, addr, now, allow_phantom);
+        self.unpin();
+        w
+    }
+
+    /// The engine walk past a missed L1d probe (or an RMW, which never
+    /// probes L1d). The L1d replacement state was already touched by the
+    /// caller for reads and writes; this must not probe it again.
+    fn access_engine_miss(
+        &mut self,
+        mem: &mut dyn levi_isa::Memory,
+        eid: EngineId,
+        kind: AccessKind,
+        addr: Addr,
+        now: u64,
+        allow_phantom: bool,
+    ) -> Walk {
+        let line = addr >> LINE_SHIFT;
+        let l1d_lat = self.engines[eid.index()].l1d_latency;
         let now = now + l1d_lat;
 
         let at = match eid.level {

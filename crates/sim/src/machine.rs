@@ -27,9 +27,10 @@
 //!   → evict stages).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
+use levi_isa::fx::FxHashMap;
 use levi_isa::{Addr, FuncId, PagedMem, Program};
 
 use crate::config::MachineConfig;
@@ -52,12 +53,19 @@ pub struct Machine {
     pub(crate) runq: BinaryHeap<Reverse<(u64, u64, ActorId)>>,
     pub(crate) seq: u64,
     pub(crate) now: u64,
-    pub(crate) waiters: HashMap<WaitCond, Vec<ActorId>>,
+    pub(crate) waiters: FxHashMap<WaitCond, Vec<ActorId>>,
+    /// Emptied waiter lists recycled between park/wake cycles, so parking
+    /// doesn't allocate in steady state.
+    pub(crate) waiter_pool: Vec<Vec<ActorId>>,
     pub(crate) live_core_threads: u32,
     pub(crate) traces: Vec<u64>,
     /// Recycled actor slots (finished engine tasks); bounds memory when a
     /// workload offloads millions of short tasks.
     pub(crate) free_slots: Vec<ActorId>,
+    /// Scratch buffers for per-instruction spawn/wake requests, reused
+    /// across `run_actor` iterations (always empty between instructions).
+    pub(crate) scratch_spawns: Vec<crate::ndc_host::SpawnReq>,
+    pub(crate) scratch_wakes: Vec<(WaitCond, u64)>,
     /// The next cycle at which the periodic checkpoint hook fires
     /// (`u64::MAX` when [`MachineConfig::checkpoint_every`] is 0, so the
     /// disabled hook is a single always-false compare).
@@ -88,10 +96,13 @@ impl Machine {
             runq: BinaryHeap::new(),
             seq: 0,
             now: 0,
-            waiters: HashMap::new(),
+            waiters: FxHashMap::default(),
+            waiter_pool: Vec::new(),
             live_core_threads: 0,
             traces: Vec::new(),
             free_slots: Vec::new(),
+            scratch_spawns: Vec::new(),
+            scratch_wakes: Vec::new(),
             next_ckpt,
             last_checkpoint: None,
         })

@@ -2,10 +2,10 @@
 //! LLC bank-mapping ranges, and the wait/wake machinery for blocked
 //! contexts.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use levi_isa::fx::FxHashMap;
 use levi_isa::{ActionId, Addr, FuncId, Program};
 
 use crate::engine::EngineId;
@@ -22,15 +22,26 @@ pub struct ActionRef {
 
 /// The machine-wide action table (the engines' "vtable map",
 /// paper Sec. VI-B2).
+///
+/// Action ids are small dense integers allocated by the workload layer, so
+/// the table is a flat slab indexed by id — an invoke's action lookup is a
+/// bounds check plus a load, not a hash.
 #[derive(Clone, Debug, Default)]
 pub struct ActionTable {
-    map: HashMap<ActionId, ActionRef>,
+    slab: Vec<Option<ActionRef>>,
+    count: usize,
 }
 
 impl ActionTable {
     /// Registers (or replaces) an action.
     pub fn register(&mut self, id: ActionId, prog: Arc<Program>, func: FuncId) {
-        self.map.insert(id, ActionRef { prog, func });
+        let idx = id.0 as usize;
+        if idx >= self.slab.len() {
+            self.slab.resize(idx + 1, None);
+        }
+        if self.slab[idx].replace(ActionRef { prog, func }).is_none() {
+            self.count += 1;
+        }
     }
 
     /// Looks up an action.
@@ -40,25 +51,31 @@ impl ActionTable {
     /// [`SimError::UnknownAction`], which `Machine::run` converts into a
     /// `RunError::Fault`.
     pub fn get(&self, id: ActionId) -> Result<&ActionRef, SimError> {
-        self.map.get(&id).ok_or(SimError::UnknownAction(id))
+        self.slab
+            .get(id.0 as usize)
+            .and_then(|slot| slot.as_ref())
+            .ok_or(SimError::UnknownAction(id))
     }
 
     /// Number of registered actions.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.count
     }
 
     /// All registered actions sorted by id — the canonical iteration
-    /// order for serialization (see [`crate::snapshot`]).
+    /// order for serialization (see [`crate::snapshot`]). Slab order *is*
+    /// id order.
     pub(crate) fn snap_entries(&self) -> Vec<(ActionId, &ActionRef)> {
-        let mut v: Vec<(ActionId, &ActionRef)> = self.map.iter().map(|(k, r)| (*k, r)).collect();
-        v.sort_unstable_by_key(|(id, _)| id.0);
-        v
+        self.slab
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|r| (ActionId(i as u32), r)))
+            .collect()
     }
 
     /// True if no actions are registered.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.count == 0
     }
 }
 
@@ -249,7 +266,7 @@ pub struct NdcState {
     /// Active streams.
     pub streams: Vec<StreamState>,
     /// Filled futures (address → delivery record).
-    pub futures: HashMap<Addr, FutureFill>,
+    pub futures: FxHashMap<Addr, FutureFill>,
     /// LLC bank-mapping overrides.
     pub bank_maps: Vec<BankMapRange>,
     /// Streaming-store ranges: full-line sequential write targets (e.g.

@@ -23,44 +23,74 @@ pub struct Noc {
     /// `link_free[node * DIRS + dir]`: cycle at which that output link is
     /// next available.
     link_free: Vec<u64>,
-    /// Injected link faults (empty unless a fault plan installed some).
-    faults: Vec<LinkFault>,
+    /// Injected link faults, bucketed per link in CSR form: link `k`'s
+    /// faults are `fault_entries[fault_start[k]..fault_start[k+1]]`. A hop
+    /// checks exactly its own link's bucket instead of scanning the whole
+    /// plan (empty unless a fault plan installed some).
+    fault_start: Vec<u32>,
+    fault_entries: Vec<LinkFault>,
 }
 
 impl Noc {
     /// Creates a mesh of `cols × rows` routers.
     pub fn new(cols: u32, rows: u32, cfg: NocConfig) -> Self {
+        let links = (cols * rows) as usize * DIRS;
         Noc {
             cols,
             rows,
             cfg,
-            link_free: vec![0; (cols * rows) as usize * DIRS],
-            faults: Vec::new(),
+            link_free: vec![0; links],
+            fault_start: vec![0; links + 1],
+            fault_entries: Vec::new(),
         }
     }
 
-    /// Installs link faults from a fault plan.
+    /// Installs link faults from a fault plan, bucketing them per link.
+    /// Faults addressing links outside the mesh are ignored (they could
+    /// never fire).
     pub fn install_faults(&mut self, faults: Vec<LinkFault>) {
-        self.faults = faults;
+        let links = self.link_free.len();
+        let mut entries = faults;
+        entries.retain(|lf| (lf.dir as usize) < DIRS && lf.node as usize * DIRS + DIRS <= links);
+        // Stable sort: plan order is preserved within a link (the delay
+        // computation is order-independent, but determinism is easier to
+        // audit this way).
+        entries.sort_by_key(|lf| lf.node as usize * DIRS + lf.dir as usize);
+        self.fault_start = vec![0; links + 1];
+        for lf in &entries {
+            self.fault_start[lf.node as usize * DIRS + lf.dir as usize + 1] += 1;
+        }
+        for k in 0..links {
+            self.fault_start[k + 1] += self.fault_start[k];
+        }
+        self.fault_entries = entries;
+    }
+
+    /// The faults installed on one link.
+    #[inline]
+    fn link_faults(&self, node: usize, dir: usize) -> &[LinkFault] {
+        let k = node * DIRS + dir;
+        let lo = self.fault_start[k] as usize;
+        let hi = self.fault_start[k + 1] as usize;
+        &self.fault_entries[lo..hi]
     }
 
     /// Outage wait + slowdown penalty for a head flit reaching
     /// `node`/`dir` at `start`: returns the (possibly deferred) link entry
     /// time and the extra per-hop latency.
     fn link_fault_delay(&self, node: usize, dir: usize, mut start: u64) -> (u64, u64) {
+        let faults = self.link_faults(node, dir);
         // An outage defers the head flit to the end of the window; chained
         // outages are rare but handled by re-checking from the new time.
-        while let Some(w) = self.faults.iter().find(|lf| {
-            lf.node as usize == node
-                && lf.dir as usize == dir
-                && matches!(lf.kind, LinkFaultKind::Outage)
-                && lf.window.contains(start)
-        }) {
+        while let Some(w) = faults
+            .iter()
+            .find(|lf| matches!(lf.kind, LinkFaultKind::Outage) && lf.window.contains(start))
+        {
             start = w.window.end;
         }
         let mut extra = 0u64;
-        for lf in &self.faults {
-            if lf.node as usize == node && lf.dir as usize == dir && lf.window.contains(start) {
+        for lf in faults {
+            if lf.window.contains(start) {
                 if let LinkFaultKind::Slowdown { extra: e } = lf.kind {
                     extra += e;
                 }
@@ -107,12 +137,14 @@ impl Noc {
         stats: &mut Stats,
         span: Option<crate::span::SpanId>,
     ) -> u64 {
-        crate::perf::prof_scope!(crate::perf::Phase::Noc);
         stats.noc_messages += 1;
         if from == to {
-            // Same tile: no network traversal.
+            // Same tile: no network traversal — and no profiling scope,
+            // so the (very common) local send costs two branches, not two
+            // clock reads. Phase::Noc self-time covers real traversals.
             return now;
         }
+        crate::perf::prof_scope!(crate::perf::Phase::Noc);
         let flits = self.flits(bytes) as u64;
         let (mut x, mut y) = self.coords(from);
         let (tx, ty) = self.coords(to);
@@ -133,7 +165,7 @@ impl Noc {
             // for `flits` cycles (serialization).
             let mut start = t.max(self.link_free[node * DIRS + dir]);
             let mut extra = 0;
-            if !self.faults.is_empty() {
+            if !self.fault_entries.is_empty() {
                 let (deferred, slow) = self.link_fault_delay(node, dir, start);
                 degraded += (deferred - start) + slow;
                 start = deferred;

@@ -26,6 +26,15 @@
 //! profile is not printed by `Stats`'s `Display` and feeds nothing in the
 //! simulation. Consumers (the `levi-perf` harness) read
 //! [`crate::Stats::host_phases`] explicitly.
+//!
+//! **Fast paths skip their scope.** Because a scope costs two clock reads
+//! (~40–50 ns), the hottest early returns — core L1 hits, engine L1d
+//! hits, same-tile NoC sends, DRAM FIFO-cache hits — resolve *before*
+//! entering their subsystem's scope. Their (tiny) host time lands in the
+//! enclosing phase (usually `Exec`), and `calls` counts scope entries,
+//! i.e. slow-path events, not total subsystem invocations. This trades a
+//! little attribution precision on cheap hits for not perturbing the very
+//! paths the profile exists to optimize.
 
 use std::fmt;
 
@@ -41,11 +50,14 @@ pub enum Phase {
     Sched,
     /// Instruction execution (issue, scoreboard, functional step).
     Exec,
-    /// Cache-hierarchy walks (L1/L2/LLC probes, directory, fills).
+    /// Cache-hierarchy miss walks (L2/LLC probes, directory, fills).
+    /// L1/L1d hits resolve before the scope opens and land in the caller.
     Cache,
-    /// NoC routing and link reservation.
+    /// NoC routing and link reservation for cross-tile messages.
+    /// Same-tile sends return before the scope opens.
     Noc,
-    /// DRAM controller queueing and service.
+    /// DRAM controller queueing and service. FIFO-cache hits return
+    /// before the scope opens.
     Dram,
     /// Invoke scheduling (placement, NACK, backpressure).
     Invoke,

@@ -301,10 +301,10 @@ impl Machine {
     }
 
     pub(crate) fn wake(&mut self, cond: WaitCond, at: u64) {
-        let Some(list) = self.waiters.remove(&cond) else {
+        let Some(mut list) = self.waiters.remove(&cond) else {
             return;
         };
-        for aid in list {
+        for aid in list.drain(..) {
             let a = &mut self.actors[aid as usize];
             if a.state == ActorState::Parked(cond) {
                 if let WaitCond::StreamData(sid) = cond {
@@ -351,6 +351,8 @@ impl Machine {
                 self.enqueue(aid, clock);
             }
         }
+        // Recycle the emptied list so the next park doesn't allocate.
+        self.waiter_pool.push(list);
     }
 
     /// Runs until every spawned core thread has halted (engine tasks may
@@ -516,8 +518,10 @@ impl Machine {
             // -------- per-instruction outcome, gathered under a scoped
             // borrow of the actor --------
             use StepOutcome as Outcome;
-            let mut spawns: Vec<SpawnReq> = Vec::new();
-            let mut wakes: Vec<(WaitCond, u64)> = Vec::new();
+            // Scratch buffers reused across iterations (and actors): taken
+            // from the machine, drained below, and put back empty.
+            let mut spawns: Vec<SpawnReq> = std::mem::take(&mut self.scratch_spawns);
+            let mut wakes: Vec<(WaitCond, u64)> = std::mem::take(&mut self.scratch_wakes);
 
             let outcome = {
                 let Machine {
@@ -581,7 +585,7 @@ impl Machine {
             };
 
             // -------- apply side effects gathered during the step --------
-            for s in spawns {
+            for s in spawns.drain(..) {
                 let start = s.start;
                 if let Some(core) = s.fallback_core {
                     // Fault fallback: run the action as a software handler
@@ -644,9 +648,11 @@ impl Machine {
                 }
                 self.enqueue(id, start);
             }
-            for (cond, at) in wakes {
+            for (cond, at) in wakes.drain(..) {
                 self.wake(cond, at);
             }
+            self.scratch_spawns = spawns;
+            self.scratch_wakes = wakes;
 
             match outcome {
                 Outcome::Continue => {}
@@ -662,7 +668,18 @@ impl Machine {
                     let a = &mut self.actors[aid as usize];
                     a.state = ActorState::Parked(cond);
                     a.parked_at = a.clock;
-                    self.waiters.entry(cond).or_default().push(aid);
+                    // Pull a recycled list from the pool rather than
+                    // allocating a fresh Vec per wait condition.
+                    match self.waiters.entry(cond) {
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            e.into_mut().push(aid);
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            let mut list = self.waiter_pool.pop().unwrap_or_default();
+                            list.push(aid);
+                            e.insert(list);
+                        }
+                    }
                     return;
                 }
                 Outcome::SleepUntil(at) => {

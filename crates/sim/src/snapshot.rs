@@ -836,7 +836,7 @@ pub(crate) fn decode_machine_into(m: &mut Machine, payload: &[u8]) -> Result<(),
         m.runq.push(Reverse((t, seq, aid)));
     }
     let n = r.count(2)?;
-    m.waiters = HashMap::with_capacity(n);
+    m.waiters = levi_isa::fx::map_with_capacity(n);
     for _ in 0..n {
         let cond = r_wait_cond(r)?;
         let len = r.count(4)?;
@@ -901,7 +901,7 @@ pub(crate) fn decode_machine_into(m: &mut Machine, payload: &[u8]) -> Result<(),
             m.hw.ndc.streams.push(r_stream(r)?);
         }
         let n = r.count(16)?;
-        m.hw.ndc.futures = HashMap::with_capacity(n);
+        m.hw.ndc.futures = levi_isa::fx::map_with_capacity(n);
         for _ in 0..n {
             let addr = r.u64()?;
             let arrival = r.u64()?;

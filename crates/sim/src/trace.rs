@@ -327,14 +327,15 @@ impl Tracer {
         // Flow arrows need a start, zero or more steps, and an end: count
         // how many events carry each span id so the per-event pass knows
         // which flow phase to emit. Ids seen once get no flow events.
-        let mut flow_total: std::collections::BTreeMap<u64, u32> =
-            std::collections::BTreeMap::new();
+        let mut flow_total: levi_isa::fx::FxHashMap<u64, u32> = levi_isa::fx::FxHashMap::default();
         for e in &self.events {
             if let Some(id) = e.span_arg() {
                 *flow_total.entry(id).or_insert(0) += 1;
             }
         }
-        let mut flow_seen: std::collections::BTreeMap<u64, u32> = std::collections::BTreeMap::new();
+        // Lookup-only (never iterated for output), so hash order is
+        // unobservable and the fast hasher is safe here.
+        let mut flow_seen: levi_isa::fx::FxHashMap<u64, u32> = levi_isa::fx::FxHashMap::default();
 
         for e in &self.events {
             let (pid, tid) = e.track.pid_tid();

@@ -1,0 +1,280 @@
+//! Randomized equivalence between the flat-slab [`CacheBank`] and the
+//! nested-Vec reference model it replaced.
+//!
+//! The flat layout (parallel `tags`/`rrip`/`lru`/`lines` arrays plus a
+//! per-set occupancy count) claims to emulate the old `Vec<Vec<Line>>`
+//! push/`swap_remove` discipline *exactly* — way ordering included, since
+//! SRRIP's first-match victim scan observes it. This test keeps the old
+//! implementation alive as a reference model and drives both through long
+//! seeded random op sequences, asserting identical hit/miss, victim,
+//! invalidate, and drain outcomes at every step, plus identical residency
+//! at the end.
+
+use levi_sim::cache::{CacheBank, Line, PrivState};
+use levi_sim::{CacheConfig, Replacement};
+
+/// Line address mask: ops draw from a small pool so sets fill, conflict,
+/// and churn.
+const LINE_POOL: u64 = 63;
+
+/// The pre-flat reference implementation: one `Vec` per set, lines pushed
+/// at the back, removed with `swap_remove`. Logic is copied from the old
+/// `cache.rs` (replacement state lived inline in the line then).
+struct RefBank {
+    sets: Vec<Vec<(Line, u8, u64)>>, // (meta, rrip, lru)
+    ways: usize,
+    set_mask: u64,
+    replacement: Replacement,
+    tick: u64,
+}
+
+impl RefBank {
+    fn new(cfg: &CacheConfig) -> Self {
+        let sets = cfg.sets();
+        RefBank {
+            sets: (0..sets).map(|_| Vec::new()).collect(),
+            ways: cfg.ways as usize,
+            set_mask: sets - 1,
+            replacement: cfg.replacement,
+            tick: 0,
+        }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line & self.set_mask) as usize
+    }
+
+    fn probe(&mut self, line: u64) -> Option<&mut Line> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(line);
+        let e = self.sets[set].iter_mut().find(|(l, _, _)| l.line == line)?;
+        e.1 = 0;
+        e.2 = tick;
+        Some(&mut e.0)
+    }
+
+    fn insert(&mut self, line: u64, pinned: &[u64]) -> (&mut Line, Option<Line>) {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(line);
+        let victim = if self.sets[set].len() >= self.ways {
+            let vi = self.pick_victim(set, pinned);
+            Some(self.sets[set].swap_remove(vi).0)
+        } else {
+            None
+        };
+        let fresh = Line {
+            line,
+            dirty: false,
+            dtor: false,
+            state: PrivState::Shared,
+            sharers: 0,
+            owner: None,
+        };
+        self.sets[set].push((fresh, 2, tick));
+        (&mut self.sets[set].last_mut().unwrap().0, victim)
+    }
+
+    fn pick_victim(&mut self, set: usize, pinned: &[u64]) -> usize {
+        let ways = &mut self.sets[set];
+        match self.replacement {
+            Replacement::Lru => ways
+                .iter()
+                .enumerate()
+                .filter(|(_, (l, _, _))| !pinned.contains(&l.line))
+                .min_by_key(|(_, (_, _, lru))| *lru)
+                .map(|(i, _)| i)
+                .expect("every way of the set is pinned"),
+            Replacement::Srrip => {
+                assert!(
+                    ways.iter().any(|(l, _, _)| !pinned.contains(&l.line)),
+                    "every way of the set is pinned"
+                );
+                loop {
+                    if let Some(i) = ways
+                        .iter()
+                        .position(|(l, r, _)| *r >= 3 && !pinned.contains(&l.line))
+                    {
+                        return i;
+                    }
+                    for (_, r, _) in ways.iter_mut() {
+                        *r += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn invalidate(&mut self, line: u64) -> Option<Line> {
+        let set = self.set_of(line);
+        let i = self.sets[set].iter().position(|(l, _, _)| l.line == line)?;
+        Some(self.sets[set].swap_remove(i).0)
+    }
+
+    fn drain_range(&mut self, base: u64, bound: u64) -> Vec<Line> {
+        let first = base >> 6;
+        let last = (bound + 63) >> 6;
+        let mut out = Vec::new();
+        for set in self.sets.iter_mut() {
+            let mut i = 0;
+            while i < set.len() {
+                if set[i].0.line >= first && set[i].0.line < last {
+                    out.push(set.swap_remove(i).0);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        out.sort_by_key(|l| l.line);
+        out
+    }
+
+    /// Residency as `(line, dirty, dtor, sharers, owner)` in set/way order.
+    fn dump(&self) -> Vec<(u64, bool, bool, u64, Option<u8>)> {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|(l, _, _)| (l.line, l.dirty, l.dtor, l.sharers, l.owner))
+            .collect()
+    }
+}
+
+/// xorshift64* — tiny, deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+fn key(l: &Line) -> (u64, bool, bool, u64, Option<u8>) {
+    (l.line, l.dirty, l.dtor, l.sharers, l.owner)
+}
+
+fn fuzz(seed: u64, repl: Replacement, ops: usize) {
+    // 8 sets × 4 ways; the 64-line pool forces constant conflict churn.
+    let cfg = CacheConfig {
+        size_bytes: 8 * 4 * 64,
+        ways: 4,
+        latency: 1,
+        replacement: repl,
+    };
+    let mut flat = CacheBank::new(&cfg);
+    let mut model = RefBank::new(&cfg);
+    let mut rng = Rng(seed);
+    for step in 0..ops {
+        let line = rng.next() & LINE_POOL;
+        match rng.next() % 10 {
+            // Probe (hit path also mutates metadata through the returned
+            // reference, so divergent way choices would surface later).
+            0..=3 => {
+                let a = flat.probe(line);
+                let b = model.probe(line);
+                match (a, b) {
+                    (Some(x), Some(y)) => {
+                        assert_eq!(key(x), key(y), "step {step}: hit metadata");
+                        let d = rng.next().is_multiple_of(2);
+                        x.dirty = d;
+                        y.dirty = d;
+                        x.sharers |= 1 << (step % 60);
+                        y.sharers |= 1 << (step % 60);
+                    }
+                    (None, None) => {}
+                    (x, y) => panic!(
+                        "step {step}: probe({line:#x}) diverged: flat={:?} model={:?}",
+                        x.map(|l| l.line),
+                        y.map(|l| l.line)
+                    ),
+                }
+            }
+            // Insert, sometimes with a pinned resident line (MSHR
+            // protection): victim choice must match exactly.
+            4..=6 => {
+                if flat.contains(line) {
+                    continue; // insert requires non-resident
+                }
+                let mut pins = Vec::new();
+                if rng.next().is_multiple_of(3) {
+                    pins.push(rng.next() & LINE_POOL);
+                }
+                let (a, va) = flat.insert(line, &pins);
+                let (b, vb) = model.insert(line, &pins);
+                assert_eq!(
+                    va.as_ref().map(key),
+                    vb.as_ref().map(key),
+                    "step {step}: victim for insert({line:#x})"
+                );
+                if rng.next().is_multiple_of(2) {
+                    a.dtor = true;
+                    b.dtor = true;
+                }
+                if rng.next().is_multiple_of(4) {
+                    a.owner = Some((step % 16) as u8);
+                    b.owner = Some((step % 16) as u8);
+                    a.state = PrivState::Owned;
+                    b.state = PrivState::Owned;
+                }
+            }
+            7 => {
+                let a = flat.invalidate(line);
+                let b = model.invalidate(line);
+                assert_eq!(
+                    a.as_ref().map(key),
+                    b.as_ref().map(key),
+                    "step {step}: invalidate({line:#x})"
+                );
+            }
+            8 => {
+                let base = (rng.next() & LINE_POOL) << 6;
+                let bound = base + (rng.next() % 8 + 1) * 64;
+                let a = flat.drain_range(base, bound);
+                let b = model.drain_range(base, bound);
+                assert_eq!(
+                    a.iter().map(key).collect::<Vec<_>>(),
+                    b.iter().map(key).collect::<Vec<_>>(),
+                    "step {step}: drain_range({base:#x}, {bound:#x})"
+                );
+            }
+            _ => {
+                assert_eq!(
+                    flat.peek(line).map(key),
+                    model.sets[model.set_of(line)]
+                        .iter()
+                        .find(|(l, _, _)| l.line == line)
+                        .map(|(l, _, _)| key(l)),
+                    "step {step}: peek({line:#x})"
+                );
+            }
+        }
+        assert_eq!(
+            flat.resident(),
+            model.dump().len(),
+            "step {step}: residency"
+        );
+    }
+    // Final residency must match in set/way order — `iter` walks sets then
+    // live ways, exactly the model's nested order.
+    let final_flat: Vec<_> = flat.iter().map(key).collect();
+    assert_eq!(final_flat, model.dump(), "final residency (seed {seed})");
+}
+
+#[test]
+fn flat_bank_matches_nested_vec_model_lru() {
+    for seed in [1, 0xdead_beef, 0x5eed_0001] {
+        fuzz(seed, Replacement::Lru, 20_000);
+    }
+}
+
+#[test]
+fn flat_bank_matches_nested_vec_model_srrip() {
+    for seed in [2, 0xfeed_face, 0x5eed_0002] {
+        fuzz(seed, Replacement::Srrip, 20_000);
+    }
+}
