@@ -68,6 +68,30 @@ cargo run --release --quiet -p levi-bench -- run fig05 --quick \
   --snapshot-verify --checkpoint-every 50000 \
   > "$tmp/fig05-verified.txt" 2> /dev/null
 diff "$tmp/fig05-plain.txt" "$tmp/fig05-verified.txt"
+echo "== serve smoke =="
+# The service layer must be invisible at the byte level: a run through
+# `--server` must print exactly what the in-process run prints, and a
+# repeated request must be served from the content-addressed cache
+# without re-executing (the client reports the hit on stderr).
+cargo run --release --quiet -p levi-bench -- serve \
+  --addr 127.0.0.1:0 --cache "$tmp/serve.cache" > "$tmp/serve.log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2> /dev/null || true; rm -rf "$tmp"' EXIT
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^levi-serve listening on //p' "$tmp/serve.log")
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ]
+cargo run --release --quiet -p levi-bench -- run fig05 --quick \
+  --server "$addr" > "$tmp/fig05-remote1.txt" 2> /dev/null
+cargo run --release --quiet -p levi-bench -- run fig05 --quick \
+  --server "$addr" > "$tmp/fig05-remote2.txt" 2> "$tmp/remote2.log"
+kill "$serve_pid"
+grep -q "cache hit" "$tmp/remote2.log"
+diff "$tmp/fig05-plain.txt" "$tmp/fig05-remote1.txt"
+diff "$tmp/fig05-remote1.txt" "$tmp/fig05-remote2.txt"
 echo "== perf gate =="
 # Host-performance smoke: measure, accept a machine-local baseline, then
 # re-measure and compare against it. Gating is machine-local (wall-clock

@@ -9,6 +9,9 @@
 //!                             [--telemetry PATH] [--resume PATH]
 //!                             [--checkpoint-every N] [--snapshot-verify]
 //!                             [--fault-plan SEED[:HORIZON]] [--filter VARIANT]
+//!                             [--server ADDR] [--job-timeout-ms N]
+//! levi-bench serve [--addr ADDR] [--cache PATH] [--workers N]
+//!                  [--queue-depth N]
 //! levi-bench check-report <PATH>
 //! levi-bench perf <run|compare|accept> [options]
 //! ```
@@ -33,6 +36,13 @@
 //! `levi_sim::Telemetry::to_jsonl`); the printed tables are byte-identical
 //! with or without the flag. `check-report` recognizes such dumps by their
 //! `{"telemetry":...}` header lines and validates them structurally.
+//!
+//! `serve` starts the long-running experiment service (`levi_bench::serve`):
+//! a std-only TCP server that executes figures through the same engine,
+//! dedupes identical requests against a content-addressed result cache,
+//! and streams output lines over the wire. `run ... --server ADDR` becomes
+//! a thin client of such a server, replaying the streamed transcript
+//! byte-identically to an in-process run.
 
 use levi_bench::figures::ALL;
 use levi_bench::json::{parse, Json};
@@ -46,6 +56,7 @@ fn usage() -> ! {
     eprintln!("commands:");
     eprintln!("  list                         list figures and the workloads they exercise");
     eprintln!("  run <figure|all> [options]   regenerate one figure, or all in order");
+    eprintln!("  serve [options]              run the experiment service (TCP, cached)");
     eprintln!("  check-report <path>          validate a --json report file");
     eprintln!("  perf <run|compare|accept>    host-performance measurement and");
     eprintln!("                               regression gating ('perf' for details)");
@@ -67,6 +78,15 @@ fn usage() -> ! {
     eprintln!("                       inject a seeded fault plan into every run");
     eprintln!("  --filter VARIANT     only run variants whose label contains VARIANT");
     eprintln!("                       (baselines always run; knob sweeps ignore this)");
+    eprintln!("  --server ADDR        submit the run to a levi-bench serve instance");
+    eprintln!("                       and replay its output (byte-identical)");
+    eprintln!("  --job-timeout-ms N   with --server: fail if still queued after N ms");
+    eprintln!();
+    eprintln!("serve options:");
+    eprintln!("  --addr ADDR          listen address (default 127.0.0.1:0)");
+    eprintln!("  --cache PATH         result cache file (default levi-serve.cache)");
+    eprintln!("  --workers N          executor threads (default 2)");
+    eprintln!("  --queue-depth N      bounded queue depth before 'busy' (default 8)");
     std::process::exit(2);
 }
 
@@ -80,6 +100,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("check-report") => cmd_check(&args[1..]),
         Some("perf") => levi_bench::perf_cli::cmd_perf(&args[1..]),
         _ => usage(),
@@ -129,6 +150,8 @@ fn cmd_run(args: &[String]) {
     let mut json: Option<String> = None;
     let mut telemetry: Option<String> = None;
     let mut resume: Option<String> = None;
+    let mut server: Option<String> = None;
+    let mut job_timeout_ms: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -151,6 +174,13 @@ fn cmd_run(args: &[String]) {
             "--snapshot-verify" => ctx.env.snapshot_verify = true,
             "--fault-plan" => ctx.env.fault = Some(parse_fault_plan(&value("--fault-plan"))),
             "--filter" => ctx.filter = Some(value("--filter")),
+            "--server" => server = Some(value("--server")),
+            "--job-timeout-ms" => {
+                let v = value("--job-timeout-ms");
+                job_timeout_ms = Some(v.parse().unwrap_or_else(|_| {
+                    fail(&format!("--job-timeout-ms: bad millisecond count {v:?}"))
+                }));
+            }
             other if other.starts_with('-') => fail(&format!("unknown option {other}")),
             other => {
                 if target.replace(other.to_string()).is_some() {
@@ -162,6 +192,28 @@ fn cmd_run(args: &[String]) {
     let Some(target) = target else {
         fail("run needs a figure id (see 'levi-bench list') or 'all'");
     };
+
+    if let Some(addr) = server {
+        // Thin-client mode: the run happens on the server, which owns
+        // its own journal-free engine; client-local file side channels
+        // don't apply.
+        for (flag, set) in [
+            ("--json", json.is_some()),
+            ("--telemetry", telemetry.is_some()),
+            ("--resume", resume.is_some()),
+            ("--serial", serial),
+            ("--checkpoint-every", ctx.env.checkpoint_every > 0),
+            ("--snapshot-verify", ctx.env.snapshot_verify),
+        ] {
+            if set {
+                fail(&format!("{flag} cannot be combined with --server"));
+            }
+        }
+        return run_remote_target(&addr, &target, &ctx, job_timeout_ms);
+    }
+    if job_timeout_ms.is_some() {
+        fail("--job-timeout-ms only applies with --server");
+    }
 
     // The workload layer reads these switches wherever a figure runs, so
     // the flags just set the environment the bench wrappers already honor.
@@ -205,6 +257,80 @@ fn cmd_run(args: &[String]) {
         };
         run_figure(fig, &ctx);
     }
+}
+
+/// Submits `target` (one figure or `all`) to a levi-serve instance and
+/// replays the streamed output locally.
+fn run_remote_target(addr: &str, target: &str, ctx: &RunCtx, timeout_ms: Option<u64>) {
+    let job_for = |figure: &str| {
+        let mut job = levi_bench::serve::Job::new(figure);
+        job.quick = ctx.quick;
+        job.filter = ctx.filter.clone();
+        job.fault = ctx.env.fault;
+        job.timeout_ms = timeout_ms;
+        job
+    };
+    let run_one = |figure: &str| match levi_bench::serve::run_remote(addr, &job_for(figure)) {
+        Ok(outcome) => {
+            if outcome.cached {
+                eprintln!(
+                    "levi-serve: cache hit (key {}, {} lines replayed)",
+                    outcome.key, outcome.lines
+                );
+            }
+        }
+        Err(e) => fail(&format!("--server {addr}: {e}")),
+    };
+    if target == "all" {
+        for fig in ALL {
+            run_one(fig.id);
+        }
+    } else {
+        let Some(fig) = find_figure(target) else {
+            fail(&format!("unknown figure {target:?}; see 'levi-bench list'"));
+        };
+        run_one(fig.id);
+    }
+}
+
+/// Starts the experiment service and blocks until killed.
+fn cmd_serve(args: &[String]) {
+    let mut cfg = levi_bench::serve::ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--cache" => cfg.cache_path = value("--cache"),
+            "--workers" => {
+                let v = value("--workers");
+                cfg.workers = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--workers: bad count {v:?}")));
+            }
+            "--queue-depth" => {
+                let v = value("--queue-depth");
+                cfg.queue_depth = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--queue-depth: bad depth {v:?}")));
+            }
+            other => fail(&format!("unknown serve option {other}")),
+        }
+    }
+    let handle = levi_bench::serve::Server::start(
+        &cfg,
+        std::sync::Arc::new(levi_bench::serve::FigureExecutor),
+    )
+    .unwrap_or_else(|e| fail(&format!("serve: {e}")));
+    // Scripts parse this line for the bound port; flush it eagerly.
+    println!("levi-serve listening on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.wait();
 }
 
 fn cmd_check(args: &[String]) {

@@ -64,7 +64,7 @@ fn run(ctx: &RunCtx) {
         "100%".into(),
     ]];
     for (name, o) in &results[1..] {
-        eprintln!("  ran {name}");
+        crate::progressln!("  ran {name}");
         rows.push(vec![
             name.to_string(),
             format!(

@@ -47,7 +47,7 @@ fn run(ctx: &RunCtx) {
         });
     let mut rows = Vec::new();
     for (name, o) in &results {
-        eprintln!("  ran {name}");
+        crate::progressln!("  ran {name}");
         rows.push(vec![
             name.to_string(),
             o.metrics.cycles.to_string(),

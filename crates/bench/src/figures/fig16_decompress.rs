@@ -44,12 +44,12 @@ fn run(ctx: &RunCtx) {
     let (Some(lev), Some(ideal)) = (outcomes.get("Leviathan"), outcomes.get("Ideal")) else {
         return;
     };
-    println!();
-    println!(
+    crate::outln!();
+    crate::outln!(
         "gap to idealized engine: {:.1}%  (paper: 1.6%)",
         (lev.metrics.cycles as f64 / ideal.metrics.cycles as f64 - 1.0) * 100.0
     );
-    println!(
+    crate::outln!(
         "line fills (ctor groups): {}  — decompressed pixels reused from L1/L2",
         lev.metrics.stats.ctor_actions / 8
     );

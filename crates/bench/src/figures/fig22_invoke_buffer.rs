@@ -53,7 +53,7 @@ fn run(ctx: &RunCtx) {
     let mut best = u64::MAX;
     let mut cycles_at = Vec::new();
     for (_, (entries, o)) in &results {
-        eprintln!("  ran buffer={entries}");
+        crate::progressln!("  ran buffer={entries}");
         best = best.min(o.metrics.cycles);
         cycles_at.push(o.metrics.cycles);
         rows.push(vec![

@@ -27,10 +27,11 @@
 //! call is a no-op and sweeps run exactly as before.
 
 use std::collections::HashMap;
-use std::io::Write as _;
 use std::sync::{Mutex, OnceLock};
 
 use levi_isa::codec::{Reader, Writer};
+
+use crate::codec::{hex_decode, hex_encode, LineStore};
 use levi_sim::{EnergyBreakdown, Stats};
 use levi_workloads::harness::RunOutcome;
 use levi_workloads::metrics::RunMetrics;
@@ -88,14 +89,15 @@ impl std::error::Error for JournalError {}
 /// A run journal: completed-variant records keyed by
 /// `(figure, sweep index, label)`, plus the append handle.
 pub struct Journal {
-    path: String,
+    store: LineStore,
     entries: HashMap<(String, u32, String), RunOutcome>,
 }
 
 impl Journal {
     /// Opens `path`, creating it with a fresh header if absent. An
     /// existing journal must carry a matching `quick=` header; its `done`
-    /// records become the resume set.
+    /// records become the resume set. Framing (header line, hex-armored
+    /// records, synced appends) rides on [`crate::codec::LineStore`].
     ///
     /// # Errors
     /// I/O failures, a corrupt header or interior record, and a scale
@@ -103,65 +105,53 @@ impl Journal {
     /// tolerated (that is the record in flight when a previous run died).
     pub fn open(path: &str, quick: bool) -> Result<Journal, JournalError> {
         let mut entries = HashMap::new();
-        match std::fs::read_to_string(path) {
-            Ok(text) => {
-                let lines: Vec<&str> = text.lines().collect();
-                let first = lines
-                    .first()
-                    .copied()
-                    .ok_or_else(|| JournalError::Malformed {
+        let (store, loaded) =
+            LineStore::open(path, &header(quick)).map_err(|e| JournalError::Io(e.to_string()))?;
+        if let Some(loaded) = loaded {
+            let first = loaded.header.ok_or_else(|| JournalError::Malformed {
+                line: 1,
+                what: "empty journal (no header)".into(),
+            })?;
+            let journal_quick = match first {
+                h if h == header(false) => false,
+                h if h == header(true) => true,
+                other => {
+                    return Err(JournalError::Malformed {
                         line: 1,
-                        what: "empty journal (no header)".into(),
-                    })?;
-                let journal_quick = match first {
-                    h if h == header(false) => false,
-                    h if h == header(true) => true,
-                    other => {
-                        return Err(JournalError::Malformed {
-                            line: 1,
-                            what: format!("bad header {other:?}"),
-                        })
-                    }
-                };
-                if journal_quick != quick {
-                    return Err(JournalError::QuickMismatch {
-                        journal_quick,
-                        run_quick: quick,
-                    });
+                        what: format!("bad header {other:?}"),
+                    })
                 }
-                for (i, line) in lines.iter().enumerate().skip(1) {
-                    if line.trim().is_empty() {
-                        continue;
+            };
+            if journal_quick != quick {
+                return Err(JournalError::QuickMismatch {
+                    journal_quick,
+                    run_quick: quick,
+                });
+            }
+            for rec in loaded.records {
+                match parse_record(&rec.text) {
+                    Ok((figure, sweep, label, outcome)) => {
+                        entries.insert((figure, sweep, label), outcome);
                     }
-                    match parse_record(line) {
-                        Ok((figure, sweep, label, outcome)) => {
-                            entries.insert((figure, sweep, label), outcome);
-                        }
-                        Err(what) => {
-                            // The torn tail of a crashed run is expected;
-                            // damage anywhere else is corruption.
-                            if i + 1 == lines.len() {
-                                eprintln!(
-                                    "levi-bench: journal {path}: ignoring torn final line \
-                                     (in-flight record of a crashed run)"
-                                );
-                            } else {
-                                return Err(JournalError::Malformed { line: i + 1, what });
-                            }
+                    Err(what) => {
+                        // The torn tail of a crashed run is expected;
+                        // damage anywhere else is corruption.
+                        if rec.is_last {
+                            eprintln!(
+                                "levi-bench: journal {path}: ignoring torn final line \
+                                 (in-flight record of a crashed run)"
+                            );
+                        } else {
+                            return Err(JournalError::Malformed {
+                                line: rec.line,
+                                what,
+                            });
                         }
                     }
                 }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                std::fs::write(path, format!("{}\n", header(quick)))
-                    .map_err(|e| JournalError::Io(format!("{path}: {e}")))?;
-            }
-            Err(e) => return Err(JournalError::Io(format!("{path}: {e}"))),
         }
-        Ok(Journal {
-            path: path.to_string(),
-            entries,
-        })
+        Ok(Journal { store, entries })
     }
 
     /// The recorded outcome for `(figure, sweep, label)`, if present.
@@ -194,16 +184,12 @@ impl Journal {
         outcome: &RunOutcome,
     ) -> Result<(), JournalError> {
         let line = format!(
-            "done {figure} {sweep} {}\n",
+            "done {figure} {sweep} {}",
             hex_encode(&encode_outcome(label, outcome))
         );
-        let mut f = std::fs::OpenOptions::new()
-            .append(true)
-            .open(&self.path)
-            .map_err(|e| JournalError::Io(format!("{}: {e}", self.path)))?;
-        f.write_all(line.as_bytes())
-            .and_then(|()| f.sync_data())
-            .map_err(|e| JournalError::Io(format!("{}: {e}", self.path)))?;
+        self.store
+            .append(&line)
+            .map_err(|e| JournalError::Io(e.to_string()))?;
         self.entries.insert(
             (figure.to_string(), sweep, label.to_string()),
             outcome.clone(),
@@ -316,27 +302,6 @@ fn intern(s: &str) -> &'static str {
     let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
     names.push(leaked);
     leaked
-}
-
-fn hex_encode(bytes: &[u8]) -> String {
-    let mut out = String::with_capacity(bytes.len() * 2);
-    for b in bytes {
-        out.push_str(&format!("{b:02x}"));
-    }
-    out
-}
-
-fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
-    let s = s.trim_end();
-    if !s.len().is_multiple_of(2) {
-        return Err("odd-length hex blob".into());
-    }
-    let mut out = Vec::with_capacity(s.len() / 2);
-    for i in (0..s.len()).step_by(2) {
-        let byte = u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| "bad hex digit")?;
-        out.push(byte);
-    }
-    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -531,12 +496,8 @@ mod tests {
     }
 
     #[test]
-    fn header_and_hex_helpers() {
+    fn header_names_the_scale() {
         assert_eq!(header(false), "levi-journal v1 quick=0");
         assert_eq!(header(true), "levi-journal v1 quick=1");
-        assert_eq!(hex_encode(&[0x00, 0xab, 0xff]), "00abff");
-        assert_eq!(hex_decode("00abff").unwrap(), vec![0x00, 0xab, 0xff]);
-        assert!(hex_decode("0g").is_err());
-        assert!(hex_decode("abc").is_err());
     }
 }

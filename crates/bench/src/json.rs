@@ -3,9 +3,18 @@
 //! into the workspace.
 //!
 //! Supports exactly what the harness emits — objects, arrays, strings
-//! with `\\` / `\"` escapes (plus the standard control escapes), numbers,
-//! booleans, and null. Not a general-purpose parser: no `\uXXXX`
-//! escapes, and numbers are read as `f64`.
+//! with `\\` / `\"` escapes (plus the standard control escapes and
+//! `\uXXXX`, surrogate pairs included), numbers, booleans, and null.
+//! Not a general-purpose parser: numbers are read as `f64`.
+//!
+//! The writing side lives here too: [`JsonWriter`] is the incremental
+//! emitter every hand-formatted JSON producer in the harness
+//! ([`crate::figure_json`], [`crate::table_json`],
+//! [`crate::runner::manifest_json`], the `levi-serve` wire protocol)
+//! now rides on — escaping-correct by construction, deterministic key
+//! order (keys are emitted in call order), and explicit fixed-precision
+//! number formatting so migrated emitters stay byte-identical. Parsed
+//! [`Json`] values round-trip back to text with [`Json::to_json`].
 //!
 //! Because the perf gate (`levi-bench perf compare`) feeds this parser
 //! files a human may have hand-edited, it is strict where laxity would
@@ -62,6 +71,238 @@ impl Json {
             Json::Num(n) => Some(*n),
             _ => None,
         }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Serializes this value back to JSON text. Object members keep
+    /// document order, so `parse(s).to_json()` is deterministic.
+    /// Non-finite numbers (which JSON cannot represent) become `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_to(&mut out);
+        out
+    }
+
+    fn write_to(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) if n.is_finite() => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => {
+                out.push('"');
+                write_escaped(out, s);
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_to(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    write_escaped(out, k);
+                    out.push_str("\":");
+                    v.write_to(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Appends `s` to `out` with every character JSON requires escaped:
+/// `\` and `"` always, the common control characters as their short
+/// escapes, and any other control character as `\u00XX`.
+pub fn write_escaped(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// An incremental JSON emitter: push structure (`begin_obj`/`begin_arr`),
+/// keys, and values in document order; [`JsonWriter::finish`] returns the
+/// rendered text. Escaping is applied to every string, keys are emitted
+/// exactly in call order, and numbers are written with the explicit
+/// format the caller chooses ([`JsonWriter::u64`] for integers,
+/// [`JsonWriter::fixed`] for fixed-precision floats), so an emitter
+/// migrated from hand-written `write!` calls produces identical bytes.
+///
+/// # Panics
+/// Structural misuse — a value where a key is required, `end_obj` on an
+/// array, finishing with frames still open — panics: these are harness
+/// bugs, not data errors.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// Open frames; `true` = object (expecting keys), `false` = array.
+    stack: Vec<bool>,
+    /// How many members/items the innermost frames hold (parallel to
+    /// `stack`), for comma placement.
+    counts: Vec<usize>,
+    /// A key was just written; the next value is its member value.
+    key_armed: bool,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn before_value(&mut self) {
+        if let Some(&is_obj) = self.stack.last() {
+            if is_obj {
+                assert!(self.key_armed, "object value without a key");
+                self.key_armed = false;
+            } else {
+                let n = self.counts.last_mut().expect("frame has a count");
+                if *n > 0 {
+                    self.out.push(',');
+                }
+                *n += 1;
+            }
+        }
+    }
+
+    /// Writes a member key inside an open object.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        assert_eq!(self.stack.last(), Some(&true), "key outside an object");
+        assert!(!self.key_armed, "two keys in a row");
+        let n = self.counts.last_mut().expect("frame has a count");
+        if *n > 0 {
+            self.out.push(',');
+        }
+        *n += 1;
+        self.out.push('"');
+        write_escaped(&mut self.out, k);
+        self.out.push_str("\":");
+        self.key_armed = true;
+        self
+    }
+
+    /// Opens an object value.
+    pub fn begin_obj(&mut self) -> &mut Self {
+        self.before_value();
+        self.out.push('{');
+        self.stack.push(true);
+        self.counts.push(0);
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn end_obj(&mut self) -> &mut Self {
+        assert_eq!(self.stack.pop(), Some(true), "end_obj without an object");
+        assert!(!self.key_armed, "object closed with a dangling key");
+        self.counts.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Opens an array value.
+    pub fn begin_arr(&mut self) -> &mut Self {
+        self.before_value();
+        self.out.push('[');
+        self.stack.push(false);
+        self.counts.push(0);
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn end_arr(&mut self) -> &mut Self {
+        assert_eq!(self.stack.pop(), Some(false), "end_arr without an array");
+        self.counts.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Writes a string value.
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        self.before_value();
+        self.out.push('"');
+        write_escaped(&mut self.out, v);
+        self.out.push('"');
+        self
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        use std::fmt::Write as _;
+        self.before_value();
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Writes a float with exactly `digits` fractional digits
+    /// (`{:.digits$}` formatting — what the hand-written emitters used).
+    pub fn fixed(&mut self, v: f64, digits: usize) -> &mut Self {
+        use std::fmt::Write as _;
+        self.before_value();
+        let _ = write!(self.out, "{v:.digits$}");
+        self
+    }
+
+    /// Writes a float in shortest `Display` form (`null` if non-finite).
+    pub fn num(&mut self, v: f64) -> &mut Self {
+        use std::fmt::Write as _;
+        self.before_value();
+        if v.is_finite() {
+            let _ = write!(self.out, "{v}");
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    /// Writes a boolean value.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.before_value();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Writes `null`.
+    pub fn null(&mut self) -> &mut Self {
+        self.before_value();
+        self.out.push_str("null");
+        self
+    }
+
+    /// Returns the rendered document.
+    pub fn finish(self) -> String {
+        assert!(self.stack.is_empty(), "finish with open frames");
+        self.out
     }
 }
 
@@ -161,6 +402,13 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'n') => b'\n',
                     Some(b't') => b'\t',
                     Some(b'r') => b'\r',
+                    Some(b'u') => {
+                        *pos += 1;
+                        let c = parse_unicode_escape(bytes, pos)?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        continue;
+                    }
                     other => {
                         return Err(format!(
                             "unsupported escape {:?} at byte {pos}",
@@ -177,6 +425,39 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             }
         }
     }
+}
+
+/// Parses the `XXXX` of a `\uXXXX` escape (cursor just past the `u`),
+/// consuming a trailing low surrogate when the code unit is a high one.
+/// Leaves the cursor on the byte after the consumed escape(s).
+fn parse_unicode_escape(bytes: &[u8], pos: &mut usize) -> Result<char, String> {
+    let unit = |pos: &mut usize| -> Result<u32, String> {
+        let hex = bytes
+            .get(*pos..*pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| format!("truncated \\u escape at byte {pos}"))?;
+        let v =
+            u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+        *pos += 4;
+        Ok(v)
+    };
+    let hi = unit(pos)?;
+    let code = match hi {
+        0xD800..=0xDBFF => {
+            if bytes.get(*pos) != Some(&b'\\') || bytes.get(*pos + 1) != Some(&b'u') {
+                return Err(format!("unpaired high surrogate before byte {pos}"));
+            }
+            *pos += 2;
+            let lo = unit(pos)?;
+            if !(0xDC00..=0xDFFF).contains(&lo) {
+                return Err(format!("invalid low surrogate before byte {pos}"));
+            }
+            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+        }
+        0xDC00..=0xDFFF => return Err(format!("unpaired low surrogate before byte {pos}")),
+        c => c,
+    };
+    char::from_u32(code).ok_or_else(|| format!("invalid \\u code point before byte {pos}"))
 }
 
 fn parse_obj(bytes: &[u8], pos: &mut usize, depth: u32) -> Result<Json, String> {
@@ -332,6 +613,71 @@ mod tests {
                 "strict prefix of len {cut} parsed: {prefix:?}"
             );
         }
+    }
+
+    #[test]
+    fn unicode_escapes_parse_including_surrogate_pairs() {
+        assert_eq!(parse("\"\\u0041\"").unwrap(), Json::Str("A".into()));
+        assert_eq!(parse("\"\\u00e9\"").unwrap(), Json::Str("é".into()));
+        // Astral plane via a surrogate pair (U+1F600).
+        assert_eq!(parse("\"\\ud83d\\ude00\"").unwrap(), Json::Str("😀".into()));
+        assert!(parse("\"\\ud83d\"").is_err(), "unpaired high surrogate");
+        assert!(parse("\"\\ude00\"").is_err(), "unpaired low surrogate");
+        assert!(parse("\"\\u00g1\"").is_err(), "bad hex digit");
+        assert!(parse("\"\\u00\"").is_err(), "truncated escape");
+    }
+
+    #[test]
+    fn writer_produces_parseable_output_with_correct_escaping() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("name").str("a\"b\\c\nd\u{1}");
+        w.key("flags").begin_arr().bool(true).null().end_arr();
+        w.key("n").u64(42);
+        w.key("f").fixed(2.5, 6);
+        w.key("g").num(0.25);
+        w.key("bad").num(f64::NAN);
+        w.end_obj();
+        let text = w.finish();
+        assert_eq!(
+            text,
+            "{\"name\":\"a\\\"b\\\\c\\nd\\u0001\",\"flags\":[true,null],\
+             \"n\":42,\"f\":2.500000,\"g\":0.25,\"bad\":null}"
+        );
+        let doc = parse(&text).expect("writer output parses");
+        assert_eq!(
+            doc.get("name").and_then(Json::as_str),
+            Some("a\"b\\c\nd\u{1}")
+        );
+        assert_eq!(doc.get("bad"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn writer_places_commas_between_nested_values() {
+        let mut w = JsonWriter::new();
+        w.begin_arr();
+        w.begin_obj().key("a").u64(1).end_obj();
+        w.begin_obj().key("b").u64(2).key("c").u64(3).end_obj();
+        w.u64(9);
+        w.end_arr();
+        assert_eq!(w.finish(), "[{\"a\":1},{\"b\":2,\"c\":3},9]");
+    }
+
+    #[test]
+    fn parsed_values_round_trip_through_to_json() {
+        for doc in [
+            "{\"figure\":\"f\",\"rows\":[{\"label\":\"x\\\"y\",\"n\":3}]}",
+            "[true,false,null,1.5]",
+            "\"plain\"",
+            "{}",
+            "[]",
+        ] {
+            let v = parse(doc).unwrap();
+            assert_eq!(parse(&v.to_json()).unwrap(), v, "{doc}");
+        }
+        // Integral floats print without a fractional part.
+        assert_eq!(Json::Num(1091156.0).to_json(), "1091156");
+        assert_eq!(Json::Num(f64::INFINITY).to_json(), "null");
     }
 
     #[test]

@@ -10,18 +10,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::fmt::Write as _;
 use std::io::Write as _;
 
 use levi_sim::Histogram;
 use levi_workloads::metrics::RunMetrics;
 
+pub mod codec;
 pub mod figures;
 pub mod journal;
 pub mod json;
 pub mod micro_timers;
+pub mod out;
 pub mod perf_cli;
 pub mod runner;
+pub mod serve;
 
 /// True when `LEVI_BENCH_QUICK` is set: benches drop to reduced scales
 /// (useful for smoke-testing the harness).
@@ -198,13 +200,14 @@ fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Prints a figure/table header.
+/// Prints a figure/table header (via the [`crate::out`] seam, like all
+/// figure output, so `levi-bench serve` captures it byte-identically).
 pub fn header(title: &str, description: &str) {
-    println!();
-    println!("==================================================================");
-    println!("{title}");
-    println!("{description}");
-    println!("==================================================================");
+    crate::outln!();
+    crate::outln!("==================================================================");
+    crate::outln!("{title}");
+    crate::outln!("{description}");
+    crate::outln!("==================================================================");
 }
 
 /// One measured variant row against the baseline, with the paper's numbers.
@@ -222,14 +225,19 @@ pub struct Row<'a> {
 /// Prints a speedup/energy comparison table. `rows\[0\]` is the baseline.
 pub fn speedup_table(rows: &[Row<'_>]) {
     let base = rows[0].metrics;
-    println!(
+    crate::outln!(
         "{:<22} {:>12} {:>9} {:>9} {:>10} {:>10}",
-        "variant", "cycles", "speedup", "(paper)", "energy", "(paper)"
+        "variant",
+        "cycles",
+        "speedup",
+        "(paper)",
+        "energy",
+        "(paper)"
     );
     for r in rows {
         let speedup = base.cycles as f64 / r.metrics.cycles as f64;
         let energy = r.metrics.energy.relative_to(&base.energy);
-        println!(
+        crate::outln!(
             "{:<22} {:>12} {:>8.2}x {:>9} {:>9.0}% {:>10}",
             r.label,
             r.metrics.cycles,
@@ -303,56 +311,44 @@ pub fn emit_telemetry_block(block: &str) {
 /// Renders one figure's rows as a single JSON object (no trailing newline).
 pub fn figure_json(figure: &str, rows: &[Row<'_>]) -> String {
     let base = rows[0].metrics;
-    let mut out = String::new();
-    let _ = write!(out, "{{\"figure\":\"{}\",\"rows\":[", escape(figure));
-    for (i, r) in rows.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
+    let mut w = json::JsonWriter::new();
+    w.begin_obj();
+    w.key("figure").str(figure);
+    w.key("rows").begin_arr();
+    for r in rows {
         let speedup = base.cycles as f64 / r.metrics.cycles as f64;
         let energy = r.metrics.energy.relative_to(&base.energy);
-        let _ = write!(
-            out,
-            "{{\"label\":\"{}\",\"cycles\":{},\"speedup\":{:.6},\
-             \"rel_energy\":{:.6},\"energy_uj\":{:.3}",
-            escape(r.label),
-            r.metrics.cycles,
-            speedup,
-            energy,
-            r.metrics.energy.total_uj()
-        );
+        w.begin_obj();
+        w.key("label").str(r.label);
+        w.key("cycles").u64(r.metrics.cycles);
+        w.key("speedup").fixed(speedup, 6);
+        w.key("rel_energy").fixed(energy, 6);
+        w.key("energy_uj").fixed(r.metrics.energy.total_uj(), 3);
         for (name, h) in [
             ("invoke_rtt", &r.metrics.stats.invoke_rtt),
             ("load_to_use", &r.metrics.stats.load_to_use),
             ("dram_queue", &r.metrics.stats.dram_queue),
             ("stream_stall", &r.metrics.stats.stream_stall),
         ] {
-            let _ = write!(out, ",\"{name}\":{}", hist_json(h));
+            w.key(name);
+            hist_json(&mut w, h);
         }
-        let _ = write!(
-            out,
-            ",\"trace_dropped\":{}",
-            r.metrics.stats.trace.dropped()
-        );
-        out.push('}');
+        w.key("trace_dropped").u64(r.metrics.stats.trace.dropped());
+        w.end_obj();
     }
-    out.push_str("]}");
-    out
+    w.end_arr();
+    w.end_obj();
+    w.finish()
 }
 
-fn hist_json(h: &Histogram) -> String {
-    format!(
-        "{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
-        h.count(),
-        h.p50(),
-        h.p90(),
-        h.p99(),
-        h.max()
-    )
-}
-
-pub(crate) fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+fn hist_json(w: &mut json::JsonWriter, h: &Histogram) {
+    w.begin_obj();
+    w.key("count").u64(h.count());
+    w.key("p50").u64(h.p50());
+    w.key("p90").u64(h.p90());
+    w.key("p99").u64(h.p99());
+    w.key("max").u64(h.max());
+    w.end_obj();
 }
 
 /// Renders a generic column table as a single JSON object (no trailing
@@ -364,34 +360,27 @@ pub(crate) fn escape(s: &str) -> String {
 ///  "table": {"headers": ["entries", ...], "rows": [["1", ...], ...]}}
 /// ```
 pub fn table_json(figure: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
-    let mut out = String::new();
-    let _ = write!(
-        out,
-        "{{\"figure\":\"{}\",\"table\":{{\"headers\":[",
-        escape(figure)
-    );
-    for (i, h) in headers.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(out, "\"{}\"", escape(h));
+    let mut w = json::JsonWriter::new();
+    w.begin_obj();
+    w.key("figure").str(figure);
+    w.key("table").begin_obj();
+    w.key("headers").begin_arr();
+    for h in headers {
+        w.str(h);
     }
-    out.push_str("],\"rows\":[");
-    for (i, row) in rows.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
+    w.end_arr();
+    w.key("rows").begin_arr();
+    for row in rows {
+        w.begin_arr();
+        for cell in row {
+            w.str(cell);
         }
-        out.push('[');
-        for (j, cell) in row.iter().enumerate() {
-            if j > 0 {
-                out.push(',');
-            }
-            let _ = write!(out, "\"{}\"", escape(cell));
-        }
-        out.push(']');
+        w.end_arr();
     }
-    out.push_str("]}}");
-    out
+    w.end_arr();
+    w.end_obj();
+    w.end_obj();
+    w.finish()
 }
 
 /// Prints the table and, when `LEVI_BENCH_JSON` is set, appends its
@@ -414,7 +403,7 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) {
         for (i, c) in cells.iter().enumerate() {
             out.push_str(&format!("{:>w$}  ", c, w = widths[i]));
         }
-        println!("{}", out.trim_end());
+        crate::outln!("{}", out.trim_end());
     };
     line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
     for row in rows {
@@ -540,7 +529,9 @@ mod tests {
 
     #[test]
     fn escape_handles_quotes() {
-        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        let mut out = String::new();
+        json::write_escaped(&mut out, "a\"b\\c");
+        assert_eq!(out, "a\\\"b\\\\c");
     }
 
     #[test]

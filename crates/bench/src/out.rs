@@ -1,0 +1,168 @@
+//! Thread-local output routing for the figure path.
+//!
+//! Historically every figure printed straight to the process streams:
+//! report tables and figure epilogues to stdout, per-run progress to
+//! stderr. `levi-bench serve` needs that same output *captured and
+//! streamed over a socket*, byte-identically, so emission now funnels
+//! through one seam: the [`crate::outln!`] and [`crate::progressln!`]
+//! macros call [`line()`](fn@line) / [`progress`], which write to the thread's
+//! installed [`Sink`] — or to stdout/stderr when none is installed,
+//! which is exactly the historical behavior (the in-process CLI path
+//! never installs one).
+//!
+//! Sinks are **per thread**. A figure's `run` function executes on one
+//! thread (only its inner [`crate::Sweep`]s fan out, and sweep closures
+//! must not print), so installing a sink on that thread captures the
+//! figure's entire output without any process-global state — concurrent
+//! server jobs on different worker threads cannot interleave.
+
+use std::cell::RefCell;
+
+/// One captured line of figure output, tagged with the stream it would
+/// have gone to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Line {
+    /// A stdout line: report tables, headers, figure epilogues. These
+    /// are the bytes that must survive the wire round trip identically.
+    Out(String),
+    /// A stderr line: per-run progress (`  ran ...`).
+    Progress(String),
+}
+
+impl Line {
+    /// The line text, whichever stream it targets.
+    pub fn text(&self) -> &str {
+        match self {
+            Line::Out(s) | Line::Progress(s) => s,
+        }
+    }
+
+    /// True for stdout lines.
+    pub fn is_out(&self) -> bool {
+        matches!(self, Line::Out(_))
+    }
+}
+
+/// A sink receiving the thread's figure output, one line per call.
+pub type Sink = Box<dyn FnMut(Line)>;
+
+thread_local! {
+    static SINK: RefCell<Option<Sink>> = const { RefCell::new(None) };
+}
+
+/// Installs `sink` as this thread's output destination, returning a
+/// guard that restores the previous destination (normally the process
+/// streams) on drop. Nesting is supported but unusual.
+pub fn install_sink(sink: Sink) -> SinkGuard {
+    let prev = SINK.with(|s| s.borrow_mut().replace(sink));
+    SinkGuard { prev }
+}
+
+/// Restores the previous sink when dropped (see [`install_sink`]).
+pub struct SinkGuard {
+    prev: Option<Sink>,
+}
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        SINK.with(|s| *s.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Emits one stdout line (see [`crate::outln!`]).
+pub fn line(text: String) {
+    dispatch(Line::Out(text));
+}
+
+/// Emits one stderr progress line (see [`crate::progressln!`]).
+pub fn progress(text: String) {
+    dispatch(Line::Progress(text));
+}
+
+fn dispatch(line: Line) {
+    let handled = SINK.with(|s| {
+        if let Some(sink) = s.borrow_mut().as_mut() {
+            sink(line.clone());
+            true
+        } else {
+            false
+        }
+    });
+    if !handled {
+        match line {
+            Line::Out(s) => println!("{s}"),
+            Line::Progress(s) => eprintln!("{s}"),
+        }
+    }
+}
+
+/// Emits one line of figure stdout. Exactly `println!` when no sink is
+/// installed on the thread; captured by the sink otherwise.
+#[macro_export]
+macro_rules! outln {
+    () => { $crate::out::line(String::new()) };
+    ($($arg:tt)*) => { $crate::out::line(format!($($arg)*)) };
+}
+
+/// Emits one line of per-run progress. Exactly `eprintln!` when no sink
+/// is installed on the thread; captured by the sink otherwise.
+#[macro_export]
+macro_rules! progressln {
+    () => { $crate::out::progress(String::new()) };
+    ($($arg:tt)*) => { $crate::out::progress(format!($($arg)*)) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    #[test]
+    fn sink_captures_both_streams_in_emission_order() {
+        let captured: Rc<RefCell<Vec<Line>>> = Rc::default();
+        {
+            let sink_ref = Rc::clone(&captured);
+            let _guard = install_sink(Box::new(move |l| sink_ref.borrow_mut().push(l)));
+            crate::outln!("table row {}", 1);
+            crate::progressln!("  ran {}", "variant");
+            crate::outln!();
+        }
+        assert_eq!(
+            *captured.borrow(),
+            vec![
+                Line::Out("table row 1".into()),
+                Line::Progress("  ran variant".into()),
+                Line::Out(String::new()),
+            ]
+        );
+        // Guard dropped: emission falls back to the process streams
+        // (observable only as "does not panic" here).
+        crate::outln!("uncaptured");
+    }
+
+    #[test]
+    fn guard_restores_the_previous_sink() {
+        let outer: Rc<RefCell<Vec<Line>>> = Rc::default();
+        let outer_ref = Rc::clone(&outer);
+        let _outer_guard = install_sink(Box::new(move |l| outer_ref.borrow_mut().push(l)));
+        {
+            let inner: Rc<RefCell<Vec<Line>>> = Rc::default();
+            let inner_ref = Rc::clone(&inner);
+            let _inner_guard = install_sink(Box::new(move |l| inner_ref.borrow_mut().push(l)));
+            crate::outln!("inner");
+            assert_eq!(inner.borrow().len(), 1);
+            assert!(outer.borrow().is_empty());
+        }
+        crate::outln!("outer");
+        assert_eq!(*outer.borrow(), vec![Line::Out("outer".into())]);
+    }
+
+    #[test]
+    fn line_accessors() {
+        let o = Line::Out("a".into());
+        let p = Line::Progress("b".into());
+        assert!(o.is_out() && !p.is_out());
+        assert_eq!(o.text(), "a");
+        assert_eq!(p.text(), "b");
+    }
+}

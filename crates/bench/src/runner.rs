@@ -108,31 +108,48 @@ impl Outcomes {
     }
 }
 
-/// The shared journal-aware sweep path behind [`sweep_variants`] and
-/// [`sweep_prepared`].
-///
-/// Labels already on record in the active run journal (see
-/// [`crate::journal`]) are loaded instead of re-run; the rest execute
-/// through [`Sweep::try_run`], so one panicking variant cannot abort its
-/// siblings. Results merge back in presentation order. Every outcome —
-/// resumed or fresh — is checked against the golden model (which also
-/// catches a stale journal from an older build), and every fresh
-/// completion is recorded in the journal *before* the deferred
-/// panic-summary fires, so a crashed or partly-failed invocation can be
-/// resumed without repeating its finished work.
-fn journaled_sweep<F, G>(labels: Vec<&'static str>, run: F, check: G) -> Outcomes
+/// How the execution engine obtained (or failed to obtain) one
+/// variant's outcome. This is the engine→shell interface of the sweep
+/// path: [`execute_sweep`] produces these without printing a byte, and
+/// the presentation shell ([`journaled_sweep`]) renders them — so the
+/// CLI, journal resume, and `levi-bench serve` all drive one engine.
+enum VariantRun {
+    /// Loaded from the active journal instead of re-running.
+    Resumed(RunOutcome),
+    /// Freshly executed (and recorded in the journal, if one is active).
+    Fresh(RunOutcome),
+    /// The (variant, scale) combination is unsupported.
+    Unsupported(&'static str),
+    /// The variant's run panicked.
+    Panicked(crate::VariantPanic),
+}
+
+/// The execution engine of the sweep path: partitions `labels` into
+/// journal-resumed and pending, runs the pending set through
+/// [`Sweep::try_run`] (one panicking variant cannot abort its siblings),
+/// checks every outcome — resumed or fresh — against the golden model
+/// (which also catches a stale journal from an older build), and records
+/// every fresh completion in the journal *before* returning, so a
+/// crashed or partly-failed invocation can be resumed without repeating
+/// its finished work. Performs no output: presentation belongs to the
+/// shell.
+fn execute_sweep<F, G>(
+    figure: &str,
+    labels: &[&'static str],
+    run: F,
+    check: G,
+) -> Vec<(&'static str, VariantRun)>
 where
     F: Fn(&'static str) -> RunStatus + Sync,
     G: Fn(&str) -> u64,
 {
-    let figure = std::env::var("LEVI_BENCH_FIGURE").unwrap_or_default();
-    let sweep_idx = crate::journal::begin_sweep(&figure);
+    let sweep_idx = crate::journal::begin_sweep(figure);
 
     let mut resumed: std::collections::HashMap<&'static str, RunOutcome> =
         std::collections::HashMap::new();
     let mut pending: Vec<&'static str> = Vec::new();
-    for &label in &labels {
-        match sweep_idx.and_then(|s| crate::journal::lookup(&figure, s, label)) {
+    for &label in labels {
+        match sweep_idx.and_then(|s| crate::journal::lookup(figure, s, label)) {
             Some(o) => {
                 resumed.insert(label, o);
             }
@@ -147,42 +164,73 @@ where
             .into_iter()
             .collect();
 
-    let mut entries = Vec::new();
-    let mut failed: Vec<crate::VariantPanic> = Vec::new();
-    for &label in &labels {
-        if let Some(o) = resumed.remove(label) {
-            eprintln!(
-                "  journal {:<14} {:>12} cycles (resumed)",
-                label, o.metrics.cycles
-            );
-            assert_eq!(
-                o.checksum,
-                check(label),
-                "{label}: journaled outcome diverged from the golden model (stale journal?)"
-            );
-            emit_run_telemetry(label, &o.metrics.stats);
-            entries.push((label, o));
-            continue;
-        }
-        match runs.remove(label) {
-            Some(Ok(RunStatus::Done(o))) => {
-                eprintln!("  ran {:<18} {:>12} cycles", label, o.metrics.cycles);
+    labels
+        .iter()
+        .map(|&label| {
+            if let Some(o) = resumed.remove(label) {
                 assert_eq!(
                     o.checksum,
                     check(label),
-                    "{label} diverged from the golden model"
+                    "{label}: journaled outcome diverged from the golden model (stale journal?)"
                 );
-                if let Some(s) = sweep_idx {
-                    crate::journal::record(&figure, s, label, &o);
+                return (label, VariantRun::Resumed(o));
+            }
+            let result = match runs.remove(label) {
+                Some(r) => r,
+                None => unreachable!("every label was partitioned into resumed or pending"),
+            };
+            match result {
+                Ok(RunStatus::Done(o)) => {
+                    assert_eq!(
+                        o.checksum,
+                        check(label),
+                        "{label} diverged from the golden model"
+                    );
+                    if let Some(s) = sweep_idx {
+                        crate::journal::record(figure, s, label, &o);
+                    }
+                    (label, VariantRun::Fresh(*o))
                 }
-                emit_run_telemetry(label, &o.metrics.stats);
-                entries.push((label, *o));
+                Ok(RunStatus::Unsupported(reason)) => (label, VariantRun::Unsupported(reason)),
+                Err(p) => (label, VariantRun::Panicked(p)),
             }
-            Some(Ok(RunStatus::Unsupported(reason))) => {
-                println!("{label:<22} UNSUPPORTED — {reason}");
+        })
+        .collect()
+}
+
+/// The presentation shell over [`execute_sweep`]: prints per-variant
+/// progress (resumed vs fresh), unsupported notices, emits telemetry
+/// blocks, and defers a panic summary until every variant has reported —
+/// all through the [`crate::out`] seam, so the same bytes reach the
+/// process streams in-process and the wire under `levi-bench serve`.
+fn journaled_sweep<F, G>(labels: Vec<&'static str>, run: F, check: G) -> Outcomes
+where
+    F: Fn(&'static str) -> RunStatus + Sync,
+    G: Fn(&str) -> u64,
+{
+    let figure = current_figure();
+    let mut entries = Vec::new();
+    let mut failed: Vec<crate::VariantPanic> = Vec::new();
+    for (label, result) in execute_sweep(&figure, &labels, run, check) {
+        match result {
+            VariantRun::Resumed(o) => {
+                crate::progressln!(
+                    "  journal {:<14} {:>12} cycles (resumed)",
+                    label,
+                    o.metrics.cycles
+                );
+                emit_run_telemetry(&figure, label, &o.metrics.stats);
+                entries.push((label, o));
             }
-            Some(Err(p)) => failed.push(p),
-            None => unreachable!("every label was partitioned into resumed or pending"),
+            VariantRun::Fresh(o) => {
+                crate::progressln!("  ran {:<18} {:>12} cycles", label, o.metrics.cycles);
+                emit_run_telemetry(&figure, label, &o.metrics.stats);
+                entries.push((label, o));
+            }
+            VariantRun::Unsupported(reason) => {
+                crate::outln!("{label:<22} UNSUPPORTED — {reason}");
+            }
+            VariantRun::Panicked(p) => failed.push(p),
         }
     }
     if !failed.is_empty() {
@@ -198,13 +246,14 @@ where
 /// Appends one run's registry dump to the `LEVI_TELEMETRY` file (no-op
 /// when unset). The block's scope is `figure/label`, using the figure id
 /// [`run_figure`] exported for the runs it drives.
-fn emit_run_telemetry(label: &str, stats: &levi_sim::Stats) {
+fn emit_run_telemetry(figure: &str, label: &str, stats: &levi_sim::Stats) {
     if std::env::var("LEVI_TELEMETRY").is_err() {
         return;
     }
-    let scope = match std::env::var("LEVI_BENCH_FIGURE") {
-        Ok(fig) if !fig.is_empty() => format!("{fig}/{label}"),
-        _ => label.to_string(),
+    let scope = if figure.is_empty() {
+        label.to_string()
+    } else {
+        format!("{figure}/{label}")
     };
     crate::emit_telemetry_block(&levi_sim::Telemetry::new(stats).to_jsonl(&scope));
 }
@@ -313,12 +362,34 @@ pub fn find_figure(id: &str) -> Option<&'static Figure> {
     }
 }
 
-/// Runs one figure under `ctx`. Exports the figure id as
-/// `LEVI_BENCH_FIGURE` so telemetry blocks emitted by the runs it drives
-/// carry a `figure/variant` scope (figures run sequentially; only their
-/// inner sweeps fan out).
+thread_local! {
+    /// The figure id the current thread is running (see [`run_figure`]).
+    /// Thread-local — not the process environment the pre-serve harness
+    /// used — because `levi-bench serve` executes different figures on
+    /// different worker threads concurrently.
+    static CURRENT_FIGURE: std::cell::RefCell<String> = const { std::cell::RefCell::new(String::new()) };
+}
+
+/// The figure id the current thread is running (empty outside
+/// [`run_figure`]). Journal records and telemetry scopes use this.
+pub fn current_figure() -> String {
+    CURRENT_FIGURE.with(|f| f.borrow().clone())
+}
+
+/// Runs one figure under `ctx`, scoping [`current_figure`] to its id for
+/// the duration so telemetry blocks and journal records emitted by the
+/// runs it drives carry a `figure/variant` scope. A figure runs entirely
+/// on the calling thread (only its inner sweeps fan out), so the scope
+/// is thread-local and concurrent server jobs cannot race on it.
 pub fn run_figure(fig: &Figure, ctx: &RunCtx) {
-    std::env::set_var("LEVI_BENCH_FIGURE", fig.id);
+    struct Scope(String);
+    impl Drop for Scope {
+        fn drop(&mut self) {
+            CURRENT_FIGURE.with(|f| *f.borrow_mut() = std::mem::take(&mut self.0));
+        }
+    }
+    let prev = CURRENT_FIGURE.with(|f| std::mem::replace(&mut *f.borrow_mut(), fig.id.to_string()));
+    let _scope = Scope(prev);
     (fig.run)(ctx);
 }
 
@@ -338,34 +409,31 @@ pub fn bench_main(id: &str) {
 /// registry, so report consumers can check coverage without compiling the
 /// workspace.
 pub fn manifest_json(quick: bool) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    let _ = write!(
-        out,
-        "{{\"manifest\":{{\"version\":1,\"quick\":{quick},\"figures\":["
-    );
-    for (i, f) in crate::figures::ALL.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
+    let mut w = crate::json::JsonWriter::new();
+    w.begin_obj();
+    w.key("manifest").begin_obj();
+    w.key("version").u64(1);
+    w.key("quick").bool(quick);
+    w.key("figures").begin_arr();
+    for f in crate::figures::ALL {
+        w.begin_obj();
+        w.key("id").str(f.id);
+        w.key("workloads").begin_arr();
+        for name in f.workloads {
+            w.str(name);
         }
-        let _ = write!(out, "{{\"id\":\"{}\",\"workloads\":[", crate::escape(f.id));
-        for (j, w) in f.workloads.iter().enumerate() {
-            if j > 0 {
-                out.push(',');
-            }
-            let _ = write!(out, "\"{}\"", crate::escape(w));
-        }
-        out.push_str("]}");
+        w.end_arr();
+        w.end_obj();
     }
-    out.push_str("],\"workloads\":[");
-    for (i, w) in levi_workloads::REGISTRY.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(out, "\"{}\"", crate::escape(w.name()));
+    w.end_arr();
+    w.key("workloads").begin_arr();
+    for wl in levi_workloads::REGISTRY {
+        w.str(wl.name());
     }
-    out.push_str("]}}");
-    out
+    w.end_arr();
+    w.end_obj();
+    w.end_obj();
+    w.finish()
 }
 
 #[cfg(test)]

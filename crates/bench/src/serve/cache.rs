@@ -1,0 +1,300 @@
+//! The content-addressed result cache behind `levi-bench serve`.
+//!
+//! A cache entry is the complete captured output of one figure run — every
+//! stdout and stderr line, in emission order, tagged with its stream — filed
+//! under the job's [`crate::serve::protocol::Job::cache_key`]. Because every
+//! run is a pure function of its key's inputs, replaying an entry is
+//! byte-identical to re-executing the job.
+//!
+//! # On-disk format
+//!
+//! The cache rides on the same [`crate::codec::LineStore`] framing as the
+//! crash journal (PR 7's codec, promoted to a shared module):
+//!
+//! ```text
+//! levi-cache v1
+//! entry <16-hex key> <16-hex blob digest> <hex-armored line blob>
+//! ```
+//!
+//! The blob is a `levi_isa::codec` record: a line count, then per line a
+//! stream tag and the text. The digest is [`levi_sim::fnv1a`] over the
+//! blob bytes, so a flipped bit *inside* an otherwise well-formed record
+//! is caught too — structural decoding alone would happily return
+//! subtly wrong text. Appends are synced before they count as durable.
+//!
+//! # Damage policy
+//!
+//! The journal distinguishes a torn tail (tolerated) from interior damage
+//! (typed error) because silently dropping a *journal* record would re-run
+//! work the user believes is saved. A cache is different: it is a pure
+//! accelerator, and the only wrong answer is serving bytes that do not
+//! match a fresh run. So **any** unreadable record — torn tail, flipped
+//! bit, truncated blob, duplicate-key conflict — is simply a miss: the
+//! entry is dropped on load and the job re-executes. A file whose header
+//! is from another schema version is discarded wholesale (reset to a
+//! fresh header) for the same reason.
+
+use std::collections::HashMap;
+
+use levi_isa::codec::{Reader, Writer};
+
+use crate::codec::{hex_decode, hex_encode, LineStore, StoreError};
+use crate::out::Line;
+use crate::serve::protocol::{key_hex, SCHEMA_VERSION};
+
+/// The cache header line for the current schema.
+fn header() -> String {
+    format!("levi-cache v{SCHEMA_VERSION}")
+}
+
+/// A durable map from cache key to captured run output.
+pub struct ResultCache {
+    store: LineStore,
+    entries: HashMap<u64, Vec<Line>>,
+    /// Records dropped on load because they could not be decoded.
+    damaged: usize,
+}
+
+impl ResultCache {
+    /// Opens (or creates) the cache at `path`. Every decodable entry
+    /// becomes a hit candidate; damaged records and stale headers are
+    /// discarded as misses per the module's damage policy.
+    ///
+    /// # Errors
+    /// Only real I/O failures error; content damage never does.
+    pub fn open(path: &str) -> Result<ResultCache, StoreError> {
+        let (store, loaded) = LineStore::open(path, &header())?;
+        let mut entries = HashMap::new();
+        let mut damaged = 0usize;
+        if let Some(loaded) = loaded {
+            if loaded.header.as_deref() != Some(header().as_str()) {
+                // Another schema (or a foreign file): worthless as a
+                // cache, so start over rather than serving stale bytes.
+                store.reset(&header())?;
+                return Ok(ResultCache {
+                    store,
+                    entries,
+                    damaged: 0,
+                });
+            }
+            for rec in loaded.records {
+                match parse_entry(&rec.text) {
+                    Ok((key, lines)) if !entries.contains_key(&key) => {
+                        entries.insert(key, lines);
+                    }
+                    // A duplicate key means two writers raced a crash;
+                    // trust neither ordering and keep the first.
+                    Ok(_) => damaged += 1,
+                    Err(_) => damaged += 1,
+                }
+            }
+        }
+        Ok(ResultCache {
+            store,
+            entries,
+            damaged,
+        })
+    }
+
+    /// The cached output for `key`, if an intact entry exists.
+    pub fn get(&self, key: u64) -> Option<&[Line]> {
+        self.entries.get(&key).map(Vec::as_slice)
+    }
+
+    /// Files `lines` under `key`, durably (synced append) and in memory.
+    /// Overwriting an existing key is a no-op: the first execution's
+    /// bytes are already the truth.
+    ///
+    /// # Errors
+    /// Propagates append I/O failures.
+    pub fn put(&mut self, key: u64, lines: &[Line]) -> Result<(), StoreError> {
+        if self.entries.contains_key(&key) {
+            return Ok(());
+        }
+        let blob = encode_lines(lines);
+        let record = format!(
+            "entry {} {} {}",
+            key_hex(key),
+            key_hex(levi_sim::fnv1a(&blob)),
+            hex_encode(&blob)
+        );
+        self.store.append(&record)?;
+        self.entries.insert(key, lines.to_vec());
+        Ok(())
+    }
+
+    /// How many intact entries the cache holds.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// How many records were dropped as damaged when the cache loaded.
+    pub fn damaged(&self) -> usize {
+        self.damaged
+    }
+
+    /// The file path backing this cache.
+    pub fn path(&self) -> &str {
+        self.store.path()
+    }
+}
+
+fn encode_lines(lines: &[Line]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(lines.len() as u64);
+    for line in lines {
+        w.u8(u8::from(line.is_out()));
+        w.str(line.text());
+    }
+    w.into_bytes()
+}
+
+fn decode_lines(bytes: &[u8]) -> Result<Vec<Line>, String> {
+    let mut r = Reader::new(bytes);
+    let fail = |e: levi_isa::codec::CodecError| e.to_string();
+    let count = r.u64().map_err(fail)? as usize;
+    if count > 1_000_000 {
+        return Err("implausible line count".into());
+    }
+    let mut lines = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tag = r.u8().map_err(fail)?;
+        let text = r.str().map_err(fail)?.to_string();
+        lines.push(match tag {
+            0 => Line::Progress(text),
+            1 => Line::Out(text),
+            other => return Err(format!("unknown stream tag {other}")),
+        });
+    }
+    if !r.is_exhausted() {
+        return Err("trailing bytes in entry".into());
+    }
+    Ok(lines)
+}
+
+fn parse_entry(record: &str) -> Result<(u64, Vec<Line>), String> {
+    let mut parts = record.splitn(4, ' ');
+    if parts.next() != Some("entry") {
+        return Err("unknown record kind".into());
+    }
+    let key_text = parts.next().ok_or("missing key")?;
+    let key = u64::from_str_radix(key_text, 16).map_err(|_| "bad key hex")?;
+    let digest_text = parts.next().ok_or("missing digest")?;
+    let digest = u64::from_str_radix(digest_text, 16).map_err(|_| "bad digest hex")?;
+    let blob = hex_decode(parts.next().ok_or("missing blob")?)?;
+    if levi_sim::fnv1a(&blob) != digest {
+        return Err("blob digest mismatch".into());
+    }
+    let lines = decode_lines(&blob)?;
+    Ok((key, lines))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("levi-cache-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("results.cache").to_str().unwrap().to_string()
+    }
+
+    fn sample() -> Vec<Line> {
+        vec![
+            Line::Progress("  ran Baseline          1234 cycles".into()),
+            Line::Out("variant  cycles".into()),
+            Line::Out(String::new()),
+            Line::Out("weird \"bytes\" \\ here".into()),
+        ]
+    }
+
+    #[test]
+    fn entries_persist_across_reopen_byte_identically() {
+        let path = temp("persist");
+        let mut c = ResultCache::open(&path).unwrap();
+        assert!(c.is_empty());
+        c.put(0xfeed, &sample()).unwrap();
+        c.put(0xbeef, &[Line::Out("other".into())]).unwrap();
+        assert_eq!(c.len(), 2);
+        drop(c);
+
+        let c = ResultCache::open(&path).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.damaged(), 0);
+        assert_eq!(c.get(0xfeed).unwrap(), sample().as_slice());
+        assert!(c.get(0x1234).is_none());
+    }
+
+    #[test]
+    fn duplicate_puts_keep_the_first_execution() {
+        let path = temp("dup");
+        let mut c = ResultCache::open(&path).unwrap();
+        c.put(1, &sample()).unwrap();
+        c.put(1, &[Line::Out("imposter".into())]).unwrap();
+        assert_eq!(c.get(1).unwrap(), sample().as_slice());
+        let c = ResultCache::open(&path).unwrap();
+        assert_eq!(c.get(1).unwrap(), sample().as_slice());
+    }
+
+    #[test]
+    fn any_damaged_record_is_a_miss_never_an_error() {
+        let path = temp("damage");
+        let mut c = ResultCache::open(&path).unwrap();
+        c.put(1, &sample()).unwrap();
+        c.put(2, &sample()).unwrap();
+        c.put(3, &sample()).unwrap();
+        drop(c);
+
+        let mut lines: Vec<String> = std::fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        // Interior corruption: flip a hex digit inside entry 1's blob.
+        let flip = lines[1].len() - 10;
+        let flipped = if lines[1].as_bytes()[flip] == b'0' {
+            "1"
+        } else {
+            "0"
+        };
+        lines[1].replace_range(flip..flip + 1, flipped);
+        // Torn tail: truncate entry 3 mid-blob, as a kill would.
+        let n = lines[3].len();
+        lines[3].truncate(n - 7);
+        std::fs::write(&path, lines.join("\n")).unwrap();
+
+        let c = ResultCache::open(&path).unwrap();
+        assert!(c.get(1).is_none(), "corrupted entry must never be served");
+        assert_eq!(c.get(2).unwrap(), sample().as_slice());
+        assert!(c.get(3).is_none(), "torn entry must never be served");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.damaged(), 2);
+    }
+
+    #[test]
+    fn foreign_or_stale_header_resets_the_file() {
+        let path = temp("stale");
+        std::fs::write(&path, "levi-cache v0\nentry 0000000000000001 00\n").unwrap();
+        let c = ResultCache::open(&path).unwrap();
+        assert!(c.is_empty(), "stale-schema entries are discarded");
+        drop(c);
+        assert!(std::fs::read_to_string(&path)
+            .unwrap()
+            .starts_with(&header()));
+    }
+
+    #[test]
+    fn codec_round_trips_empty_and_tagged_lines() {
+        for lines in [Vec::new(), sample()] {
+            let back = decode_lines(&encode_lines(&lines)).unwrap();
+            assert_eq!(back, lines);
+        }
+        assert!(decode_lines(&[0xff; 3]).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! The thin client behind `levi-bench run --server`.
+//!
+//! [`run_remote`] submits one [`Job`] over TCP and replays the streamed
+//! transcript through [`crate::out`] — stdout lines via [`crate::out::line`],
+//! progress lines via [`crate::out::progress`] — so a remote run's local
+//! output is byte-identical to an in-process `levi-bench run`: same
+//! lines, same streams, same order. (Tests install an output sink to
+//! capture and compare the replayed bytes; the CLI leaves the default
+//! sink, which is the process's stdout/stderr.)
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+
+use crate::serve::protocol::{Event, Job};
+
+/// What the server reported about a completed remote run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RemoteOutcome {
+    /// Canonical figure id the server resolved.
+    pub figure: String,
+    /// The job's content address, as 16 hex digits.
+    pub key: String,
+    /// True when the transcript replayed from the server's result cache
+    /// (no simulation ran).
+    pub cached: bool,
+    /// True when the request attached to an identical in-flight run.
+    pub coalesced: bool,
+    /// Transcript length in lines.
+    pub lines: u64,
+}
+
+/// Runs `job` on the server at `addr`, replaying its output locally.
+///
+/// # Errors
+/// Connection failures, protocol violations, and typed server errors
+/// (`busy`, `timeout`, `failed`, `bad_request`) are returned as text
+/// prefixed with their code.
+pub fn run_remote(addr: &str, job: &Job) -> Result<RemoteOutcome, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("clone stream: {e}"))?;
+    writer
+        .write_all(format!("{}\n", job.request_line()).as_bytes())
+        .map_err(|e| format!("send request: {e}"))?;
+
+    let mut start: Option<(String, String, bool, bool)> = None;
+    let mut replayed = 0u64;
+    for line in BufReader::new(stream).lines() {
+        let line = line.map_err(|e| format!("read response: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Event::parse(&line)? {
+            Event::Start {
+                figure,
+                key,
+                cached,
+                coalesced,
+            } => {
+                start = Some((figure, key, cached, coalesced));
+            }
+            Event::Line(l) => {
+                replayed += 1;
+                match l {
+                    crate::out::Line::Out(text) => crate::out::line(text),
+                    crate::out::Line::Progress(text) => crate::out::progress(text),
+                }
+            }
+            Event::Done { cached, lines } => {
+                let (figure, key, start_cached, coalesced) =
+                    start.ok_or("server sent done before start")?;
+                if lines != replayed {
+                    return Err(format!(
+                        "transcript incomplete: server sent {lines} lines, received {replayed}"
+                    ));
+                }
+                return Ok(RemoteOutcome {
+                    figure,
+                    key,
+                    cached: cached || start_cached,
+                    coalesced,
+                    lines,
+                });
+            }
+            Event::Error { code, message } => return Err(format!("{code}: {message}")),
+        }
+    }
+    Err("connection closed before the run finished".into())
+}

@@ -1,0 +1,37 @@
+//! `levi-serve`: the simulation-as-a-service core.
+//!
+//! Every figure run is a pure function of `(figure, scale, environment)`
+//! — the same determinism the golden checksums and the crash journal
+//! already rely on — which makes experiment execution perfectly
+//! cacheable and dedupable. This module turns the shared figure engine
+//! ([`crate::runner`]) into a long-running, hermetic, std-only service:
+//!
+//! * [`protocol`] — the one-JSON-object-per-line wire protocol, the
+//!   canonical [`protocol::Job`] description, and the content-addressed
+//!   cache key (levi-serve schema version + canonical job text + the
+//!   `levi-sim` FNV config digest of the default machine shape + the
+//!   golden checksum of every workload the figure exercises).
+//! * [`cache`] — the content-addressed result cache, framed on the same
+//!   [`crate::codec::LineStore`] as the crash journal: crash-safe
+//!   appends, torn-tail tolerant, any damaged record is a miss.
+//! * [`server`] — `std::net::TcpListener` + a fixed worker pool over
+//!   the existing sweep engine; coalesces identical in-flight requests,
+//!   applies bounded-queue back-pressure (typed `busy` rejection), and
+//!   streams per-run progress and report lines as they are produced.
+//! * [`client`] — the thin client behind `levi-bench run --server`:
+//!   replays streamed stdout/stderr lines locally, byte-identically to
+//!   an in-process run.
+//!
+//! No async runtime is involved: one OS thread per connection plus a
+//! fixed executor pool keeps the build offline and the behavior
+//! deterministic. See DESIGN.md §9 for the request lifecycle.
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use client::{run_remote, RemoteOutcome};
+pub use protocol::{Event, Job, SCHEMA_VERSION};
+pub use server::{FigureExecutor, JobExecutor, ServeConfig, Server, ServerHandle};

@@ -1,0 +1,546 @@
+//! The levi-serve server: a TCP listener and a fixed worker pool over
+//! the shared figure engine.
+//!
+//! # Request lifecycle
+//!
+//! One connection carries one request. The connection thread parses the
+//! [`Job`], canonicalizes the figure id, and computes the content
+//! address, then — under a single lock — classifies the request:
+//!
+//! 1. **Cache hit**: an intact entry exists; replay it and finish. No
+//!    queueing, no worker.
+//! 2. **Coalesce**: an identical job (same [`Job::canon`]) is already
+//!    queued or executing; subscribe to it. The subscriber replays the
+//!    lines produced so far from the job's buffer, then streams new ones
+//!    live — every subscriber sees the complete, identical transcript.
+//! 3. **Enqueue**: no twin exists. If the bounded queue is full the
+//!    server answers a typed `busy` error immediately (back-pressure is
+//!    explicit, never an unbounded pile-up); otherwise the job joins the
+//!    queue and a worker thread picks it up.
+//!
+//! Workers execute jobs through a [`JobExecutor`] — in production
+//! [`FigureExecutor`], which spawns the figure on a scoped thread with a
+//! [`crate::out`] sink installed, so the run's stdout/stderr lines are
+//! captured byte-identically and streamed as they appear. A panicking
+//! figure becomes a typed `failed` error; only successful runs are
+//! written to the cache.
+//!
+//! A job carrying `timeout_ms` that is still queued when its deadline
+//! passes is answered with a typed `timeout` instead of executing —
+//! patience bounds queue time, not simulation time (a simulation cannot
+//! be safely interrupted mid-run; see DESIGN.md §9).
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::out::{self, Line};
+use crate::serve::cache::ResultCache;
+use crate::serve::protocol::{key_hex, Event, Job};
+
+/// Server tunables.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address; port 0 picks a free port (printed on startup).
+    pub addr: String,
+    /// Path of the durable result cache.
+    pub cache_path: String,
+    /// Worker threads executing jobs (each figure additionally fans its
+    /// inner sweeps out on its own scoped threads).
+    pub workers: usize,
+    /// Bounded queue depth; a fresh job arriving when the queue is full
+    /// is rejected with a typed `busy` error.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            cache_path: "levi-serve.cache".into(),
+            workers: 2,
+            queue_depth: 8,
+        }
+    }
+}
+
+/// Executes one job, emitting output lines as they are produced. The
+/// production implementation is [`FigureExecutor`]; tests substitute
+/// instrumented executors to pin down coalescing and back-pressure.
+pub trait JobExecutor: Send + Sync {
+    /// Runs `job`, calling `emit` once per output line, in order.
+    ///
+    /// # Errors
+    /// A failed (e.g. panicked) run returns the failure text; its
+    /// partial output is streamed to subscribers but never cached.
+    fn execute(&self, job: &Job, emit: &mut dyn FnMut(Line)) -> Result<(), String>;
+}
+
+/// The production executor: drives [`crate::runner::run_figure`] on a
+/// scoped thread with an output sink installed, forwarding captured
+/// lines to `emit` as the figure produces them.
+pub struct FigureExecutor;
+
+impl JobExecutor for FigureExecutor {
+    fn execute(&self, job: &Job, emit: &mut dyn FnMut(Line)) -> Result<(), String> {
+        let fig = crate::runner::find_figure(&job.figure)
+            .ok_or_else(|| format!("unknown figure {:?}", job.figure))?;
+        let ctx = job.run_ctx();
+        let (tx, rx) = mpsc::channel::<Line>();
+        // The sink must own its channel end ('static), while `emit`
+        // borrows server state — so the figure runs on a scoped thread
+        // holding the sender and this thread drains into `emit`. The
+        // sink guard drops when the figure thread ends, closing the
+        // channel and ending the drain loop.
+        let outcome = std::thread::scope(|s| {
+            let handle = s.spawn(move || {
+                let _guard = out::install_sink(Box::new(move |line| {
+                    let _ = tx.send(line);
+                }));
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    crate::runner::run_figure(fig, &ctx);
+                }))
+            });
+            for line in rx {
+                emit(line);
+            }
+            handle.join()
+        });
+        match outcome {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(panic)) => Err(panic_text(panic.as_ref())),
+            Err(_) => Err("figure thread died outside its own panic guard".into()),
+        }
+    }
+}
+
+fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// How a finished job ended, recorded in its shared progress state.
+#[derive(Clone, Debug)]
+enum Ended {
+    Success,
+    Failed { code: &'static str, message: String },
+}
+
+/// The shared transcript of one in-flight job. Subscribers replay
+/// `lines` from the start and wait on `changed` for more; the executing
+/// worker appends and finally sets `ended`.
+struct Progress {
+    lines: Vec<Line>,
+    ended: Option<Ended>,
+}
+
+struct JobState {
+    key: u64,
+    job: Job,
+    /// Queue deadline (from `timeout_ms` at submission).
+    deadline: Option<Instant>,
+    progress: Mutex<Progress>,
+    changed: Condvar,
+}
+
+impl JobState {
+    fn finish(&self, ended: Ended) {
+        let mut p = self.progress.lock().expect("progress poisoned");
+        p.ended = Some(ended);
+        self.changed.notify_all();
+    }
+}
+
+struct Inner {
+    cache: ResultCache,
+    /// Every queued or executing job, by content address.
+    inflight: HashMap<u64, Arc<JobState>>,
+    queue: VecDeque<Arc<JobState>>,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    work_ready: Condvar,
+    executions: AtomicU64,
+    shutdown: AtomicBool,
+    queue_depth: usize,
+}
+
+/// The levi-serve server. [`Server::start`] binds, spawns the pool, and
+/// returns a handle; the server runs until [`ServerHandle::shutdown`].
+pub struct Server;
+
+impl Server {
+    /// Binds `cfg.addr`, opens the result cache, and spawns the accept
+    /// loop plus `cfg.workers` worker threads.
+    ///
+    /// # Errors
+    /// Bind and cache-open failures are returned as text.
+    pub fn start(
+        cfg: &ServeConfig,
+        executor: Arc<dyn JobExecutor>,
+    ) -> Result<ServerHandle, String> {
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?;
+        let cache = ResultCache::open(&cfg.cache_path).map_err(|e| e.to_string())?;
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                cache,
+                inflight: HashMap::new(),
+                queue: VecDeque::new(),
+            }),
+            work_ready: Condvar::new(),
+            executions: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            queue_depth: cfg.queue_depth.max(1),
+        });
+
+        let mut threads = Vec::new();
+        for n in 0..cfg.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let executor = Arc::clone(&executor);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("levi-serve-worker-{n}"))
+                    .spawn(move || worker_loop(&shared, executor.as_ref()))
+                    .map_err(|e| format!("spawn worker: {e}"))?,
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("levi-serve-accept".into())
+                    .spawn(move || accept_loop(&listener, &shared))
+                    .map_err(|e| format!("spawn acceptor: {e}"))?,
+            );
+        }
+        Ok(ServerHandle {
+            addr,
+            shared,
+            threads,
+        })
+    }
+}
+
+/// A running server: its bound address, counters, and shutdown control.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (with the real port when `addr` had 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// How many jobs have actually executed (cache hits and coalesced
+    /// subscriptions do not count — that is the point).
+    pub fn executions(&self) -> u64 {
+        self.shared.executions.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, fails every queued job with a shutdown error,
+    /// and joins the pool. Jobs already executing run to completion.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let mut inner = self.shared.inner.lock().expect("server state poisoned");
+            while let Some(job) = inner.queue.pop_front() {
+                inner.inflight.remove(&job.key);
+                job.finish(Ended::Failed {
+                    code: "failed",
+                    message: "server shutting down".into(),
+                });
+            }
+        }
+        self.shared.work_ready.notify_all();
+        // Unblock the accept loop with one last connection.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the server shuts down (used by the `serve` CLI,
+    /// which runs until killed).
+    pub fn wait(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        // One thread per connection: connections are short-lived (one
+        // request each) and the expensive work is bounded by the worker
+        // pool, not by connection count.
+        let _ = std::thread::Builder::new()
+            .name("levi-serve-conn".into())
+            .spawn(move || handle_connection(stream, &shared));
+    }
+}
+
+fn worker_loop(shared: &Shared, executor: &dyn JobExecutor) {
+    loop {
+        let job = {
+            let mut inner = shared.inner.lock().expect("server state poisoned");
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(job) = inner.queue.pop_front() {
+                    break job;
+                }
+                inner = shared
+                    .work_ready
+                    .wait(inner)
+                    .expect("server state poisoned");
+            }
+        };
+
+        if let Some(deadline) = job.deadline {
+            if Instant::now() > deadline {
+                let mut inner = shared.inner.lock().expect("server state poisoned");
+                inner.inflight.remove(&job.key);
+                drop(inner);
+                job.finish(Ended::Failed {
+                    code: "timeout",
+                    message: format!(
+                        "job spent longer than {}ms queued",
+                        job.job.timeout_ms.unwrap_or(0)
+                    ),
+                });
+                continue;
+            }
+        }
+
+        shared.executions.fetch_add(1, Ordering::SeqCst);
+        let result = executor.execute(&job.job, &mut |line| {
+            let mut p = job.progress.lock().expect("progress poisoned");
+            p.lines.push(line);
+            job.changed.notify_all();
+        });
+
+        // Retire the job: drop it from the in-flight table first so a
+        // new identical request re-executes rather than subscribing to
+        // a finished transcript, then cache a successful run's lines.
+        let lines = {
+            let p = job.progress.lock().expect("progress poisoned");
+            p.lines.clone()
+        };
+        {
+            let mut inner = shared.inner.lock().expect("server state poisoned");
+            inner.inflight.remove(&job.key);
+            if result.is_ok() {
+                if let Err(e) = inner.cache.put(job.key, &lines) {
+                    eprintln!("levi-serve: cache append failed (serving anyway): {e}");
+                }
+            }
+        }
+        job.finish(match result {
+            Ok(()) => Ended::Success,
+            Err(message) => Ended::Failed {
+                code: "failed",
+                message,
+            },
+        });
+    }
+}
+
+/// How a request was classified under the state lock.
+enum Admission {
+    Cached(Vec<Line>),
+    Subscribe {
+        state: Arc<JobState>,
+        coalesced: bool,
+    },
+    Busy,
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let peer = stream.peer_addr().ok();
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut send = |event: &Event| -> bool {
+        writer
+            .write_all(format!("{}\n", event.render()).as_bytes())
+            .is_ok()
+    };
+    let mut reader = BufReader::new(stream);
+    let mut request = String::new();
+    if reader.read_line(&mut request).is_err() || request.trim().is_empty() {
+        return;
+    }
+
+    let job = match parse_and_canonicalize(&request) {
+        Ok(job) => job,
+        Err(message) => {
+            send(&Event::Error {
+                code: "bad_request".into(),
+                message,
+            });
+            return;
+        }
+    };
+    let key = match job.cache_key() {
+        Ok(key) => key,
+        Err(message) => {
+            send(&Event::Error {
+                code: "bad_request".into(),
+                message,
+            });
+            return;
+        }
+    };
+
+    let admission = {
+        let mut inner = shared.inner.lock().expect("server state poisoned");
+        if let Some(lines) = inner.cache.get(key) {
+            Admission::Cached(lines.to_vec())
+        } else if let Some(state) = inner.inflight.get(&key) {
+            Admission::Subscribe {
+                state: Arc::clone(state),
+                coalesced: true,
+            }
+        } else if inner.queue.len() >= shared.queue_depth {
+            Admission::Busy
+        } else {
+            let state = Arc::new(JobState {
+                key,
+                deadline: job
+                    .timeout_ms
+                    .map(|ms| Instant::now() + std::time::Duration::from_millis(ms)),
+                job: job.clone(),
+                progress: Mutex::new(Progress {
+                    lines: Vec::new(),
+                    ended: None,
+                }),
+                changed: Condvar::new(),
+            });
+            inner.inflight.insert(key, Arc::clone(&state));
+            inner.queue.push_back(Arc::clone(&state));
+            shared.work_ready.notify_one();
+            Admission::Subscribe {
+                state,
+                coalesced: false,
+            }
+        }
+    };
+
+    match admission {
+        Admission::Cached(lines) => {
+            if !send(&Event::Start {
+                figure: job.figure.clone(),
+                key: key_hex(key),
+                cached: true,
+                coalesced: false,
+            }) {
+                return;
+            }
+            let count = lines.len() as u64;
+            for line in lines {
+                if !send(&Event::Line(line)) {
+                    return;
+                }
+            }
+            send(&Event::Done {
+                cached: true,
+                lines: count,
+            });
+        }
+        Admission::Busy => {
+            send(&Event::Error {
+                code: "busy".into(),
+                message: format!(
+                    "queue full (depth {}); retry when a run finishes",
+                    shared.queue_depth
+                ),
+            });
+        }
+        Admission::Subscribe { state, coalesced } => {
+            if !send(&Event::Start {
+                figure: job.figure.clone(),
+                key: key_hex(key),
+                cached: false,
+                coalesced,
+            }) {
+                return;
+            }
+            stream_job(&state, &mut send, peer);
+        }
+    }
+}
+
+/// Streams a job's transcript — the buffered prefix, then live lines —
+/// until the job ends, then sends the final `done` / `error` event.
+fn stream_job(state: &JobState, send: &mut dyn FnMut(&Event) -> bool, _peer: Option<SocketAddr>) {
+    let mut sent = 0usize;
+    loop {
+        // Take a snapshot of the new lines and the end state, then
+        // release the lock before touching the socket: a slow client
+        // must not stall the executing worker.
+        let (pending, ended) = {
+            let mut p = state.progress.lock().expect("progress poisoned");
+            while p.lines.len() == sent && p.ended.is_none() {
+                p = state.changed.wait(p).expect("progress poisoned");
+            }
+            (p.lines[sent..].to_vec(), p.ended.clone())
+        };
+        for line in pending {
+            sent += 1;
+            if !send(&Event::Line(line)) {
+                return;
+            }
+        }
+        match ended {
+            None => continue,
+            Some(Ended::Success) => {
+                send(&Event::Done {
+                    cached: false,
+                    lines: sent as u64,
+                });
+                return;
+            }
+            Some(Ended::Failed { code, message }) => {
+                send(&Event::Error {
+                    code: code.into(),
+                    message,
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// Parses a request line and resolves the figure id to its canonical
+/// form (prefix resolution, exactly like the CLI).
+fn parse_and_canonicalize(request: &str) -> Result<Job, String> {
+    let mut job = Job::parse_request(request.trim_end())?;
+    let fig = crate::runner::find_figure(&job.figure)
+        .ok_or_else(|| format!("unknown figure {:?}", job.figure))?;
+    job.figure = fig.id.to_string();
+    Ok(job)
+}

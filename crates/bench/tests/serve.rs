@@ -1,0 +1,362 @@
+//! Integration tests for the levi-serve service layer: coalescing,
+//! content-addressed caching, damage handling, back-pressure, and
+//! byte-identity between in-process and remote runs.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use levi_bench::out::{self, Line};
+use levi_bench::serve::{
+    Event, FigureExecutor, Job, JobExecutor, ServeConfig, Server, ServerHandle,
+};
+
+fn temp_cache(name: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("levi-serve-test-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("results.cache").to_str().unwrap().to_string()
+}
+
+fn start(
+    name: &str,
+    workers: usize,
+    queue_depth: usize,
+    exec: Arc<dyn JobExecutor>,
+) -> ServerHandle {
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_path: temp_cache(name),
+        workers,
+        queue_depth,
+    };
+    Server::start(&cfg, exec).expect("server starts")
+}
+
+/// A raw protocol connection: one request out, events in.
+struct Conn {
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn submit(addr: std::net::SocketAddr, job: &Job) -> Conn {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut w = stream.try_clone().unwrap();
+        w.write_all(format!("{}\n", job.request_line()).as_bytes())
+            .unwrap();
+        Conn {
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn next_event(&mut self) -> Event {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read event");
+        Event::parse(line.trim_end()).expect("parse event")
+    }
+
+    /// Reads to the final event, returning (transcript, final event).
+    fn drain(mut self, mut first: Option<Event>) -> (Vec<Line>, Event) {
+        let mut lines = Vec::new();
+        loop {
+            let event = match first.take() {
+                Some(e) => e,
+                None => self.next_event(),
+            };
+            match event {
+                Event::Start { .. } => {}
+                Event::Line(l) => lines.push(l),
+                done @ (Event::Done { .. } | Event::Error { .. }) => return (lines, done),
+            }
+        }
+    }
+}
+
+/// An executor that counts executions and blocks on a gate mid-run, so
+/// tests can hold a job in the "executing" state deterministically.
+struct GateExec {
+    executions: AtomicU64,
+    gate: Mutex<bool>,
+    opened: Condvar,
+}
+
+impl GateExec {
+    fn new() -> Arc<GateExec> {
+        Arc::new(GateExec {
+            executions: AtomicU64::new(0),
+            gate: Mutex::new(false),
+            opened: Condvar::new(),
+        })
+    }
+
+    fn open(&self) {
+        *self.gate.lock().unwrap() = true;
+        self.opened.notify_all();
+    }
+}
+
+impl JobExecutor for GateExec {
+    fn execute(&self, job: &Job, emit: &mut dyn FnMut(Line)) -> Result<(), String> {
+        let n = self.executions.fetch_add(1, Ordering::SeqCst) + 1;
+        emit(Line::Progress(format!("  execution {n} of {}", job.figure)));
+        let mut open = self.gate.lock().unwrap();
+        while !*open {
+            open = self.opened.wait(open).unwrap();
+        }
+        drop(open);
+        emit(Line::Out(format!("report for {}", job.figure)));
+        Ok(())
+    }
+}
+
+fn quick_job(figure: &str) -> Job {
+    let mut job = Job::new(figure);
+    job.quick = true;
+    job
+}
+
+/// Captures everything [`out`] emits on this thread while `f` runs.
+fn capture<F: FnOnce()>(f: F) -> Vec<Line> {
+    let lines = Arc::new(Mutex::new(Vec::new()));
+    let sink_ref = Arc::clone(&lines);
+    let guard = out::install_sink(Box::new(move |l| sink_ref.lock().unwrap().push(l)));
+    f();
+    drop(guard);
+    Arc::try_unwrap(lines).unwrap().into_inner().unwrap()
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_into_one_execution() {
+    let exec = GateExec::new();
+    let server = start("coalesce", 1, 8, Arc::clone(&exec) as Arc<dyn JobExecutor>);
+    let addr = server.addr();
+    let job = quick_job("table05_config");
+
+    // Four identical requests; read each one's start event so all four
+    // are subscribed before the gate opens.
+    let mut conns = Vec::new();
+    let mut coalesced_flags = Vec::new();
+    for _ in 0..4 {
+        let mut conn = Conn::submit(addr, &job);
+        match conn.next_event() {
+            Event::Start {
+                cached, coalesced, ..
+            } => {
+                assert!(!cached);
+                coalesced_flags.push(coalesced);
+            }
+            other => panic!("expected start, got {other:?}"),
+        }
+        conns.push(conn);
+    }
+    assert_eq!(
+        coalesced_flags.iter().filter(|&&c| !c).count(),
+        1,
+        "exactly one request owns the execution: {coalesced_flags:?}"
+    );
+
+    exec.open();
+    let mut transcripts = Vec::new();
+    for conn in conns {
+        let (lines, done) = conn.drain(None);
+        assert!(
+            matches!(done, Event::Done { cached: false, .. }),
+            "{done:?}"
+        );
+        transcripts.push(lines);
+    }
+    for t in &transcripts[1..] {
+        assert_eq!(t, &transcripts[0], "every subscriber sees identical bytes");
+    }
+    assert_eq!(exec.executions.load(Ordering::SeqCst), 1);
+    assert_eq!(server.executions(), 1);
+
+    // A fifth request after completion replays from the cache.
+    let (lines, done) = Conn::submit(addr, &job).drain(None);
+    assert!(matches!(done, Event::Done { cached: true, .. }), "{done:?}");
+    assert_eq!(lines, transcripts[0], "cache replay is byte-identical");
+    assert_eq!(server.executions(), 1, "the cache hit executed nothing");
+    server.shutdown();
+}
+
+#[test]
+fn remote_run_is_byte_identical_to_in_process_and_second_hits_cache() {
+    let server = start("figure", 2, 8, Arc::new(FigureExecutor));
+    let addr = server.addr().to_string();
+    let job = quick_job("table05_config");
+
+    // In-process reference: the same engine, captured locally.
+    let fig = levi_bench::runner::find_figure("table05_config").unwrap();
+    let local = capture(|| levi_bench::runner::run_figure(fig, &job.run_ctx()));
+    assert!(!local.is_empty());
+
+    let mut first = None;
+    let remote_cold = capture(|| {
+        first = Some(levi_bench::serve::run_remote(&addr, &job).expect("cold run"));
+    });
+    let first = first.unwrap();
+    assert!(!first.cached);
+    assert_eq!(first.figure, "table05_config");
+    assert_eq!(remote_cold, local, "remote replay is byte-identical");
+
+    let mut second = None;
+    let remote_warm = capture(|| {
+        second = Some(levi_bench::serve::run_remote(&addr, &job).expect("warm run"));
+    });
+    let second = second.unwrap();
+    assert!(second.cached, "identical job replays from the cache");
+    assert_eq!(second.key, first.key, "same content address");
+    assert_eq!(remote_warm, local, "cached replay is byte-identical too");
+    assert_eq!(server.executions(), 1);
+    server.shutdown();
+}
+
+#[test]
+fn corrupted_or_truncated_cache_is_a_miss_and_reexecutes() {
+    let path = temp_cache("damage");
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_path: path.clone(),
+        workers: 1,
+        queue_depth: 8,
+    };
+    let job = quick_job("table05_config");
+
+    // Warm the cache with one real execution.
+    let exec = GateExec::new();
+    exec.open();
+    let server = Server::start(&cfg, Arc::clone(&exec) as Arc<dyn JobExecutor>).unwrap();
+    let (cold, done) = Conn::submit(server.addr(), &job).drain(None);
+    assert!(matches!(done, Event::Done { cached: false, .. }));
+    assert_eq!(server.executions(), 1);
+    server.shutdown();
+
+    // Flip one hex digit inside the entry blob on disk.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    assert_eq!(lines.len(), 2, "header + one entry: {text:?}");
+    let flip = lines[1].len() - 8;
+    let flipped = if lines[1].as_bytes()[flip] == b'0' {
+        "1"
+    } else {
+        "0"
+    };
+    lines[1].replace_range(flip..flip + 1, flipped);
+    std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+
+    // A new server on the same cache must treat the entry as a miss.
+    let exec2 = GateExec::new();
+    exec2.open();
+    let server = Server::start(&cfg, Arc::clone(&exec2) as Arc<dyn JobExecutor>).unwrap();
+    let (rerun, done) = Conn::submit(server.addr(), &job).drain(None);
+    assert!(
+        matches!(done, Event::Done { cached: false, .. }),
+        "damaged entry must never be served: {done:?}"
+    );
+    assert_eq!(server.executions(), 1, "the job re-executed");
+    assert_eq!(rerun, cold, "re-execution reproduces the original bytes");
+    server.shutdown();
+
+    // Truncate the (re-written) entry mid-blob, as a kill would.
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &text[..text.len() - 11]).unwrap();
+    let exec3 = GateExec::new();
+    exec3.open();
+    let server = Server::start(&cfg, Arc::clone(&exec3) as Arc<dyn JobExecutor>).unwrap();
+    let (_, done) = Conn::submit(server.addr(), &job).drain(None);
+    assert!(
+        matches!(done, Event::Done { cached: false, .. }),
+        "{done:?}"
+    );
+    assert_eq!(server.executions(), 1, "torn entry re-executed");
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_answers_busy_and_queued_timeout_expires() {
+    let exec = GateExec::new();
+    let server = start("busy", 1, 1, Arc::clone(&exec) as Arc<dyn JobExecutor>);
+    let addr = server.addr();
+
+    // Job A occupies the single worker (gated mid-run). Reading its
+    // first output line proves execution started, i.e. the queue is
+    // empty again.
+    let mut a = Conn::submit(addr, &quick_job("table05_config"));
+    assert!(matches!(a.next_event(), Event::Start { .. }));
+    let a_first = a.next_event();
+    assert!(matches!(a_first, Event::Line(_)), "{a_first:?}");
+
+    // Job B (distinct key) fills the depth-1 queue, with a 1 ms queue
+    // deadline it is guaranteed to miss while A holds the worker.
+    let mut b_job = quick_job("table04_area");
+    b_job.timeout_ms = Some(1);
+    let mut b = Conn::submit(addr, &b_job);
+    assert!(matches!(b.next_event(), Event::Start { .. }));
+
+    // Job C (a third key) finds the queue full: typed busy, immediately.
+    let c_job = Job::new("table04_area"); // full-scale: different key
+    let (_, c_done) = Conn::submit(addr, &c_job).drain(None);
+    match c_done {
+        Event::Error { code, message } => {
+            assert_eq!(code, "busy");
+            assert!(message.contains("queue full"), "{message}");
+        }
+        other => panic!("expected busy, got {other:?}"),
+    }
+
+    // Let B's deadline lapse, then release A. The worker finishes A,
+    // then retires B as timed out without executing it.
+    std::thread::sleep(std::time::Duration::from_millis(25));
+    exec.open();
+    let (_, a_done) = a.drain(None);
+    assert!(matches!(a_done, Event::Done { .. }), "{a_done:?}");
+    let (b_lines, b_done) = b.drain(None);
+    match b_done {
+        Event::Error { code, .. } => assert_eq!(code, "timeout"),
+        other => panic!("expected timeout, got {other:?}"),
+    }
+    assert!(b_lines.is_empty(), "a timed-out job never ran");
+    assert_eq!(server.executions(), 1, "only A executed");
+    server.shutdown();
+}
+
+#[test]
+fn bad_requests_get_typed_errors() {
+    let server = start("bad", 1, 2, Arc::new(FigureExecutor));
+    let addr = server.addr();
+
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(b"this is not json\n").unwrap();
+    let mut line = String::new();
+    BufReader::new(raw).read_line(&mut line).unwrap();
+    match Event::parse(line.trim_end()).unwrap() {
+        Event::Error { code, .. } => assert_eq!(code, "bad_request"),
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+
+    let (_, done) = Conn::submit(addr, &Job::new("no_such_figure")).drain(None);
+    match done {
+        Event::Error { code, message } => {
+            assert_eq!(code, "bad_request");
+            assert!(message.contains("no_such_figure"), "{message}");
+        }
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+    assert_eq!(server.executions(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn prefix_figure_ids_resolve_to_one_cache_entry() {
+    let server = start("prefix", 1, 4, Arc::new(FigureExecutor));
+    let addr = server.addr().to_string();
+
+    let full = levi_bench::serve::run_remote(&addr, &quick_job("table05_config")).unwrap();
+    let prefixed = levi_bench::serve::run_remote(&addr, &quick_job("table05")).unwrap();
+    assert_eq!(prefixed.figure, "table05_config");
+    assert_eq!(prefixed.key, full.key, "canonicalization precedes keying");
+    assert!(prefixed.cached);
+    assert_eq!(server.executions(), 1);
+    server.shutdown();
+}

@@ -82,7 +82,7 @@ pub use hw::{AccessKind, Hw, Walk};
 pub use machine::{ActorId, Machine, ParkOwner, ParkedActor, RunError, RunResult};
 pub use ndc::{BankMapRange, MorphLevel, MorphRegion, StreamId, StreamMode, StreamState};
 pub use perf::{Phase, PhaseProfile};
-pub use snapshot::{config_digest, Snapshot, SnapshotError};
+pub use snapshot::{config_digest, fnv1a, Snapshot, SnapshotError};
 pub use span::{CriticalPath, InvokeSpan, SlowInvoke, SpanId, SpanTable, StageCycles};
 pub use stats::{Sample, Stats, TimeSeries, TOP_SLOW_INVOKES};
 pub use telemetry::{Telemetry, TELEMETRY_VERSION};
