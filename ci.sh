@@ -35,6 +35,19 @@ echo "== bench runner =="
 rm -f "$tmp/bench-report.json"
 cargo run --release --quiet -p levi-bench -- run all --quick --json "$tmp/bench-report.json" > /dev/null
 cargo run --release --quiet -p levi-bench -- check-report "$tmp/bench-report.json"
+echo "== xlat ablation smoke =="
+# The levi-xlat figures must be deterministic: two quick runs of each
+# print byte-identical output. Both figures are registered in ALL, so the
+# check-report pass above already validated their JSON lines and manifest
+# coverage — assert they really are in the report to keep that honest.
+for fig in ablation_translation ablation_tenancy; do
+  grep -q "\"figure\":\"$fig\"" "$tmp/bench-report.json"
+  cargo run --release --quiet -p levi-bench -- run "$fig" --quick \
+    > "$tmp/$fig-a.txt" 2> /dev/null
+  cargo run --release --quiet -p levi-bench -- run "$fig" --quick \
+    > "$tmp/$fig-b.txt" 2> /dev/null
+  diff "$tmp/$fig-a.txt" "$tmp/$fig-b.txt"
+done
 echo "== telemetry smoke =="
 # --telemetry must be purely observational: one figure runs with and
 # without the flag and must print byte-identical stdout, and the dump it
@@ -54,7 +67,8 @@ rm -f "$tmp/run.journal" "$tmp/resume-a.json" "$tmp/resume-b.json"
 cargo run --release --quiet -p levi-bench -- run fig05 --quick \
   --json "$tmp/resume-a.json" --resume "$tmp/run.journal" > /dev/null 2> /dev/null
 head -n 2 "$tmp/run.journal" > "$tmp/dead.journal"
-sed -n '3p' "$tmp/run.journal" | head -c 40 >> "$tmp/dead.journal"
+torn=$(sed -n '3p' "$tmp/run.journal")
+printf '%s' "${torn:0:40}" >> "$tmp/dead.journal"
 mv "$tmp/dead.journal" "$tmp/run.journal"
 cargo run --release --quiet -p levi-bench -- run fig05 --quick \
   --json "$tmp/resume-b.json" --resume "$tmp/run.journal" > /dev/null 2> "$tmp/resume.log"
@@ -88,10 +102,16 @@ cargo run --release --quiet -p levi-bench -- run fig05 --quick \
   --server "$addr" > "$tmp/fig05-remote1.txt" 2> /dev/null
 cargo run --release --quiet -p levi-bench -- run fig05 --quick \
   --server "$addr" > "$tmp/fig05-remote2.txt" 2> "$tmp/remote2.log"
+cargo run --release --quiet -p levi-bench -- run ablation_translation --quick \
+  --server "$addr" > "$tmp/xlat-remote.txt" 2> /dev/null
+cargo run --release --quiet -p levi-bench -- run ablation_tenancy --quick \
+  --server "$addr" > "$tmp/tenancy-remote.txt" 2> /dev/null
 kill "$serve_pid"
 grep -q "cache hit" "$tmp/remote2.log"
 diff "$tmp/fig05-plain.txt" "$tmp/fig05-remote1.txt"
 diff "$tmp/fig05-remote1.txt" "$tmp/fig05-remote2.txt"
+diff "$tmp/ablation_translation-a.txt" "$tmp/xlat-remote.txt"
+diff "$tmp/ablation_tenancy-a.txt" "$tmp/tenancy-remote.txt"
 echo "== perf gate =="
 # Host-performance smoke: measure, accept a machine-local baseline, then
 # re-measure and compare against it. Gating is machine-local (wall-clock

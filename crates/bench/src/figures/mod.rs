@@ -10,6 +10,8 @@ use crate::runner::Figure;
 pub mod ablation_mc_cache;
 pub mod ablation_phi_policy;
 pub mod ablation_scheduling;
+pub mod ablation_tenancy;
+pub mod ablation_translation;
 pub mod fig05_phi;
 pub mod fig16_decompress;
 pub mod fig18_hashtable;
@@ -39,6 +41,8 @@ pub static ALL: &[Figure] = &[
     ablation_scheduling::FIG,
     ablation_mc_cache::FIG,
     ablation_phi_policy::FIG,
+    ablation_translation::FIG,
+    ablation_tenancy::FIG,
     micro_kernels::FIG,
     micro_substrate::FIG,
     table04_area::FIG,

@@ -48,6 +48,9 @@ pub struct Line {
     pub sharers: u64,
     /// Directory: tile that owns the line exclusively (LLC banks only).
     pub owner: Option<u8>,
+    /// Tenant that demand-filled the line ([`crate::xlat`]; LLC banks
+    /// under way-partitioning only — 0 everywhere else).
+    pub tenant: u8,
 }
 
 impl Line {
@@ -59,6 +62,7 @@ impl Line {
             state: PrivState::Shared,
             sharers: 0,
             owner: None,
+            tenant: 0,
         }
     }
 }
@@ -210,6 +214,111 @@ impl CacheBank {
         (&mut self.lines[slot], victim)
     }
 
+    /// Way-partitioned insert ([`crate::xlat::TenantPolicy::LlcWayPartition`]):
+    /// like [`CacheBank::insert`], but when the set is full the victim is
+    /// drawn from the inserting tenant's own lines once it holds `quota`
+    /// ways, and from over-quota tenants' lines otherwise — so a tenant's
+    /// demand fills can never squeeze a co-runner below its share. Falls
+    /// back to the unpartitioned scan only when pinning leaves no eligible
+    /// candidate.
+    pub fn insert_for_tenant(
+        &mut self,
+        line: u64,
+        pinned: &[u64],
+        tenant: u8,
+        quota: u32,
+    ) -> (&mut Line, Option<Line>) {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        debug_assert!(
+            self.find(line).is_none(),
+            "inserting already-resident line {line:#x}"
+        );
+        let victim = if self.len[set] as usize >= self.ways {
+            let vi = self.pick_victim_for_tenant(set, pinned, tenant, quota);
+            Some(self.swap_remove(set, base + vi))
+        } else {
+            None
+        };
+        let slot = base + self.len[set] as usize;
+        self.tags[slot] = line;
+        self.rrip[slot] = 2;
+        self.lru[slot] = tick;
+        let mut l = Line::new(line);
+        l.tenant = tenant;
+        self.lines[slot] = l;
+        self.len[set] += 1;
+        (&mut self.lines[slot], victim)
+    }
+
+    /// Victim way for a way-partitioned fill (see
+    /// [`CacheBank::insert_for_tenant`]).
+    fn pick_victim_for_tenant(
+        &mut self,
+        set: usize,
+        pinned: &[u64],
+        tenant: u8,
+        quota: u32,
+    ) -> usize {
+        let base = set * self.ways;
+        let n = self.len[set] as usize;
+        let mut occ = [0u32; 8];
+        for w in 0..n {
+            occ[(self.lines[base + w].tenant & 7) as usize] += 1;
+        }
+        let vi = if occ[(tenant & 7) as usize] >= quota {
+            // At (or over) quota: recycle our own ways.
+            self.pick_victim_where(set, pinned, |l| l.tenant == tenant)
+        } else {
+            // Under quota in a full set: someone else is over theirs.
+            self.pick_victim_where(set, pinned, |l| occ[(l.tenant & 7) as usize] > quota)
+        };
+        vi.unwrap_or_else(|| self.pick_victim(set, pinned))
+    }
+
+    /// Replacement-policy victim scan restricted to candidate lines;
+    /// `None` when pinning (or the filter) leaves no eligible way.
+    fn pick_victim_where(
+        &mut self,
+        set: usize,
+        pinned: &[u64],
+        cand: impl Fn(&Line) -> bool,
+    ) -> Option<usize> {
+        let base = set * self.ways;
+        let n = self.len[set] as usize;
+        let eligible =
+            |w: usize, b: &Self| cand(&b.lines[base + w]) && !pinned.contains(&b.tags[base + w]);
+        if !(0..n).any(|w| eligible(w, self)) {
+            return None;
+        }
+        match self.replacement {
+            Replacement::Lru => {
+                let mut vi = None;
+                for w in 0..n {
+                    if !eligible(w, self) {
+                        continue;
+                    }
+                    match vi {
+                        None => vi = Some(w),
+                        Some(j) if self.lru[base + w] < self.lru[base + j] => vi = Some(w),
+                        _ => {}
+                    }
+                }
+                vi
+            }
+            Replacement::Srrip => loop {
+                if let Some(w) = (0..n).find(|&w| self.rrip[base + w] >= 3 && eligible(w, self)) {
+                    return Some(w);
+                }
+                for r in &mut self.rrip[base..base + n] {
+                    *r += 1;
+                }
+            },
+        }
+    }
+
     /// Picks a victim *way* in `set` (the caller removes it).
     fn pick_victim(&mut self, set: usize, pinned: &[u64]) -> usize {
         let base = set * self.ways;
@@ -335,6 +444,7 @@ impl CacheBank {
                     }
                     None => w.bool(false),
                 }
+                w.u8(l.tenant);
                 w.u8(self.rrip[slot]);
                 w.u64(self.lru[slot]);
             }
@@ -371,6 +481,7 @@ impl CacheBank {
                 };
                 let sharers = r.u64()?;
                 let owner = if r.bool()? { Some(r.u8()?) } else { None };
+                let tenant = r.u8()?;
                 self.rrip[slot] = r.u8()?;
                 self.lru[slot] = r.u64()?;
                 self.tags[slot] = line;
@@ -381,6 +492,7 @@ impl CacheBank {
                     state,
                     sharers,
                     owner,
+                    tenant,
                 };
             }
         }
@@ -485,6 +597,28 @@ mod tests {
         l.sharers |= 1 << 3;
         l.owner = Some(3);
         assert_eq!(c.peek(7).unwrap().owner, Some(3));
+    }
+
+    #[test]
+    fn way_partitioned_insert_respects_quota() {
+        let mut c = tiny(4, Replacement::Lru);
+        // 4 sets x 4 ways: lines 0,4,8,12,16,... all map to set 0.
+        // Tenant 0 fills the whole set; its quota is 2.
+        for l in [0u64, 4, 8, 12] {
+            let (_, v) = c.insert_for_tenant(l, &[], 0, 2);
+            assert!(v.is_none());
+        }
+        // Tenant 1, under its quota, evicts from the over-quota tenant.
+        let (_, v) = c.insert_for_tenant(16, &[], 1, 2);
+        assert_eq!(v.unwrap().tenant, 0);
+        let (_, v) = c.insert_for_tenant(20, &[], 1, 2);
+        assert_eq!(v.unwrap().tenant, 0);
+        // Both tenants now hold exactly 2 ways: a tenant at quota
+        // recycles its own lines, never the co-runner's.
+        let (_, v) = c.insert_for_tenant(24, &[], 1, 2);
+        assert_eq!(v.unwrap().tenant, 1);
+        let (_, v) = c.insert_for_tenant(28, &[], 0, 2);
+        assert_eq!(v.unwrap().tenant, 0);
     }
 
     #[test]

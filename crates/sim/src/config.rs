@@ -242,6 +242,16 @@ pub struct MachineConfig {
     /// replica's final cycle count and stats digest match the primary
     /// run exactly. Off by default; costs roughly one partial re-run.
     pub checkpoint_verify: bool,
+    /// Address-translation model ([`crate::xlat`]): per-tile TLBs plus
+    /// timed page walks charged through the NoC and DRAM. `None` (the
+    /// default) leaves the probe paths untouched — a single predictable
+    /// branch, like the checkpoint hook.
+    pub xlat: Option<crate::xlat::XlatConfig>,
+    /// Multi-tenant sharing ([`crate::xlat`]): tiles split into equal
+    /// contiguous blocks that share the LLC and invoke engines under a
+    /// [`TenantPolicy`](crate::xlat::TenantPolicy). `None` (the default)
+    /// models a single tenant owning the machine.
+    pub tenants: Option<crate::xlat::TenantConfig>,
 }
 
 impl MachineConfig {
@@ -316,6 +326,8 @@ impl MachineConfig {
             max_cycles: 0,
             checkpoint_every: 0,
             checkpoint_verify: false,
+            xlat: None,
+            tenants: None,
         }
     }
 
@@ -401,6 +413,20 @@ impl MachineConfig {
         self
     }
 
+    /// Enables the address-translation model: per-tile TLBs with timed
+    /// page walks (see [`crate::xlat`]).
+    pub fn xlat(mut self, x: crate::xlat::XlatConfig) -> Self {
+        self.xlat = Some(x);
+        self
+    }
+
+    /// Splits the machine between co-running tenants under the given
+    /// sharing policy (see [`crate::xlat`]).
+    pub fn tenants(mut self, t: crate::xlat::TenantConfig) -> Self {
+        self.tenants = Some(t);
+        self
+    }
+
     /// Validates the configuration, returning a typed error describing the
     /// first offending field combination.
     ///
@@ -459,6 +485,45 @@ impl MachineConfig {
         }
         if self.quantum == 0 {
             return bad("run-ahead quantum must be positive".to_string());
+        }
+        if let Some(x) = &self.xlat {
+            if x.page_bits < LINE_SHIFT || x.page_bits > 30 {
+                return bad(format!(
+                    "xlat page_bits {} must lie in {LINE_SHIFT}..=30 (line..1 GiB)",
+                    x.page_bits
+                ));
+            }
+            if x.tlb_ways == 0 || x.tlb_entries == 0 || !x.tlb_entries.is_multiple_of(x.tlb_ways) {
+                return bad(format!(
+                    "TLB geometry {}x{} ways must be positive with ways dividing entries",
+                    x.tlb_entries, x.tlb_ways
+                ));
+            }
+            if x.walk_levels == 0 || x.walk_levels > 6 {
+                return bad(format!(
+                    "xlat walk_levels {} must lie in 1..=6",
+                    x.walk_levels
+                ));
+            }
+        }
+        if let Some(t) = &self.tenants {
+            if t.count == 0 || t.count > 8 {
+                return bad(format!("tenant count {} must lie in 1..=8", t.count));
+            }
+            if !self.tiles.is_multiple_of(t.count) {
+                return bad(format!(
+                    "tenant count {} must divide the tile count {}",
+                    t.count, self.tiles
+                ));
+            }
+            if t.policy == crate::xlat::TenantPolicy::LlcWayPartition
+                && !self.llc.ways.is_multiple_of(t.count)
+            {
+                return bad(format!(
+                    "LLC way-partitioning needs tenant count {} to divide LLC ways {}",
+                    t.count, self.llc.ways
+                ));
+            }
         }
         if let Some(plan) = &self.fault_plan {
             plan.validate(self)?;

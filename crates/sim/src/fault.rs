@@ -139,6 +139,7 @@ pub const DEFAULT_BACKOFF_CAP: u64 = 1024;
 // Per-class seed salts so each gen_* builder draws from an independent
 // stream: adding faults of one class never changes another class's draws.
 const SALT_ENGINE: u64 = 0x9e1e_6e51_4e00_0001;
+const SALT_TENANT: u64 = 0x9e1e_6e51_4e00_0005;
 const SALT_SQUEEZE: u64 = 0x9e1e_6e51_4e00_0002;
 const SALT_LINK: u64 = 0x9e1e_6e51_4e00_0003;
 const SALT_DRAM: u64 = 0x9e1e_6e51_4e00_0004;
@@ -276,6 +277,43 @@ impl FaultPlan {
         let mut rng = self.rng_for(SALT_ENGINE);
         for _ in 0..count {
             let tile = rng.gen_range(0u32..tiles.max(1));
+            let level = if rng.next_u64() & 1 == 0 {
+                EngineLevel::L2
+            } else {
+                EngineLevel::Llc
+            };
+            let window = Self::gen_window(&mut rng, horizon, min_len, max_len);
+            self.engine_faults.push(EngineFault {
+                engine: EngineId { tile, level },
+                window,
+            });
+        }
+        self
+    }
+
+    /// Generates `count` seeded engine refusal windows confined to one
+    /// tenant's contiguous tile block (tenant `tenant` of `tenant_count`
+    /// equal blocks over `tiles` tiles; see [`crate::xlat::TenantMap`]).
+    /// Models a fault domain scoped to a single co-runner: the other
+    /// tenants' engines keep serving.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gen_tenant_engine_outages(
+        mut self,
+        count: usize,
+        tenant: u32,
+        tenant_count: u32,
+        tiles: u32,
+        horizon: u64,
+        min_len: u64,
+        max_len: u64,
+    ) -> Self {
+        let block = (tiles / tenant_count.max(1)).max(1);
+        let base = tenant * block;
+        // Separate salt (folded with the tenant) so per-tenant plans draw
+        // independently of each other and of global engine outages.
+        let mut rng = self.rng_for(SALT_TENANT ^ u64::from(tenant));
+        for _ in 0..count {
+            let tile = base + rng.gen_range(0u32..block);
             let level = if rng.next_u64() & 1 == 0 {
                 EngineLevel::L2
             } else {
@@ -584,6 +622,29 @@ mod tests {
             .gen_dram_throttles(2, 2, 4, 1000, 10, 20);
         let b = FaultPlan::new(5).gen_dram_throttles(2, 2, 4, 1000, 10, 20);
         assert_eq!(a.dram_faults, b.dram_faults);
+    }
+
+    #[test]
+    fn tenant_outages_stay_in_the_tenant_block() {
+        // 16 tiles, 4 tenants: tenant 2 owns tiles 8..12.
+        let p = FaultPlan::new(9).gen_tenant_engine_outages(20, 2, 4, 16, 10_000, 100, 500);
+        assert_eq!(p.engine_faults.len(), 20);
+        for f in &p.engine_faults {
+            assert!(
+                (8..12).contains(&f.engine.tile),
+                "tile {} escaped tenant 2's block",
+                f.engine.tile
+            );
+        }
+        // Deterministic per (seed, tenant); different tenants draw
+        // independently.
+        let q = FaultPlan::new(9).gen_tenant_engine_outages(20, 2, 4, 16, 10_000, 100, 500);
+        assert_eq!(p, q);
+        let r = FaultPlan::new(9).gen_tenant_engine_outages(20, 1, 4, 16, 10_000, 100, 500);
+        assert!(r
+            .engine_faults
+            .iter()
+            .all(|f| (4..8).contains(&f.engine.tile)));
     }
 
     #[test]

@@ -45,6 +45,13 @@ impl Hw {
             self.stats.llc.hits += 1;
         } else {
             self.stats.llc.misses += 1;
+            if let Some(tm) = &self.tenants {
+                // Per-tenant interference attribution (cold path only).
+                let ten = tm.tenant_of(from_tile) as usize;
+                if let Some(c) = self.stats.tenant_llc_misses.get_mut(ten) {
+                    *c += 1;
+                }
+            }
             // LLC miss: phantom construction or DRAM fetch.
             if allow_phantom {
                 if let Some(mi) = self.ndc.morph_at(addr) {
@@ -55,21 +62,21 @@ impl Hw {
                         }
                     } else {
                         // L2-level morph data must never reach the LLC.
-                        t = self.dram_fetch_into_llc(mem, bank, line, t);
+                        t = self.dram_fetch_into_llc(mem, from_tile, bank, line, t);
                     }
                 } else {
-                    t = self.dram_fetch_into_llc(mem, bank, line, t);
+                    t = self.dram_fetch_into_llc(mem, from_tile, bank, line, t);
                 }
             } else if kind == AccessKind::Write && self.ndc.is_stream_store(addr) {
                 // Streaming store: the line will be fully overwritten, so
                 // skip the write-allocate fetch (write-combining).
-                let (l, victim) = self.llc[bank as usize].insert(line, &self.pins);
+                let (l, victim) = self.llc_fill(from_tile, bank, line);
                 l.dirty = true;
                 if let Some(v) = victim {
                     self.handle_llc_victim(mem, bank, v, t);
                 }
             } else {
-                t = self.dram_fetch_into_llc(mem, bank, line, t);
+                t = self.dram_fetch_into_llc(mem, from_tile, bank, line, t);
             }
         }
 
@@ -81,11 +88,13 @@ impl Hw {
         Walk::Done { at: t }
     }
 
-    /// Fetches `line` from DRAM and inserts it into `bank`, handling the
-    /// victim. Returns the completion time.
+    /// Fetches `line` from DRAM and inserts it into `bank` on behalf of
+    /// the requester at `from_tile`, handling the victim. Returns the
+    /// completion time.
     pub(super) fn dram_fetch_into_llc(
         &mut self,
         mem: &mut dyn levi_isa::Memory,
+        from_tile: u32,
         bank: u32,
         line: u64,
         now: u64,
@@ -93,11 +102,31 @@ impl Hw {
         let t = self
             .dram
             .access_cache_line(&self.translator, line, now, &mut self.stats);
-        let (_, victim) = self.llc[bank as usize].insert(line, &self.pins);
+        let (_, victim) = self.llc_fill(from_tile, bank, line);
         if let Some(v) = victim {
             self.handle_llc_victim(mem, bank, v, now);
         }
         t
+    }
+
+    /// Inserts a demand fill into an LLC bank, honoring the tenant
+    /// way-partition when one is configured (the single-tenant path is
+    /// the plain [`crate::cache::CacheBank::insert`]).
+    fn llc_fill(
+        &mut self,
+        from_tile: u32,
+        bank: u32,
+        line: u64,
+    ) -> (&mut crate::cache::Line, Option<crate::cache::Line>) {
+        match self.tenants {
+            Some(tm) if tm.llc_ways_per_tenant > 0 => self.llc[bank as usize].insert_for_tenant(
+                line,
+                &self.pins,
+                tm.tenant_of(from_tile) as u8,
+                tm.llc_ways_per_tenant,
+            ),
+            _ => self.llc[bank as usize].insert(line, &self.pins),
+        }
     }
 
     /// Enforces coherence for a request on a resident LLC line.

@@ -135,6 +135,12 @@ pub struct Hw {
     /// the retry/backoff policy). Empty unless the config carried a
     /// [`crate::fault::FaultPlan`].
     pub faults: FaultState,
+    /// Address-translation state (per-tile TLBs); `None` unless the
+    /// config enabled [`crate::xlat`].
+    pub xlat: Option<crate::xlat::XlatState>,
+    /// Derived tenant topology; `None` unless the config enabled
+    /// multi-tenant sharing.
+    pub tenants: Option<crate::xlat::TenantMap>,
     /// A fatal simulation error raised mid-actor (e.g. an invoke of an
     /// unregistered action); `Machine::run` drains it into
     /// `RunError::Fault`.
@@ -206,6 +212,16 @@ impl Hw {
             stats.faults_injected = plan.total_faults();
             faults = FaultState::from_plan(plan);
         }
+        let xlat = cfg.xlat.map(|x| crate::xlat::XlatState::new(x, cfg.tiles));
+        let tenants = cfg
+            .tenants
+            .as_ref()
+            .map(|t| crate::xlat::TenantMap::new(t, &cfg));
+        if let Some(tm) = &tenants {
+            stats.tenant_llc_misses = vec![0; tm.count as usize];
+            stats.tenant_invokes = vec![0; tm.count as usize];
+            stats.tenant_finish = vec![0; tm.count as usize];
+        }
         Hw {
             l1: (0..tiles).map(|_| CacheBank::new(&cfg.l1)).collect(),
             l2: (0..tiles).map(|_| CacheBank::new(&cfg.l2)).collect(),
@@ -217,6 +233,8 @@ impl Hw {
             ndc: NdcState::default(),
             stats,
             faults,
+            xlat,
+            tenants,
             fatal: None,
             prefetchers: vec![StridePf::default(); tiles],
             pins: Vec::new(),

@@ -48,6 +48,11 @@ impl Hw {
             }
         }
 
+        // Address translation ahead of the L1 probe (crate::xlat): a TLB
+        // hit folds into the L1 latency; a miss advances `now` by a timed
+        // page walk. Disabled configs pay one predictable branch.
+        let now = self.translate(tile, addr, now);
+
         // L1 probe, outside the profiling scope: hits are the
         // overwhelmingly common case and two clock reads would dominate
         // the probe itself (Phase::Cache self-time covers the miss walk;
@@ -166,6 +171,11 @@ impl Hw {
                 }
             }
         }
+
+        // Address translation ahead of the engine probe path, covering
+        // the L1d probes *and* the memory-side bypass below (the engine's
+        // rTLB faces the same walk cost as the core MMU).
+        let now = self.translate(eid.tile, addr, now);
 
         // Memory-side data bypasses the cache hierarchy entirely: the
         // engine issues the access to the memory controller (the MC's

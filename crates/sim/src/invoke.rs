@@ -290,6 +290,40 @@ impl TimedHost<'_> {
             *self.invoke_retries = 0;
         }
 
+        // Engine-slot quota (crate::xlat): a tenant invoking an engine
+        // outside its tile block NACKs once the engine holds `quota`
+        // contexts, reserving the rest for the owner. Parks on the same
+        // condition as a context NACK — a release re-evaluates the quota.
+        if let Some(tm) = &self.hw.tenants {
+            let in_use = self.hw.engines[target.index()].ctxs_in_use();
+            if tm.quota_blocks(self.tile, target, in_use) {
+                self.hw.stats.invoke_nacks += 1;
+                self.hw.stats.tenant_quota_nacks += 1;
+                let (now, track) = (self.now, self.track());
+                self.hw.stats.trace.record(|| {
+                    TraceEvent::instant(
+                        now,
+                        TraceCategory::Invoke,
+                        "invoke.quota_nack",
+                        track,
+                        &[("target", target.tile as u64)],
+                    )
+                });
+                if let Some(id) = *self.pending_span {
+                    self.hw.stats.spans.note_nack(id);
+                    self.span_event(
+                        id,
+                        "span.nacked",
+                        now,
+                        track,
+                        &[("target", target.tile as u64)],
+                    );
+                }
+                self.block = Some(WaitCond::EngineCtx(target));
+                return Poll::Pending;
+            }
+        }
+
         if !self.hw.engines[target.index()].try_reserve_ctx() {
             self.hw.stats.invoke_nacks += 1;
             let (now, track) = (self.now, self.track());
@@ -327,6 +361,12 @@ impl TimedHost<'_> {
             return Poll::Pending;
         }
         self.hw.stats.invokes += 1;
+        if let Some(tm) = &self.hw.tenants {
+            let ten = tm.tenant_of(self.tile) as usize;
+            if let Some(c) = self.hw.stats.tenant_invokes.get_mut(ten) {
+                *c += 1;
+            }
+        }
         let (now, track) = (self.now, self.track());
         self.hw.stats.trace.record(|| {
             TraceEvent::instant(

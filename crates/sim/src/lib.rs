@@ -68,6 +68,7 @@ pub mod span;
 pub mod stats;
 pub mod telemetry;
 pub mod trace;
+pub mod xlat;
 
 pub use config::{CacheConfig, EnergyConfig, MachineConfig, Replacement, LINE_SIZE};
 pub use energy::EnergyBreakdown;
@@ -87,3 +88,4 @@ pub use span::{CriticalPath, InvokeSpan, SlowInvoke, SpanId, SpanTable, StageCyc
 pub use stats::{Sample, Stats, TimeSeries, TOP_SLOW_INVOKES};
 pub use telemetry::{Telemetry, TELEMETRY_VERSION};
 pub use trace::{TraceCategory, TraceEvent, Tracer, Track};
+pub use xlat::{TenantConfig, TenantMap, TenantPolicy, XlatConfig, XlatState};

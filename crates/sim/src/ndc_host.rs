@@ -123,6 +123,10 @@ impl NdcHost for TimedHost<'_> {
 
     fn future_send(&mut self, mem: &mut dyn Memory, fut: Addr, val: u64) {
         future_layout::fill(mem, fut, val);
+        // The NDC host path translates too: the store-update targets the
+        // future's virtual address, so the sender's TLB gates it exactly
+        // like a probe-path access (crate::xlat; free when disabled).
+        let t = self.hw.translate(self.tile, fut, self.now);
         // store-update: the value travels to the waiter's core; we use the
         // future's home bank as the destination proxy when no waiter is
         // parked yet.
@@ -130,7 +134,7 @@ impl NdcHost for TimedHost<'_> {
         let arrival = self
             .hw
             .noc
-            .send(self.tile, dest, CTRL_MSG, self.now, &mut self.hw.stats);
+            .send(self.tile, dest, CTRL_MSG, t, &mut self.hw.stats);
         self.hw
             .ndc
             .futures

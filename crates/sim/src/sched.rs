@@ -693,17 +693,17 @@ impl Machine {
     fn finish_actor(&mut self, aid: ActorId) {
         let clock = self.actors[aid as usize].clock;
         let span = self.actors[aid as usize].span.take();
-        let (is_core, engine_task, engine_release, stream, track) = {
+        let (core_tile, engine_task, engine_release, stream, track) = {
             let a = &mut self.actors[aid as usize];
             a.state = ActorState::Done;
             match a.kind {
-                ActorKind::CoreThread { core } => (true, None, None, None, Track::Core(core)),
+                ActorKind::CoreThread { core } => (Some(core), None, None, None, Track::Core(core)),
                 ActorKind::EngineTask {
                     engine,
                     reserved_ctx,
                     stream,
                 } => (
-                    false,
+                    None,
                     Some(engine),
                     reserved_ctx.then_some(engine),
                     stream,
@@ -711,8 +711,17 @@ impl Machine {
                 ),
             }
         };
-        if is_core {
+        let is_core = core_tile.is_some();
+        if let Some(core) = core_tile {
             self.live_core_threads -= 1;
+            if let Some(tm) = &self.hw.tenants {
+                // Per-tenant slowdown: each tenant's makespan is the
+                // latest finish among its core threads (cold path only).
+                let ten = tm.tenant_of(core) as usize;
+                if let Some(f) = self.hw.stats.tenant_finish.get_mut(ten) {
+                    *f = (*f).max(clock);
+                }
+            }
         }
         if let Some(engine) = engine_task {
             self.hw.stats.trace.record(|| {

@@ -247,6 +247,25 @@ pub fn config_digest(cfg: &MachineConfig) -> u64 {
     w.bool(cfg.trace_spans);
     w.u64(cfg.sample_interval);
     w.u64(cfg.max_cycles);
+    match cfg.xlat {
+        Some(x) => {
+            w.bool(true);
+            w.u32(x.page_bits);
+            w.u32(x.tlb_entries);
+            w.u32(x.tlb_ways);
+            w.u32(x.walk_levels);
+            w.u64(x.walk_latency);
+        }
+        None => w.bool(false),
+    }
+    match cfg.tenants {
+        Some(t) => {
+            w.bool(true);
+            w.u32(t.count);
+            w.u8(t.policy.as_u8());
+        }
+        None => w.bool(false),
+    }
     fnv1a(&w.into_bytes())
 }
 
@@ -753,6 +772,17 @@ pub(crate) fn encode_machine(m: &Machine) -> Vec<u8> {
     w_section(&mut w, b"XLAT");
     m.hw.translator.snap_write(&mut w);
 
+    // TLBX: the address-translation TLBs (crate::xlat). Distinct from
+    // XLAT above, which is the DRAM compaction translator.
+    w_section(&mut w, b"TLBX");
+    match &m.hw.xlat {
+        Some(x) => {
+            w.bool(true);
+            x.snap_write(&mut w);
+        }
+        None => w.bool(false),
+    }
+
     w_section(&mut w, b"NDCX");
     {
         let ndc = &m.hw.ndc;
@@ -877,6 +907,13 @@ pub(crate) fn decode_machine_into(m: &mut Machine, payload: &[u8]) -> Result<(),
 
     r_section(r, b"XLAT", "translator section")?;
     m.hw.translator.snap_read(r)?;
+
+    r_section(r, b"TLBX", "tlb section")?;
+    match (r.bool()?, &mut m.hw.xlat) {
+        (true, Some(x)) => x.snap_read(r)?,
+        (false, None) => {}
+        _ => return Err(SnapshotError::Corrupted("tlb presence mismatch")),
+    }
 
     r_section(r, b"NDCX", "ndc section")?;
     {
@@ -1022,5 +1059,56 @@ mod tests {
         assert_eq!(config_digest(&a), config_digest(&b));
         b.tiles = a.tiles + 1;
         assert_ne!(config_digest(&a), config_digest(&b));
+    }
+
+    #[test]
+    fn config_digest_covers_every_xlat_and_tenant_knob() {
+        use crate::xlat::{TenantConfig, TenantPolicy, XlatConfig};
+        let base = MachineConfig::paper_default();
+        let d0 = config_digest(&base);
+
+        // Enabling either feature changes the digest.
+        let mut on = base.clone();
+        on.xlat = Some(XlatConfig::paper_default());
+        let dx = config_digest(&on);
+        assert_ne!(d0, dx, "xlat presence");
+        let mut ten = base.clone();
+        ten.tenants = Some(TenantConfig::new(4, TenantPolicy::Unpartitioned));
+        let dt = config_digest(&ten);
+        assert_ne!(d0, dt, "tenant presence");
+
+        // Every xlat field is digest-relevant.
+        let x = XlatConfig::paper_default();
+        let variants = [
+            XlatConfig { page_bits: 21, ..x },
+            XlatConfig {
+                tlb_entries: 128,
+                ..x
+            },
+            XlatConfig { tlb_ways: 8, ..x },
+            XlatConfig {
+                walk_levels: 3,
+                ..x
+            },
+            XlatConfig {
+                walk_latency: 9,
+                ..x
+            },
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            let mut c = base.clone();
+            c.xlat = Some(*v);
+            assert_ne!(config_digest(&c), dx, "xlat knob {i} must move the digest");
+        }
+
+        // Every tenant field is digest-relevant.
+        let mut c = base.clone();
+        c.tenants = Some(TenantConfig::new(2, TenantPolicy::Unpartitioned));
+        assert_ne!(config_digest(&c), dt, "tenant count");
+        for policy in [TenantPolicy::LlcWayPartition, TenantPolicy::EngineSlotQuota] {
+            let mut c = base.clone();
+            c.tenants = Some(TenantConfig::new(4, policy));
+            assert_ne!(config_digest(&c), dt, "tenant policy {policy:?}");
+        }
     }
 }

@@ -157,6 +157,27 @@ pub struct Stats {
     /// [`crate::config::MachineConfig::sample_interval`]).
     pub timeline: TimeSeries,
 
+    /// TLB lookups that hit (0 unless translation is enabled; see
+    /// [`crate::xlat`]).
+    pub tlb_hits: u64,
+    /// TLB lookups that missed and paid a page walk.
+    pub tlb_misses: u64,
+    /// Total cycles charged to page walks (NoC + DRAM + fixed per-level
+    /// latency).
+    pub tlb_walk_cycles: u64,
+    /// Invokes NACKed by the tenant engine-slot quota (subset of
+    /// `invoke_nacks`).
+    pub tenant_quota_nacks: u64,
+    /// Per-walk latency distribution (empty unless translation is on).
+    pub xlat_walk: Histogram,
+    /// LLC misses attributed to each tenant (empty unless tenancy is on).
+    pub tenant_llc_misses: Vec<u64>,
+    /// Invokes issued by each tenant.
+    pub tenant_invokes: Vec<u64>,
+    /// Latest core-thread finish cycle observed per tenant (a slowdown
+    /// proxy: the spread shows inter-tenant interference).
+    pub tenant_finish: Vec<u64>,
+
     current_phase: usize,
 }
 
@@ -278,6 +299,37 @@ impl fmt::Display for Stats {
             )?;
             if !self.fault_backoff.is_empty() {
                 write!(f, "\nfault backoff:     {}", self.fault_backoff)?;
+            }
+        }
+        // Translation and tenancy lines are likewise gated: runs with
+        // both features off keep byte-identical output.
+        if self.tlb_hits + self.tlb_misses > 0 {
+            let total = self.tlb_hits + self.tlb_misses;
+            write!(
+                f,
+                "\nTLB hits/misses:   {}/{} ({:.1}% hit); {} walk cycles",
+                self.tlb_hits,
+                self.tlb_misses,
+                self.tlb_hits as f64 / total as f64 * 100.0,
+                self.tlb_walk_cycles
+            )?;
+            if !self.xlat_walk.is_empty() {
+                write!(f, "\nwalk latency:      {}", self.xlat_walk)?;
+            }
+        }
+        if !self.tenant_finish.is_empty() {
+            write!(f, "\ntenants:           {}", self.tenant_finish.len())?;
+            for t in 0..self.tenant_finish.len() {
+                write!(
+                    f,
+                    "\n  tenant {t}: {} LLC misses, {} invokes, finish @{}",
+                    self.tenant_llc_misses.get(t).copied().unwrap_or(0),
+                    self.tenant_invokes.get(t).copied().unwrap_or(0),
+                    self.tenant_finish[t]
+                )?;
+            }
+            if self.tenant_quota_nacks > 0 {
+                write!(f, "\nquota NACKs:       {}", self.tenant_quota_nacks)?;
             }
         }
         // Dropped-event and span lines are gated the same way: runs
@@ -601,6 +653,25 @@ impl Stats {
         self.trace.snap_write(w);
         self.spans.snap_write(w);
         self.timeline.snap_write(w);
+        for c in [
+            self.tlb_hits,
+            self.tlb_misses,
+            self.tlb_walk_cycles,
+            self.tenant_quota_nacks,
+        ] {
+            w.u64(c);
+        }
+        self.xlat_walk.snap_write(w);
+        for v in [
+            &self.tenant_llc_misses,
+            &self.tenant_invokes,
+            &self.tenant_finish,
+        ] {
+            w.u32(v.len() as u32);
+            for &c in v.iter() {
+                w.u64(c);
+            }
+        }
     }
 
     /// Restores statistics written by [`Stats::snap_write`] into `self`,
@@ -656,6 +727,23 @@ impl Stats {
         self.trace = Tracer::snap_read(r)?;
         self.spans = SpanTable::snap_read(r)?;
         self.timeline = TimeSeries::snap_read(r)?;
+        self.tlb_hits = r.u64()?;
+        self.tlb_misses = r.u64()?;
+        self.tlb_walk_cycles = r.u64()?;
+        self.tenant_quota_nacks = r.u64()?;
+        self.xlat_walk = Histogram::snap_read(r)?;
+        for v in [
+            &mut self.tenant_llc_misses,
+            &mut self.tenant_invokes,
+            &mut self.tenant_finish,
+        ] {
+            let n = r.count(8)?;
+            v.clear();
+            v.reserve(n);
+            for _ in 0..n {
+                v.push(r.u64()?);
+            }
+        }
         Ok(())
     }
 

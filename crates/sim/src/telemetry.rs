@@ -105,6 +105,10 @@ impl<'a> Telemetry<'a> {
             ("fault_nack_retries", s.fault_nack_retries),
             ("fault_fallbacks", s.fault_fallbacks),
             ("fault_degraded_cycles", s.fault_degraded_cycles),
+            ("tlb_hits", s.tlb_hits),
+            ("tlb_misses", s.tlb_misses),
+            ("tlb_walk_cycles", s.tlb_walk_cycles),
+            ("tenant_quota_nacks", s.tenant_quota_nacks),
             ("trace_events", s.trace.len() as u64),
             ("trace_dropped", s.trace.dropped()),
             ("spans_recorded", s.spans.len() as u64),
@@ -116,11 +120,52 @@ impl<'a> Telemetry<'a> {
         for (i, name) in PHASE_NAMES.iter().enumerate() {
             v.push((name, s.dram_by_phase[i]));
         }
+        // Per-tenant series appear only when tenancy is configured, so
+        // single-tenant dumps stay byte-identical to pre-tenancy builds.
+        const TENANT_LLC: [&str; 8] = [
+            "tenant0_llc_misses",
+            "tenant1_llc_misses",
+            "tenant2_llc_misses",
+            "tenant3_llc_misses",
+            "tenant4_llc_misses",
+            "tenant5_llc_misses",
+            "tenant6_llc_misses",
+            "tenant7_llc_misses",
+        ];
+        const TENANT_INVOKES: [&str; 8] = [
+            "tenant0_invokes",
+            "tenant1_invokes",
+            "tenant2_invokes",
+            "tenant3_invokes",
+            "tenant4_invokes",
+            "tenant5_invokes",
+            "tenant6_invokes",
+            "tenant7_invokes",
+        ];
+        const TENANT_FINISH: [&str; 8] = [
+            "tenant0_finish_cycles",
+            "tenant1_finish_cycles",
+            "tenant2_finish_cycles",
+            "tenant3_finish_cycles",
+            "tenant4_finish_cycles",
+            "tenant5_finish_cycles",
+            "tenant6_finish_cycles",
+            "tenant7_finish_cycles",
+        ];
+        for (i, &m) in s.tenant_llc_misses.iter().enumerate().take(8) {
+            v.push((TENANT_LLC[i], m));
+        }
+        for (i, &m) in s.tenant_invokes.iter().enumerate().take(8) {
+            v.push((TENANT_INVOKES[i], m));
+        }
+        for (i, &m) in s.tenant_finish.iter().enumerate().take(8) {
+            v.push((TENANT_FINISH[i], m));
+        }
         v
     }
 
     /// Every latency histogram in the registry, as `(name, histogram)`.
-    pub fn histograms(&self) -> [(&'static str, &'a Histogram); 5] {
+    pub fn histograms(&self) -> [(&'static str, &'a Histogram); 6] {
         let s = self.stats;
         [
             ("invoke_rtt", &s.invoke_rtt),
@@ -128,6 +173,7 @@ impl<'a> Telemetry<'a> {
             ("dram_queue", &s.dram_queue),
             ("stream_stall", &s.stream_stall),
             ("fault_backoff", &s.fault_backoff),
+            ("xlat_walk", &s.xlat_walk),
         ]
     }
 

@@ -71,6 +71,7 @@ impl RefBank {
             state: PrivState::Shared,
             sharers: 0,
             owner: None,
+            tenant: 0,
         };
         self.sets[set].push((fresh, 2, tick));
         (&mut self.sets[set].last_mut().unwrap().0, victim)

@@ -15,7 +15,7 @@ use levi_sim::ndc::{MorphLevel, MorphRegion};
 use levi_sim::snapshot::{MAGIC, VERSION};
 use levi_sim::{
     CycleWindow, EngineId, EngineLevel, FaultPlan, Machine, MachineConfig, RunError, SnapshotError,
-    StreamMode,
+    StreamMode, TenantConfig, TenantPolicy, XlatConfig,
 };
 
 fn small_cfg() -> MachineConfig {
@@ -333,6 +333,142 @@ fn malformed_bytes_are_rejected_with_typed_errors() {
             "corruption at {offset} gave {err}"
         );
     }
+}
+
+/// Translation + tenancy enabled (DESIGN.md §11): TLBs fill and tenant
+/// line tags spread mid-run, so snapshots carry real xlat state.
+fn xlat_cfg(policy: TenantPolicy) -> MachineConfig {
+    let mut cfg = small_cfg();
+    cfg.xlat = Some(XlatConfig::paper_default());
+    cfg.tenants = Some(TenantConfig::new(2, policy));
+    cfg
+}
+
+#[test]
+fn restore_with_translation_and_tenancy_reproduces_the_run() {
+    for policy in [
+        TenantPolicy::Unpartitioned,
+        TenantPolicy::LlcWayPartition,
+        TenantPolicy::EngineSlotQuota,
+    ] {
+        let mut base = setup(xlat_cfg(policy));
+        base.run().unwrap();
+        let want = outcome(&base);
+        assert!(
+            base.stats().tlb_misses > 0,
+            "workload must actually walk ({policy:?})"
+        );
+
+        for every in [300u64, 1100] {
+            let mut m = setup(xlat_cfg(policy).checkpoint_every(every));
+            m.run().unwrap();
+            assert_eq!(outcome(&m), want, "hook-free outcome ({policy:?})");
+            let (at, bytes) = m.take_last_checkpoint().expect("checkpoint taken");
+            assert!(at > 0 && at < want.0, "mid-run checkpoint at {at}");
+
+            let mut replica = Machine::restore(xlat_cfg(policy), &bytes).unwrap();
+            assert!(
+                replica
+                    .hw
+                    .xlat
+                    .as_ref()
+                    .is_some_and(|x| (0..4).any(|t| x.tlb(t).occupancy() > 0)),
+                "restored TLBs must carry mid-flight entries"
+            );
+            assert_eq!(replica.checkpoint(), bytes, "re-checkpoint byte-identity");
+            replica.run().unwrap();
+            assert_eq!(
+                outcome(&replica),
+                want,
+                "xlat resume diverged ({policy:?}, checkpoint at {at})"
+            );
+        }
+    }
+}
+
+#[test]
+fn restore_with_tenant_scoped_outages_reproduces_the_run() {
+    // Tenant 0 (tiles 0-1) loses engines mid-run; tenant 1 keeps serving.
+    let plan = || {
+        FaultPlan::new(1)
+            .retry_budget(3)
+            .backoff(8, 64)
+            .gen_tenant_engine_outages(6, 0, 2, 4, 4000, 200, 1000)
+    };
+    let cfg = || xlat_cfg(TenantPolicy::EngineSlotQuota).faulted(plan());
+    let mut base = setup(cfg());
+    base.run().unwrap();
+    let want = outcome(&base);
+
+    let mut m = setup(cfg().checkpoint_every(500));
+    m.run().unwrap();
+    assert_eq!(outcome(&m), want, "hook-free outcome under tenant faults");
+    let (at, bytes) = m.take_last_checkpoint().expect("checkpoint taken");
+    let mut replica = Machine::restore(cfg(), &bytes).unwrap();
+    replica.run().unwrap();
+    assert_eq!(
+        outcome(&replica),
+        want,
+        "tenant-fault resume diverged at {at}"
+    );
+}
+
+/// Recomputes the container CRC after in-place payload surgery, so the
+/// decoder reaches the section codec instead of failing the CRC gate.
+fn reseal(bytes: &mut [u8]) {
+    let len = bytes.len();
+    let crc = levi_sim::snapshot::crc32(&bytes[8..len - 4]);
+    bytes[len - 4..].copy_from_slice(&crc.to_le_bytes());
+}
+
+#[test]
+fn tampered_tlb_section_is_rejected_with_typed_errors() {
+    let cfg = || xlat_cfg(TenantPolicy::Unpartitioned);
+    let mut m = setup(cfg().checkpoint_every(400));
+    m.run().unwrap();
+    let (_, bytes) = m.take_last_checkpoint().expect("checkpoint taken");
+    assert!(Machine::restore(cfg(), &bytes).is_ok(), "pristine restores");
+    let pos = bytes
+        .windows(4)
+        .position(|w| w == b"TLBX")
+        .expect("snapshot carries the TLBX section");
+
+    // Presence flag flipped (valid CRC): the decoder must catch the
+    // mismatch against the config-built machine, not panic.
+    let mut bad = bytes.clone();
+    bad[pos + 4] ^= 1;
+    reseal(&mut bad);
+    assert_eq!(
+        restore_err(cfg(), &bad),
+        SnapshotError::Corrupted("tlb presence mismatch")
+    );
+
+    // Tile-count corruption (valid CRC): typed codec error, no panic.
+    let mut bad = bytes.clone();
+    bad[pos + 5] ^= 0xFF;
+    reseal(&mut bad);
+    assert!(
+        matches!(
+            restore_err(cfg(), &bad),
+            SnapshotError::Corrupted(_) | SnapshotError::Truncated
+        ),
+        "corrupted TLB count must fail typed"
+    );
+
+    // Truncation inside the section, with the header length and CRC
+    // rewritten to match: the codec runs dry mid-TLB and reports it.
+    let mut cut = bytes[..pos + 8].to_vec();
+    let plen = (cut.len() - 28) as u64;
+    cut[20..28].copy_from_slice(&plen.to_le_bytes());
+    let crc = levi_sim::snapshot::crc32(&cut[8..]);
+    cut.extend_from_slice(&crc.to_le_bytes());
+    assert!(
+        matches!(
+            restore_err(cfg(), &cut),
+            SnapshotError::Truncated | SnapshotError::Corrupted(_)
+        ),
+        "mid-section truncation must fail typed"
+    );
 }
 
 #[test]

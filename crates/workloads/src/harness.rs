@@ -101,6 +101,12 @@ pub struct RunEnv {
     /// Implies a default `checkpoint_every` of 100 000 cycles when none
     /// is set.
     pub snapshot_verify: bool,
+    /// Model address translation (per-tile TLBs + timed page walks).
+    /// Timing changes but results must still match the golden model.
+    pub xlat: Option<levi_sim::XlatConfig>,
+    /// Split the machine into co-running tenants under a sharing policy.
+    /// Timing changes but results must still match the golden model.
+    pub tenants: Option<levi_sim::TenantConfig>,
 }
 
 impl RunEnv {
@@ -124,6 +130,12 @@ impl RunEnv {
             if cfg.machine.checkpoint_every == 0 {
                 cfg.machine.checkpoint_every = 100_000;
             }
+        }
+        if let Some(x) = self.xlat {
+            cfg.machine.xlat = Some(x);
+        }
+        if let Some(t) = self.tenants {
+            cfg.machine.tenants = Some(t);
         }
     }
 }

@@ -105,3 +105,66 @@ fn checkpoint_hook_is_observational_for_every_workload() {
         check_checkpointed(name);
     }
 }
+
+/// With translation and tenancy disabled (the default), the xlat
+/// subsystem must be invisible: for every registered workload × variant,
+/// a run through an env that carries the (disabled) xlat/tenant knobs is
+/// byte-identical — cycles, checksum, stats digest — to the plain run,
+/// and none of the new counters ever fire. This is the zero-cost
+/// disabled-path guarantee (DESIGN.md §11) pinned registry-wide.
+fn check_xlat_disabled(name: &str) {
+    let w = find_workload(name).unwrap_or_else(|| panic!("workload {name} not registered"));
+    let prepared = w.prepare(ScaleKind::Test);
+    let plain = RunEnv::default();
+    let disabled = RunEnv {
+        xlat: None,
+        tenants: None,
+        ..RunEnv::default()
+    };
+    for label in w.variant_labels() {
+        let (a, b) = (prepared.run(label, &plain), prepared.run(label, &disabled));
+        match (a, b) {
+            (RunStatus::Done(plain), RunStatus::Done(disabled)) => {
+                assert_eq!(
+                    (
+                        plain.metrics.cycles,
+                        plain.checksum,
+                        plain.metrics.stats.digest()
+                    ),
+                    (
+                        disabled.metrics.cycles,
+                        disabled.checksum,
+                        disabled.metrics.stats.digest()
+                    ),
+                    "{name}/{label}: disabled xlat/tenancy perturbed the run"
+                );
+                let s = &plain.metrics.stats;
+                assert_eq!(
+                    s.tlb_hits + s.tlb_misses + s.tlb_walk_cycles + s.tenant_quota_nacks,
+                    0,
+                    "{name}/{label}: translation counters fired while disabled"
+                );
+                assert_eq!(
+                    s.xlat_walk.count(),
+                    0,
+                    "{name}/{label}: walk histogram fired"
+                );
+                assert!(
+                    s.tenant_llc_misses.is_empty()
+                        && s.tenant_invokes.is_empty()
+                        && s.tenant_finish.is_empty(),
+                    "{name}/{label}: tenant attribution allocated while disabled"
+                );
+            }
+            (RunStatus::Unsupported(_), RunStatus::Unsupported(_)) => {}
+            _ => panic!("{name}/{label}: support status changed under disabled xlat"),
+        }
+    }
+}
+
+#[test]
+fn disabled_xlat_is_invisible_for_every_workload() {
+    for name in ["phi", "decompress", "hashtable", "hats", "micro"] {
+        check_xlat_disabled(name);
+    }
+}
